@@ -1,0 +1,141 @@
+// Experiment E6 — the four decomposition methods vs the flexible relation
+// (Section 3.1.1).
+//
+// Regenerates the storage/restoration trade-off: null-padded methods store
+// rows × (unused variant width) null fields the flexible relation avoids;
+// horizontal/vertical methods store no nulls but pay outer-union /
+// multiway-join restoration.
+
+#include <benchmark/benchmark.h>
+
+#include "decomposition/decomposition.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+std::unique_ptr<EmployeeWorkload> Make(size_t variants, size_t rows) {
+  EmployeeConfig config;
+  config.num_variants = variants;
+  config.attrs_per_variant = 2;
+  config.num_common_attrs = 1;
+  config.rows = rows;
+  config.seed = 31;
+  return std::move(MakeEmployeeWorkload(config)).value();
+}
+
+void BM_TranslateNullPaddedTagged(benchmark::State& state) {
+  auto w = Make(static_cast<size_t>(state.range(0)),
+                static_cast<size_t>(state.range(1)));
+  AttrId tag = w->catalog.Intern("tag");
+  size_t nulls = 0, fields = 0;
+  for (auto _ : state) {
+    auto r = TranslateNullPaddedTagged(w->relation, w->eads[0], tag);
+    benchmark::DoNotOptimize(r);
+    StorageStats s = StatsOf(r.value());
+    nulls = s.null_fields;
+    fields = s.stored_fields;
+  }
+  StorageStats flex = StatsOf(w->relation);
+  state.counters["null_fields"] = static_cast<double>(nulls);
+  state.counters["stored_fields"] = static_cast<double>(fields);
+  state.counters["flex_stored_fields"] =
+      static_cast<double>(flex.stored_fields);
+}
+BENCHMARK(BM_TranslateNullPaddedTagged)
+    ->Args({3, 1000})
+    ->Args({8, 1000})
+    ->Args({16, 1000})
+    ->Args({8, 10000});
+
+void BM_TranslateHorizontal(benchmark::State& state) {
+  auto w = Make(static_cast<size_t>(state.range(0)),
+                static_cast<size_t>(state.range(1)));
+  size_t fields = 0;
+  for (auto _ : state) {
+    auto parts = TranslateHorizontal(w->relation, w->eads[0]);
+    benchmark::DoNotOptimize(parts);
+    std::vector<Relation> all = parts.value().variant_relations;
+    all.push_back(parts.value().remainder);
+    fields = StatsOf(all).stored_fields;
+  }
+  state.counters["stored_fields"] = static_cast<double>(fields);
+  state.counters["null_fields"] = 0;
+}
+BENCHMARK(BM_TranslateHorizontal)->Args({3, 1000})->Args({16, 1000});
+
+void BM_TranslateVertical(benchmark::State& state) {
+  auto w = Make(static_cast<size_t>(state.range(0)),
+                static_cast<size_t>(state.range(1)));
+  size_t fields = 0;
+  for (auto _ : state) {
+    auto parts =
+        TranslateVertical(w->relation, w->eads[0], AttrSet::Of(w->id_attr));
+    benchmark::DoNotOptimize(parts);
+    std::vector<Relation> all = parts.value().variant_relations;
+    all.push_back(parts.value().master);
+    fields = StatsOf(all).stored_fields;
+  }
+  state.counters["stored_fields"] = static_cast<double>(fields);
+}
+BENCHMARK(BM_TranslateVertical)->Args({3, 1000})->Args({16, 1000});
+
+void BM_RestoreNullPadded(benchmark::State& state) {
+  auto w = Make(8, static_cast<size_t>(state.range(0)));
+  AttrId tag = w->catalog.Intern("tag");
+  Relation padded =
+      std::move(TranslateNullPaddedTagged(w->relation, w->eads[0], tag))
+          .value();
+  for (auto _ : state) {
+    FlexibleRelation restored = RestoreFromNullPadded(padded, tag);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RestoreNullPadded)->Arg(1000)->Arg(10000);
+
+void BM_RestoreHorizontal(benchmark::State& state) {
+  auto w = Make(8, static_cast<size_t>(state.range(0)));
+  HorizontalDecomposition parts =
+      std::move(TranslateHorizontal(w->relation, w->eads[0])).value();
+  for (auto _ : state) {
+    FlexibleRelation restored = RestoreHorizontal(parts);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RestoreHorizontal)->Arg(1000)->Arg(10000);
+
+void BM_RestoreVertical(benchmark::State& state) {
+  auto w = Make(8, static_cast<size_t>(state.range(0)));
+  VerticalDecomposition parts =
+      std::move(TranslateVertical(w->relation, w->eads[0],
+                                  AttrSet::Of(w->id_attr)))
+          .value();
+  for (auto _ : state) {
+    FlexibleRelation restored = RestoreVertical(parts);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RestoreVertical)->Arg(1000)->Arg(10000);
+
+void BM_FlexibleScanBaseline(benchmark::State& state) {
+  // The flexible relation needs no restoration at all; its "restore" is a
+  // plain copy of the heterogeneous tuple set — the E6 baseline.
+  auto w = Make(8, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FlexibleRelation copy = FlexibleRelation::Derived("copy", DependencySet());
+    for (const Tuple& t : w->relation.rows()) copy.InsertUnchecked(t);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FlexibleScanBaseline)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace flexrel

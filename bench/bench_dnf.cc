@@ -1,0 +1,153 @@
+// Experiment E1 — flexible schemes and dnf(FS) (Example 1).
+//
+// Regenerates: the cost of working with the *compact* scheme representation
+// versus unfolding it. Series: membership testing (Admits) and counting on
+// the tree never unfold; full enumeration grows with |dnf|.
+
+#include <benchmark/benchmark.h>
+
+#include "util/string_util.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+// A scaled Example-1 shape: k disjoint pairs and k three-way non-disjoint
+// unions, so |dnf| = 2^k * 7^k.
+FlexibleScheme ScaledExample1(AttrCatalog* catalog, size_t k) {
+  std::vector<FlexibleScheme> top;
+  top.push_back(FlexibleScheme::Attr(catalog->Intern("A")));
+  top.push_back(FlexibleScheme::Attr(catalog->Intern("B")));
+  for (size_t i = 0; i < k; ++i) {
+    std::vector<FlexibleScheme> pair;
+    pair.push_back(FlexibleScheme::Attr(catalog->Intern(StrCat("C", i))));
+    pair.push_back(FlexibleScheme::Attr(catalog->Intern(StrCat("D", i))));
+    top.push_back(FlexibleScheme::DisjointUnion(std::move(pair)).value());
+    std::vector<FlexibleScheme> triple;
+    triple.push_back(FlexibleScheme::Attr(catalog->Intern(StrCat("E", i))));
+    triple.push_back(FlexibleScheme::Attr(catalog->Intern(StrCat("F", i))));
+    triple.push_back(FlexibleScheme::Attr(catalog->Intern(StrCat("G", i))));
+    top.push_back(FlexibleScheme::NonDisjointUnion(std::move(triple)).value());
+  }
+  uint32_t n = static_cast<uint32_t>(top.size());
+  return FlexibleScheme::Group(n, n, std::move(top)).value();
+}
+
+// A valid member of dnf(ScaledExample1).
+AttrSet SampleMember(const FlexibleScheme& fs, Rng* rng) {
+  // Walk the tree: for each group pick a feasible child subset.
+  // For this scheme shape, picking the first child of each disjoint pair and
+  // a random non-empty subset of each triple is always admissible; randomize
+  // via the rng to avoid branch-predictable membership tests.
+  AttrSet out;
+  const auto& comps = fs.components();
+  for (const FlexibleScheme& c : comps) {
+    if (c.is_leaf()) {
+      out.Insert(c.leaf_attr());
+    } else if (c.at_most() == 1) {  // disjoint pair
+      out.Insert(c.components()[rng->Index(c.components().size())].leaf_attr());
+    } else {  // non-disjoint triple
+      bool any = false;
+      for (const FlexibleScheme& leaf : c.components()) {
+        if (rng->Bernoulli(0.5)) {
+          out.Insert(leaf.leaf_attr());
+          any = true;
+        }
+      }
+      if (!any) out.Insert(c.components()[0].leaf_attr());
+    }
+  }
+  return out;
+}
+
+void BM_DnfCount(benchmark::State& state) {
+  AttrCatalog catalog;
+  FlexibleScheme fs = ScaledExample1(&catalog, static_cast<size_t>(state.range(0)));
+  uint64_t count = 0;
+  for (auto _ : state) {
+    count = fs.DnfCount();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["dnf_size"] = static_cast<double>(count);
+}
+BENCHMARK(BM_DnfCount)->DenseRange(1, 10);
+
+void BM_DnfEnumerate(benchmark::State& state) {
+  AttrCatalog catalog;
+  FlexibleScheme fs = ScaledExample1(&catalog, static_cast<size_t>(state.range(0)));
+  size_t produced = 0;
+  for (auto _ : state) {
+    auto dnf = fs.Dnf(1u << 22);
+    if (dnf.ok()) produced = dnf.value().size();
+    benchmark::DoNotOptimize(produced);
+  }
+  state.counters["dnf_size"] = static_cast<double>(produced);
+}
+BENCHMARK(BM_DnfEnumerate)->DenseRange(1, 6);
+
+void BM_Admits(benchmark::State& state) {
+  AttrCatalog catalog;
+  FlexibleScheme fs = ScaledExample1(&catalog, static_cast<size_t>(state.range(0)));
+  Rng rng(42);
+  std::vector<AttrSet> members;
+  for (int i = 0; i < 64; ++i) members.push_back(SampleMember(fs, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    bool ok = fs.Admits(members[i++ & 63]);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["dnf_size"] = static_cast<double>(fs.DnfCount());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Admits)->DenseRange(1, 16, 3);
+
+void BM_AdmitsRejects(benchmark::State& state) {
+  AttrCatalog catalog;
+  FlexibleScheme fs = ScaledExample1(&catalog, static_cast<size_t>(state.range(0)));
+  Rng rng(43);
+  // Near-miss candidates: a member with one attribute dropped (breaks a
+  // lower bound) — the adversarial case for the membership recursion.
+  std::vector<AttrSet> rejects;
+  for (int i = 0; i < 64; ++i) {
+    AttrSet m = SampleMember(fs, &rng);
+    std::vector<AttrId> ids(m.ids());
+    ids.erase(ids.begin());  // drop unconditioned attribute A
+    rejects.push_back(AttrSet::FromIds(std::move(ids)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    bool ok = fs.Admits(rejects[i++ & 63]);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdmitsRejects)->DenseRange(1, 16, 3);
+
+void BM_RandomSchemeAdmits(benchmark::State& state) {
+  AttrCatalog catalog;
+  Rng rng(static_cast<uint64_t>(state.range(0)) * 101 + 7);
+  FlexibleScheme fs = RandomScheme(&catalog, &rng,
+                                   static_cast<size_t>(state.range(0)), 5, "r");
+  std::vector<AttrId> universe(fs.attrs().ids());
+  std::vector<AttrSet> candidates;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<AttrId> pick;
+    for (AttrId a : universe) {
+      if (rng.Bernoulli(0.5)) pick.push_back(a);
+    }
+    candidates.push_back(AttrSet::FromIds(std::move(pick)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    bool ok = fs.Admits(candidates[i++ & 63]);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["universe"] = static_cast<double>(universe.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RandomSchemeAdmits)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,174 @@
+// Experiment E5 — excluded-variant pruning (Section 3.1.2, qualified
+// relations: "unnecessary joins with variants that are known to be
+// excluded").
+//
+// Setup: an employee database vertically decomposed along the jobtype EAD
+// (master + one relation per variant). Query: restore-and-select for a fixed
+// jobtype. The unpruned plan joins every variant relation; the pruned plan
+// consults the EAD's consistent-variant analysis and joins only those.
+// Shape: pruned work ~ 1/#variants of the full restore.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/evaluate.h"
+#include "decomposition/decomposition.h"
+#include "optimizer/guard_analysis.h"
+#include "optimizer/plan_rewrite.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+struct PruneSetup {
+  std::unique_ptr<EmployeeWorkload> w;
+  VerticalDecomposition parts;
+  FlexibleRelation master_fr;
+  std::vector<FlexibleRelation> variant_frs;
+  ExprPtr selection;
+  std::vector<size_t> consistent;
+};
+
+PruneSetup MakeSetup(size_t variants, size_t rows) {
+  PruneSetup s;
+  EmployeeConfig config;
+  config.num_variants = variants;
+  config.attrs_per_variant = 2;
+  config.rows = rows;
+  config.seed = 4242;
+  s.w = std::move(MakeEmployeeWorkload(config)).value();
+  s.parts = std::move(TranslateVertical(s.w->relation, s.w->eads[0],
+                                        AttrSet::Of(s.w->id_attr)))
+                .value();
+  s.master_fr = FlexibleRelation::Derived("master", DependencySet());
+  for (const Tuple& t : s.parts.master.rows()) s.master_fr.InsertUnchecked(t);
+  for (const Relation& r : s.parts.variant_relations) {
+    FlexibleRelation fr = FlexibleRelation::Derived(r.name(), DependencySet());
+    for (const Tuple& t : r.rows()) fr.InsertUnchecked(t);
+    s.variant_frs.push_back(std::move(fr));
+  }
+  s.selection = Expr::Eq(s.w->jobtype_attr, s.w->jobtype_values[0]);
+  VariantAnalysis analysis =
+      AnalyzeVariants(ExtractConstraints(s.selection), s.w->eads[0]);
+  s.consistent = analysis.consistent_variants;
+  return s;
+}
+
+PlanPtr RestorePlan(const PruneSetup& s, const std::vector<size_t>& variants) {
+  // σ(selection) over master, then outer-union of the per-variant joins.
+  PlanPtr selected_master =
+      Plan::Select(Plan::Scan(&s.master_fr), s.selection);
+  std::vector<PlanPtr> branches;
+  for (size_t v : variants) {
+    branches.push_back(
+        Plan::NaturalJoin(selected_master, Plan::Scan(&s.variant_frs[v])));
+  }
+  return Plan::OuterUnion(std::move(branches));
+}
+
+void RunRestore(benchmark::State& state, size_t variants, size_t rows,
+                bool pruned) {
+  PruneSetup s = MakeSetup(variants, rows);
+  std::vector<size_t> all;
+  for (size_t v = 0; v < s.variant_frs.size(); ++v) all.push_back(v);
+  PlanPtr plan = RestorePlan(s, pruned ? s.consistent : all);
+  EvalStats total;
+  size_t result_rows = 0;
+  for (auto _ : state) {
+    EvalStats stats;
+    auto out = Evaluate(plan, &stats);
+    benchmark::DoNotOptimize(out);
+    result_rows = out.ok() ? out.value().size() : 0;
+    total += stats;
+  }
+  state.counters["variants_joined"] =
+      static_cast<double>(pruned ? s.consistent.size() : all.size());
+  state.counters["join_probes_per_iter"] =
+      static_cast<double>(total.join_probes) /
+      static_cast<double>(std::max<size_t>(state.iterations(), 1));
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+}
+
+void BM_RestoreAllVariants(benchmark::State& state) {
+  RunRestore(state, static_cast<size_t>(state.range(0)),
+             static_cast<size_t>(state.range(1)), /*pruned=*/false);
+}
+BENCHMARK(BM_RestoreAllVariants)
+    ->Args({3, 1000})
+    ->Args({8, 1000})
+    ->Args({16, 1000})
+    ->Args({32, 1000});
+
+void BM_RestorePrunedVariants(benchmark::State& state) {
+  RunRestore(state, static_cast<size_t>(state.range(0)),
+             static_cast<size_t>(state.range(1)), /*pruned=*/true);
+}
+BENCHMARK(BM_RestorePrunedVariants)
+    ->Args({3, 1000})
+    ->Args({8, 1000})
+    ->Args({16, 1000})
+    ->Args({32, 1000});
+
+void BM_RestoreAutoOptimized(benchmark::State& state) {
+  // The generic rewriter (OptimizePlan) discovers the pruning on its own:
+  // σ[jobtype=v](∪ᵢ master ⋈ variantᵢ) → the single consistent branch.
+  PruneSetup s = MakeSetup(static_cast<size_t>(state.range(0)),
+                           static_cast<size_t>(state.range(1)));
+  std::vector<PlanPtr> branches;
+  for (auto& fr : s.variant_frs) {
+    branches.push_back(
+        Plan::NaturalJoin(Plan::Scan(&s.master_fr), Plan::Scan(&fr)));
+  }
+  PlanPtr naive = Plan::Select(Plan::OuterUnion(std::move(branches)),
+                               s.selection);
+  RewriteReport report;
+  PlanPtr optimized = OptimizePlan(naive, {s.w->eads[0]}, &report);
+  EvalStats total;
+  for (auto _ : state) {
+    EvalStats stats;
+    auto out = Evaluate(optimized, &stats);
+    benchmark::DoNotOptimize(out);
+    total += stats;
+  }
+  state.counters["branches_pruned"] =
+      static_cast<double>(report.branches_pruned);
+  state.counters["join_probes_per_iter"] =
+      static_cast<double>(total.join_probes) /
+      static_cast<double>(std::max<size_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_RestoreAutoOptimized)
+    ->Args({3, 1000})
+    ->Args({8, 1000})
+    ->Args({16, 1000})
+    ->Args({32, 1000});
+
+void BM_OptimizePlanCost(benchmark::State& state) {
+  PruneSetup s = MakeSetup(static_cast<size_t>(state.range(0)), 64);
+  std::vector<PlanPtr> branches;
+  for (auto& fr : s.variant_frs) {
+    branches.push_back(
+        Plan::NaturalJoin(Plan::Scan(&s.master_fr), Plan::Scan(&fr)));
+  }
+  PlanPtr naive = Plan::Select(Plan::OuterUnion(std::move(branches)),
+                               s.selection);
+  for (auto _ : state) {
+    PlanPtr optimized = OptimizePlan(naive, {s.w->eads[0]});
+    benchmark::DoNotOptimize(optimized);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptimizePlanCost)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_VariantAnalysisCost(benchmark::State& state) {
+  // The pruning decision itself must be cheap (it runs per query).
+  PruneSetup s = MakeSetup(static_cast<size_t>(state.range(0)), 16);
+  ConstraintMap constraints = ExtractConstraints(s.selection);
+  for (auto _ : state) {
+    VariantAnalysis a = AnalyzeVariants(constraints, s.w->eads[0]);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VariantAnalysisCost)->Arg(3)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,108 @@
+// Employee registry: the paper's running example end-to-end at realistic
+// scale — generation, querying with the flexible algebra, AD propagation
+// through operators (Theorem 4.3), redundant type-guard elimination
+// (Example 4), and the AD-derived subtype family (Example 3).
+//
+// Run: ./employee_registry [rows]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algebra/evaluate.h"
+#include "optimizer/guard_analysis.h"
+#include "subtyping/ad_subtyping.h"
+#include "workload/generator.h"
+
+using namespace flexrel;
+
+int main(int argc, char** argv) {
+  size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 10000;
+
+  EmployeeConfig config;
+  config.num_variants = 5;
+  config.attrs_per_variant = 3;
+  config.num_common_attrs = 2;
+  config.rows = rows;
+  config.seed = 2026;
+  auto workload = MakeEmployeeWorkload(config);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    return 1;
+  }
+  EmployeeWorkload& w = *workload.value();
+  std::cout << "generated " << w.relation.size()
+            << " employees over 5 jobtype variants\n";
+  std::cout << "scheme: " << w.scheme.ToString(w.catalog) << "\n\n";
+
+  // --- Query 1: guarded selection, before/after the optimizer --------------
+  const EadVariant& v0 = w.eads[0].variants()[0];
+  ExprPtr guarded = Expr::AndAll({
+      Expr::Eq(w.jobtype_attr, w.jobtype_values[0]),
+      Expr::Compare(w.id_attr, CmpOp::kLt, Value::Int(static_cast<int64_t>(rows / 2))),
+      Expr::Exists(*v0.then.begin()),  // a type guard on a variant attribute
+  });
+  std::cout << "query:    sigma[" << guarded->ToString(w.catalog) << "]\n";
+
+  GuardRewrite rewrite = EliminateRedundantGuards(guarded, w.eads);
+  std::cout << "optimizer eliminated " << rewrite.guards_eliminated
+            << " redundant type guard(s):\n          sigma["
+            << rewrite.formula->ToString(w.catalog) << "]\n";
+
+  EvalStats before, after;
+  auto r1 = Evaluate(Plan::Select(Plan::Scan(&w.relation), guarded), &before);
+  auto r2 = Evaluate(Plan::Select(Plan::Scan(&w.relation), rewrite.formula),
+                     &after);
+  if (!r1.ok() || !r2.ok()) {
+    std::cerr << "evaluation failed\n";
+    return 1;
+  }
+  std::cout << "rows: " << r1.value().size() << " (original) vs "
+            << r2.value().size() << " (rewritten) — identical results\n\n";
+
+  // --- Theorem 4.3 in action ------------------------------------------------
+  auto selected = r2.value();
+  std::cout << "deps after selection (rule 3 keeps them):\n  "
+            << selected.deps().ToString(w.catalog) << "\n";
+  AttrSet keep = w.common_attrs;
+  auto projected =
+      Evaluate(Plan::Project(Plan::Scan(&w.relation), keep)).value();
+  std::cout << "deps after projecting onto " << keep.ToString(w.catalog)
+            << " (rule 2 clips the RHS):\n  "
+            << projected.deps().ToString(w.catalog) << "\n";
+  auto unioned = Evaluate(Plan::Union(Plan::Scan(&w.relation),
+                                      Plan::Scan(&w.relation)))
+                     .value();
+  std::cout << "deps after a plain union (rule 4 drops everything): "
+            << (unioned.deps().empty() ? "{}" : "<nonempty!>") << "\n";
+  AttrId tag = w.catalog.Intern("source");
+  auto tagged =
+      Evaluate(Plan::Union(
+                   Plan::Extend(Plan::Scan(&w.relation), tag, Value::Int(1)),
+                   Plan::Extend(Plan::Scan(&w.relation), tag, Value::Int(2))))
+          .value();
+  std::cout << "deps after a *tagged* union (rule 6 augments the LHS):\n  "
+            << tagged.deps().ToString(w.catalog) << "\n\n";
+
+  // --- Example 3: the subtype family ---------------------------------------
+  RecordType base("employee");
+  for (const auto& [attr, domain] : w.domains) base.SetField(attr, domain);
+  auto family = DeriveTypeFamily(base, w.eads[0]);
+  if (!family.ok()) {
+    std::cerr << family.status() << "\n";
+    return 1;
+  }
+  std::cout << "AD-derived supertype:\n  "
+            << family.value().supertype.ToString(w.catalog) << "\n";
+  std::cout << "first subtype:\n  "
+            << family.value().subtypes[0].ToString(w.catalog) << "\n";
+
+  RecordType lossy = family.value().supertype.Project(
+      family.value().supertype.attrs().Minus(AttrSet::Of(w.jobtype_attr)));
+  SupertypeVerdict verdict = CheckSupertype(lossy, family.value(), w.catalog);
+  std::cout << "\ncandidate supertype without jobtype:\n  record rule: "
+            << (verdict.record_rule_ok ? "accepts" : "rejects")
+            << "\n  AD-aware:    "
+            << (verdict.semantics_preserving ? "accepts" : "rejects") << "\n  "
+            << verdict.reason << "\n";
+  return 0;
+}

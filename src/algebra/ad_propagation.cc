@@ -1,0 +1,59 @@
+#include "algebra/ad_propagation.h"
+
+namespace flexrel {
+
+DependencySet PropagateProduct(const DependencySet& left,
+                               const DependencySet& right) {
+  DependencySet out = left;
+  for (const FuncDep& fd : right.fds()) out.AddFd(fd);
+  for (const AttrDep& ad : right.ads()) out.AddAd(ad);
+  return out;
+}
+
+DependencySet PropagateProject(const DependencySet& in, const AttrSet& keep) {
+  DependencySet out;
+  for (const AttrDep& ad : in.ads()) {
+    if (!ad.lhs.IsSubsetOf(keep)) continue;  // LHS must survive intact
+    out.AddAd(AttrDep{ad.lhs, ad.rhs.Intersect(keep)});
+  }
+  for (const FuncDep& fd : in.fds()) {
+    if (!fd.lhs.IsSubsetOf(keep)) continue;
+    out.AddFd(FuncDep{fd.lhs, fd.rhs.Intersect(keep)});
+  }
+  return out;
+}
+
+DependencySet PropagateSelect(const DependencySet& in) { return in; }
+
+DependencySet PropagateUnion() { return DependencySet(); }
+
+DependencySet PropagateDifference(const DependencySet& left) { return left; }
+
+DependencySet PropagateExtend(const DependencySet& in, AttrId tag) {
+  DependencySet out = in;
+  out.AddFd(FuncDep{AttrSet(), AttrSet::Of(tag)});
+  return out;
+}
+
+DependencySet PropagateTaggedUnion(const std::vector<DependencySet>& inputs,
+                                   AttrId tag) {
+  DependencySet out;
+  for (const DependencySet& in : inputs) {
+    for (const AttrDep& ad : in.ads()) {
+      AttrSet lhs = ad.lhs;
+      lhs.Insert(tag);
+      out.AddAd(AttrDep{std::move(lhs), ad.rhs});
+    }
+    // FDs survive with the tag folded into the LHS for the same reason
+    // (tuples agreeing on AX come from the same input, where X --func--> Y
+    // held).
+    for (const FuncDep& fd : in.fds()) {
+      AttrSet lhs = fd.lhs;
+      lhs.Insert(tag);
+      out.AddFd(FuncDep{std::move(lhs), fd.rhs});
+    }
+  }
+  return out;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,54 @@
+// Dependency propagation through algebra operators (Theorem 4.3).
+//
+//   (1) ads(FR1 × FR2)   = ads(FR1) ∪ ads(FR2)
+//   (2) ads(π_X(FR))     = { V --attr--> W ∩ X | V --attr--> W ∈ ads(FR),
+//                            V ⊆ X }
+//   (3) ads(σ_F(FR))     = ads(FR)
+//   (4) ads(FR1 ∪ FR2)   = ∅
+//   (5) ads(FR1 − FR2)   = ads(FR1)
+//   (6) ads(ε_{A:a1}(FR1) ∪ ε_{A:a2}(FR2))
+//                        = { AX --attr--> Y | X --attr--> Y ∈ ads(FR1) ∪
+//                            ads(FR2) }   (a1 ≠ a2; tags discriminate)
+//
+// We propagate functional dependencies alongside: σ, −, and × preserve them
+// under the same reasoning, π keeps FDs whose LHS survives (RHS intersected),
+// ∪ drops them, and ε adds the constant dependency ∅ --func--> A (every
+// output tuple carries the same tag value). Joins propagate nothing — the
+// theorem makes no claim, and conservative emptiness keeps the rules sound.
+
+#ifndef FLEXREL_ALGEBRA_AD_PROPAGATION_H_
+#define FLEXREL_ALGEBRA_AD_PROPAGATION_H_
+
+#include "core/dependency_set.h"
+
+namespace flexrel {
+
+/// Rule (1) — and the analogous FD union.
+DependencySet PropagateProduct(const DependencySet& left,
+                               const DependencySet& right);
+
+/// Rule (2) — projection onto `keep`.
+DependencySet PropagateProject(const DependencySet& in, const AttrSet& keep);
+
+/// Rule (3) — selection.
+DependencySet PropagateSelect(const DependencySet& in);
+
+/// Rule (4) — plain union.
+DependencySet PropagateUnion();
+
+/// Rule (5) — difference.
+DependencySet PropagateDifference(const DependencySet& left);
+
+/// ε_{A:a}: dependencies survive unchanged; additionally ∅ --func--> {A}
+/// (the tag is constant) and, per the left-augmentation remark before rule
+/// (6), each X --attr--> Y may be carried as AX --attr--> Y.
+DependencySet PropagateExtend(const DependencySet& in, AttrId tag);
+
+/// Rule (6) — tagged outer union over any number of inputs, each extended by
+/// the same tag attribute with pairwise distinct values.
+DependencySet PropagateTaggedUnion(const std::vector<DependencySet>& inputs,
+                                   AttrId tag);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ALGEBRA_AD_PROPAGATION_H_

@@ -1,0 +1,242 @@
+#include "algebra/evaluate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algebra/ad_propagation.h"
+#include "util/string_util.h"
+
+namespace flexrel {
+
+EvalStats& EvalStats::operator+=(const EvalStats& other) {
+  tuples_scanned += other.tuples_scanned;
+  tuples_emitted += other.tuples_emitted;
+  predicate_evals += other.predicate_evals;
+  join_probes += other.join_probes;
+  return *this;
+}
+
+namespace {
+
+void Dedup(std::vector<Tuple>* rows) {
+  std::sort(rows->begin(), rows->end());
+  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+}
+
+// Joins two tuples when they agree on every shared attribute; the merged
+// tuple carries the union of the fields.
+bool TryJoin(const Tuple& a, const Tuple& b, Tuple* out) {
+  Tuple merged = a;
+  for (const auto& [attr, value] : b.fields()) {
+    const Value* existing = a.Get(attr);
+    if (existing != nullptr) {
+      if (*existing != value) return false;
+    } else {
+      merged.Set(attr, value);
+    }
+  }
+  *out = std::move(merged);
+  return true;
+}
+
+Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats);
+
+Result<FlexibleRelation> EvalJoinPair(const FlexibleRelation& left,
+                                      const FlexibleRelation& right,
+                                      EvalStats* stats) {
+  FlexibleRelation out = FlexibleRelation::Derived("join", DependencySet());
+  std::vector<Tuple> rows;
+  for (const Tuple& a : left.rows()) {
+    for (const Tuple& b : right.rows()) {
+      if (stats != nullptr) ++stats->join_probes;
+      Tuple merged;
+      if (TryJoin(a, b, &merged)) {
+        rows.push_back(std::move(merged));
+      }
+    }
+  }
+  Dedup(&rows);
+  if (stats != nullptr) stats->tuples_emitted += rows.size();
+  for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
+  return out;
+}
+
+Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      const FlexibleRelation* src = plan->relation();
+      if (src == nullptr) {
+        return Status::FailedPrecondition("scan over null relation");
+      }
+      FlexibleRelation out = FlexibleRelation::Derived(src->name(), src->deps());
+      for (const Tuple& t : src->rows()) out.InsertUnchecked(t);
+      if (stats != nullptr) {
+        stats->tuples_scanned += src->size();
+        stats->tuples_emitted += src->size();
+      }
+      return out;
+    }
+    case PlanKind::kSelect: {
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                               Eval(plan->inputs()[0], stats));
+      FlexibleRelation out = FlexibleRelation::Derived(
+          StrCat("sel(", in.name(), ")"), PropagateSelect(in.deps()));
+      for (const Tuple& t : in.rows()) {
+        if (stats != nullptr) ++stats->predicate_evals;
+        if (plan->formula()->Accepts(t)) {
+          out.InsertUnchecked(t);
+          if (stats != nullptr) ++stats->tuples_emitted;
+        }
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                               Eval(plan->inputs()[0], stats));
+      FlexibleRelation out = FlexibleRelation::Derived(
+          StrCat("proj(", in.name(), ")"),
+          PropagateProject(in.deps(), plan->attrs()));
+      std::vector<Tuple> rows;
+      rows.reserve(in.size());
+      for (const Tuple& t : in.rows()) rows.push_back(t.Project(plan->attrs()));
+      Dedup(&rows);
+      if (stats != nullptr) stats->tuples_emitted += rows.size();
+      for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
+      return out;
+    }
+    case PlanKind::kProduct: {
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
+                               Eval(plan->inputs()[0], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
+                               Eval(plan->inputs()[1], stats));
+      if (l.ActiveAttrs().Intersects(r.ActiveAttrs())) {
+        return Status::InvalidArgument(
+            "cartesian product requires attribute-disjoint inputs");
+      }
+      FlexibleRelation out = FlexibleRelation::Derived(
+          StrCat("prod(", l.name(), ",", r.name(), ")"),
+          PropagateProduct(l.deps(), r.deps()));
+      for (const Tuple& a : l.rows()) {
+        for (const Tuple& b : r.rows()) {
+          Tuple merged = a;
+          for (const auto& [attr, value] : b.fields()) {
+            merged.Set(attr, value);
+          }
+          out.InsertUnchecked(std::move(merged));
+          if (stats != nullptr) ++stats->tuples_emitted;
+        }
+      }
+      return out;
+    }
+    case PlanKind::kUnion:
+    case PlanKind::kOuterUnion: {
+      // Rule (6) pattern: every input is an extension by one common tag
+      // attribute with pairwise distinct values. Then dependencies survive
+      // with the tag folded into their LHS; otherwise rule (4) applies and
+      // nothing survives ("one cannot decide from which input relation the
+      // tuples do come from").
+      bool tagged = plan->inputs().size() >= 1;
+      AttrId tag = 0;
+      std::vector<Value> tag_values;
+      for (size_t i = 0; i < plan->inputs().size(); ++i) {
+        const PlanPtr& in_plan = plan->inputs()[i];
+        if (in_plan->kind() != PlanKind::kExtend) {
+          tagged = false;
+          break;
+        }
+        if (i == 0) {
+          tag = in_plan->extend_attr();
+        } else if (in_plan->extend_attr() != tag) {
+          tagged = false;
+          break;
+        }
+        tag_values.push_back(in_plan->extend_value());
+      }
+      if (tagged) {
+        std::sort(tag_values.begin(), tag_values.end());
+        tagged = std::adjacent_find(tag_values.begin(), tag_values.end()) ==
+                 tag_values.end();
+      }
+      std::vector<DependencySet> input_deps;
+      std::vector<Tuple> rows;
+      for (const PlanPtr& in_plan : plan->inputs()) {
+        FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(in_plan, stats));
+        input_deps.push_back(in.deps());
+        for (const Tuple& t : in.rows()) rows.push_back(t);
+      }
+      DependencySet deps =
+          tagged ? PropagateTaggedUnion(input_deps, tag) : PropagateUnion();
+      FlexibleRelation out = FlexibleRelation::Derived("union", deps);
+      Dedup(&rows);
+      if (stats != nullptr) stats->tuples_emitted += rows.size();
+      for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
+      return out;
+    }
+    case PlanKind::kDifference: {
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
+                               Eval(plan->inputs()[0], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
+                               Eval(plan->inputs()[1], stats));
+      FlexibleRelation out = FlexibleRelation::Derived(
+          StrCat("diff(", l.name(), ")"), PropagateDifference(l.deps()));
+      std::unordered_set<Tuple, TupleHash> right_rows(r.rows().begin(),
+                                                      r.rows().end());
+      for (const Tuple& t : l.rows()) {
+        if (right_rows.find(t) == right_rows.end()) {
+          out.InsertUnchecked(t);
+          if (stats != nullptr) ++stats->tuples_emitted;
+        }
+      }
+      return out;
+    }
+    case PlanKind::kExtend: {
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                               Eval(plan->inputs()[0], stats));
+      AttrId tag = plan->extend_attr();
+      if (in.ActiveAttrs().Contains(tag)) {
+        return Status::InvalidArgument(
+            "extension attribute already present in the input");
+      }
+      FlexibleRelation out = FlexibleRelation::Derived(
+          StrCat("ext(", in.name(), ")"), PropagateExtend(in.deps(), tag));
+      for (const Tuple& t : in.rows()) {
+        Tuple extended = t;
+        extended.Set(tag, plan->extend_value());
+        out.InsertUnchecked(std::move(extended));
+        if (stats != nullptr) ++stats->tuples_emitted;
+      }
+      return out;
+    }
+    case PlanKind::kNaturalJoin: {
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
+                               Eval(plan->inputs()[0], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
+                               Eval(plan->inputs()[1], stats));
+      return EvalJoinPair(l, r, stats);
+    }
+    case PlanKind::kEmpty:
+      return FlexibleRelation::Derived("empty", DependencySet());
+    case PlanKind::kMultiwayJoin: {
+      if (plan->inputs().empty()) {
+        return Status::InvalidArgument("multiway join over zero inputs");
+      }
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation acc,
+                               Eval(plan->inputs()[0], stats));
+      for (size_t i = 1; i < plan->inputs().size(); ++i) {
+        FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation next,
+                                 Eval(plan->inputs()[i], stats));
+        FLEXREL_ASSIGN_OR_RETURN(acc, EvalJoinPair(acc, next, stats));
+      }
+      return acc;
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+Result<FlexibleRelation> Evaluate(const PlanPtr& plan, EvalStats* stats) {
+  return Eval(plan, stats);
+}
+
+}  // namespace flexrel

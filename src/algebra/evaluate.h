@@ -1,0 +1,35 @@
+// Plan evaluation over flexible relations.
+//
+// Evaluation is strict and materializing: each node produces a derived
+// FlexibleRelation whose dependency set is propagated per Theorem 4.3
+// (ad_propagation.h). Instances follow set semantics (the paper defines an
+// instance as a finite set of tuples), so operators deduplicate.
+
+#ifndef FLEXREL_ALGEBRA_EVALUATE_H_
+#define FLEXREL_ALGEBRA_EVALUATE_H_
+
+#include "algebra/plan.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// Work counters, reported for the optimizer experiments (E4/E5): comparing
+/// an optimized against an unoptimized plan is a statement about these
+/// numbers, not only wall-clock time.
+struct EvalStats {
+  size_t tuples_scanned = 0;    ///< tuples read from scans
+  size_t tuples_emitted = 0;    ///< tuples produced across all operators
+  size_t predicate_evals = 0;   ///< selection formula evaluations
+  size_t join_probes = 0;       ///< tuple-pair compatibility checks
+
+  EvalStats& operator+=(const EvalStats& other);
+};
+
+/// Evaluates `plan`; on success the result's deps() hold the dependencies
+/// propagated by Theorem 4.3. `stats` (optional) accumulates work counters.
+Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
+                                  EvalStats* stats = nullptr);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ALGEBRA_EVALUATE_H_

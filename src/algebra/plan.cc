@@ -1,0 +1,136 @@
+#include "algebra/plan.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kSelect:
+      return "Select";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kProduct:
+      return "Product";
+    case PlanKind::kUnion:
+      return "Union";
+    case PlanKind::kDifference:
+      return "Difference";
+    case PlanKind::kExtend:
+      return "Extend";
+    case PlanKind::kOuterUnion:
+      return "OuterUnion";
+    case PlanKind::kNaturalJoin:
+      return "NaturalJoin";
+    case PlanKind::kMultiwayJoin:
+      return "MultiwayJoin";
+    case PlanKind::kEmpty:
+      return "Empty";
+  }
+  return "?";
+}
+
+PlanPtr Plan::Scan(const FlexibleRelation* relation) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kScan));
+  p->relation_ = relation;
+  return p;
+}
+
+PlanPtr Plan::Select(PlanPtr input, ExprPtr formula) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kSelect));
+  p->inputs_.push_back(std::move(input));
+  p->formula_ = std::move(formula);
+  return p;
+}
+
+PlanPtr Plan::Project(PlanPtr input, AttrSet attrs) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kProject));
+  p->inputs_.push_back(std::move(input));
+  p->attrs_ = std::move(attrs);
+  return p;
+}
+
+PlanPtr Plan::Product(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kProduct));
+  p->inputs_.push_back(std::move(left));
+  p->inputs_.push_back(std::move(right));
+  return p;
+}
+
+PlanPtr Plan::Union(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kUnion));
+  p->inputs_.push_back(std::move(left));
+  p->inputs_.push_back(std::move(right));
+  return p;
+}
+
+PlanPtr Plan::Difference(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kDifference));
+  p->inputs_.push_back(std::move(left));
+  p->inputs_.push_back(std::move(right));
+  return p;
+}
+
+PlanPtr Plan::Extend(PlanPtr input, AttrId attr, Value value) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kExtend));
+  p->inputs_.push_back(std::move(input));
+  p->extend_attr_ = attr;
+  p->extend_value_ = std::move(value);
+  return p;
+}
+
+PlanPtr Plan::OuterUnion(std::vector<PlanPtr> inputs) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kOuterUnion));
+  p->inputs_ = std::move(inputs);
+  return p;
+}
+
+PlanPtr Plan::NaturalJoin(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kNaturalJoin));
+  p->inputs_.push_back(std::move(left));
+  p->inputs_.push_back(std::move(right));
+  return p;
+}
+
+PlanPtr Plan::MultiwayJoin(std::vector<PlanPtr> inputs) {
+  auto p = std::shared_ptr<Plan>(new Plan(PlanKind::kMultiwayJoin));
+  p->inputs_ = std::move(inputs);
+  return p;
+}
+
+PlanPtr Plan::Empty() {
+  return std::shared_ptr<Plan>(new Plan(PlanKind::kEmpty));
+}
+
+std::string Plan::ToString(const AttrCatalog& catalog, int indent) const {
+  std::ostringstream os;
+  os << std::string(static_cast<size_t>(indent) * 2, ' ') << PlanKindName(kind_);
+  switch (kind_) {
+    case PlanKind::kScan:
+      os << "(" << relation_->name() << ")";
+      break;
+    case PlanKind::kSelect:
+      os << "[" << formula_->ToString(catalog) << "]";
+      break;
+    case PlanKind::kProject:
+      os << attrs_.ToString(catalog);
+      break;
+    case PlanKind::kExtend:
+      os << "[" << catalog.Name(extend_attr_) << " := "
+         << extend_value_.ToString() << "]";
+      break;
+    default:
+      break;
+  }
+  os << "\n";
+  for (const PlanPtr& in : inputs_) {
+    os << in->ToString(catalog, indent + 1);
+  }
+  return os.str();
+}
+
+}  // namespace flexrel

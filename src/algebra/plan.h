@@ -1,0 +1,107 @@
+// Logical query plans over flexible relations.
+//
+// The paper defers its full algebra to a companion report but fixes, in
+// Theorem 4.3, the operators whose interaction with attribute dependencies
+// matters: selection σ, projection π, cartesian product ×, union ∪,
+// difference −, and the extension operator ε_{A:a} used to tag inputs before
+// an outer union (rule (6)). We add the outer union itself and the natural /
+// multiway joins that the decomposition translations of Section 3.1.1 need
+// for restoration.
+
+#ifndef FLEXREL_ALGEBRA_PLAN_H_
+#define FLEXREL_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flexible_relation.h"
+#include "relational/expression.h"
+
+namespace flexrel {
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kSelect,
+  kProject,
+  kProduct,
+  kUnion,
+  kDifference,
+  kExtend,
+  kOuterUnion,
+  kNaturalJoin,
+  kMultiwayJoin,
+  kEmpty,  ///< produces no tuples; created by optimizer branch pruning
+};
+
+const char* PlanKindName(PlanKind kind);
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Immutable logical plan node. Build with the factories; evaluate with
+/// Evaluate() (evaluate.h).
+class Plan {
+ public:
+  /// Leaf: reads `relation`. The relation must outlive the plan.
+  static PlanPtr Scan(const FlexibleRelation* relation);
+
+  /// σ_formula(input).
+  static PlanPtr Select(PlanPtr input, ExprPtr formula);
+
+  /// π_attrs(input) with set semantics (duplicate projections collapse).
+  static PlanPtr Project(PlanPtr input, AttrSet attrs);
+
+  /// left × right (attribute-disjoint inputs).
+  static PlanPtr Product(PlanPtr left, PlanPtr right);
+
+  /// left ∪ right (set union of possibly heterogeneous tuples).
+  static PlanPtr Union(PlanPtr left, PlanPtr right);
+
+  /// left − right.
+  static PlanPtr Difference(PlanPtr left, PlanPtr right);
+
+  /// ε_{attr:value}(input): extends every tuple by `attr` with `value`.
+  static PlanPtr Extend(PlanPtr input, AttrId attr, Value value);
+
+  /// Outer union of any number of inputs. In the flexible model this needs
+  /// no null padding: heterogeneous tuples simply coexist.
+  static PlanPtr OuterUnion(std::vector<PlanPtr> inputs);
+
+  /// left ⋈ right: tuples combine when they agree on their shared
+  /// attributes (evaluated per tuple pair, as schemes are heterogeneous).
+  static PlanPtr NaturalJoin(PlanPtr left, PlanPtr right);
+
+  /// ⋈(inputs...): the multiway join restoring a vertical decomposition.
+  static PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs);
+
+  /// The empty relation (no tuples, no dependencies). Produced by optimizer
+  /// rewrites that prove a subtree cannot contribute tuples.
+  static PlanPtr Empty();
+
+  PlanKind kind() const { return kind_; }
+  const FlexibleRelation* relation() const { return relation_; }
+  const ExprPtr& formula() const { return formula_; }
+  const AttrSet& attrs() const { return attrs_; }
+  AttrId extend_attr() const { return extend_attr_; }
+  const Value& extend_value() const { return extend_value_; }
+  const std::vector<PlanPtr>& inputs() const { return inputs_; }
+
+  /// Single-line head plus indented children.
+  std::string ToString(const AttrCatalog& catalog, int indent = 0) const;
+
+ private:
+  explicit Plan(PlanKind kind) : kind_(kind) {}
+
+  PlanKind kind_;
+  const FlexibleRelation* relation_ = nullptr;  // kScan
+  ExprPtr formula_;                             // kSelect
+  AttrSet attrs_;                               // kProject
+  AttrId extend_attr_ = 0;                      // kExtend
+  Value extend_value_;                          // kExtend
+  std::vector<PlanPtr> inputs_;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ALGEBRA_PLAN_H_

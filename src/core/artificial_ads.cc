@@ -1,0 +1,135 @@
+#include "core/artificial_ads.h"
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+std::vector<ExplicitAD> ArtificialAds::eads() const {
+  std::vector<ExplicitAD> out;
+  out.reserve(regions.size());
+  for (const ArtificialRegion& r : regions) out.push_back(r.ead);
+  return out;
+}
+
+namespace {
+
+// Builds one region + its tagged EAD for `component`.
+Result<ArtificialRegion> MakeRegion(AttrCatalog* catalog,
+                                    const FlexibleScheme& component,
+                                    const std::string& prefix,
+                                    size_t region_index,
+                                    size_t max_combinations,
+                                    std::vector<std::pair<AttrId, Domain>>*
+                                        tag_domains) {
+  uint64_t count = component.DnfCount();
+  if (count > max_combinations) {
+    return Status::OutOfRange(
+        StrCat("variant region has ", count,
+               " combinations; tag synthesis capped at ", max_combinations));
+  }
+  FLEXREL_ASSIGN_OR_RETURN(std::vector<AttrSet> combos,
+                           component.Dnf(max_combinations));
+  ArtificialRegion region;
+  region.tag = catalog->Intern(StrCat(prefix, region_index, "_tag"));
+  region.region_attrs = component.attrs();
+  region.combinations = combos;
+  std::vector<EadVariant> variants;
+  for (size_t i = 0; i < combos.size(); ++i) {
+    variants.push_back(
+        EadVariant{ConditionSet::Single(region.tag,
+                                        Value::Int(static_cast<int64_t>(i))),
+                   combos[i]});
+  }
+  FLEXREL_ASSIGN_OR_RETURN(
+      region.ead, ExplicitAD::Make(AttrSet::Of(region.tag),
+                                   region.region_attrs, std::move(variants)));
+  FLEXREL_ASSIGN_OR_RETURN(
+      Domain tag_domain,
+      Domain::IntRange(0, static_cast<int64_t>(combos.size()) - 1));
+  tag_domains->push_back({region.tag, tag_domain});
+  return region;
+}
+
+}  // namespace
+
+Result<ArtificialAds> SynthesizeArtificialAds(AttrCatalog* catalog,
+                                              const FlexibleScheme& scheme,
+                                              const std::string& prefix,
+                                              size_t max_combinations) {
+  ArtificialAds out;
+
+  // No variability: nothing to synthesize.
+  if (scheme.DnfCount() <= 1) {
+    out.augmented_scheme = scheme;
+    return out;
+  }
+
+  // Case 1 — a "record-like" top: every component is mandatory
+  // (at-least == at-most == #components). Then variability is confined to
+  // the individual components and each variable one becomes its own region;
+  // the tags join the top group, which stays all-mandatory.
+  if (!scheme.is_leaf() && scheme.at_least() == scheme.at_most() &&
+      scheme.at_most() == scheme.components().size()) {
+    std::vector<FlexibleScheme> components = scheme.components();
+    size_t region_index = 0;
+    for (const FlexibleScheme& component : scheme.components()) {
+      if (component.DnfCount() <= 1) continue;
+      FLEXREL_ASSIGN_OR_RETURN(
+          ArtificialRegion region,
+          MakeRegion(catalog, component, prefix, region_index++,
+                     max_combinations, &out.tag_domains));
+      components.push_back(FlexibleScheme::Attr(region.tag));
+      out.regions.push_back(std::move(region));
+    }
+    uint32_t n = static_cast<uint32_t>(components.size());
+    FLEXREL_ASSIGN_OR_RETURN(out.augmented_scheme,
+                             FlexibleScheme::Group(n, n, std::move(components)));
+    return out;
+  }
+
+  // Case 2 — the top level itself makes choices (at-least < at-most or a
+  // proper subset may be selected): the whole scheme is one region with a
+  // single tag enumerating dnf(FS).
+  FLEXREL_ASSIGN_OR_RETURN(
+      ArtificialRegion region,
+      MakeRegion(catalog, scheme, prefix, 0, max_combinations,
+                 &out.tag_domains));
+  std::vector<FlexibleScheme> components;
+  components.push_back(scheme);
+  components.push_back(FlexibleScheme::Attr(region.tag));
+  out.regions.push_back(std::move(region));
+  FLEXREL_ASSIGN_OR_RETURN(out.augmented_scheme,
+                           FlexibleScheme::Group(2, 2, std::move(components)));
+  return out;
+}
+
+Result<Tuple> CompleteWithTags(const ArtificialAds& ads, const Tuple& t) {
+  Tuple out = t;
+  for (const ArtificialRegion& region : ads.regions) {
+    AttrSet shape = t.attrs().Intersect(region.region_attrs);
+    int64_t tag_value = -1;
+    for (size_t i = 0; i < region.combinations.size(); ++i) {
+      if (region.combinations[i] == shape) {
+        tag_value = static_cast<int64_t>(i);
+        break;
+      }
+    }
+    if (tag_value < 0) {
+      return Status::ConstraintViolation(
+          StrCat("tuple shape ", shape.ToString(),
+                 " matches no combination of region tag attr ", region.tag));
+    }
+    out.Set(region.tag, Value::Int(tag_value));
+  }
+  return out;
+}
+
+Tuple StripTags(const ArtificialAds& ads, const Tuple& t) {
+  Tuple out = t;
+  for (const ArtificialRegion& region : ads.regions) {
+    out.Erase(region.tag);
+  }
+  return out;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,69 @@
+// Artificial attribute dependencies (Section 3.3).
+//
+// The paper: "a flexible scheme can be translated into an appropriate
+// programming language type … if each existential attribute relationship is
+// accompanied by an AD. If necessary, this can be obtained by introducing
+// artificial ADs with artificial determining attributes."
+//
+// SynthesizeArtificialAds does exactly that: for every *variant region* of a
+// scheme (a top-level component admitting more than one attribute
+// combination) it introduces a tag attribute whose integer value indexes the
+// region's realizable combinations, plus the EAD  {tag} --exp.attr--> attrs(region)
+// with one variant per combination. The augmented scheme carries the tags as
+// unconditioned attributes, so the *entire* variability of the original
+// scheme becomes value-determined — the precondition for the PASCAL
+// translation (and, the paper notes, the way image attributes of the
+// multirelation model [Ahad & Basu] arise as a special case of ADs).
+
+#ifndef FLEXREL_CORE_ARTIFICIAL_ADS_H_
+#define FLEXREL_CORE_ARTIFICIAL_ADS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explicit_ad.h"
+#include "core/flexible_scheme.h"
+#include "relational/domain.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// One synthesized variant region.
+struct ArtificialRegion {
+  AttrId tag;                       ///< the artificial determining attribute
+  AttrSet region_attrs;             ///< attrs(region)
+  std::vector<AttrSet> combinations;  ///< realizable sets, tag value = index
+  ExplicitAD ead;                   ///< {tag} --exp.attr--> region_attrs
+};
+
+/// Result of the synthesis.
+struct ArtificialAds {
+  FlexibleScheme augmented_scheme;  ///< original + tags as unconditioned attrs
+  std::vector<ArtificialRegion> regions;
+  std::vector<std::pair<AttrId, Domain>> tag_domains;
+
+  /// All synthesized EADs (convenience view over `regions`).
+  std::vector<ExplicitAD> eads() const;
+};
+
+/// Synthesizes artificial ADs for `scheme`. Tag attributes are interned as
+/// "<prefix><i>_tag". Fails with kOutOfRange when a region has more than
+/// `max_combinations` realizable combinations (the tag domain would explode).
+Result<ArtificialAds> SynthesizeArtificialAds(AttrCatalog* catalog,
+                                              const FlexibleScheme& scheme,
+                                              const std::string& prefix,
+                                              size_t max_combinations = 4096);
+
+/// Completes `t` (a tuple over the *original* scheme) with the tag values
+/// its shape dictates: for each region, the index of the combination equal
+/// to attr(t) ∩ region. Fails with kConstraintViolation when the tuple's
+/// region shape matches no combination (i.e. the original scheme would have
+/// rejected it).
+Result<Tuple> CompleteWithTags(const ArtificialAds& ads, const Tuple& t);
+
+/// Strips all tag attributes again (the inverse of CompleteWithTags).
+Tuple StripTags(const ArtificialAds& ads, const Tuple& t);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_ARTIFICIAL_ADS_H_

@@ -1,0 +1,77 @@
+#include "core/closure.h"
+
+namespace flexrel {
+
+AttrSet FuncClosure(const AttrSet& x, const DependencySet& sigma) {
+  AttrSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FuncDep& fd : sigma.fds()) {
+      if (fd.lhs.IsSubsetOf(closure) && !fd.rhs.IsSubsetOf(closure)) {
+        closure = closure.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+AttrSet AttrClosure(const AttrSet& x, const DependencySet& sigma,
+                    AxiomSystem system) {
+  // In 𝔄 only reflexivity contributes X itself; in 𝔄* every functionally
+  // determined attribute is attr-determined too (AF1), and ADs may fire
+  // through the functional closure (AF2).
+  AttrSet seed = (system == AxiomSystem::kAdOnly) ? x : FuncClosure(x, sigma);
+  AttrSet closure = seed;
+  for (const AttrDep& ad : sigma.ads()) {
+    if (ad.lhs.IsSubsetOf(seed)) closure = closure.Union(ad.rhs);
+  }
+  return closure;
+}
+
+bool Implies(const DependencySet& sigma, const FuncDep& target) {
+  return target.rhs.IsSubsetOf(FuncClosure(target.lhs, sigma));
+}
+
+bool Implies(const DependencySet& sigma, const AttrDep& target,
+             AxiomSystem system) {
+  return target.rhs.IsSubsetOf(AttrClosure(target.lhs, sigma, system));
+}
+
+std::vector<AttrDep> ImpliedSingletonAds(const AttrSet& universe,
+                                         const DependencySet& sigma,
+                                         AxiomSystem system) {
+  // Enumerate LHS subsets of the attributes that matter: the mentioned
+  // dependency attributes (augmented LHSs beyond those never unlock more).
+  // For each subset X of `universe` we would need 2^|universe| work; instead
+  // observe that X+attr is monotone in X ∩ mentioned-LHS attributes, so we
+  // enumerate subsets of the union of dependency LHS attributes and report
+  // the canonical generators. Callers wanting other LHSs can query Implies().
+  std::vector<AttrDep> out;
+  AttrSet lhs_pool;
+  for (const AttrDep& ad : sigma.ads()) lhs_pool = lhs_pool.Union(ad.lhs);
+  if (system == AxiomSystem::kCombined) {
+    for (const FuncDep& fd : sigma.fds()) lhs_pool = lhs_pool.Union(fd.lhs);
+  }
+  lhs_pool = lhs_pool.Intersect(universe);
+  std::vector<AttrId> pool(lhs_pool.ids());
+  if (pool.size() > 20) return out;  // guard: callers use Implies() instead
+  size_t n = pool.size();
+  for (size_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<AttrId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) ids.push_back(pool[i]);
+    }
+    AttrSet x = AttrSet::FromIds(ids);
+    AttrSet closure = AttrClosure(x, sigma, system);
+    for (AttrId a : closure) {
+      if (!x.Contains(a) && universe.Contains(a)) {
+        out.push_back(AttrDep{x, AttrSet::Of(a)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,59 @@
+// Attribute closures and implication under the paper's two axiom systems.
+//
+// System 𝔄 (Section 4.1) for ADs alone:
+//   (A1) X --attr--> YZ  ⊢  X --attr--> Y               (projectivity)
+//   (A2) {X --attr--> Y, X --attr--> Z} ⊢ X --attr--> YZ (additivity)
+//   (A3) ∅ ⊢ X --attr--> Y  if Y ⊆ X                     (reflexivity)
+//   (A4) X --attr--> Y  ⊢  XZ --attr--> Y                (left augmentation)
+// Transitivity is *invalid* (ADs say nothing about the contents of the
+// determined attributes), so the closure needs no fixpoint iteration:
+//   X+attr = X ∪ ⋃ { W : (V --attr--> W) ∈ Σ, V ⊆ X }.
+//
+// System 𝔄* (Section 4.2) for FDs and ADs together adds
+//   (AF1) X --func--> Y ⊢ X --attr--> Y                  (subsumption)
+//   (AF2) {X --func--> Y, Y --attr--> Z} ⊢ X --attr--> Z (combined trans.)
+//   (F1)(F2)(F3) the classical Armstrong rules for FDs.
+// FDs close transitively as usual; ADs then fire once through the functional
+// closure (no rule ever converts an AD back into an FD):
+//   X+attr* = X+func ∪ ⋃ { W : (V --attr--> W) ∈ Σ_AD, V ⊆ X+func }.
+
+#ifndef FLEXREL_CORE_CLOSURE_H_
+#define FLEXREL_CORE_CLOSURE_H_
+
+#include "core/dependency_set.h"
+
+namespace flexrel {
+
+/// Which axiom system to reason in.
+enum class AxiomSystem {
+  /// 𝔄: attribute dependencies only; FDs in Σ are ignored.
+  kAdOnly,
+  /// 𝔄*: the combined system over FDs and ADs.
+  kCombined,
+};
+
+/// X+func: the classical FD closure of `x` under Σ's FDs (F1–F3).
+AttrSet FuncClosure(const AttrSet& x, const DependencySet& sigma);
+
+/// X+attr: the AD closure of `x` under the chosen axiom system.
+AttrSet AttrClosure(const AttrSet& x, const DependencySet& sigma,
+                    AxiomSystem system);
+
+/// Σ ⊢ X --func--> Y (always reasons in 𝔄*, the only system with FD rules).
+bool Implies(const DependencySet& sigma, const FuncDep& target);
+
+/// Σ ⊢ X --attr--> Y in the chosen axiom system.
+bool Implies(const DependencySet& sigma, const AttrDep& target,
+             AxiomSystem system);
+
+/// The full set of implied, *non-trivial* ADs with single-attribute RHS over
+/// `universe` — a convenience for exhaustive comparisons in tests and for the
+/// propagation experiments (kept tractable by the single-attribute RHS: any
+/// implied AD is recoverable from these via A2/A1).
+std::vector<AttrDep> ImpliedSingletonAds(const AttrSet& universe,
+                                         const DependencySet& sigma,
+                                         AxiomSystem system);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_CLOSURE_H_

@@ -1,0 +1,85 @@
+#include "core/dependency.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+std::string AttrDep::ToString(const AttrCatalog& catalog) const {
+  return StrCat(lhs.ToString(catalog), " --attr--> ", rhs.ToString(catalog));
+}
+
+std::string FuncDep::ToString(const AttrCatalog& catalog) const {
+  return StrCat(lhs.ToString(catalog), " --func--> ", rhs.ToString(catalog));
+}
+
+bool SatisfiesAttrDep(const std::vector<Tuple>& rows, const AttrDep& ad) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].DefinedOn(ad.lhs)) continue;
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      if (!rows[j].DefinedOn(ad.lhs)) continue;
+      if (!rows[i].AgreesOn(rows[j], ad.lhs)) continue;
+      AttrSet yi = rows[i].attrs().Intersect(ad.rhs);
+      AttrSet yj = rows[j].attrs().Intersect(ad.rhs);
+      if (yi != yj) return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesFuncDep(const std::vector<Tuple>& rows, const FuncDep& fd) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].DefinedOn(fd.lhs)) continue;
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      if (!rows[j].DefinedOn(fd.lhs)) continue;
+      if (!rows[i].AgreesOn(rows[j], fd.lhs)) continue;
+      if (!rows[i].DefinedOn(fd.rhs) || !rows[j].DefinedOn(fd.rhs)) {
+        return false;
+      }
+      if (!rows[i].AgreesOn(rows[j], fd.rhs)) return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesAttrDepHashed(const std::vector<Tuple>& rows,
+                            const AttrDep& ad) {
+  // Group rows by their X-projection; within a group all Y-intersections of
+  // the attribute sets must coincide.
+  std::unordered_map<Tuple, AttrSet, TupleHash> groups;
+  for (const Tuple& t : rows) {
+    if (!t.DefinedOn(ad.lhs)) continue;
+    Tuple key = t.Project(ad.lhs);
+    AttrSet y = t.attrs().Intersect(ad.rhs);
+    auto [it, inserted] = groups.emplace(std::move(key), y);
+    if (!inserted && it->second != y) return false;
+  }
+  return true;
+}
+
+bool SatisfiesFuncDepHashed(const std::vector<Tuple>& rows,
+                            const FuncDep& fd) {
+  std::unordered_map<Tuple, Tuple, TupleHash> groups;
+  for (const Tuple& t : rows) {
+    if (!t.DefinedOn(fd.lhs)) continue;
+    if (!t.DefinedOn(fd.rhs)) {
+      // A lone undefined tuple only violates the FD when a matching partner
+      // exists; Definition 4.2 requires *both* tuples defined on Y. Two
+      // tuples agreeing on X where either lacks Y is a violation, and a
+      // single tuple paired with itself is not. Track presence via a marker:
+      // insert an empty projection and fail on any further match.
+      Tuple key = t.Project(fd.lhs);
+      auto [it, inserted] = groups.emplace(std::move(key), Tuple());
+      if (!inserted) return false;  // pairs with an existing tuple
+      continue;
+    }
+    Tuple key = t.Project(fd.lhs);
+    Tuple y = t.Project(fd.rhs);
+    auto [it, inserted] = groups.emplace(std::move(key), y);
+    if (!inserted && it->second != y) return false;
+  }
+  return true;
+}
+
+}  // namespace flexrel

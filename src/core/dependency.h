@@ -1,0 +1,86 @@
+// Abbreviated attribute dependencies and (adapted) functional dependencies.
+//
+// Definition 4.1: a flexible relation satisfies X --attr--> Y iff any two
+// tuples defined on X that agree on X possess the same subset of Y as
+// attributes. Note the assertion is purely *existential* — nothing is said
+// about the values in Y. This is exactly why transitivity fails for ADs.
+//
+// Definition 4.2 adapts FDs to flexible relations by guarding value access:
+// two tuples defined on X that agree on X must both be defined on Y and
+// agree on Y.
+//
+// Reading note: we quantify over *distinct* tuple pairs. Including the
+// degenerate pair t1 = t2 would force "X ⊆ attr(t) implies Y ⊆ attr(t)" for
+// every single tuple, and under that reading the appendix's two-tuple witness
+// relation would violate members of Σ+ (take Σ = {A --attr--> B,
+// B --func--> C}, X = {A}: t2 is defined on B but not C). The completeness
+// proof therefore only works with the distinct-pair reading, which is also
+// the classical two-tuple FD formulation. Instances are sets of tuples
+// (duplicates are rejected on insert), so "distinct" is well defined.
+
+#ifndef FLEXREL_CORE_DEPENDENCY_H_
+#define FLEXREL_CORE_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "relational/tuple.h"
+
+namespace flexrel {
+
+/// Abbreviated attribute dependency X --attr--> Y (Definition 4.1).
+struct AttrDep {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const AttrDep& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+  bool operator<(const AttrDep& other) const {
+    if (lhs != other.lhs) return lhs < other.lhs;
+    return rhs < other.rhs;
+  }
+
+  /// "X --attr--> Y" with attribute names.
+  std::string ToString(const AttrCatalog& catalog) const;
+
+  /// Trivial iff implied by reflexivity alone (Y ⊆ X).
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+};
+
+/// Functional dependency X --func--> Y adapted to flexible relations
+/// (Definition 4.2).
+struct FuncDep {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  bool operator==(const FuncDep& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+  bool operator<(const FuncDep& other) const {
+    if (lhs != other.lhs) return lhs < other.lhs;
+    return rhs < other.rhs;
+  }
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+};
+
+/// Checks Definition 4.1 against an instance (any tuple container).
+/// Quadratic reference implementation; the hashed variant below is used on
+/// large instances.
+bool SatisfiesAttrDep(const std::vector<Tuple>& rows, const AttrDep& ad);
+
+/// Checks Definition 4.2 against an instance.
+bool SatisfiesFuncDep(const std::vector<Tuple>& rows, const FuncDep& fd);
+
+/// Hash-grouped satisfaction checks: O(n) expected, used by benchmarks and
+/// the instance-level validators.
+bool SatisfiesAttrDepHashed(const std::vector<Tuple>& rows, const AttrDep& ad);
+bool SatisfiesFuncDepHashed(const std::vector<Tuple>& rows, const FuncDep& fd);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_DEPENDENCY_H_

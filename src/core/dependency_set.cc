@@ -1,0 +1,31 @@
+#include "core/dependency_set.h"
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+AttrSet DependencySet::MentionedAttrs() const {
+  AttrSet all;
+  for (const FuncDep& fd : fds_) all = all.Union(fd.lhs).Union(fd.rhs);
+  for (const AttrDep& ad : ads_) all = all.Union(ad.lhs).Union(ad.rhs);
+  return all;
+}
+
+bool DependencySet::SatisfiedBy(const std::vector<Tuple>& rows) const {
+  for (const FuncDep& fd : fds_) {
+    if (!SatisfiesFuncDep(rows, fd)) return false;
+  }
+  for (const AttrDep& ad : ads_) {
+    if (!SatisfiesAttrDep(rows, ad)) return false;
+  }
+  return true;
+}
+
+std::string DependencySet::ToString(const AttrCatalog& catalog) const {
+  std::vector<std::string> parts;
+  for (const FuncDep& fd : fds_) parts.push_back(fd.ToString(catalog));
+  for (const AttrDep& ad : ads_) parts.push_back(ad.ToString(catalog));
+  return "{ " + Join(parts, "; ") + " }";
+}
+
+}  // namespace flexrel

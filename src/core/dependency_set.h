@@ -1,0 +1,43 @@
+// A set Σ of functional and attribute dependencies, the object the axiom
+// systems of Section 4 reason about.
+
+#ifndef FLEXREL_CORE_DEPENDENCY_SET_H_
+#define FLEXREL_CORE_DEPENDENCY_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+
+namespace flexrel {
+
+/// Σ: the declared dependencies of a flexible relation. Value type.
+class DependencySet {
+ public:
+  DependencySet() = default;
+
+  void AddFd(FuncDep fd) { fds_.push_back(std::move(fd)); }
+  void AddAd(AttrDep ad) { ads_.push_back(std::move(ad)); }
+
+  const std::vector<FuncDep>& fds() const { return fds_; }
+  const std::vector<AttrDep>& ads() const { return ads_; }
+
+  bool empty() const { return fds_.empty() && ads_.empty(); }
+  size_t size() const { return fds_.size() + ads_.size(); }
+
+  /// All attributes mentioned by any dependency.
+  AttrSet MentionedAttrs() const;
+
+  /// True iff the instance satisfies every dependency (Definitions 4.1/4.2).
+  bool SatisfiedBy(const std::vector<Tuple>& rows) const;
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  std::vector<FuncDep> fds_;
+  std::vector<AttrDep> ads_;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_DEPENDENCY_SET_H_

@@ -1,0 +1,335 @@
+#include "core/explicit_ad.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+Result<ConditionSet> ConditionSet::Make(AttrSet base,
+                                        std::vector<Tuple> values) {
+  for (const Tuple& v : values) {
+    if (v.attrs() != base) {
+      return Status::InvalidArgument(
+          StrCat("condition value over ", v.attrs().ToString(),
+                 " does not match condition base ", base.ToString()));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  ConditionSet c;
+  c.base_ = std::move(base);
+  c.values_ = std::move(values);
+  return c;
+}
+
+ConditionSet ConditionSet::Single(AttrId attr, Value value) {
+  Tuple t;
+  t.Set(attr, std::move(value));
+  ConditionSet c;
+  c.base_ = AttrSet::Of(attr);
+  c.values_.push_back(std::move(t));
+  return c;
+}
+
+bool ConditionSet::Matches(const Tuple& t) const {
+  if (!t.DefinedOn(base_)) return false;
+  return ContainsValue(t.Project(base_));
+}
+
+bool ConditionSet::ContainsValue(const Tuple& projected) const {
+  return std::binary_search(values_.begin(), values_.end(), projected);
+}
+
+Result<ConditionSet> ConditionSet::Intersect(const ConditionSet& other) const {
+  if (base_ != other.base_) {
+    return Status::InvalidArgument("condition bases differ in Intersect");
+  }
+  ConditionSet out;
+  out.base_ = base_;
+  std::set_intersection(values_.begin(), values_.end(), other.values_.begin(),
+                        other.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+Result<ConditionSet> ConditionSet::Minus(const ConditionSet& other) const {
+  if (base_ != other.base_) {
+    return Status::InvalidArgument("condition bases differ in Minus");
+  }
+  ConditionSet out;
+  out.base_ = base_;
+  std::set_difference(values_.begin(), values_.end(), other.values_.begin(),
+                      other.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+Result<ConditionSet> ConditionSet::UnionWith(const ConditionSet& other) const {
+  if (base_ != other.base_) {
+    return Status::InvalidArgument("condition bases differ in UnionWith");
+  }
+  ConditionSet out;
+  out.base_ = base_;
+  std::set_union(values_.begin(), values_.end(), other.values_.begin(),
+                 other.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+bool ConditionSet::DisjointFrom(const ConditionSet& other) const {
+  if (base_ != other.base_) return false;
+  auto a = values_.begin();
+  auto b = other.values_.begin();
+  while (a != values_.end() && b != other.values_.end()) {
+    if (*a == *b) return false;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return true;
+}
+
+std::string ConditionSet::ToString(const AttrCatalog& catalog) const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Tuple& t : values_) parts.push_back(t.ToString(catalog));
+  return "{" + Join(parts, ", ") + "}";
+}
+
+Result<ExplicitAD> ExplicitAD::Make(AttrSet determinant, AttrSet determined,
+                                    std::vector<EadVariant> variants) {
+  for (const EadVariant& v : variants) {
+    if (v.when.base() != determinant) {
+      return Status::InvalidArgument(
+          StrCat("variant condition base ", v.when.base().ToString(),
+                 " does not match determinant ", determinant.ToString()));
+    }
+    if (!v.then.IsSubsetOf(determined)) {
+      return Status::InvalidArgument(
+          StrCat("variant attribute set ", v.then.ToString(),
+                 " not contained in determined set ", determined.ToString()));
+    }
+  }
+  for (size_t i = 0; i < variants.size(); ++i) {
+    for (size_t j = i + 1; j < variants.size(); ++j) {
+      if (!variants[i].when.DisjointFrom(variants[j].when)) {
+        return Status::InvalidArgument(
+            StrCat("variant conditions ", i, " and ", j,
+                   " overlap (Definition 2.1 requires Vi ∩ Vj = ∅)"));
+      }
+    }
+  }
+  ExplicitAD ead;
+  ead.determinant_ = determinant;
+  ead.condition_base_ = determinant;
+  ead.determined_ = std::move(determined);
+  ead.variants_ = std::move(variants);
+  return ead;
+}
+
+int ExplicitAD::MatchVariant(const Tuple& t) const {
+  if (!t.DefinedOn(determinant_)) return -1;
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    if (variants_[i].when.Matches(t)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+AttrSet ExplicitAD::RequiredAttrs(const Tuple& t) const {
+  int i = MatchVariant(t);
+  if (i < 0) return AttrSet();
+  return variants_[static_cast<size_t>(i)].then;
+}
+
+Status ExplicitAD::CheckTuple(const Tuple& t, const AttrCatalog& catalog) const {
+  AttrSet actual = t.attrs().Intersect(determined_);
+  int i = MatchVariant(t);
+  AttrSet required = (i < 0) ? AttrSet() : variants_[static_cast<size_t>(i)].then;
+  if (actual == required) return Status::OK();
+  std::string variant_desc =
+      (i < 0) ? "no variant matches"
+              : StrCat("variant ", i, " ",
+                       variants_[static_cast<size_t>(i)].when.ToString(catalog));
+  return Status::ConstraintViolation(
+      StrCat("EAD on ", determinant_.ToString(catalog), ": ", variant_desc,
+             " requires determined attributes ", required.ToString(catalog),
+             " but tuple carries ", actual.ToString(catalog)));
+}
+
+bool ExplicitAD::Satisfies(const std::vector<Tuple>& rows) const {
+  for (const Tuple& t : rows) {
+    AttrSet actual = t.attrs().Intersect(determined_);
+    if (actual != RequiredAttrs(t)) return false;
+  }
+  return true;
+}
+
+ExplicitAD ExplicitAD::ProjectRhs(const AttrSet& keep) const {
+  ExplicitAD out = *this;
+  out.determined_ = determined_.Intersect(keep);
+  for (EadVariant& v : out.variants_) v.then = v.then.Intersect(keep);
+  return out;
+}
+
+ExplicitAD ExplicitAD::AugmentLhs(const AttrSet& extra) const {
+  ExplicitAD out = *this;
+  out.determinant_ = determinant_.Union(extra);
+  // condition_base_ stays: Vi × Tup(extra) is evaluated by projection.
+  return out;
+}
+
+Result<ExplicitAD> ExplicitAD::Add(const ExplicitAD& a, const ExplicitAD& b) {
+  if (a.condition_base_ != b.condition_base_ ||
+      a.determinant_ != b.determinant_) {
+    return Status::InvalidArgument(
+        "EAD additivity requires equal determinants");
+  }
+  ExplicitAD out;
+  out.determinant_ = a.determinant_;
+  out.condition_base_ = a.condition_base_;
+  out.determined_ = a.determined_.Union(b.determined_);
+
+  // Pairwise intersections Vi ∩ Wj --> Yi ∪ Zj (the paper's printed rule).
+  for (const EadVariant& va : a.variants_) {
+    for (const EadVariant& vb : b.variants_) {
+      FLEXREL_ASSIGN_OR_RETURN(ConditionSet both, va.when.Intersect(vb.when));
+      if (both.empty()) continue;
+      out.variants_.push_back({std::move(both), va.then.Union(vb.then)});
+    }
+  }
+  // Leftovers: Vi \ ∪Wj --> Yi  (the other EAD contributes ∅ there), and
+  // symmetrically Wj \ ∪Vi --> Zj. Without these the combined EAD's
+  // "otherwise ∅" clause would contradict the inputs (see header comment).
+  auto union_of = [](const ExplicitAD& e) -> Result<ConditionSet> {
+    ConditionSet acc;
+    bool first = true;
+    for (const EadVariant& v : e.variants_) {
+      if (first) {
+        acc = v.when;
+        first = false;
+      } else {
+        FLEXREL_ASSIGN_OR_RETURN(acc, acc.UnionWith(v.when));
+      }
+    }
+    if (first) {
+      // No variants at all: empty condition set over the base.
+      return ConditionSet::Make(e.condition_base_, {});
+    }
+    return acc;
+  };
+  FLEXREL_ASSIGN_OR_RETURN(ConditionSet b_all, union_of(b));
+  for (const EadVariant& va : a.variants_) {
+    FLEXREL_ASSIGN_OR_RETURN(ConditionSet rest, va.when.Minus(b_all));
+    if (!rest.empty() && !va.then.empty()) {
+      out.variants_.push_back({std::move(rest), va.then});
+    }
+  }
+  FLEXREL_ASSIGN_OR_RETURN(ConditionSet a_all, union_of(a));
+  for (const EadVariant& vb : b.variants_) {
+    FLEXREL_ASSIGN_OR_RETURN(ConditionSet rest, vb.when.Minus(a_all));
+    if (!rest.empty() && !vb.then.empty()) {
+      out.variants_.push_back({std::move(rest), vb.then});
+    }
+  }
+  return out;
+}
+
+bool ExplicitAD::IsDisjointSpecialization() const {
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    for (size_t j = i + 1; j < variants_.size(); ++j) {
+      if (variants_[i].then.Intersects(variants_[j].then)) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> ExplicitAD::IsTotalSpecialization(
+    const std::vector<std::pair<AttrId, Domain>>& domains,
+    uint64_t enumeration_cap) const {
+  // Collect the domain of every condition-base attribute.
+  std::vector<std::pair<AttrId, const Domain*>> dims;
+  for (AttrId attr : condition_base_) {
+    const Domain* d = nullptr;
+    for (const auto& [a, dom] : domains) {
+      if (a == attr) {
+        d = &dom;
+        break;
+      }
+    }
+    if (d == nullptr) {
+      return Status::NotFound(
+          StrCat("no domain registered for determinant attribute ", attr));
+    }
+    if (!d->Cardinality().has_value()) {
+      return Status::OutOfRange(
+          "totality undecidable over an infinite determinant domain");
+    }
+    dims.push_back({attr, d});
+  }
+  uint64_t count = 1;
+  for (const auto& [attr, d] : dims) {
+    (void)attr;
+    uint64_t card = *d->Cardinality();
+    if (card == 0) return true;  // empty Tup(X) is trivially covered
+    if (count > enumeration_cap / card) {
+      return Status::OutOfRange("Tup(X) too large to enumerate for totality");
+    }
+    count *= card;
+  }
+  // Enumerate Tup(X) and test coverage by some variant condition.
+  std::vector<std::vector<Value>> axes;
+  for (const auto& [attr, d] : dims) {
+    (void)attr;
+    if (d->is_enumerated()) {
+      axes.push_back(d->values());
+    } else if (d->is_range()) {
+      std::vector<Value> vals;
+      for (int64_t v = d->range_lo(); v <= d->range_hi(); ++v) {
+        vals.push_back(Value::Int(v));
+      }
+      axes.push_back(std::move(vals));
+    } else {
+      // ValueType::kBool unrestricted.
+      axes.push_back({Value::Bool(false), Value::Bool(true)});
+    }
+  }
+  std::vector<size_t> cursor(axes.size(), 0);
+  while (true) {
+    Tuple t;
+    for (size_t i = 0; i < axes.size(); ++i) {
+      t.Set(dims[i].first, axes[i][cursor[i]]);
+    }
+    bool covered = false;
+    for (const EadVariant& v : variants_) {
+      if (v.when.ContainsValue(t)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < axes.size(); ++i) {
+      if (++cursor[i] < axes[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == axes.size()) break;
+    if (axes.empty()) break;
+  }
+  return true;
+}
+
+std::string ExplicitAD::ToString(const AttrCatalog& catalog) const {
+  std::ostringstream os;
+  os << "< " << determinant_.ToString(catalog) << " --exp.attr--> "
+     << determined_.ToString(catalog) << ", {";
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << variants_[i].when.ToString(catalog) << " --exp.attr--> "
+       << variants_[i].then.ToString(catalog);
+  }
+  os << "} >";
+  return os.str();
+}
+
+}  // namespace flexrel

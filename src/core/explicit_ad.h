@@ -1,0 +1,161 @@
+// Explicit attribute dependencies (Definition 2.1).
+//
+// An EAD  < X --exp.attr--> Y, { V1 --exp.attr--> Y1, ..., Vn --exp.attr--> Yn } >
+// names a determinant attribute set X, a determined set Y, and n variants:
+// value sets Vi ⊆ Tup(X) (pairwise disjoint) paired with attribute subsets
+// Yi ⊆ Y. A tuple t with t[X] ∈ Vi must satisfy attr(t) ∩ Y = Yi; a tuple
+// matching no Vi (including tuples not defined on all of X) must satisfy
+// attr(t) ∩ Y = ∅.
+//
+// Section 4.1 notes that the rules of axiom system 𝔄 "could have been
+// defined for explicit attribute dependencies as well" and spells out the
+// additivity rule as pairwise condition intersections. Taken literally that
+// rule is unsound for the *explicit* semantics: a tuple matching V1 but no
+// W_j would be forced by the combined EAD's "otherwise ∅" clause to drop Y1.
+// Our Add() therefore emits the full partition — pairwise intersections plus
+// the leftover regions Vi \ ∪W_j (keeping Yi) and W_j \ ∪Vi (keeping Z_j) —
+// which is sound and agrees with the paper's rule on the abbreviated level.
+// A regression test documents the discrepancy.
+
+#ifndef FLEXREL_CORE_EXPLICIT_AD_H_
+#define FLEXREL_CORE_EXPLICIT_AD_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "relational/domain.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// A finite set of determinant values V ⊆ Tup(X), represented explicitly.
+class ConditionSet {
+ public:
+  ConditionSet() = default;
+
+  /// Builds V over `base` (= X). Every tuple must be defined on exactly
+  /// `base`. Values are deduplicated and sorted.
+  static Result<ConditionSet> Make(AttrSet base, std::vector<Tuple> values);
+
+  /// Convenience: a single-attribute, single-value condition such as
+  /// < jobtype : 'secretary' >.
+  static ConditionSet Single(AttrId attr, Value value);
+
+  const AttrSet& base() const { return base_; }
+  const std::vector<Tuple>& values() const { return values_; }
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+  /// True iff t is defined on base() and t[base()] ∈ V.
+  bool Matches(const Tuple& t) const;
+
+  /// Membership of an exact determinant-value tuple.
+  bool ContainsValue(const Tuple& projected) const;
+
+  /// V ∩ W. Requires equal bases.
+  Result<ConditionSet> Intersect(const ConditionSet& other) const;
+
+  /// V \ W. Requires equal bases.
+  Result<ConditionSet> Minus(const ConditionSet& other) const;
+
+  /// V ∪ W. Requires equal bases.
+  Result<ConditionSet> UnionWith(const ConditionSet& other) const;
+
+  /// True iff V ∩ W = ∅ (equal bases required; fails closed → false).
+  bool DisjointFrom(const ConditionSet& other) const;
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  AttrSet base_;
+  std::vector<Tuple> values_;  // sorted, unique, each defined on base_
+};
+
+/// One variant of an EAD: "when the determinant value lies in `when`, the
+/// tuple possesses exactly `then` out of the determined attributes".
+struct EadVariant {
+  ConditionSet when;
+  AttrSet then;
+};
+
+/// Explicit attribute dependency (Definition 2.1).
+class ExplicitAD {
+ public:
+  /// Default: the empty EAD (no determinant, no determined attributes, no
+  /// variants) — trivially satisfied by every tuple. Placeholder before
+  /// assignment.
+  ExplicitAD() = default;
+
+  /// Validates and builds an EAD. Requirements:
+  ///  - every variant's condition base equals `determinant`,
+  ///  - every `then` ⊆ `determined`,
+  ///  - condition sets are pairwise disjoint (Definition 2.1's Vi ∩ Vj = ∅).
+  static Result<ExplicitAD> Make(AttrSet determinant, AttrSet determined,
+                                 std::vector<EadVariant> variants);
+
+  const AttrSet& determinant() const { return determinant_; }
+  const AttrSet& determined() const { return determined_; }
+  const std::vector<EadVariant>& variants() const { return variants_; }
+  /// The attribute set conditions actually range over; a strict subset of
+  /// determinant() only after AugmentLhs.
+  const AttrSet& condition_base() const { return condition_base_; }
+
+  /// Index of the variant matching `t`, or -1 when none does (which includes
+  /// tuples not defined on the determinant).
+  int MatchVariant(const Tuple& t) const;
+
+  /// The exact subset of determined() that `t` must carry.
+  AttrSet RequiredAttrs(const Tuple& t) const;
+
+  /// Definition 2.1 satisfaction for a single tuple; on violation the status
+  /// message names the variant and the offending attribute sets.
+  Status CheckTuple(const Tuple& t, const AttrCatalog& catalog) const;
+
+  /// Satisfaction over an instance.
+  bool Satisfies(const std::vector<Tuple>& rows) const;
+
+  /// The abbreviated dependency X --attr--> Y (Section 4's Definition 4.1).
+  struct AttrDepView {
+    AttrSet lhs;
+    AttrSet rhs;
+  };
+  AttrDepView Abbreviate() const { return {determinant_, determined_}; }
+
+  /// Rule A1 (projectivity) at the EAD level: restrict the determined side
+  /// to `keep` (variants keep their conditions, Yi becomes Yi ∩ keep).
+  ExplicitAD ProjectRhs(const AttrSet& keep) const;
+
+  /// Rule A4 (left augmentation) at the EAD level: the determinant grows to
+  /// X ∪ extra; conditions conceptually become Vi × Tup(extra) and are
+  /// evaluated by projecting onto the original base.
+  ExplicitAD AugmentLhs(const AttrSet& extra) const;
+
+  /// Rule A2 (additivity) at the EAD level, in the sound full-partition form
+  /// (see file comment). Requires equal condition bases.
+  static Result<ExplicitAD> Add(const ExplicitAD& a, const ExplicitAD& b);
+
+  /// ER classification (Section 3.1): variants are disjoint when the Yi are
+  /// pairwise disjoint.
+  bool IsDisjointSpecialization() const;
+
+  /// ER classification: the specialization is total when ∪Vi covers all of
+  /// Tup(X) under the given per-attribute domains. Fails with kOutOfRange
+  /// when Tup(X) is infinite or larger than `enumeration_cap`.
+  Result<bool> IsTotalSpecialization(
+      const std::vector<std::pair<AttrId, Domain>>& domains,
+      uint64_t enumeration_cap = 1u << 20) const;
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  AttrSet determinant_;
+  AttrSet condition_base_;
+  AttrSet determined_;
+  std::vector<EadVariant> variants_;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_EXPLICIT_AD_H_

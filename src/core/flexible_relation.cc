@@ -1,0 +1,102 @@
+#include "core/flexible_relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+FlexibleRelation FlexibleRelation::Base(
+    std::string name, const AttrCatalog* catalog, FlexibleScheme scheme,
+    std::vector<ExplicitAD> eads,
+    std::vector<std::pair<AttrId, Domain>> domains) {
+  FlexibleRelation fr;
+  fr.name_ = std::move(name);
+  // Derive the abbreviated dependency set from the EADs up front: the
+  // algebra consumes ads(FR) in this form.
+  for (const ExplicitAD& ead : eads) {
+    auto abbrev = ead.Abbreviate();
+    fr.deps_.AddAd(AttrDep{abbrev.lhs, abbrev.rhs});
+  }
+  fr.checker_ = std::make_shared<TypeChecker>(
+      catalog, std::move(scheme), std::move(eads), std::move(domains));
+  return fr;
+}
+
+FlexibleRelation FlexibleRelation::Derived(std::string name,
+                                           DependencySet deps) {
+  FlexibleRelation fr;
+  fr.name_ = std::move(name);
+  fr.deps_ = std::move(deps);
+  return fr;
+}
+
+Status FlexibleRelation::Insert(const Tuple& t) {
+  if (checker_ != nullptr) {
+    FLEXREL_RETURN_IF_ERROR(
+        checker_->Check(t).WithContext(StrCat("insert into ", name_)));
+  }
+  if (std::find(rows_.begin(), rows_.end(), t) != rows_.end()) {
+    return Status::AlreadyExists(
+        StrCat("duplicate tuple rejected by set semantics of ", name_));
+  }
+  rows_.push_back(t);
+  return Status::OK();
+}
+
+void FlexibleRelation::InsertUnchecked(Tuple t) {
+  rows_.push_back(std::move(t));
+}
+
+Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
+                                                        AttrId attr,
+                                                        Value value,
+                                                        const Tuple& fill) {
+  if (index >= rows_.size()) {
+    return Status::OutOfRange(StrCat("row index ", index, " out of range"));
+  }
+  Tuple updated = rows_[index];
+  updated.Set(attr, std::move(value));
+
+  TypeChecker::TypeDelta delta;
+  if (checker_ != nullptr) {
+    // Footnote 3: a determinant change entails a type change. Compute the
+    // delta the EADs demand, apply it (removals drop attributes, additions
+    // pull values from `fill`), then re-check the full tuple.
+    delta = checker_->DeltaFor(updated);
+    for (AttrId a : delta.to_remove) updated.Erase(a);
+    for (AttrId a : delta.to_add) {
+      const Value* v = fill.Get(a);
+      if (v == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("type change requires a value for added attribute id ", a,
+                   " (supply it via `fill`)"));
+      }
+      updated.Set(a, *v);
+    }
+    FLEXREL_RETURN_IF_ERROR(
+        checker_->Check(updated).WithContext(StrCat("update of ", name_)));
+  }
+  rows_[index] = std::move(updated);
+  return delta;
+}
+
+AttrSet FlexibleRelation::ActiveAttrs() const {
+  AttrSet all;
+  for (const Tuple& t : rows_) all = all.Union(t.attrs());
+  return all;
+}
+
+std::string FlexibleRelation::ToString(const AttrCatalog& catalog) const {
+  std::ostringstream os;
+  os << name_;
+  if (checker_ != nullptr) {
+    os << " :: " << checker_->scheme().ToString(catalog);
+  }
+  os << " (" << rows_.size() << " tuples)\n";
+  for (const Tuple& t : rows_) os << "  " << t.ToString(catalog) << "\n";
+  return os.str();
+}
+
+}  // namespace flexrel

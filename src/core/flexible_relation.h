@@ -1,0 +1,89 @@
+// Flexible relations: FR = < FS, inst > (Section 2.1).
+//
+// A flexible relation couples a flexible scheme with an instance — a finite
+// *set* of tuples drawn from dom(FS) = ∪_{X ∈ dnf(FS)} Tup(X) — plus the
+// EADs declared over it. Inserts and updates are type-checked; updates that
+// change determinant values trigger the type-change handling of footnote 3.
+//
+// Algebra operators produce derived relations whose shape is no longer
+// governed by a declared scheme (the paper's closure discussion in
+// Section 4.3); such relations carry scheme() == nullopt but still propagate
+// abbreviated dependencies.
+
+#ifndef FLEXREL_CORE_FLEXIBLE_RELATION_H_
+#define FLEXREL_CORE_FLEXIBLE_RELATION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency_set.h"
+#include "core/type_check.h"
+
+namespace flexrel {
+
+/// A heterogeneous, strongly typed set of tuples.
+class FlexibleRelation {
+ public:
+  /// A base relation with declared scheme, EADs, and domains.
+  static FlexibleRelation Base(std::string name, const AttrCatalog* catalog,
+                               FlexibleScheme scheme,
+                               std::vector<ExplicitAD> eads,
+                               std::vector<std::pair<AttrId, Domain>> domains);
+
+  /// A derived relation (algebra output): no scheme, only the propagated
+  /// abbreviated dependencies.
+  static FlexibleRelation Derived(std::string name, DependencySet deps);
+
+  const std::string& name() const { return name_; }
+  bool has_checker() const { return checker_ != nullptr; }
+  const TypeChecker* checker() const { return checker_.get(); }
+
+  /// The abbreviated dependency view ads(FR) / fds(FR) used by the algebra's
+  /// propagation rules (Theorem 4.3).
+  const DependencySet& deps() const { return deps_; }
+  DependencySet* mutable_deps() { return &deps_; }
+
+  /// Type-checked insert (set semantics: duplicate tuples are rejected, as
+  /// instances are sets of tuples).
+  Status Insert(const Tuple& t);
+
+  /// Insert without type checks (used by algebra operators, whose outputs
+  /// are well-typed by construction, and by the decomposition baselines).
+  void InsertUnchecked(Tuple t);
+
+  /// Updates attribute `attr` of row `index` to `value`.
+  ///
+  /// When the new value flips an EAD variant, the tuple's *type* changes
+  /// (footnote 3): attributes demanded by the new variant are missing and
+  /// attributes of the old variant are now illegal. `fill` supplies values
+  /// for attributes that must be added; the update fails if `fill` lacks one
+  /// of them. Returns the applied delta.
+  Result<TypeChecker::TypeDelta> Update(size_t index, AttrId attr, Value value,
+                                        const Tuple& fill = Tuple());
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// All attributes appearing in any row.
+  AttrSet ActiveAttrs() const;
+
+  /// True iff every declared dependency holds across the instance
+  /// (instance-level audit; per-tuple EAD checks happen on insert).
+  bool SatisfiesDeclaredDeps() const { return deps_.SatisfiedBy(rows_); }
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<const TypeChecker> checker_;  // null for derived relations
+  DependencySet deps_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_FLEXIBLE_RELATION_H_

@@ -1,0 +1,418 @@
+#include "core/flexible_scheme.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+namespace {
+
+constexpr uint64_t kSatCap = (1ull << 63) - 1;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return (a > kSatCap - b) ? kSatCap : a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSatCap / b) return kSatCap;
+  return a * b;
+}
+
+}  // namespace
+
+FlexibleScheme FlexibleScheme::Attr(AttrId attr) {
+  FlexibleScheme s;
+  s.is_leaf_ = true;
+  s.attr_ = attr;
+  s.attrs_ = AttrSet::Of(attr);
+  return s;
+}
+
+Result<FlexibleScheme> FlexibleScheme::Group(
+    uint32_t at_least, uint32_t at_most,
+    std::vector<FlexibleScheme> components) {
+  if (at_least > at_most) {
+    return Status::InvalidArgument(
+        StrCat("at-least (", at_least, ") exceeds at-most (", at_most, ")"));
+  }
+  if (at_most > components.size()) {
+    return Status::InvalidArgument(
+        StrCat("at-most (", at_most, ") exceeds component count (",
+               components.size(), ")"));
+  }
+  // Attribute occurrences must be unique across the whole tree (otherwise
+  // the disjoint decomposition that dnf() relies on breaks down).
+  AttrSet all;
+  size_t expected = 0;
+  for (const FlexibleScheme& c : components) {
+    expected += c.attrs().size();
+    all = all.Union(c.attrs());
+  }
+  if (all.size() != expected) {
+    return Status::InvalidArgument(
+        "duplicate attribute across flexible-scheme components");
+  }
+  FlexibleScheme s;
+  s.is_leaf_ = false;
+  s.at_least_ = at_least;
+  s.at_most_ = at_most;
+  s.components_ = std::move(components);
+  s.attrs_ = std::move(all);
+  return s;
+}
+
+Result<FlexibleScheme> FlexibleScheme::Relational(const AttrSet& attrs) {
+  std::vector<FlexibleScheme> comps;
+  comps.reserve(attrs.size());
+  for (AttrId a : attrs) comps.push_back(Attr(a));
+  uint32_t n = static_cast<uint32_t>(comps.size());
+  return Group(n, n, std::move(comps));
+}
+
+Result<FlexibleScheme> FlexibleScheme::DisjointUnion(
+    std::vector<FlexibleScheme> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("disjoint union needs >= 1 component");
+  }
+  return Group(1, 1, std::move(components));
+}
+
+Result<FlexibleScheme> FlexibleScheme::NonDisjointUnion(
+    std::vector<FlexibleScheme> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("non-disjoint union needs >= 1 component");
+  }
+  uint32_t n = static_cast<uint32_t>(components.size());
+  return Group(1, n, std::move(components));
+}
+
+Result<FlexibleScheme> FlexibleScheme::Optional(FlexibleScheme component) {
+  std::vector<FlexibleScheme> comps;
+  comps.push_back(std::move(component));
+  return Group(0, 1, std::move(comps));
+}
+
+bool FlexibleScheme::Admits(const AttrSet& candidate) const {
+  if (!candidate.IsSubsetOf(attrs_)) return false;
+  return CanRealize(candidate);
+}
+
+bool FlexibleScheme::CanRealize(const AttrSet& s) const {
+  if (is_leaf_) {
+    return s.size() == 1 && s.Contains(attr_);
+  }
+  uint32_t nonempty = 0;     // children that must be chosen (m)
+  uint32_t empty_filler = 0; // children that may be chosen contributing ∅ (f)
+  for (const FlexibleScheme& c : components_) {
+    AttrSet part = s.Intersect(c.attrs());
+    if (!part.empty()) {
+      if (!c.CanRealize(part)) return false;
+      ++nonempty;
+    } else if (c.CanRealizeEmpty()) {
+      ++empty_filler;
+    }
+  }
+  // A chosen-count c with at_least <= c <= at_most and
+  // nonempty <= c <= nonempty + empty_filler must exist.
+  return nonempty <= at_most_ && at_least_ <= nonempty + empty_filler;
+}
+
+bool FlexibleScheme::CanRealizeEmpty() const {
+  if (is_leaf_) return false;
+  uint32_t empty_filler = 0;
+  for (const FlexibleScheme& c : components_) {
+    if (c.CanRealizeEmpty()) ++empty_filler;
+  }
+  return at_least_ <= std::min<uint32_t>(at_most_, empty_filler);
+}
+
+FlexibleScheme::Counts FlexibleScheme::CountDistinct() const {
+  if (is_leaf_) return {1, false};
+  size_t k = components_.size();
+  // dp[m][f]: number of distinct per-child contribution vectors with m
+  // children contributing a nonempty set and f of the remaining children
+  // able to absorb a "chosen but empty" slot.
+  std::vector<std::vector<uint64_t>> dp(k + 1,
+                                        std::vector<uint64_t>(k + 1, 0));
+  dp[0][0] = 1;
+  size_t processed = 0;
+  for (const FlexibleScheme& c : components_) {
+    Counts cc = c.CountDistinct();
+    uint64_t ne = cc.total - (cc.empty_realizable ? 1 : 0);
+    uint32_t e = cc.empty_realizable ? 1 : 0;
+    std::vector<std::vector<uint64_t>> next(
+        k + 1, std::vector<uint64_t>(k + 1, 0));
+    for (size_t m = 0; m <= processed; ++m) {
+      for (size_t f = 0; f <= processed; ++f) {
+        uint64_t ways = dp[m][f];
+        if (ways == 0) continue;
+        // Child contributes the empty set.
+        next[m][f + e] = SatAdd(next[m][f + e], ways);
+        // Child contributes one of its distinct nonempty sets.
+        if (ne > 0) next[m + 1][f] = SatAdd(next[m + 1][f], SatMul(ways, ne));
+      }
+    }
+    dp = std::move(next);
+    ++processed;
+  }
+  uint64_t total = 0;
+  for (size_t m = 0; m <= k; ++m) {
+    for (size_t f = 0; f <= k; ++f) {
+      if (dp[m][f] == 0) continue;
+      if (m <= at_most_ && at_least_ <= m + f) {
+        total = SatAdd(total, dp[m][f]);
+      }
+    }
+  }
+  return {total, CanRealizeEmpty()};
+}
+
+uint64_t FlexibleScheme::DnfCount() const {
+  Counts c = CountDistinct();
+  // The root is always "chosen": its distinct realizable sets are the dnf.
+  return c.total;
+}
+
+void FlexibleScheme::EnumerateInto(std::vector<AttrSet>* out, size_t limit,
+                                   bool* overflow) const {
+  if (*overflow) return;
+  if (is_leaf_) {
+    out->push_back(AttrSet::Of(attr_));
+    return;
+  }
+  // Per-child menus: each child offers ∅ plus its distinct nonempty sets;
+  // track whether the ∅ offering can be a *chosen* slot.
+  struct Menu {
+    std::vector<AttrSet> nonempty;
+    bool empty_chosen_ok;
+  };
+  std::vector<Menu> menus;
+  menus.reserve(components_.size());
+  for (const FlexibleScheme& c : components_) {
+    Menu m;
+    std::vector<AttrSet> sets;
+    bool ov = false;
+    c.EnumerateInto(&sets, limit, &ov);
+    if (ov) {
+      *overflow = true;
+      return;
+    }
+    for (AttrSet& s : sets) {
+      if (s.empty()) continue;
+      m.nonempty.push_back(std::move(s));
+    }
+    m.empty_chosen_ok = c.CanRealizeEmpty();
+    menus.push_back(std::move(m));
+  }
+  // DFS over children accumulating the union plus (m, f) feasibility state.
+  std::vector<AttrSet> acc;
+  AttrSet current;
+  std::function<void(size_t, uint32_t, uint32_t)> dfs =
+      [&](size_t i, uint32_t m, uint32_t f) {
+        if (*overflow) return;
+        if (i == menus.size()) {
+          if (m <= at_most_ && at_least_ <= m + f) {
+            out->push_back(current);
+            if (out->size() > limit) *overflow = true;
+          }
+          return;
+        }
+        const Menu& menu = menus[i];
+        // Option 1: this child contributes nothing.
+        dfs(i + 1, m, f + (menu.empty_chosen_ok ? 1 : 0));
+        // Option 2: contributes one of its nonempty sets.
+        for (const AttrSet& s : menu.nonempty) {
+          AttrSet saved = current;
+          current = current.Union(s);
+          dfs(i + 1, m + 1, f);
+          current = std::move(saved);
+          if (*overflow) return;
+        }
+      };
+  dfs(0, 0, 0);
+}
+
+Result<std::vector<AttrSet>> FlexibleScheme::Dnf(size_t limit) const {
+  uint64_t count = DnfCount();
+  if (count > limit) {
+    return Status::OutOfRange(
+        StrCat("dnf has ", count, " combinations, above the limit of ", limit));
+  }
+  std::vector<AttrSet> out;
+  bool overflow = false;
+  EnumerateInto(&out, limit, &overflow);
+  if (overflow) {
+    return Status::OutOfRange("dnf enumeration exceeded limit");
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FlexibleScheme FlexibleScheme::Project(const AttrSet& keep) const {
+  if (is_leaf_) {
+    if (keep.Contains(attr_)) return *this;
+    // A projected-away leaf still occupies its "chosen" slot but now
+    // contributes no attributes: <0,0,{}> realizes exactly ∅.
+    FlexibleScheme eps;
+    eps.is_leaf_ = false;
+    eps.at_least_ = 0;
+    eps.at_most_ = 0;
+    return eps;
+  }
+  FlexibleScheme s;
+  s.is_leaf_ = false;
+  s.at_least_ = at_least_;
+  s.at_most_ = at_most_;
+  s.components_.reserve(components_.size());
+  for (const FlexibleScheme& c : components_) {
+    s.components_.push_back(c.Project(keep));
+    s.attrs_ = s.attrs_.Union(s.components_.back().attrs());
+  }
+  return s;
+}
+
+Result<FlexibleScheme> FlexibleScheme::Concat(
+    const FlexibleScheme& other) const {
+  if (attrs().Intersects(other.attrs())) {
+    return Status::InvalidArgument(
+        "cannot concatenate schemes with overlapping attributes");
+  }
+  std::vector<FlexibleScheme> comps{*this, other};
+  return Group(2, 2, std::move(comps));
+}
+
+std::string FlexibleScheme::ToString(const AttrCatalog& catalog) const {
+  if (is_leaf_) return catalog.Name(attr_);
+  std::vector<std::string> parts;
+  parts.reserve(components_.size());
+  for (const FlexibleScheme& c : components_) {
+    parts.push_back(c.ToString(catalog));
+  }
+  return StrCat("<", at_least_, ", ", at_most_, ", {", Join(parts, ", "),
+                "}>");
+}
+
+bool FlexibleScheme::operator==(const FlexibleScheme& other) const {
+  if (is_leaf_ != other.is_leaf_) return false;
+  if (is_leaf_) return attr_ == other.attr_;
+  return at_least_ == other.at_least_ && at_most_ == other.at_most_ &&
+         components_ == other.components_;
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the paper's scheme notation.
+class SchemeParser {
+ public:
+  SchemeParser(AttrCatalog* catalog, const std::string& text)
+      : catalog_(catalog), text_(text) {}
+
+  Result<FlexibleScheme> Parse() {
+    FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme s, ParseNode());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          StrCat("trailing characters at offset ", pos_, " in scheme text"));
+    }
+    return s;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<uint32_t> ParseNumber() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return Status::InvalidArgument(
+          StrCat("expected number at offset ", start));
+    }
+    return static_cast<uint32_t>(std::stoul(text_.substr(start, pos_ - start)));
+  }
+
+  Result<FlexibleScheme> ParseNode() {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '<') return ParseGroup();
+    return ParseLeaf();
+  }
+
+  Result<FlexibleScheme> ParseLeaf() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (start == pos_) {
+      return Status::InvalidArgument(
+          StrCat("expected attribute name at offset ", start));
+    }
+    return FlexibleScheme::Attr(
+        catalog_->Intern(text_.substr(start, pos_ - start)));
+  }
+
+  Result<FlexibleScheme> ParseGroup() {
+    if (!Consume('<')) return Status::InvalidArgument("expected '<'");
+    FLEXREL_ASSIGN_OR_RETURN(uint32_t lo, ParseNumber());
+    if (!Consume(',')) return Status::InvalidArgument("expected ',' after at-least");
+    FLEXREL_ASSIGN_OR_RETURN(uint32_t hi, ParseNumber());
+    if (!Consume(',')) return Status::InvalidArgument("expected ',' after at-most");
+    if (!Consume('{')) return Status::InvalidArgument("expected '{'");
+    std::vector<FlexibleScheme> comps;
+    SkipWs();
+    if (!Consume('}')) {
+      while (true) {
+        FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme c, ParseNode());
+        comps.push_back(std::move(c));
+        if (Consume(',')) continue;
+        if (Consume('}')) break;
+        return Status::InvalidArgument(
+            StrCat("expected ',' or '}' at offset ", pos_));
+      }
+    }
+    if (!Consume('>')) return Status::InvalidArgument("expected '>'");
+    return FlexibleScheme::Group(lo, hi, std::move(comps));
+  }
+
+  AttrCatalog* catalog_;
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FlexibleScheme> FlexibleScheme::Parse(AttrCatalog* catalog,
+                                             const std::string& text) {
+  return SchemeParser(catalog, text).Parse();
+}
+
+}  // namespace flexrel

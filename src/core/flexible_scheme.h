@@ -1,0 +1,128 @@
+// Flexible schemes: the paper's single generic scheme constructor.
+//
+// A flexible scheme (Section 2.1) is a three-tuple
+//     < at-least, at-most, { components } >
+// whose components are attributes or, recursively, flexible schemes. It
+// generalises the classical relational scheme (<n,n,{A1..An}>), disjoint
+// unions (<1,1,...>), non-disjoint unions (<1,n,...>) and optional parts
+// (<0,1,...>) with one construct — preserving, as the paper argues, the
+// single-constructor elegance of Codd's model.
+//
+// dnf(FS), the unfolded set of admissible attribute combinations, can be
+// exponential in the scheme size (Example 1 yields 14 combinations from a
+// 7-attribute scheme), so membership testing and counting are implemented
+// directly on the tree without expansion; full unfolding is available for
+// small schemes and cross-validation.
+
+#ifndef FLEXREL_CORE_FLEXIBLE_SCHEME_H_
+#define FLEXREL_CORE_FLEXIBLE_SCHEME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// A node of a flexible scheme: either a single attribute (leaf) or a
+/// cardinality-constrained group of child schemes. Value type; copying is a
+/// deep copy of the component tree.
+class FlexibleScheme {
+ public:
+  /// Default: the empty scheme <0, 0, {}> admitting exactly the empty
+  /// attribute combination. Useful as a placeholder before assignment.
+  FlexibleScheme() = default;
+
+  /// Leaf: a single attribute.
+  static FlexibleScheme Attr(AttrId attr);
+
+  /// Group <at_least, at_most, {components}>. Fails when
+  ///  - at_least > at_most, or at_most exceeds the component count,
+  ///  - an attribute occurs more than once anywhere in the tree.
+  static Result<FlexibleScheme> Group(uint32_t at_least, uint32_t at_most,
+                                      std::vector<FlexibleScheme> components);
+
+  /// <n, n, {attrs}>: the classical relational scheme.
+  static Result<FlexibleScheme> Relational(const AttrSet& attrs);
+
+  /// <1, 1, {components}>: disjoint union (exactly one variant).
+  static Result<FlexibleScheme> DisjointUnion(
+      std::vector<FlexibleScheme> components);
+
+  /// <1, n, {components}>: non-disjoint union (at least one).
+  static Result<FlexibleScheme> NonDisjointUnion(
+      std::vector<FlexibleScheme> components);
+
+  /// <0, 1, {component}>: optional part.
+  static Result<FlexibleScheme> Optional(FlexibleScheme component);
+
+  /// Parses the paper's notation, e.g.
+  ///   "<4,4,{A,B,<1,1,{C,D}>,<1,3,{E,F,G}>}>"
+  /// Attribute names are interned into `catalog`. Bare names parse as leaves.
+  static Result<FlexibleScheme> Parse(AttrCatalog* catalog,
+                                      const std::string& text);
+
+  bool is_leaf() const { return is_leaf_; }
+  AttrId leaf_attr() const { return attr_; }
+  uint32_t at_least() const { return at_least_; }
+  uint32_t at_most() const { return at_most_; }
+  const std::vector<FlexibleScheme>& components() const { return components_; }
+
+  /// All attributes mentioned anywhere in the scheme (attr(FS)).
+  const AttrSet& attrs() const { return attrs_; }
+
+  /// True iff `candidate` ∈ dnf(FS): the membership test used for type
+  /// checking tuple shapes. Runs on the tree in O(|tree| + |candidate|·depth)
+  /// without unfolding.
+  bool Admits(const AttrSet& candidate) const;
+
+  /// |dnf(FS)| as a count of *distinct* attribute combinations, saturating
+  /// at 2^63-1.
+  uint64_t DnfCount() const;
+
+  /// Unfolds dnf(FS). Fails with kOutOfRange when the count exceeds `limit`
+  /// (guarding accidental exponential blowups). Results are deterministic
+  /// (sorted) and duplicate-free.
+  Result<std::vector<AttrSet>> Dnf(size_t limit = 1u << 20) const;
+
+  /// Projection: a scheme admitting exactly { S ∩ keep : S ∈ dnf(this) }.
+  /// Used by the algebra's project operator for scheme propagation.
+  FlexibleScheme Project(const AttrSet& keep) const;
+
+  /// Product composition: <2,2,{this, other}>. Fails on attribute overlap.
+  Result<FlexibleScheme> Concat(const FlexibleScheme& other) const;
+
+  /// Renders in the paper's notation.
+  std::string ToString(const AttrCatalog& catalog) const;
+
+  bool operator==(const FlexibleScheme& other) const;
+
+ private:
+  /// Can this node, when *chosen*, realize exactly `s` (s ⊆ attrs_)?
+  bool CanRealize(const AttrSet& s) const;
+  /// Can this node, when chosen, realize the empty attribute set?
+  bool CanRealizeEmpty() const;
+
+  /// Distinct realizable sets: {total, nonempty} counts, saturating.
+  struct Counts {
+    uint64_t total;
+    bool empty_realizable;
+  };
+  Counts CountDistinct() const;
+
+  void EnumerateInto(std::vector<AttrSet>* out, size_t limit, bool* overflow) const;
+
+  bool is_leaf_ = false;
+  AttrId attr_ = 0;
+  uint32_t at_least_ = 0;
+  uint32_t at_most_ = 0;
+  std::vector<FlexibleScheme> components_;
+  AttrSet attrs_;  // cached union of component attrs
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_FLEXIBLE_SCHEME_H_

@@ -1,0 +1,52 @@
+// Constructive derivations (proof traces) in the axiom systems 𝔄 and 𝔄*.
+//
+// Where closure.h answers *whether* Σ ⊢ X --attr--> Y, this module produces
+// the witnessing sequence of rule applications — the machine-checkable analog
+// of the derivation spelled out in Example 4 of the paper ("projecting the
+// right side … yields (cf. rule (A1)) …; augmenting the left side … yields
+// (cf. rule (A4)) …").
+
+#ifndef FLEXREL_CORE_IMPLICATION_H_
+#define FLEXREL_CORE_IMPLICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/closure.h"
+
+namespace flexrel {
+
+/// One application of an axiom.
+struct ProofStep {
+  /// Rule label: "A1".."A4", "F1".."F3", "AF1", "AF2", or "premise".
+  std::string rule;
+  /// Indices of earlier steps used as premises (empty for axioms/premises).
+  std::vector<size_t> premises;
+  /// The dependency concluded by this step, rendered.
+  std::string conclusion;
+};
+
+/// A complete derivation; the last step concludes the target.
+struct Derivation {
+  std::vector<ProofStep> steps;
+
+  /// Multi-line rendering:
+  ///   [0] premise                     {jobtype} --attr--> {...}
+  ///   [1] A1 [0]                      {jobtype} --attr--> {typing-speed}
+  std::string ToString() const;
+};
+
+/// Derives Σ ⊢ target in the chosen system; kNotFound when not derivable
+/// (which, by Theorems 4.1/4.2, means not implied).
+Result<Derivation> DeriveAttrDep(const AttrCatalog& catalog,
+                                 const DependencySet& sigma,
+                                 const AttrDep& target, AxiomSystem system);
+
+/// Derives Σ ⊢ target for an FD (rules F1–F3 of 𝔄*).
+Result<Derivation> DeriveFuncDep(const AttrCatalog& catalog,
+                                 const DependencySet& sigma,
+                                 const FuncDep& target);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_IMPLICATION_H_

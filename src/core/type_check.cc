@@ -1,0 +1,77 @@
+#include "core/type_check.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+TypeChecker::TypeChecker(const AttrCatalog* catalog, FlexibleScheme scheme,
+                         std::vector<ExplicitAD> eads,
+                         std::vector<std::pair<AttrId, Domain>> domains)
+    : catalog_(catalog),
+      scheme_(std::move(scheme)),
+      eads_(std::move(eads)),
+      domains_(std::move(domains)) {
+  std::sort(domains_.begin(), domains_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const Domain* TypeChecker::DomainFor(AttrId attr) const {
+  auto it = std::lower_bound(
+      domains_.begin(), domains_.end(), attr,
+      [](const auto& entry, AttrId a) { return entry.first < a; });
+  if (it != domains_.end() && it->first == attr) return &it->second;
+  return nullptr;
+}
+
+Status TypeChecker::CheckShape(const Tuple& t) const {
+  AttrSet shape = t.attrs();
+  if (!scheme_.Admits(shape)) {
+    return Status::ConstraintViolation(
+        StrCat("attribute combination ", shape.ToString(*catalog_),
+               " not admitted by scheme ", scheme_.ToString(*catalog_)));
+  }
+  return Status::OK();
+}
+
+Status TypeChecker::CheckDomains(const Tuple& t) const {
+  for (const auto& [attr, value] : t.fields()) {
+    const Domain* d = DomainFor(attr);
+    if (d == nullptr) continue;
+    if (!d->Contains(value)) {
+      return Status::ConstraintViolation(
+          StrCat("value ", value.ToString(), " of attribute ",
+                 catalog_->Name(attr), " outside domain ", d->ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+Status TypeChecker::CheckDependencies(const Tuple& t) const {
+  for (const ExplicitAD& ead : eads_) {
+    FLEXREL_RETURN_IF_ERROR(ead.CheckTuple(t, *catalog_));
+  }
+  return Status::OK();
+}
+
+Status TypeChecker::Check(const Tuple& t) const {
+  FLEXREL_RETURN_IF_ERROR(CheckDomains(t));
+  FLEXREL_RETURN_IF_ERROR(CheckShape(t));
+  FLEXREL_RETURN_IF_ERROR(CheckDependencies(t));
+  return Status::OK();
+}
+
+TypeChecker::TypeDelta TypeChecker::DeltaFor(const Tuple& t) const {
+  TypeDelta delta;
+  AttrSet shape = t.attrs();
+  for (const ExplicitAD& ead : eads_) {
+    AttrSet required = ead.RequiredAttrs(t);
+    AttrSet actual = shape.Intersect(ead.determined());
+    delta.to_add = delta.to_add.Union(required.Minus(actual));
+    delta.to_remove = delta.to_remove.Union(actual.Minus(required));
+  }
+  return delta;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,73 @@
+// Type checking for flexible relations (Section 3.1).
+//
+// The paper's central operational argument: flexible schemes catch
+// *existential* shape errors, but only attribute dependencies catch
+// *value-based* ones — e.g. the tuple
+//     < ..., jobtype: 'salesman', typing-speed: high, foreign-languages: … >
+// has an admissible attribute combination yet violates the jobtype EAD.
+// TypeChecker layers the three checks (domains, scheme shape, EADs) and is
+// invoked on insertion, update, and (via the algebra) retrieval.
+
+#ifndef FLEXREL_CORE_TYPE_CHECK_H_
+#define FLEXREL_CORE_TYPE_CHECK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explicit_ad.h"
+#include "core/flexible_scheme.h"
+#include "relational/domain.h"
+#include "relational/tuple.h"
+
+namespace flexrel {
+
+/// Validates tuples against a flexible scheme, a set of EADs, and
+/// per-attribute domains. Stateless after construction; shareable.
+class TypeChecker {
+ public:
+  /// `catalog` must outlive the checker (used for error rendering).
+  TypeChecker(const AttrCatalog* catalog, FlexibleScheme scheme,
+              std::vector<ExplicitAD> eads,
+              std::vector<std::pair<AttrId, Domain>> domains);
+
+  /// Shape check: attr(t) ∈ dnf(scheme).
+  Status CheckShape(const Tuple& t) const;
+
+  /// Value check: every value lies in its attribute's registered domain
+  /// (attributes without a registered domain are unconstrained).
+  Status CheckDomains(const Tuple& t) const;
+
+  /// Dependency check: every EAD is satisfied (Definition 2.1).
+  Status CheckDependencies(const Tuple& t) const;
+
+  /// All three checks; the first failure wins, its message explains why.
+  Status Check(const Tuple& t) const;
+
+  /// The attribute adjustments the EADs demand for `t`'s current determinant
+  /// values: attributes that must be added / removed for `t` to become
+  /// well-typed. This powers type-changing updates (footnote 3 of the paper:
+  /// changing jobtype changes the tuple's type).
+  struct TypeDelta {
+    AttrSet to_add;
+    AttrSet to_remove;
+    bool IsNoop() const { return to_add.empty() && to_remove.empty(); }
+  };
+  TypeDelta DeltaFor(const Tuple& t) const;
+
+  const FlexibleScheme& scheme() const { return scheme_; }
+  const std::vector<ExplicitAD>& eads() const { return eads_; }
+
+  /// The domain registered for `attr`, if any.
+  const Domain* DomainFor(AttrId attr) const;
+
+ private:
+  const AttrCatalog* catalog_;
+  FlexibleScheme scheme_;
+  std::vector<ExplicitAD> eads_;
+  std::vector<std::pair<AttrId, Domain>> domains_;  // sorted by AttrId
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_TYPE_CHECK_H_

@@ -1,0 +1,33 @@
+#include "core/witness.h"
+
+#include "core/dependency.h"
+
+namespace flexrel {
+
+Witness BuildWitness(const AttrSet& universe, const AttrSet& x,
+                     const DependencySet& sigma) {
+  Witness w;
+  w.func_closure = FuncClosure(x, sigma);
+  w.attr_closure = AttrClosure(x, sigma, AxiomSystem::kCombined);
+  for (AttrId a : universe) {
+    w.t1.Set(a, Value::Int(1));
+  }
+  for (AttrId a : w.attr_closure) {
+    w.t2.Set(a, Value::Int(w.func_closure.Contains(a) ? 1 : 0));
+  }
+  return w;
+}
+
+bool WitnessRefutesAd(const AttrSet& universe, const DependencySet& sigma,
+                      const AttrDep& target) {
+  Witness w = BuildWitness(universe, target.lhs, sigma);
+  return !SatisfiesAttrDep(w.rows(), target);
+}
+
+bool WitnessRefutesFd(const AttrSet& universe, const DependencySet& sigma,
+                      const FuncDep& target) {
+  Witness w = BuildWitness(universe, target.lhs, sigma);
+  return !SatisfiesFuncDep(w.rows(), target);
+}
+
+}  // namespace flexrel

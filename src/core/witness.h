@@ -1,0 +1,52 @@
+// The appendix's two-tuple witness construction.
+//
+// To prove completeness of 𝔄*, the paper constructs, for each dependency
+// X --> Y not derivable from Σ, a two-tuple flexible relation that satisfies
+// every derivable dependency yet violates the target:
+//
+//     attributes of X+func | attributes of X+attr − X+func | 𝔘 − X+attr
+//     t1:  1 1 ... 1       |  1 1 ... 1                    |  1 ... 1
+//     t2:  1 1 ... 1       |  0 0 ... 0                    |  (absent)
+//
+// We expose the construction as a first-class library object: it powers the
+// empirical completeness checks (experiment E9) and doubles as a
+// counterexample generator for "why is this dependency not implied?"
+// diagnostics.
+
+#ifndef FLEXREL_CORE_WITNESS_H_
+#define FLEXREL_CORE_WITNESS_H_
+
+#include <vector>
+
+#include "core/closure.h"
+#include "relational/tuple.h"
+
+namespace flexrel {
+
+/// The witness relation for a given LHS attribute set X.
+struct Witness {
+  Tuple t1;  ///< defined on all of `universe`, every value 1
+  Tuple t2;  ///< defined on X+attr: 1 on X+func, 0 on X+attr − X+func
+  AttrSet func_closure;  ///< X+func under Σ
+  AttrSet attr_closure;  ///< X+attr under Σ (system 𝔄*)
+
+  /// The instance {t1, t2} as a row vector for the satisfaction checkers.
+  std::vector<Tuple> rows() const { return {t1, t2}; }
+};
+
+/// Builds the appendix construction for `x` over `universe` (𝔄* closures).
+/// Requires x ⊆ universe; Σ's mentioned attributes should lie in `universe`
+/// for the completeness guarantees to hold.
+Witness BuildWitness(const AttrSet& universe, const AttrSet& x,
+                     const DependencySet& sigma);
+
+/// Convenience: true iff the witness for target.lhs *violates* the target —
+/// by Theorem 4.2 this holds exactly when Σ does not imply the target.
+bool WitnessRefutesAd(const AttrSet& universe, const DependencySet& sigma,
+                      const AttrDep& target);
+bool WitnessRefutesFd(const AttrSet& universe, const DependencySet& sigma,
+                      const FuncDep& target);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_CORE_WITNESS_H_

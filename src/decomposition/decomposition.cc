@@ -1,0 +1,199 @@
+#include "decomposition/decomposition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+namespace {
+
+// The attributes common to every tuple shape: everything outside the EAD's
+// determined set.
+AttrSet CommonAttrs(const FlexibleRelation& source, const ExplicitAD& ead) {
+  return source.ActiveAttrs().Minus(ead.determined());
+}
+
+Tuple PadTuple(const Tuple& t, const AttrSet& full_scheme) {
+  Tuple out = t;
+  for (AttrId a : full_scheme) {
+    if (!out.Has(a)) out.Set(a, Value::Null());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> TranslateNullPaddedTagged(const FlexibleRelation& source,
+                                           const ExplicitAD& ead,
+                                           AttrId tag_attr) {
+  AttrSet scheme = source.ActiveAttrs().Union(ead.determined());
+  if (scheme.Contains(tag_attr)) {
+    return Status::InvalidArgument("tag attribute collides with data attrs");
+  }
+  scheme.Insert(tag_attr);
+  Relation out("nullpad_tagged", scheme);
+  for (const Tuple& t : source.rows()) {
+    Tuple padded = PadTuple(t, scheme);
+    padded.Set(tag_attr, Value::Int(ead.MatchVariant(t)));
+    FLEXREL_RETURN_IF_ERROR(out.Insert(std::move(padded)));
+  }
+  return out;
+}
+
+Result<Relation> TranslateNullPadded(const FlexibleRelation& source,
+                                     const ExplicitAD& ead) {
+  AttrSet scheme = source.ActiveAttrs().Union(ead.determined());
+  Relation out("nullpad", scheme);
+  for (const Tuple& t : source.rows()) {
+    FLEXREL_RETURN_IF_ERROR(out.Insert(PadTuple(t, scheme)));
+  }
+  return out;
+}
+
+Result<HorizontalDecomposition> TranslateHorizontal(
+    const FlexibleRelation& source, const ExplicitAD& ead) {
+  HorizontalDecomposition parts;
+  AttrSet common = CommonAttrs(source, ead);
+  for (size_t i = 0; i < ead.variants().size(); ++i) {
+    parts.variant_relations.emplace_back(
+        StrCat("variant", i), common.Union(ead.variants()[i].then));
+  }
+  parts.remainder = Relation("remainder", common);
+  for (const Tuple& t : source.rows()) {
+    int v = ead.MatchVariant(t);
+    if (v < 0) {
+      FLEXREL_RETURN_IF_ERROR(parts.remainder.Insert(t.Project(common)));
+    } else {
+      Relation& target = parts.variant_relations[static_cast<size_t>(v)];
+      FLEXREL_RETURN_IF_ERROR(target.Insert(t.Project(target.scheme())));
+    }
+  }
+  return parts;
+}
+
+Result<VerticalDecomposition> TranslateVertical(const FlexibleRelation& source,
+                                                const ExplicitAD& ead,
+                                                const AttrSet& key) {
+  VerticalDecomposition parts;
+  parts.key = key;
+  AttrSet common = CommonAttrs(source, ead);
+  if (!key.IsSubsetOf(common)) {
+    return Status::InvalidArgument(
+        "entity key must consist of unconditioned attributes");
+  }
+  parts.master = Relation("master", common);
+  for (size_t i = 0; i < ead.variants().size(); ++i) {
+    parts.variant_relations.emplace_back(
+        StrCat("variant", i), key.Union(ead.variants()[i].then));
+  }
+  // Key uniqueness check.
+  std::unordered_map<Tuple, size_t, TupleHash> seen;
+  for (const Tuple& t : source.rows()) {
+    if (!t.DefinedOn(key)) {
+      return Status::ConstraintViolation("tuple lacks the entity key");
+    }
+    Tuple k = t.Project(key);
+    auto [it, inserted] = seen.emplace(std::move(k), 1);
+    if (!inserted) {
+      return Status::ConstraintViolation(
+          "duplicate entity key; vertical decomposition requires a key");
+    }
+    FLEXREL_RETURN_IF_ERROR(parts.master.Insert(t.Project(common)));
+    int v = ead.MatchVariant(t);
+    if (v >= 0) {
+      Relation& target = parts.variant_relations[static_cast<size_t>(v)];
+      FLEXREL_RETURN_IF_ERROR(target.Insert(t.Project(target.scheme())));
+    }
+  }
+  return parts;
+}
+
+FlexibleRelation RestoreFromNullPadded(const Relation& padded,
+                                       int64_t tag_attr) {
+  FlexibleRelation out =
+      FlexibleRelation::Derived("restored_nullpad", DependencySet());
+  for (const Tuple& row : padded.rows()) {
+    Tuple t;
+    for (const auto& [attr, value] : row.fields()) {
+      if (value.is_null()) continue;
+      if (tag_attr >= 0 && attr == static_cast<AttrId>(tag_attr)) continue;
+      t.Set(attr, value);
+    }
+    out.InsertUnchecked(std::move(t));
+  }
+  return out;
+}
+
+FlexibleRelation RestoreHorizontal(const HorizontalDecomposition& parts) {
+  FlexibleRelation out =
+      FlexibleRelation::Derived("restored_horizontal", DependencySet());
+  for (const Relation& r : parts.variant_relations) {
+    for (const Tuple& t : r.rows()) out.InsertUnchecked(t);
+  }
+  for (const Tuple& t : parts.remainder.rows()) out.InsertUnchecked(t);
+  return out;
+}
+
+FlexibleRelation RestoreVertical(const VerticalDecomposition& parts) {
+  FlexibleRelation out =
+      FlexibleRelation::Derived("restored_vertical", DependencySet());
+  // Index every variant relation by key.
+  std::vector<std::unordered_map<Tuple, const Tuple*, TupleHash>> indexes;
+  indexes.reserve(parts.variant_relations.size());
+  for (const Relation& r : parts.variant_relations) {
+    std::unordered_map<Tuple, const Tuple*, TupleHash> idx;
+    for (const Tuple& t : r.rows()) idx.emplace(t.Project(parts.key), &t);
+    indexes.push_back(std::move(idx));
+  }
+  for (const Tuple& m : parts.master.rows()) {
+    Tuple merged = m;
+    Tuple k = m.Project(parts.key);
+    for (const auto& idx : indexes) {
+      auto it = idx.find(k);
+      if (it == idx.end()) continue;
+      for (const auto& [attr, value] : it->second->fields()) {
+        merged.Set(attr, value);
+      }
+    }
+    out.InsertUnchecked(std::move(merged));
+  }
+  return out;
+}
+
+StorageStats StatsOf(const Relation& r) {
+  StorageStats s;
+  s.relations = 1;
+  s.tuples = r.size();
+  for (const Tuple& t : r.rows()) {
+    s.stored_fields += t.size();
+    for (const auto& [attr, value] : t.fields()) {
+      (void)attr;
+      if (value.is_null()) ++s.null_fields;
+    }
+  }
+  return s;
+}
+
+StorageStats StatsOf(const std::vector<Relation>& rs) {
+  StorageStats s;
+  for (const Relation& r : rs) {
+    StorageStats one = StatsOf(r);
+    s.relations += one.relations;
+    s.stored_fields += one.stored_fields;
+    s.null_fields += one.null_fields;
+    s.tuples += one.tuples;
+  }
+  return s;
+}
+
+StorageStats StatsOf(const FlexibleRelation& fr) {
+  StorageStats s;
+  s.relations = 1;
+  s.tuples = fr.size();
+  for (const Tuple& t : fr.rows()) s.stored_fields += t.size();
+  return s;
+}
+
+}  // namespace flexrel

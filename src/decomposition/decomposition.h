@@ -1,0 +1,91 @@
+// The four classical translations of a predicate-defined specialization into
+// relations (Section 3.1.1, following Elmasri/Navathe), plus restoration.
+//
+// Methods 1 and 2 flatten everything into a single null-padded relation —
+// method 1 adds an artificial tag attribute indicating the current variant,
+// method 2 leaves the variant implicit. Both exhibit the drawbacks the paper
+// attributes to them: plenty of null values, and an artificial attribute the
+// user must set and interpret. Methods 3 and 4 decompose horizontally
+// (one relation per variant, restored by an *outer union*) and vertically
+// (a master relation plus per-variant relations keyed by the entity key,
+// restored by a *multiway join*).
+//
+// The flexible relation with its EAD needs none of this — which experiment
+// E6 quantifies (null counts, restoration cost, round-trip fidelity).
+
+#ifndef FLEXREL_DECOMPOSITION_DECOMPOSITION_H_
+#define FLEXREL_DECOMPOSITION_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explicit_ad.h"
+#include "core/flexible_relation.h"
+#include "relational/relation.h"
+
+namespace flexrel {
+
+/// Method 1: single relation over all attributes plus `tag_attr`; attributes
+/// not applicable to a tuple's variant are null. The tag holds the matched
+/// variant index (or -1 when no variant matches).
+Result<Relation> TranslateNullPaddedTagged(const FlexibleRelation& source,
+                                           const ExplicitAD& ead,
+                                           AttrId tag_attr);
+
+/// Method 2: as method 1, without the tag attribute.
+Result<Relation> TranslateNullPadded(const FlexibleRelation& source,
+                                     const ExplicitAD& ead);
+
+/// Method 3 output: one homogeneous relation per variant plus the remainder
+/// relation of tuples matching no variant.
+struct HorizontalDecomposition {
+  std::vector<Relation> variant_relations;
+  Relation remainder;
+};
+
+/// Method 3: horizontal decomposition along the EAD's variants.
+Result<HorizontalDecomposition> TranslateHorizontal(
+    const FlexibleRelation& source, const ExplicitAD& ead);
+
+/// Method 4 output: master relation (common attributes) and per-variant
+/// relations (key + variant attributes).
+struct VerticalDecomposition {
+  Relation master;
+  std::vector<Relation> variant_relations;
+  AttrSet key;
+};
+
+/// Method 4: vertical decomposition. `key` must functionally identify the
+/// entity (each source tuple must be defined on it, with distinct values).
+Result<VerticalDecomposition> TranslateVertical(const FlexibleRelation& source,
+                                                const ExplicitAD& ead,
+                                                const AttrSet& key);
+
+/// Inverse of methods 1/2: strips nulls (and `tag_attr` when >= 0) and
+/// returns the heterogeneous tuple set.
+FlexibleRelation RestoreFromNullPadded(const Relation& padded,
+                                       int64_t tag_attr = -1);
+
+/// Inverse of method 3: the outer union of the variant relations and the
+/// remainder (in the flexible model this is a plain heterogeneous union).
+FlexibleRelation RestoreHorizontal(const HorizontalDecomposition& parts);
+
+/// Inverse of method 4: the multiway join of the master with its variant
+/// relations over the key (master rows without variant rows survive
+/// unchanged — an *outer* multiway join).
+FlexibleRelation RestoreVertical(const VerticalDecomposition& parts);
+
+/// Storage statistics for experiment E6.
+struct StorageStats {
+  size_t relations = 0;     ///< number of stored relations
+  size_t stored_fields = 0; ///< total (attr, value) pairs incl. nulls
+  size_t null_fields = 0;   ///< stored fields that are null
+  size_t tuples = 0;        ///< total stored tuples
+};
+StorageStats StatsOf(const Relation& r);
+StorageStats StatsOf(const std::vector<Relation>& rs);
+StorageStats StatsOf(const FlexibleRelation& fr);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_DECOMPOSITION_DECOMPOSITION_H_

@@ -1,0 +1,119 @@
+#include "ermodel/er_model.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+Result<MappedEntity> MapEntity(const ErEntity& entity) {
+  MappedEntity out;
+  out.domains = entity.attrs;
+
+  // Unconditioned components: every base attribute.
+  std::vector<FlexibleScheme> components;
+  AttrSet base_attrs;
+  for (const auto& [attr, domain] : entity.attrs) {
+    components.push_back(FlexibleScheme::Attr(attr));
+    base_attrs.Insert(attr);
+  }
+  uint32_t mandatory = static_cast<uint32_t>(components.size());
+
+  // One variant region + one EAD per specialization.
+  for (const ErSpecialization& spec : entity.specializations) {
+    if (!spec.discriminators.IsSubsetOf(base_attrs)) {
+      return Status::InvalidArgument(
+          StrCat("specialization discriminators not among entity attributes "
+                 "of ",
+                 entity.name));
+    }
+    AttrSet determined;
+    std::vector<EadVariant> variants;
+    std::vector<FlexibleScheme> blocks;
+    for (const ErSubclass& sub : spec.subclasses) {
+      if (sub.defining_values.base() != spec.discriminators) {
+        return Status::InvalidArgument(
+            StrCat("subclass ", sub.name,
+                   " predicate ranges over the wrong attributes"));
+      }
+      AttrSet block_attrs;
+      std::vector<FlexibleScheme> block_leaves;
+      for (const auto& [attr, domain] : sub.specific_attrs) {
+        out.domains.push_back({attr, domain});
+        determined.Insert(attr);
+        block_attrs.Insert(attr);
+        block_leaves.push_back(FlexibleScheme::Attr(attr));
+      }
+      variants.push_back(EadVariant{sub.defining_values, block_attrs});
+      if (!block_leaves.empty()) {
+        uint32_t n = static_cast<uint32_t>(block_leaves.size());
+        FLEXREL_ASSIGN_OR_RETURN(
+            FlexibleScheme block,
+            FlexibleScheme::Group(n, n, std::move(block_leaves)));
+        blocks.push_back(std::move(block));
+      }
+    }
+    FLEXREL_ASSIGN_OR_RETURN(
+        ExplicitAD ead,
+        ExplicitAD::Make(spec.discriminators, determined, std::move(variants)));
+    out.eads.push_back(std::move(ead));
+    if (!blocks.empty()) {
+      // Structurally an entity may carry any combination of the blocks; the
+      // EAD (not the scheme) pins down which one, so the scheme region is
+      // <0, #blocks, {blocks}>. Subclass attribute blocks are all-or-nothing.
+      uint32_t n = static_cast<uint32_t>(blocks.size());
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme region,
+                               FlexibleScheme::Group(0, n, std::move(blocks)));
+      components.push_back(std::move(region));
+    }
+  }
+
+  uint32_t total = static_cast<uint32_t>(components.size());
+  // All base attributes plus all variant regions must be "chosen"; the
+  // regions themselves absorb optionality via their internal <0, n, ...>
+  // bounds.
+  (void)mandatory;
+  FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme scheme,
+                           FlexibleScheme::Group(total, total,
+                                                 std::move(components)));
+  out.scheme = std::move(scheme);
+  return out;
+}
+
+Result<SpecializationClass> ClassifySpecialization(
+    const ExplicitAD& ead,
+    const std::vector<std::pair<AttrId, Domain>>& domains) {
+  SpecializationClass c;
+  c.disjoint = ead.IsDisjointSpecialization();
+  FLEXREL_ASSIGN_OR_RETURN(bool total, ead.IsTotalSpecialization(domains));
+  c.total = total;
+  return c;
+}
+
+ErSpecialization SpecializationFromEad(
+    const ExplicitAD& ead,
+    const std::vector<std::pair<AttrId, Domain>>& domains) {
+  ErSpecialization spec;
+  spec.discriminators = ead.determinant();
+  for (size_t i = 0; i < ead.variants().size(); ++i) {
+    const EadVariant& v = ead.variants()[i];
+    ErSubclass sub;
+    sub.name = StrCat("subclass", i);
+    sub.defining_values = v.when;
+    for (AttrId a : v.then) {
+      const Domain* d = nullptr;
+      for (const auto& [attr, domain] : domains) {
+        if (attr == a) {
+          d = &domain;
+          break;
+        }
+      }
+      sub.specific_attrs.push_back(
+          {a, d != nullptr ? *d : Domain::Any(ValueType::kString)});
+    }
+    spec.subclasses.push_back(std::move(sub));
+  }
+  return spec;
+}
+
+}  // namespace flexrel

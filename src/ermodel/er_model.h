@@ -1,0 +1,85 @@
+// Enhanced-ER modelling: predicate-defined specialization and its one-to-one
+// mapping onto flexible schemes with attribute dependencies (Section 3.1).
+//
+// "If one replaces the predicate p_i of the i-th specialization by its
+// extension V_i … then an attribute dependency is a one-to-one mapping of a
+// predicate defined specialization." We model an entity type with plain
+// attributes plus one (or more) specializations, each subclass defined by an
+// equality/membership predicate over discriminating attributes, and map the
+// whole construct to (FlexibleScheme, ExplicitAD) pairs. The ER-level
+// classifications — disjoint/overlapping and total/partial subclasses — are
+// *inferred from the AD*, which is exactly the paper's point: the semantic
+// construct becomes operationally exploitable.
+
+#ifndef FLEXREL_ERMODEL_ER_MODEL_H_
+#define FLEXREL_ERMODEL_ER_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explicit_ad.h"
+#include "core/flexible_scheme.h"
+#include "relational/domain.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// One subclass of a predicate-defined specialization.
+struct ErSubclass {
+  std::string name;
+  /// The subclass predicate's extension: the set of discriminator values
+  /// selecting this subclass (V_i = { v | p_i(v) }).
+  ConditionSet defining_values;
+  /// Attributes specific to this subclass, with domains.
+  std::vector<std::pair<AttrId, Domain>> specific_attrs;
+};
+
+/// A predicate-defined specialization over discriminating attributes.
+struct ErSpecialization {
+  AttrSet discriminators;  ///< the predicate's attributes (e.g. {jobtype})
+  std::vector<ErSubclass> subclasses;
+};
+
+/// An entity type with its plain attributes and specializations.
+struct ErEntity {
+  std::string name;
+  std::vector<std::pair<AttrId, Domain>> attrs;  ///< incl. discriminators
+  std::vector<ErSpecialization> specializations;
+};
+
+/// The mapping result: one flexible scheme plus one EAD per specialization.
+struct MappedEntity {
+  FlexibleScheme scheme;
+  std::vector<ExplicitAD> eads;
+  std::vector<std::pair<AttrId, Domain>> domains;
+};
+
+/// Maps `entity` onto the model of flexible relations:
+///  - base attributes become unconditioned scheme components,
+///  - each specialization contributes a <0, n, {variant blocks}> region
+///    (an entity may belong to zero or several subclasses; which ones is
+///    governed by the EAD, not by the scheme alone),
+///  - each specialization yields an EAD: discriminator values V_i determine
+///    the presence of subclass attribute block Y_i.
+Result<MappedEntity> MapEntity(const ErEntity& entity);
+
+/// ER classification inferred from the mapped EAD (Section 3.1):
+/// disjoint vs overlapping and total vs partial.
+struct SpecializationClass {
+  bool disjoint = false;
+  bool total = false;
+};
+Result<SpecializationClass> ClassifySpecialization(
+    const ExplicitAD& ead,
+    const std::vector<std::pair<AttrId, Domain>>& domains);
+
+/// Round trip: recovers an ErSpecialization view from an EAD (names are
+/// synthesized). Inverse of MapEntity up to naming — the "one-to-one"
+/// property the paper claims; tests verify the round trip.
+ErSpecialization SpecializationFromEad(
+    const ExplicitAD& ead,
+    const std::vector<std::pair<AttrId, Domain>>& domains);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ERMODEL_ER_MODEL_H_

@@ -1,0 +1,291 @@
+#include "hostlang/pascal_emit.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+std::string PascalIdentifier(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (c == '_' || c == '-' || c == ' ') {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), 'f');
+  }
+  return out;
+}
+
+std::string PascalTypeName(const Domain& domain) {
+  switch (domain.type()) {
+    case ValueType::kBool:
+      return "boolean";
+    case ValueType::kInt:
+      if (domain.is_range()) {
+        return StrCat(domain.range_lo(), "..", domain.range_hi());
+      }
+      return "integer";
+    case ValueType::kDouble:
+      return "real";
+    case ValueType::kString:
+      return "string[255]";
+    case ValueType::kNull:
+      break;
+  }
+  return "integer";
+}
+
+namespace {
+
+// Emits "name = (v0, v1, ...);" for an enumerated string domain and returns
+// the enumeration's member identifiers in domain order.
+std::string EmitEnumType(const std::string& name, const Domain& domain,
+                         std::vector<std::string>* members) {
+  std::ostringstream os;
+  os << "  " << name << " = (";
+  for (size_t i = 0; i < domain.values().size(); ++i) {
+    std::string member = PascalIdentifier(domain.values()[i].as_string());
+    members->push_back(member);
+    if (i > 0) os << ", ";
+    os << member;
+  }
+  os << ");\n";
+  return os.str();
+}
+
+const Domain* FindDomain(
+    const std::vector<std::pair<AttrId, Domain>>& fields, AttrId attr) {
+  for (const auto& [a, d] : fields) {
+    if (a == attr) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<PascalEmission> EmitPascalRecord(
+    AttrCatalog* catalog, const std::string& type_name,
+    const std::vector<std::pair<AttrId, Domain>>& common_fields,
+    const std::vector<std::pair<AttrId, Domain>>& variant_fields,
+    const ExplicitAD& ead) {
+  PascalEmission out;
+  std::ostringstream enums;
+  std::ostringstream rec;
+
+  const AttrSet& x = ead.determinant();
+  // Decide the discriminant: the lone determinant attribute, or an
+  // artificial tag when PASCAL's single-discriminant restriction bites.
+  AttrId discriminant;
+  std::string disc_type_name;
+  std::vector<std::string> disc_members;  // enum member per variant index
+  DependencySet sigma;
+
+  if (x.size() == 1) {
+    discriminant = *x.begin();
+    const Domain* d = FindDomain(common_fields, discriminant);
+    if (d == nullptr) {
+      return Status::InvalidArgument(
+          "determinant attribute missing from common fields");
+    }
+    if (d->is_enumerated() && d->type() == ValueType::kString) {
+      disc_type_name = PascalIdentifier(catalog->Name(discriminant)) + "_type";
+      enums << EmitEnumType(disc_type_name, *d, &disc_members);
+    } else if (d->type() == ValueType::kInt || d->type() == ValueType::kBool) {
+      disc_type_name = PascalTypeName(*d);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("PASCAL requires an ordinal discriminant; domain ",
+                 d->ToString(), " does not qualify"));
+    }
+    sigma.AddAd(AttrDep{x, ead.determined()});
+  } else {
+    // Workaround: artificial tag attribute A with X --func--> A and
+    // A --attr--> Y; one enum member per variant plus an "otherwise".
+    out.used_artificial_tag = true;
+    out.tag_attr = catalog->Intern(type_name + "_tag");
+    discriminant = out.tag_attr;
+    disc_type_name = PascalIdentifier(type_name) + "_tag_type";
+    enums << "  " << disc_type_name << " = (";
+    for (size_t i = 0; i <= ead.variants().size(); ++i) {
+      if (i > 0) enums << ", ";
+      std::string member = (i < ead.variants().size())
+                               ? StrCat("tag_variant", i)
+                               : std::string("tag_none");
+      disc_members.push_back(member);
+      enums << member;
+    }
+    enums << ");\n";
+    out.tag_fd = FuncDep{x, AttrSet::Of(out.tag_attr)};
+    out.tag_ad = AttrDep{AttrSet::Of(out.tag_attr), ead.determined()};
+    sigma.AddFd(*out.tag_fd);
+    sigma.AddAd(*out.tag_ad);
+  }
+
+  // Validity: Σ (with the workaround constraints) must still imply the
+  // original dependency X --attr--> Y; rule AF2 supplies the derivation.
+  AttrDep original{x, ead.determined()};
+  Result<Derivation> proof =
+      DeriveAttrDep(*catalog, sigma, original, AxiomSystem::kCombined);
+  if (!proof.ok()) {
+    return proof.status().WithContext(
+        "workaround failed to preserve the attribute dependency");
+  }
+  out.validity_proof = std::move(proof).value();
+
+  // Supporting enum types for enumerated non-discriminant fields.
+  auto field_type = [&](AttrId attr, const Domain& d) -> std::string {
+    if (d.is_enumerated() && d.type() == ValueType::kString) {
+      std::string tname = PascalIdentifier(catalog->Name(attr)) + "_type";
+      std::vector<std::string> members;
+      enums << EmitEnumType(tname, d, &members);
+      return tname;
+    }
+    return PascalTypeName(d);
+  };
+
+  rec << "  " << PascalIdentifier(type_name) << " = record\n";
+  for (const auto& [attr, domain] : common_fields) {
+    if (attr == discriminant && !out.used_artificial_tag &&
+        FindDomain(common_fields, attr)->is_enumerated()) {
+      continue;  // the discriminant is declared in the case head below
+    }
+    if (attr == discriminant) continue;
+    rec << "    " << PascalIdentifier(catalog->Name(attr)) << ": "
+        << field_type(attr, domain) << ";\n";
+  }
+  rec << "    case " << PascalIdentifier(catalog->Name(discriminant)) << ": "
+      << disc_type_name << " of\n";
+  for (size_t i = 0; i < ead.variants().size(); ++i) {
+    const EadVariant& v = ead.variants()[i];
+    // Case label: the enum member(s) selecting this variant.
+    std::string label;
+    if (out.used_artificial_tag) {
+      label = disc_members[i];
+    } else if (!disc_members.empty()) {
+      // Enumerated discriminant: list the members of Vi.
+      std::vector<std::string> labels;
+      for (const Tuple& val : v.when.values()) {
+        const Value* pv = val.Get(discriminant);
+        if (pv != nullptr && pv->type() == ValueType::kString) {
+          labels.push_back(PascalIdentifier(pv->as_string()));
+        }
+      }
+      label = Join(labels, ", ");
+    } else {
+      // Ordinal discriminant: literal values.
+      std::vector<std::string> labels;
+      for (const Tuple& val : v.when.values()) {
+        const Value* pv = val.Get(discriminant);
+        if (pv != nullptr) labels.push_back(pv->ToString());
+      }
+      label = Join(labels, ", ");
+    }
+    rec << "      " << label << ": (";
+    bool first = true;
+    for (AttrId a : v.then) {
+      const Domain* d = FindDomain(variant_fields, a);
+      if (d == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("variant attribute ", catalog->Name(a), " has no domain"));
+      }
+      if (!first) rec << "; ";
+      first = false;
+      rec << PascalIdentifier(catalog->Name(a)) << ": " << field_type(a, *d);
+    }
+    rec << ");\n";
+  }
+  rec << "  end;\n";
+
+  out.source = StrCat("type\n", enums.str(), rec.str());
+  return out;
+}
+
+Result<PascalSchemeEmission> EmitPascalScheme(
+    AttrCatalog* catalog, const std::string& type_name,
+    const FlexibleScheme& scheme,
+    const std::vector<std::pair<AttrId, Domain>>& fields) {
+  PascalSchemeEmission out;
+  FLEXREL_ASSIGN_OR_RETURN(
+      out.ads, SynthesizeArtificialAds(catalog, scheme,
+                                       PascalIdentifier(type_name) + "_r"));
+
+  std::ostringstream enums;
+  std::ostringstream regions_src;
+  std::ostringstream rec;
+
+  auto field_type = [&](AttrId attr) -> Result<std::string> {
+    const Domain* d = FindDomain(fields, attr);
+    if (d == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("no domain supplied for attribute ", catalog->Name(attr)));
+    }
+    if (d->is_enumerated() && d->type() == ValueType::kString) {
+      std::string tname = PascalIdentifier(catalog->Name(attr)) + "_type";
+      std::vector<std::string> members;
+      enums << EmitEnumType(tname, *d, &members);
+      return tname;
+    }
+    return PascalTypeName(*d);
+  };
+
+  // Fixed attributes: everything outside all variant regions.
+  AttrSet variable;
+  for (const ArtificialRegion& r : out.ads.regions) {
+    variable = variable.Union(r.region_attrs);
+  }
+  AttrSet fixed = scheme.attrs().Minus(variable);
+
+  // One nested variant-record type per region.
+  for (size_t ri = 0; ri < out.ads.regions.size(); ++ri) {
+    const ArtificialRegion& region = out.ads.regions[ri];
+    std::string region_type =
+        StrCat(PascalIdentifier(type_name), "_region", ri);
+    // Attributes occurring in more than one combination need per-branch
+    // names: PASCAL requires unique field names across all branches.
+    std::vector<size_t> occurrence_count(catalog->size(), 0);
+    for (const AttrSet& combo : region.combinations) {
+      for (AttrId a : combo) ++occurrence_count[a];
+    }
+    regions_src << "  " << region_type << " = record\n"
+                << "    case tag: 0.."
+                << region.combinations.size() - 1 << " of\n";
+    for (size_t i = 0; i < region.combinations.size(); ++i) {
+      regions_src << "      " << i << ": (";
+      bool first = true;
+      for (AttrId a : region.combinations[i]) {
+        FLEXREL_ASSIGN_OR_RETURN(std::string tname, field_type(a));
+        if (!first) regions_src << "; ";
+        first = false;
+        std::string fname = PascalIdentifier(catalog->Name(a));
+        if (occurrence_count[a] > 1) fname = StrCat(fname, "_v", i);
+        regions_src << fname << ": " << tname;
+      }
+      regions_src << ");\n";
+    }
+    regions_src << "  end;\n";
+  }
+
+  // The top-level record: fixed fields plus one field per region.
+  rec << "  " << PascalIdentifier(type_name) << " = record\n";
+  for (AttrId a : fixed) {
+    FLEXREL_ASSIGN_OR_RETURN(std::string tname, field_type(a));
+    rec << "    " << PascalIdentifier(catalog->Name(a)) << ": " << tname
+        << ";\n";
+  }
+  for (size_t ri = 0; ri < out.ads.regions.size(); ++ri) {
+    rec << "    region" << ri << ": "
+        << StrCat(PascalIdentifier(type_name), "_region", ri) << ";\n";
+  }
+  rec << "  end;\n";
+
+  out.source = StrCat("type\n", enums.str(), regions_src.str(), rec.str());
+  return out;
+}
+
+}  // namespace flexrel

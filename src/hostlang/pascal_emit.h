@@ -1,0 +1,85 @@
+// Host-language embedding: PASCAL variant records (Sections 3.3 and 4.2).
+//
+// A flexible scheme accompanied by an EAD translates into a PASCAL variant
+// record. PASCAL imposes a syntactic restriction the paper calls out: the
+// discriminant of a variant record must be a *single* attribute (of ordinal
+// type). For an EAD X --attr--> Y with |X| >= 2 the paper proposes the
+// workaround that motivates the combined axiom system 𝔄*:
+//
+//   introduce an artificial attribute A, replace X --attr--> Y by
+//   A --attr--> Y, and make A functionally dependent on X (X --func--> A).
+//
+// Rule AF2 (combined transitivity) then proves that X --attr--> Y still
+// holds — EmitPascalRecord returns that machine-checked derivation alongside
+// the generated source text.
+
+#ifndef FLEXREL_HOSTLANG_PASCAL_EMIT_H_
+#define FLEXREL_HOSTLANG_PASCAL_EMIT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/artificial_ads.h"
+#include "core/explicit_ad.h"
+#include "core/implication.h"
+#include "relational/domain.h"
+
+namespace flexrel {
+
+/// Output of the PASCAL translation.
+struct PascalEmission {
+  /// The PASCAL `type` section: supporting enumerations plus the record.
+  std::string source;
+  /// True when the single-discriminant workaround had to be applied.
+  bool used_artificial_tag = false;
+  /// The tag attribute introduced by the workaround (valid when used).
+  AttrId tag_attr = 0;
+  /// The replacement constraints: X --func--> A and A --attr--> Y.
+  std::optional<FuncDep> tag_fd;
+  std::optional<AttrDep> tag_ad;
+  /// AF2 derivation showing the original X --attr--> Y is still implied.
+  Derivation validity_proof;
+};
+
+/// Emits a PASCAL variant-record type for a record with unconditioned fields
+/// `common_fields` (must include the EAD's determinant attributes, each with
+/// a finite/ordinal-translatable domain) and a variant part governed by
+/// `ead`. `catalog` supplies names (sanitized into PASCAL identifiers); the
+/// artificial tag attribute, when needed, is interned into `catalog`.
+Result<PascalEmission> EmitPascalRecord(
+    AttrCatalog* catalog, const std::string& type_name,
+    const std::vector<std::pair<AttrId, Domain>>& common_fields,
+    const std::vector<std::pair<AttrId, Domain>>& variant_fields,
+    const ExplicitAD& ead);
+
+/// Maps a domain onto a PASCAL type name; enumerated string domains produce
+/// a named enumeration emitted separately by EmitPascalRecord.
+std::string PascalTypeName(const Domain& domain);
+
+/// Whole-scheme translation (Section 3.3): any flexible scheme becomes a
+/// PASCAL type once every existential relationship is accompanied by an AD —
+/// obtained here by SynthesizeArtificialAds. Fixed attributes become plain
+/// fields; every variant region becomes a nested variant record
+/// discriminated by its artificial tag. Attributes occurring in several
+/// combinations of one region are suffixed per branch (PASCAL requires
+/// field names to be unique across all variant branches of a record — a
+/// restriction the paper's sketch glosses over; documented here).
+struct PascalSchemeEmission {
+  std::string source;
+  /// The synthesized tags/EADs; CompleteWithTags() turns stored tuples into
+  /// values of the emitted type.
+  ArtificialAds ads;
+};
+
+Result<PascalSchemeEmission> EmitPascalScheme(
+    AttrCatalog* catalog, const std::string& type_name,
+    const FlexibleScheme& scheme,
+    const std::vector<std::pair<AttrId, Domain>>& fields);
+
+/// Lower-cases and strips characters PASCAL identifiers cannot carry.
+std::string PascalIdentifier(const std::string& name);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_HOSTLANG_PASCAL_EMIT_H_

@@ -1,0 +1,85 @@
+#include "optimizer/constraints.h"
+
+#include <algorithm>
+
+namespace flexrel {
+
+namespace {
+std::vector<Value> Normalized(const std::vector<Value>& values) {
+  std::vector<Value> out = values;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+}  // namespace
+
+bool ValueConstraint::Permits(const Value& v) const {
+  return std::find(allowed.begin(), allowed.end(), v) != allowed.end();
+}
+
+ValueConstraint ValueConstraint::IntersectWith(
+    const ValueConstraint& other) const {
+  std::vector<Value> a = Normalized(allowed);
+  std::vector<Value> b = Normalized(other.allowed);
+  ValueConstraint out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out.allowed));
+  return out;
+}
+
+ValueConstraint ValueConstraint::UnionWith(const ValueConstraint& other) const {
+  std::vector<Value> a = Normalized(allowed);
+  std::vector<Value> b = Normalized(other.allowed);
+  ValueConstraint out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out.allowed));
+  return out;
+}
+
+ConstraintMap ExtractConstraints(const ExprPtr& formula) {
+  switch (formula->kind()) {
+    case ExprKind::kCompare: {
+      if (formula->op() != CmpOp::kEq) return {};
+      ConstraintMap m;
+      m[formula->attr()] = ValueConstraint{{formula->literal()}};
+      return m;
+    }
+    case ExprKind::kIn: {
+      ConstraintMap m;
+      m[formula->attr()] = ValueConstraint{formula->values()};
+      return m;
+    }
+    case ExprKind::kAnd: {
+      ConstraintMap left = ExtractConstraints(formula->left());
+      ConstraintMap right = ExtractConstraints(formula->right());
+      for (auto& [attr, constraint] : right) {
+        auto it = left.find(attr);
+        if (it == left.end()) {
+          left.emplace(attr, std::move(constraint));
+        } else {
+          it->second = it->second.IntersectWith(constraint);
+        }
+      }
+      return left;
+    }
+    case ExprKind::kOr: {
+      ConstraintMap left = ExtractConstraints(formula->left());
+      ConstraintMap right = ExtractConstraints(formula->right());
+      ConstraintMap out;
+      for (auto& [attr, constraint] : left) {
+        auto it = right.find(attr);
+        if (it != right.end()) {
+          out.emplace(attr, constraint.UnionWith(it->second));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kNot:
+    case ExprKind::kConst:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace flexrel

@@ -1,0 +1,43 @@
+// Determinant-constraint extraction from selection formulas.
+//
+// The optimizations of Section 3.1.2 ("we can exploit each selection
+// concerning the determining attributes of an AD to draw conclusions about
+// redundant operations") start from one question: given that a tuple passed
+// the selection formula, which values can its determinant attributes hold?
+// We extract a sound per-attribute over-approximation: an entry (A, {v...})
+// means *formula true ⇒ A is defined and t[A] ∈ {v...}*. Attributes without
+// an entry are unconstrained.
+
+#ifndef FLEXREL_OPTIMIZER_CONSTRAINTS_H_
+#define FLEXREL_OPTIMIZER_CONSTRAINTS_H_
+
+#include <map>
+#include <vector>
+
+#include "relational/expression.h"
+
+namespace flexrel {
+
+/// A finite set of values an attribute is confined to. The `allowed` list
+/// need not be sorted; all operations normalize internally.
+struct ValueConstraint {
+  std::vector<Value> allowed;
+
+  bool Permits(const Value& v) const;
+  ValueConstraint IntersectWith(const ValueConstraint& other) const;
+  ValueConstraint UnionWith(const ValueConstraint& other) const;
+};
+
+/// Constrained attributes only; absence means unconstrained.
+using ConstraintMap = std::map<AttrId, ValueConstraint>;
+
+/// Extracts the implied constraints of `formula`:
+///  - A = v and A IN {...} constrain A;
+///  - AND merges by intersection;
+///  - OR keeps an attribute only when both branches constrain it (union);
+///  - NOT, comparisons other than equality, and guards constrain nothing.
+ConstraintMap ExtractConstraints(const ExprPtr& formula);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_OPTIMIZER_CONSTRAINTS_H_

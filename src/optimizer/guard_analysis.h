@@ -1,0 +1,71 @@
+// Type-guard redundancy analysis and variant pruning (Section 3.1.2 and
+// Example 4).
+//
+// Example 4: a query selects "salary > 5000 AND jobtype = 'secretary'" and
+// then guards on the presence of typing-speed. The jobtype EAD plus rules
+// A1/A4 prove the guard redundant. Generalised: given the constraints a
+// selection formula imposes on determinant attributes, each EAD's variants
+// split into consistent and excluded ones; an attribute guaranteed by every
+// consistent outcome needs no guard, an attribute of no consistent outcome
+// can be pruned together with every operator branch that only serves it.
+
+#ifndef FLEXREL_OPTIMIZER_GUARD_ANALYSIS_H_
+#define FLEXREL_OPTIMIZER_GUARD_ANALYSIS_H_
+
+#include <vector>
+
+#include "core/explicit_ad.h"
+#include "optimizer/constraints.h"
+
+namespace flexrel {
+
+/// Which of an EAD's variants survive a set of determinant constraints.
+struct VariantAnalysis {
+  /// Indices into ead.variants() whose condition sets intersect the
+  /// constraint region.
+  std::vector<size_t> consistent_variants;
+  /// True when a tuple passing the constraints might match *no* variant
+  /// (and hence carry none of the determined attributes).
+  bool unmatched_possible = true;
+};
+
+/// Analyzes `ead` under `constraints` (see ExtractConstraints). Sound:
+/// over-approximates, never excludes a variant that could match.
+VariantAnalysis AnalyzeVariants(const ConstraintMap& constraints,
+                                const ExplicitAD& ead);
+
+/// Presence verdict for one attribute under a formula's constraints.
+enum class Presence {
+  kAlways,  ///< every tuple satisfying the formula carries the attribute
+  kNever,   ///< no such tuple carries it
+  kMaybe,   ///< undetermined
+};
+const char* PresenceName(Presence p);
+
+/// Determines the presence of `attr` for tuples satisfying `constraints`,
+/// using the EADs: kAlways when some EAD guarantees it in every consistent
+/// outcome (or the formula itself reads the attribute's value), kNever when
+/// no consistent outcome provides it.
+Presence AttrPresence(AttrId attr, const ConstraintMap& constraints,
+                      const std::vector<ExplicitAD>& eads);
+
+/// Result of rewriting a formula's guards.
+struct GuardRewrite {
+  ExprPtr formula;            ///< rewritten & simplified formula
+  size_t guards_eliminated = 0;  ///< Exists() proven true and removed
+  size_t guards_falsified = 0;   ///< Exists() proven false (prunes branches)
+};
+
+/// Replaces provably redundant type guards by constants and simplifies.
+/// The rewritten formula is equivalent to the original on every instance
+/// satisfying `eads` (it may differ on ill-typed tuples, which a type-checked
+/// flexible relation cannot contain).
+GuardRewrite EliminateRedundantGuards(const ExprPtr& formula,
+                                      const std::vector<ExplicitAD>& eads);
+
+/// Constant folding / identity simplification of a predicate tree.
+ExprPtr SimplifyExpr(const ExprPtr& e);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_OPTIMIZER_GUARD_ANALYSIS_H_

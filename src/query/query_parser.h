@@ -1,0 +1,56 @@
+// A small textual query front end.
+//
+// The paper discusses ADs "in connection with a query language" (type guards
+// in selection formulas, rewrite opportunities, retrieval-time checks); this
+// module provides the concrete syntax the examples and tools use:
+//
+//   formula  := or
+//   or       := and ( OR and )*
+//   and      := unary ( AND unary )*
+//   unary    := NOT unary | primary
+//   primary  := '(' formula ')'
+//             | EXISTS '(' attr ')'                    -- the type guard
+//             | attr op literal                        -- op: = <> < <= > >=
+//             | attr IN '(' literal (',' literal)* ')'
+//   literal  := integer | real | 'string' | true | false
+//
+// and the query form
+//
+//   SELECT * | attr (, attr)*  [ WHERE formula ]
+//
+// Attribute names are interned into the caller's catalog; keywords are
+// case-insensitive; attribute names are case-sensitive.
+
+#ifndef FLEXREL_QUERY_QUERY_PARSER_H_
+#define FLEXREL_QUERY_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "algebra/plan.h"
+#include "relational/expression.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// Parses a selection formula.
+Result<ExprPtr> ParseFormula(AttrCatalog* catalog, const std::string& text);
+
+/// A parsed SELECT query.
+struct ParsedQuery {
+  bool select_all = false;
+  AttrSet projection;          ///< valid when !select_all
+  ExprPtr where;               ///< never null (TRUE when absent)
+};
+
+/// Parses "SELECT ... [WHERE ...]".
+Result<ParsedQuery> ParseQuery(AttrCatalog* catalog, const std::string& text);
+
+/// Builds the logical plan σ_where(π_projection(relation)) — selection first,
+/// so formulas may reference attributes the projection drops.
+PlanPtr BuildQueryPlan(const ParsedQuery& query,
+                       const FlexibleRelation* relation);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_QUERY_QUERY_PARSER_H_

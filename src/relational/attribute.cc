@@ -1,0 +1,119 @@
+#include "relational/attribute.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+AttrId AttrCatalog::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+Result<AttrId> AttrCatalog::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(StrCat("attribute '", name, "' not in catalog"));
+  }
+  return it->second;
+}
+
+const std::string& AttrCatalog::Name(AttrId id) const {
+  assert(id < names_.size());
+  if (id >= names_.size()) {
+    // Rendering paths must not crash in release builds on a foreign id.
+    static const std::string* unknown = new std::string("<unknown-attr>");
+    return *unknown;
+  }
+  return names_[id];
+}
+
+AttrSet::AttrSet(std::initializer_list<AttrId> ids) : ids_(ids) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+AttrSet AttrSet::FromIds(std::vector<AttrId> ids) {
+  AttrSet s;
+  s.ids_ = std::move(ids);
+  std::sort(s.ids_.begin(), s.ids_.end());
+  s.ids_.erase(std::unique(s.ids_.begin(), s.ids_.end()), s.ids_.end());
+  return s;
+}
+
+bool AttrSet::Contains(AttrId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+bool AttrSet::Intersects(const AttrSet& other) const {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  AttrSet out;
+  out.ids_.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  AttrSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+AttrSet AttrSet::Minus(const AttrSet& other) const {
+  AttrSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+void AttrSet::Insert(AttrId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+size_t AttrSet::Hash() const {
+  size_t seed = 0xC0FFEE;
+  for (AttrId id : ids_) {
+    seed ^= std::hash<AttrId>()(id) + 0x9E3779B97F4A7C15ull + (seed << 6) +
+            (seed >> 2);
+  }
+  return seed;
+}
+
+std::string AttrSet::ToString(const AttrCatalog& catalog) const {
+  std::vector<std::string> names;
+  names.reserve(ids_.size());
+  for (AttrId id : ids_) names.push_back(catalog.Name(id));
+  return "{" + Join(names, ", ") + "}";
+}
+
+std::string AttrSet::ToString() const { return "{" + Join(ids_, ", ") + "}"; }
+
+}  // namespace flexrel

@@ -1,0 +1,102 @@
+// Attribute identities and attribute sets.
+//
+// The paper ranges over a universe of attributes 𝔘; attribute sets X, Y, Z
+// are the currency of schemes and dependencies. We intern attribute names in
+// an AttrCatalog and represent sets as sorted unique id vectors, which keeps
+// set algebra (union, intersection, difference, subset tests — the workhorses
+// of the closure algorithms in Section 4) cache-friendly and deterministic.
+
+#ifndef FLEXREL_RELATIONAL_ATTRIBUTE_H_
+#define FLEXREL_RELATIONAL_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace flexrel {
+
+/// Dense identifier of an interned attribute name.
+using AttrId = uint32_t;
+
+/// Bidirectional attribute-name registry (the universe 𝔘).
+///
+/// Attribute ids are dense and allocation order is the id order, so tests
+/// that intern attributes in a fixed order get stable ids.
+class AttrCatalog {
+ public:
+  /// Interns `name`, returning the existing id when already present.
+  AttrId Intern(const std::string& name);
+
+  /// Looks up an already interned name.
+  Result<AttrId> Find(const std::string& name) const;
+
+  /// The name of `id`; `id` must have been produced by this catalog.
+  const std::string& Name(AttrId id) const;
+
+  /// Number of interned attributes.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+/// Immutable-ish sorted set of attribute ids with value semantics.
+class AttrSet {
+ public:
+  AttrSet() = default;
+
+  /// Builds from arbitrary ids (deduplicated, sorted).
+  AttrSet(std::initializer_list<AttrId> ids);
+  static AttrSet FromIds(std::vector<AttrId> ids);
+
+  /// Singleton set.
+  static AttrSet Of(AttrId id) { return AttrSet({id}); }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+
+  bool Contains(AttrId id) const;
+  bool IsSubsetOf(const AttrSet& other) const;
+  bool Intersects(const AttrSet& other) const;
+
+  AttrSet Union(const AttrSet& other) const;
+  AttrSet Intersect(const AttrSet& other) const;
+  AttrSet Minus(const AttrSet& other) const;
+
+  /// Adds one id (no-op if present).
+  void Insert(AttrId id);
+
+  /// Sorted iteration.
+  std::vector<AttrId>::const_iterator begin() const { return ids_.begin(); }
+  std::vector<AttrId>::const_iterator end() const { return ids_.end(); }
+  const std::vector<AttrId>& ids() const { return ids_; }
+
+  bool operator==(const AttrSet& other) const { return ids_ == other.ids_; }
+  bool operator!=(const AttrSet& other) const { return ids_ != other.ids_; }
+  /// Lexicographic order, for use as ordered-map keys.
+  bool operator<(const AttrSet& other) const { return ids_ < other.ids_; }
+
+  size_t Hash() const;
+
+  /// "{A, B, C}" using names from `catalog`.
+  std::string ToString(const AttrCatalog& catalog) const;
+  /// "{0, 1, 2}" raw ids, when no catalog is at hand.
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrId> ids_;  // sorted, unique
+};
+
+/// Hash functor for unordered containers keyed by AttrSet.
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const { return s.Hash(); }
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_RELATIONAL_ATTRIBUTE_H_

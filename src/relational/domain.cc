@@ -1,0 +1,152 @@
+#include "relational/domain.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+Domain Domain::Any(ValueType type) { return Domain(Kind::kAny, type); }
+
+Result<Domain> Domain::Enumerated(std::vector<Value> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("enumerated domain must be non-empty");
+  }
+  ValueType t = values.front().type();
+  if (t == ValueType::kNull) {
+    return Status::InvalidArgument("null cannot be a domain value");
+  }
+  for (const Value& v : values) {
+    if (v.type() != t) {
+      return Status::InvalidArgument(
+          StrCat("mixed types in enumerated domain: ", ValueTypeName(t),
+                 " vs ", ValueTypeName(v.type())));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Domain d(Kind::kEnumerated, t);
+  d.values_ = std::move(values);
+  return d;
+}
+
+Result<Domain> Domain::IntRange(int64_t lo, int64_t hi) {
+  if (lo > hi) {
+    return Status::InvalidArgument(StrCat("bad int range [", lo, ", ", hi, "]"));
+  }
+  Domain d(Kind::kIntRange, ValueType::kInt);
+  d.lo_ = lo;
+  d.hi_ = hi;
+  return d;
+}
+
+bool Domain::Contains(const Value& v) const {
+  if (v.type() != type_) return false;
+  switch (kind_) {
+    case Kind::kAny:
+      return true;
+    case Kind::kEnumerated:
+      return std::binary_search(values_.begin(), values_.end(), v);
+    case Kind::kIntRange:
+      return v.as_int() >= lo_ && v.as_int() <= hi_;
+  }
+  return false;
+}
+
+std::optional<uint64_t> Domain::Cardinality() const {
+  switch (kind_) {
+    case Kind::kAny:
+      if (type_ == ValueType::kBool) return 2;
+      return std::nullopt;
+    case Kind::kEnumerated:
+      return values_.size();
+    case Kind::kIntRange:
+      return static_cast<uint64_t>(hi_ - lo_) + 1;
+  }
+  return std::nullopt;
+}
+
+Result<Domain> Domain::RestrictTo(const std::vector<Value>& keep) const {
+  for (const Value& v : keep) {
+    if (!Contains(v)) {
+      return Status::InvalidArgument(
+          StrCat("restriction value ", v.ToString(), " outside domain ",
+                 ToString()));
+    }
+  }
+  return Enumerated(keep);
+}
+
+bool Domain::IsSubdomainOf(const Domain& other) const {
+  if (type_ != other.type_) return false;
+  switch (kind_) {
+    case Kind::kAny:
+      // An unrestricted domain is only contained in another unrestricted one.
+      return other.kind_ == Kind::kAny;
+    case Kind::kEnumerated:
+      for (const Value& v : values_) {
+        if (!other.Contains(v)) return false;
+      }
+      return true;
+    case Kind::kIntRange:
+      if (other.kind_ == Kind::kAny) return true;
+      if (other.kind_ == Kind::kIntRange) {
+        return lo_ >= other.lo_ && hi_ <= other.hi_;
+      }
+      // Range within enumerated: check each member (ranges are small in
+      // practice; guard against absurd spans).
+      if (static_cast<uint64_t>(hi_ - lo_) > 1u << 20) return false;
+      for (int64_t v = lo_; v <= hi_; ++v) {
+        if (!other.Contains(Value::Int(v))) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+Value Domain::Sample(Rng* rng) const {
+  switch (kind_) {
+    case Kind::kEnumerated:
+      return values_[rng->Index(values_.size())];
+    case Kind::kIntRange:
+      return Value::Int(rng->UniformInt(lo_, hi_));
+    case Kind::kAny:
+      break;
+  }
+  switch (type_) {
+    case ValueType::kBool:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case ValueType::kInt:
+      return Value::Int(rng->UniformInt(0, 1 << 20));
+    case ValueType::kDouble:
+      return Value::Real(rng->UniformDouble() * 1e6);
+    case ValueType::kString:
+      return Value::Str(StrCat("s", rng->UniformInt(0, 1 << 20)));
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+std::string Domain::ToString() const {
+  switch (kind_) {
+    case Kind::kAny:
+      return ValueTypeName(type_);
+    case Kind::kEnumerated: {
+      std::vector<std::string> parts;
+      parts.reserve(values_.size());
+      for (const Value& v : values_) parts.push_back(v.ToString());
+      return "{" + Join(parts, ", ") + "}";
+    }
+    case Kind::kIntRange:
+      return StrCat("int[", lo_, "..", hi_, "]");
+  }
+  return "?";
+}
+
+bool Domain::operator==(const Domain& other) const {
+  return kind_ == other.kind_ && type_ == other.type_ &&
+         values_ == other.values_ && lo_ == other.lo_ && hi_ == other.hi_;
+}
+
+}  // namespace flexrel

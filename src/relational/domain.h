@@ -1,0 +1,83 @@
+// Attribute domains.
+//
+// Domains matter twice in the paper: EAD variant conditions are subsets
+// V_i ⊆ Tup(X) of determinant values (Definition 2.1), and AD-induced
+// subtypes restrict the determinant's domain to V_i (Section 3.2). We model
+// a domain as a value type plus an optional finite restriction (enumerated
+// values or an integer interval) so that totality checks (⋃ V_i = Tup(X),
+// Section 3.1) and subtype domain restriction are computable.
+
+#ifndef FLEXREL_RELATIONAL_DOMAIN_H_
+#define FLEXREL_RELATIONAL_DOMAIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace flexrel {
+
+/// Describes the set of legal values for an attribute.
+class Domain {
+ public:
+  /// Unrestricted domain of the given atomic type (conceptually infinite for
+  /// int/double/string; bool is finite with cardinality 2).
+  static Domain Any(ValueType type);
+
+  /// Finite domain enumerating exactly `values` (deduplicated, sorted).
+  /// All values must share one type; fails otherwise.
+  static Result<Domain> Enumerated(std::vector<Value> values);
+
+  /// Integer interval [lo, hi], inclusive. Requires lo <= hi.
+  static Result<Domain> IntRange(int64_t lo, int64_t hi);
+
+  /// The atomic type of the domain's values.
+  ValueType type() const { return type_; }
+
+  /// True iff `v` belongs to the domain. Null belongs to no domain.
+  bool Contains(const Value& v) const;
+
+  /// Number of values when finite, nullopt when (conceptually) infinite.
+  std::optional<uint64_t> Cardinality() const;
+
+  /// The enumerated values; only valid when this is an enumerated domain.
+  const std::vector<Value>& values() const { return values_; }
+  bool is_enumerated() const { return kind_ == Kind::kEnumerated; }
+  bool is_range() const { return kind_ == Kind::kIntRange; }
+  int64_t range_lo() const { return lo_; }
+  int64_t range_hi() const { return hi_; }
+
+  /// Restriction to the values in `keep` (for building subtype domains).
+  /// Every kept value must already belong to this domain.
+  Result<Domain> RestrictTo(const std::vector<Value>& keep) const;
+
+  /// True iff every value of this domain is a value of `other`.
+  /// (Infinite domains are only subdomains of equal-typed infinite domains.)
+  bool IsSubdomainOf(const Domain& other) const;
+
+  /// Draws a uniform value; for infinite domains draws from a bounded
+  /// synthetic subrange so that generated workloads stay well-distributed.
+  Value Sample(Rng* rng) const;
+
+  /// Diagnostic rendering: "int", "int[1..10]", "{'a','b'}".
+  std::string ToString() const;
+
+  bool operator==(const Domain& other) const;
+
+ private:
+  enum class Kind { kAny, kEnumerated, kIntRange };
+  Domain(Kind kind, ValueType type) : kind_(kind), type_(type) {}
+
+  Kind kind_ = Kind::kAny;
+  ValueType type_ = ValueType::kInt;
+  std::vector<Value> values_;  // kEnumerated: sorted unique
+  int64_t lo_ = 0, hi_ = 0;    // kIntRange
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_RELATIONAL_DOMAIN_H_

@@ -1,0 +1,235 @@
+#include "relational/expression.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kTrue && b == TriBool::kTrue) return TriBool::kTrue;
+  return TriBool::kUnknown;
+}
+
+TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kFalse && b == TriBool::kFalse) return TriBool::kFalse;
+  return TriBool::kUnknown;
+}
+
+TriBool TriNot(TriBool a) {
+  if (a == TriBool::kTrue) return TriBool::kFalse;
+  if (a == TriBool::kFalse) return TriBool::kTrue;
+  return TriBool::kUnknown;
+}
+
+const char* TriBoolName(TriBool t) {
+  switch (t) {
+    case TriBool::kFalse:
+      return "false";
+    case TriBool::kTrue:
+      return "true";
+    case TriBool::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Compare(AttrId attr, CmpOp op, Value literal) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kCompare));
+  e->attr_ = attr;
+  e->op_ = op;
+  e->literal_ = std::move(literal);
+  return e;
+}
+
+ExprPtr Expr::Eq(AttrId attr, Value literal) {
+  return Compare(attr, CmpOp::kEq, std::move(literal));
+}
+
+ExprPtr Expr::In(AttrId attr, std::vector<Value> values) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kIn));
+  e->attr_ = attr;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  e->values_ = std::move(values);
+  return e;
+}
+
+ExprPtr Expr::Exists(AttrId attr) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kExists));
+  e->attr_ = attr;
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr a, ExprPtr b) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kAnd));
+  e->left_ = std::move(a);
+  e->right_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr a, ExprPtr b) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kOr));
+  e->left_ = std::move(a);
+  e->right_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr a) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->left_ = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::Const(TriBool value) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kConst));
+  e->const_value_ = value;
+  return e;
+}
+
+ExprPtr Expr::AndAll(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return Const(TriBool::kTrue);
+  ExprPtr acc = conjuncts.front();
+  for (size_t i = 1; i < conjuncts.size(); ++i) acc = And(acc, conjuncts[i]);
+  return acc;
+}
+
+TriBool Expr::Eval(const Tuple& t) const {
+  switch (kind_) {
+    case ExprKind::kCompare: {
+      const Value* v = t.Get(attr_);
+      if (v == nullptr || v->is_null()) return TriBool::kUnknown;
+      if (v->type() != literal_.type()) return TriBool::kFalse;
+      int c = v->Compare(literal_);
+      bool r = false;
+      switch (op_) {
+        case CmpOp::kEq:
+          r = c == 0;
+          break;
+        case CmpOp::kNe:
+          r = c != 0;
+          break;
+        case CmpOp::kLt:
+          r = c < 0;
+          break;
+        case CmpOp::kLe:
+          r = c <= 0;
+          break;
+        case CmpOp::kGt:
+          r = c > 0;
+          break;
+        case CmpOp::kGe:
+          r = c >= 0;
+          break;
+      }
+      return r ? TriBool::kTrue : TriBool::kFalse;
+    }
+    case ExprKind::kIn: {
+      const Value* v = t.Get(attr_);
+      if (v == nullptr || v->is_null()) return TriBool::kUnknown;
+      return std::binary_search(values_.begin(), values_.end(), *v)
+                 ? TriBool::kTrue
+                 : TriBool::kFalse;
+    }
+    case ExprKind::kExists:
+      // A present-but-null field counts as absent: null encodes "does not
+      // apply" in the decomposition baselines.
+      {
+        const Value* v = t.Get(attr_);
+        return (v != nullptr && !v->is_null()) ? TriBool::kTrue
+                                               : TriBool::kFalse;
+      }
+    case ExprKind::kAnd:
+      return TriAnd(left_->Eval(t), right_->Eval(t));
+    case ExprKind::kOr:
+      return TriOr(left_->Eval(t), right_->Eval(t));
+    case ExprKind::kNot:
+      return TriNot(left_->Eval(t));
+    case ExprKind::kConst:
+      return const_value_;
+  }
+  return TriBool::kUnknown;
+}
+
+void Expr::CollectAttrs(AttrSet* all, AttrSet* value_reads) const {
+  switch (kind_) {
+    case ExprKind::kCompare:
+    case ExprKind::kIn:
+      all->Insert(attr_);
+      value_reads->Insert(attr_);
+      break;
+    case ExprKind::kExists:
+      all->Insert(attr_);
+      break;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      left_->CollectAttrs(all, value_reads);
+      right_->CollectAttrs(all, value_reads);
+      break;
+    case ExprKind::kNot:
+      left_->CollectAttrs(all, value_reads);
+      break;
+    case ExprKind::kConst:
+      break;
+  }
+}
+
+AttrSet Expr::ReferencedAttrs() const {
+  AttrSet all, reads;
+  CollectAttrs(&all, &reads);
+  return all;
+}
+
+AttrSet Expr::ValueAttrs() const {
+  AttrSet all, reads;
+  CollectAttrs(&all, &reads);
+  return reads;
+}
+
+std::string Expr::ToString(const AttrCatalog& catalog) const {
+  switch (kind_) {
+    case ExprKind::kCompare:
+      return StrCat(catalog.Name(attr_), " ", CmpOpName(op_), " ",
+                    literal_.ToString());
+    case ExprKind::kIn: {
+      std::vector<std::string> parts;
+      for (const Value& v : values_) parts.push_back(v.ToString());
+      return StrCat(catalog.Name(attr_), " IN {", Join(parts, ", "), "}");
+    }
+    case ExprKind::kExists:
+      return StrCat("EXISTS(", catalog.Name(attr_), ")");
+    case ExprKind::kAnd:
+      return StrCat("(", left_->ToString(catalog), " AND ",
+                    right_->ToString(catalog), ")");
+    case ExprKind::kOr:
+      return StrCat("(", left_->ToString(catalog), " OR ",
+                    right_->ToString(catalog), ")");
+    case ExprKind::kNot:
+      return StrCat("NOT ", left_->ToString(catalog));
+    case ExprKind::kConst:
+      return TriBoolName(const_value_);
+  }
+  return "?";
+}
+
+}  // namespace flexrel

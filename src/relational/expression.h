@@ -1,0 +1,111 @@
+// Predicate expressions over (possibly heterogeneous) tuples.
+//
+// Because tuples of a flexible relation need not be defined on the attributes
+// a formula mentions, evaluation uses Kleene three-valued logic: accessing an
+// absent attribute yields Unknown, And/Or/Not propagate it, and a selection
+// keeps a tuple only when the formula evaluates to True. The explicit
+// existence test Exists(A) is the paper's *type guard* (Section 3.1.2): it is
+// the only construct that turns absence into a definite answer, and the
+// optimizer's job (Example 4) is to prove such guards redundant.
+
+#ifndef FLEXREL_RELATIONAL_EXPRESSION_H_
+#define FLEXREL_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace flexrel {
+
+/// Kleene truth value.
+enum class TriBool : uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+TriBool TriAnd(TriBool a, TriBool b);
+TriBool TriOr(TriBool a, TriBool b);
+TriBool TriNot(TriBool a);
+const char* TriBoolName(TriBool t);
+
+/// Comparison operators.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpName(CmpOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Node kinds, exposed so optimizer passes can pattern-match without RTTI.
+enum class ExprKind : uint8_t {
+  kCompare,   // attr <op> constant
+  kIn,        // attr IN {v1, ..., vk}
+  kExists,    // type guard: attribute present?
+  kAnd,
+  kOr,
+  kNot,
+  kConst,     // literal TriBool
+};
+
+/// Immutable predicate tree. Build with the factory functions below.
+class Expr {
+ public:
+  /// attr <op> literal.
+  static ExprPtr Compare(AttrId attr, CmpOp op, Value literal);
+  /// attr = literal (the workhorse of determinant constraints).
+  static ExprPtr Eq(AttrId attr, Value literal);
+  /// attr IN values.
+  static ExprPtr In(AttrId attr, std::vector<Value> values);
+  /// Type guard: tuple defined on attr.
+  static ExprPtr Exists(AttrId attr);
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+  static ExprPtr Or(ExprPtr a, ExprPtr b);
+  static ExprPtr Not(ExprPtr a);
+  /// Constant truth value (used by rewrites that eliminate subtrees).
+  static ExprPtr Const(TriBool value);
+  /// Conjunction of a list (True when empty).
+  static ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+  /// Evaluates against `t` under Kleene semantics. Comparing an absent
+  /// attribute yields Unknown; Exists never does.
+  TriBool Eval(const Tuple& t) const;
+
+  /// True iff Eval(t) == kTrue (selection acceptance).
+  bool Accepts(const Tuple& t) const { return Eval(t) == TriBool::kTrue; }
+
+  ExprKind kind() const { return kind_; }
+
+  // Introspection (valid for the kinds noted).
+  AttrId attr() const { return attr_; }                    // Compare/In/Exists
+  CmpOp op() const { return op_; }                         // Compare
+  const Value& literal() const { return literal_; }        // Compare
+  const std::vector<Value>& values() const { return values_; }  // In
+  const ExprPtr& left() const { return left_; }            // And/Or/Not
+  const ExprPtr& right() const { return right_; }          // And/Or
+  TriBool const_value() const { return const_value_; }     // Const
+
+  /// All attributes the expression mentions.
+  AttrSet ReferencedAttrs() const;
+
+  /// All attributes whose values the expression *reads* (everything except
+  /// pure Exists guards); these need guarding before access.
+  AttrSet ValueAttrs() const;
+
+  /// Renders the formula, e.g. "(salary > 5000 AND jobtype = 'secretary')".
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  AttrId attr_ = 0;
+  CmpOp op_ = CmpOp::kEq;
+  Value literal_;
+  std::vector<Value> values_;
+  ExprPtr left_, right_;
+  TriBool const_value_ = TriBool::kTrue;
+
+  void CollectAttrs(AttrSet* all, AttrSet* value_reads) const;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,54 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+Status Relation::Insert(Tuple t) {
+  if (t.attrs() != scheme_) {
+    return Status::ConstraintViolation(
+        StrCat("tuple attributes ", t.attrs().ToString(),
+               " do not match relation scheme ", scheme_.ToString()));
+  }
+  rows_.push_back(std::move(t));
+  return Status::OK();
+}
+
+void Relation::Deduplicate() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+size_t Relation::CountNulls() const {
+  size_t nulls = 0;
+  for (const Tuple& t : rows_) {
+    for (const auto& [attr, value] : t.fields()) {
+      (void)attr;
+      if (value.is_null()) ++nulls;
+    }
+  }
+  return nulls;
+}
+
+bool Relation::EqualsUnordered(const Relation& other) const {
+  if (scheme_ != other.scheme_ || rows_.size() != other.rows_.size()) {
+    return false;
+  }
+  std::vector<Tuple> a = rows_;
+  std::vector<Tuple> b = other.rows_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+std::string Relation::ToString(const AttrCatalog& catalog) const {
+  std::ostringstream os;
+  os << name_ << scheme_.ToString(catalog) << " (" << rows_.size() << " rows)\n";
+  for (const Tuple& t : rows_) os << "  " << t.ToString(catalog) << "\n";
+  return os.str();
+}
+
+}  // namespace flexrel

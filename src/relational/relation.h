@@ -1,0 +1,64 @@
+// Classical (homogeneous) relations.
+//
+// These serve as the baseline substrate: the decomposition translations of
+// Section 3.1.1 map a flexible relation onto one or more classical relations
+// (null-padded, horizontal or vertical). Every tuple of a classical relation
+// is defined on exactly the relation scheme; absent information must be
+// encoded as explicit nulls — the very modelling burden flexible relations
+// remove.
+
+#ifndef FLEXREL_RELATIONAL_RELATION_H_
+#define FLEXREL_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// A named, homogeneous set of tuples over a fixed scheme.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Creates an empty relation over `scheme`.
+  Relation(std::string name, AttrSet scheme)
+      : name_(std::move(name)), scheme_(std::move(scheme)) {}
+
+  const std::string& name() const { return name_; }
+  const AttrSet& scheme() const { return scheme_; }
+
+  /// Inserts `t`; fails unless attr(t) equals the scheme exactly (null
+  /// values are allowed, absent attributes are not). Duplicates are kept —
+  /// set semantics can be requested via Deduplicate().
+  Status Insert(Tuple t);
+
+  /// Removes exact duplicates, sorting rows deterministically.
+  void Deduplicate();
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Number of null-valued fields across all rows (the storage-overhead
+  /// metric of experiment E6).
+  size_t CountNulls() const;
+
+  /// Multiset equality up to row order.
+  bool EqualsUnordered(const Relation& other) const;
+
+  /// Tabular rendering for diagnostics.
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  std::string name_;
+  AttrSet scheme_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_RELATIONAL_RELATION_H_

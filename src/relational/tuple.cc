@@ -1,0 +1,102 @@
+#include "relational/tuple.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+Tuple Tuple::FromPairs(std::vector<std::pair<AttrId, Value>> pairs) {
+  Tuple t;
+  for (auto& [attr, value] : pairs) t.Set(attr, std::move(value));
+  return t;
+}
+
+void Tuple::Set(AttrId attr, Value value) {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), attr,
+      [](const auto& field, AttrId a) { return field.first < a; });
+  if (it != fields_.end() && it->first == attr) {
+    it->second = std::move(value);
+  } else {
+    fields_.insert(it, {attr, std::move(value)});
+  }
+}
+
+void Tuple::Erase(AttrId attr) {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), attr,
+      [](const auto& field, AttrId a) { return field.first < a; });
+  if (it != fields_.end() && it->first == attr) fields_.erase(it);
+}
+
+AttrSet Tuple::attrs() const {
+  std::vector<AttrId> ids;
+  ids.reserve(fields_.size());
+  for (const auto& [attr, value] : fields_) ids.push_back(attr);
+  return AttrSet::FromIds(std::move(ids));
+}
+
+bool Tuple::Has(AttrId attr) const { return Get(attr) != nullptr; }
+
+const Value* Tuple::Get(AttrId attr) const {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), attr,
+      [](const auto& field, AttrId a) { return field.first < a; });
+  if (it != fields_.end() && it->first == attr) return &it->second;
+  return nullptr;
+}
+
+Tuple Tuple::Project(const AttrSet& subset) const {
+  Tuple out;
+  for (const auto& [attr, value] : fields_) {
+    if (subset.Contains(attr)) out.fields_.push_back({attr, value});
+  }
+  return out;
+}
+
+bool Tuple::AgreesOn(const Tuple& other, const AttrSet& x) const {
+  for (AttrId attr : x) {
+    const Value* a = Get(attr);
+    const Value* b = other.Get(attr);
+    if (a == nullptr || b == nullptr || *a != *b) return false;
+  }
+  return true;
+}
+
+bool Tuple::DefinedOn(const AttrSet& x) const {
+  for (AttrId attr : x) {
+    if (!Has(attr)) return false;
+  }
+  return true;
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  return std::lexicographical_compare(
+      fields_.begin(), fields_.end(), other.fields_.begin(),
+      other.fields_.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second < b.second;
+      });
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0xBADC0DE;
+  for (const auto& [attr, value] : fields_) {
+    seed ^= std::hash<AttrId>()(attr) + 0x9E3779B97F4A7C15ull + (seed << 6) +
+            (seed >> 2);
+    seed ^= value.Hash() + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+std::string Tuple::ToString(const AttrCatalog& catalog) const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& [attr, value] : fields_) {
+    parts.push_back(StrCat(catalog.Name(attr), ": ", value.ToString()));
+  }
+  return "<" + Join(parts, ", ") + ">";
+}
+
+}  // namespace flexrel

@@ -1,0 +1,83 @@
+// Tuples over heterogeneous attribute sets.
+//
+// Unlike the classical model, a tuple in a flexible relation carries its own
+// attribute set attr(t) (Section 2.1): two tuples of one relation may be
+// defined on different attributes. Tuple therefore stores a sorted
+// (attribute, value) vector rather than positional fields.
+
+#ifndef FLEXREL_RELATIONAL_TUPLE_H_
+#define FLEXREL_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "relational/value.h"
+
+namespace flexrel {
+
+/// A mapping from attributes to values; the function attr(t) of the paper is
+/// exposed as attrs().
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Builds from (attribute, value) pairs; later pairs overwrite earlier ones
+  /// on the same attribute.
+  static Tuple FromPairs(std::vector<std::pair<AttrId, Value>> pairs);
+
+  /// Sets `attr` to `value` (insert or overwrite).
+  void Set(AttrId attr, Value value);
+
+  /// Removes `attr` if present.
+  void Erase(AttrId attr);
+
+  /// attr(t): the set of attributes this tuple is defined on.
+  AttrSet attrs() const;
+
+  /// True iff the tuple is defined on `attr` (the "type guard" primitive).
+  bool Has(AttrId attr) const;
+
+  /// The value at `attr`, or nullptr when absent.
+  const Value* Get(AttrId attr) const;
+
+  /// t[X]: the restriction of the tuple to the attributes in `subset`
+  /// (attributes the tuple lacks are simply absent from the result).
+  Tuple Project(const AttrSet& subset) const;
+
+  /// True iff this tuple and `other` are both defined on all of `x` and
+  /// agree on it: the premise of Definitions 4.1 and 4.2.
+  bool AgreesOn(const Tuple& other, const AttrSet& x) const;
+
+  /// True iff the tuple is defined on every attribute of `x`.
+  bool DefinedOn(const AttrSet& x) const;
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  /// Sorted iteration over (attribute, value) pairs.
+  const std::vector<std::pair<AttrId, Value>>& fields() const { return fields_; }
+
+  bool operator==(const Tuple& other) const { return fields_ == other.fields_; }
+  bool operator!=(const Tuple& other) const { return fields_ != other.fields_; }
+  /// Lexicographic order over the sorted field vectors (deterministic).
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// "<A: 1, B: 'x'>" with attribute names from `catalog`.
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  std::vector<std::pair<AttrId, Value>> fields_;  // sorted by AttrId, unique
+};
+
+/// Hash functor for unordered containers keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_RELATIONAL_TUPLE_H_

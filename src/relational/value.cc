@@ -1,0 +1,103 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace flexrel {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = as_bool();
+      bool b = other.as_bool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt: {
+      int64_t a = as_int();
+      int64_t b = other.as_int();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kDouble: {
+      double a = as_double();
+      double b = other.as_double();
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    case ValueType::kString:
+      return as_string().compare(other.as_string());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9E3779B97F4A7C15ull;
+  auto mix = [&seed](size_t h) {
+    seed ^= h + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2);
+  };
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      mix(std::hash<bool>()(as_bool()));
+      break;
+    case ValueType::kInt:
+      mix(std::hash<int64_t>()(as_int()));
+      break;
+    case ValueType::kDouble:
+      mix(std::hash<double>()(as_double()));
+      break;
+    case ValueType::kString:
+      mix(std::hash<std::string>()(as_string()));
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::kNull:
+      os << "null";
+      break;
+    case ValueType::kBool:
+      os << (as_bool() ? "true" : "false");
+      break;
+    case ValueType::kInt:
+      os << as_int();
+      break;
+    case ValueType::kDouble:
+      os << as_double();
+      break;
+    case ValueType::kString:
+      os << '\'' << as_string() << '\'';
+      break;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace flexrel

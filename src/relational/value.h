@@ -1,0 +1,88 @@
+// Atomic values of the relational substrate.
+//
+// The paper's model (Section 2.1) defines tuples as mappings from attributes
+// to values of given *atomic* domains; we provide null, bool, 64-bit int,
+// double and string values. Null participates only as an explicit marker in
+// the null-padded decomposition baselines (Section 3.1.1) — flexible
+// relations themselves never need it, which is precisely the paper's point.
+
+#ifndef FLEXREL_RELATIONAL_VALUE_H_
+#define FLEXREL_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace flexrel {
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Returns the canonical name of a value type ("null", "bool", ...).
+const char* ValueTypeName(ValueType type);
+
+/// Immutable atomic value. Total ordering: values order first by type tag,
+/// then by payload, which gives deterministic sorts across heterogeneous
+/// collections (needed for canonical printing and multiset comparison).
+class Value {
+ public:
+  /// Constructs the null marker.
+  Value() : rep_(std::monostate{}) {}
+
+  /// Named constructors.
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Real(double d) { return Value(Rep(d)); }
+  static Value Str(std::string s) { return Value(Rep(std::move(s))); }
+  static Value Str(const char* s) { return Value(Rep(std::string(s))); }
+
+  /// The runtime type tag.
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; the value must hold the requested type.
+  bool as_bool() const { return std::get<bool>(rep_); }
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Three-way comparison: negative / zero / positive like strcmp.
+  /// Cross-type values order by type tag; null sorts first and equals null.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash compatible with operator==.
+  size_t Hash() const;
+
+  /// Renders the value for diagnostics: null, true, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_RELATIONAL_VALUE_H_

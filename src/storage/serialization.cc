@@ -1,0 +1,338 @@
+#include "storage/serialization.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  for (unsigned char c : text) {
+    if (c == '%' || c == '|' || c == ',' || c == '=' || c <= ' ' ||
+        c == 0x7f) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeText(const std::string& text) {
+  std::string out;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      out.push_back(text[i]);
+      continue;
+    }
+    if (i + 2 >= text.size()) {
+      return Status::InvalidArgument("truncated escape sequence");
+    }
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    int hi = hex(text[i + 1]);
+    int lo = hex(text[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad escape sequence");
+    }
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "n:";
+    case ValueType::kBool:
+      return v.as_bool() ? "b:1" : "b:0";
+    case ValueType::kInt:
+      return StrCat("i:", v.as_int());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "r:%.17g", v.as_double());
+      return buf;
+    }
+    case ValueType::kString:
+      return StrCat("s:", EscapeText(v.as_string()));
+  }
+  return "n:";
+}
+
+Result<Value> DecodeValue(const std::string& token) {
+  if (token.size() < 2 || token[1] != ':') {
+    return Status::InvalidArgument(StrCat("bad value token '", token, "'"));
+  }
+  std::string payload = token.substr(2);
+  switch (token[0]) {
+    case 'n':
+      return Value::Null();
+    case 'b':
+      return Value::Bool(payload == "1");
+    case 'i':
+      try {
+        return Value::Int(std::stoll(payload));
+      } catch (...) {
+        return Status::InvalidArgument(StrCat("bad int '", payload, "'"));
+      }
+    case 'r':
+      try {
+        return Value::Real(std::stod(payload));
+      } catch (...) {
+        return Status::InvalidArgument(StrCat("bad real '", payload, "'"));
+      }
+    case 's': {
+      FLEXREL_ASSIGN_OR_RETURN(std::string text, UnescapeText(payload));
+      return Value::Str(std::move(text));
+    }
+    default:
+      return Status::InvalidArgument(
+          StrCat("unknown value tag '", token[0], "'"));
+  }
+}
+
+namespace {
+
+
+// Parses a non-negative count, rejecting garbage instead of throwing.
+Result<size_t> ParseCount(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty count");
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(StrCat("bad count '", text, "'"));
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+    if (value > (1u << 28)) {
+      return Status::InvalidArgument("count too large");
+    }
+  }
+  return value;
+}
+
+std::string EncodeAttrSet(const AttrCatalog& catalog, const AttrSet& attrs) {
+  std::vector<std::string> names;
+  for (AttrId a : attrs) names.push_back(EscapeText(catalog.Name(a)));
+  return Join(names, ",");
+}
+
+Result<AttrSet> DecodeAttrSet(AttrCatalog* catalog, const std::string& text) {
+  AttrSet out;
+  if (text.empty()) return out;
+  for (const std::string& part : Split(text, ',')) {
+    FLEXREL_ASSIGN_OR_RETURN(std::string name, UnescapeText(part));
+    out.Insert(catalog->Intern(name));
+  }
+  return out;
+}
+
+std::string EncodeTuple(const AttrCatalog& catalog, const Tuple& t) {
+  std::vector<std::string> parts;
+  for (const auto& [attr, value] : t.fields()) {
+    parts.push_back(
+        StrCat(EscapeText(catalog.Name(attr)), "=", EncodeValue(value)));
+  }
+  return Join(parts, "|");
+}
+
+Result<Tuple> DecodeTuple(AttrCatalog* catalog, const std::string& text) {
+  Tuple out;
+  if (text.empty()) return out;
+  for (const std::string& part : Split(text, '|')) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(StrCat("bad field '", part, "'"));
+    }
+    FLEXREL_ASSIGN_OR_RETURN(std::string name,
+                             UnescapeText(part.substr(0, eq)));
+    FLEXREL_ASSIGN_OR_RETURN(Value value, DecodeValue(part.substr(eq + 1)));
+    out.Set(catalog->Intern(name), std::move(value));
+  }
+  return out;
+}
+
+std::string EncodeDomain(const Domain& d) {
+  if (d.is_enumerated()) {
+    std::vector<std::string> vals;
+    for (const Value& v : d.values()) vals.push_back(EncodeValue(v));
+    return StrCat("enum ", Join(vals, "|"));
+  }
+  if (d.is_range()) {
+    return StrCat("range ", d.range_lo(), " ", d.range_hi());
+  }
+  return StrCat("any ", ValueTypeName(d.type()));
+}
+
+Result<Domain> DecodeDomain(const std::string& text) {
+  if (StartsWith(text, "enum ")) {
+    std::vector<Value> values;
+    for (const std::string& token : Split(text.substr(5), '|')) {
+      FLEXREL_ASSIGN_OR_RETURN(Value v, DecodeValue(token));
+      values.push_back(std::move(v));
+    }
+    return Domain::Enumerated(std::move(values));
+  }
+  if (StartsWith(text, "range ")) {
+    std::istringstream is(text.substr(6));
+    int64_t lo, hi;
+    if (!(is >> lo >> hi)) {
+      return Status::InvalidArgument("bad range domain");
+    }
+    return Domain::IntRange(lo, hi);
+  }
+  if (StartsWith(text, "any ")) {
+    std::string name = text.substr(4);
+    for (ValueType t : {ValueType::kBool, ValueType::kInt, ValueType::kDouble,
+                        ValueType::kString}) {
+      if (name == ValueTypeName(t)) return Domain::Any(t);
+    }
+  }
+  return Status::InvalidArgument(StrCat("bad domain '", text, "'"));
+}
+
+}  // namespace
+
+std::string WriteFlexDb(const AttrCatalog& catalog,
+                        const FlexibleScheme& scheme,
+                        const std::vector<ExplicitAD>& eads,
+                        const std::vector<std::pair<AttrId, Domain>>& domains,
+                        const FlexibleRelation& relation) {
+  std::ostringstream os;
+  os << "flexdb 1\n";
+  os << "name " << EscapeText(relation.name()) << "\n";
+  os << "scheme " << scheme.ToString(catalog) << "\n";
+  os << "domains " << domains.size() << "\n";
+  for (const auto& [attr, domain] : domains) {
+    os << EscapeText(catalog.Name(attr)) << " " << EncodeDomain(domain)
+       << "\n";
+  }
+  os << "eads " << eads.size() << "\n";
+  for (const ExplicitAD& ead : eads) {
+    os << "ead " << EncodeAttrSet(catalog, ead.determinant()) << " "
+       << EncodeAttrSet(catalog, ead.determined()) << " "
+       << ead.variants().size() << "\n";
+    for (const EadVariant& v : ead.variants()) {
+      os << "variant " << EncodeAttrSet(catalog, v.then) << " "
+         << v.when.values().size() << "\n";
+      for (const Tuple& cond : v.when.values()) {
+        os << "when " << EncodeTuple(catalog, cond) << "\n";
+      }
+    }
+  }
+  os << "rows " << relation.size() << "\n";
+  for (const Tuple& t : relation.rows()) {
+    os << "row " << EncodeTuple(catalog, t) << "\n";
+  }
+  return os.str();
+}
+
+Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
+  auto db = std::make_unique<FlexDb>();
+  std::istringstream is(text);
+  std::string line;
+
+  auto next_line = [&](const std::string& expected_prefix) -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument(
+          StrCat("unexpected end of input, wanted '", expected_prefix, "'"));
+    }
+    if (!StartsWith(line, expected_prefix)) {
+      return Status::InvalidArgument(
+          StrCat("expected '", expected_prefix, "', got '", line, "'"));
+    }
+    return line.substr(expected_prefix.size());
+  };
+
+  FLEXREL_ASSIGN_OR_RETURN(std::string version, next_line("flexdb "));
+  if (version != "1") {
+    return Status::InvalidArgument(StrCat("unsupported version ", version));
+  }
+  FLEXREL_ASSIGN_OR_RETURN(std::string escaped_name, next_line("name "));
+  FLEXREL_ASSIGN_OR_RETURN(std::string name, UnescapeText(escaped_name));
+
+  FLEXREL_ASSIGN_OR_RETURN(std::string scheme_text, next_line("scheme "));
+  FLEXREL_ASSIGN_OR_RETURN(db->scheme,
+                           FlexibleScheme::Parse(&db->catalog, scheme_text));
+
+  FLEXREL_ASSIGN_OR_RETURN(std::string domain_count_text,
+                           next_line("domains "));
+  FLEXREL_ASSIGN_OR_RETURN(size_t domain_count, ParseCount(domain_count_text));
+  for (size_t i = 0; i < domain_count; ++i) {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("truncated domains section");
+    }
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      return Status::InvalidArgument(StrCat("bad domain line '", line, "'"));
+    }
+    FLEXREL_ASSIGN_OR_RETURN(std::string attr_name,
+                             UnescapeText(line.substr(0, sp)));
+    FLEXREL_ASSIGN_OR_RETURN(Domain domain, DecodeDomain(line.substr(sp + 1)));
+    db->domains.push_back({db->catalog.Intern(attr_name), std::move(domain)});
+  }
+
+  FLEXREL_ASSIGN_OR_RETURN(std::string ead_count_text, next_line("eads "));
+  FLEXREL_ASSIGN_OR_RETURN(size_t ead_count, ParseCount(ead_count_text));
+  for (size_t e = 0; e < ead_count; ++e) {
+    FLEXREL_ASSIGN_OR_RETURN(std::string header, next_line("ead "));
+    std::vector<std::string> parts = Split(header, ' ');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument(StrCat("bad ead header '", header, "'"));
+    }
+    FLEXREL_ASSIGN_OR_RETURN(AttrSet determinant,
+                             DecodeAttrSet(&db->catalog, parts[0]));
+    FLEXREL_ASSIGN_OR_RETURN(AttrSet determined,
+                             DecodeAttrSet(&db->catalog, parts[1]));
+    FLEXREL_ASSIGN_OR_RETURN(size_t variant_count, ParseCount(parts[2]));
+    std::vector<EadVariant> variants;
+    for (size_t v = 0; v < variant_count; ++v) {
+      FLEXREL_ASSIGN_OR_RETURN(std::string vheader, next_line("variant "));
+      std::vector<std::string> vparts = Split(vheader, ' ');
+      if (vparts.size() != 2) {
+        return Status::InvalidArgument("bad variant header");
+      }
+      FLEXREL_ASSIGN_OR_RETURN(AttrSet then,
+                               DecodeAttrSet(&db->catalog, vparts[0]));
+      FLEXREL_ASSIGN_OR_RETURN(size_t cond_count, ParseCount(vparts[1]));
+      std::vector<Tuple> conds;
+      for (size_t c = 0; c < cond_count; ++c) {
+        FLEXREL_ASSIGN_OR_RETURN(std::string cond_text, next_line("when "));
+        FLEXREL_ASSIGN_OR_RETURN(Tuple cond,
+                                 DecodeTuple(&db->catalog, cond_text));
+        conds.push_back(std::move(cond));
+      }
+      FLEXREL_ASSIGN_OR_RETURN(ConditionSet when,
+                               ConditionSet::Make(determinant,
+                                                  std::move(conds)));
+      variants.push_back(EadVariant{std::move(when), std::move(then)});
+    }
+    FLEXREL_ASSIGN_OR_RETURN(
+        ExplicitAD ead,
+        ExplicitAD::Make(determinant, determined, std::move(variants)));
+    db->eads.push_back(std::move(ead));
+  }
+
+  db->relation = FlexibleRelation::Base(name, &db->catalog, db->scheme,
+                                        db->eads, db->domains);
+
+  FLEXREL_ASSIGN_OR_RETURN(std::string row_count_text, next_line("rows "));
+  FLEXREL_ASSIGN_OR_RETURN(size_t row_count, ParseCount(row_count_text));
+  for (size_t r = 0; r < row_count; ++r) {
+    FLEXREL_ASSIGN_OR_RETURN(std::string row_text, next_line("row "));
+    FLEXREL_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&db->catalog, row_text));
+    FLEXREL_RETURN_IF_ERROR(
+        db->relation.Insert(t).WithContext(StrCat("row ", r)));
+  }
+  return db;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,119 @@
+#include "subtyping/ad_subtyping.h"
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+Result<TypeFamily> DeriveTypeFamily(const RecordType& base,
+                                    const ExplicitAD& ead) {
+  const AttrSet& y = ead.determined();
+  const AttrSet w = base.attrs();
+  if (!ead.determinant().IsSubsetOf(w)) {
+    return Status::InvalidArgument(
+        "base type lacks determinant attributes of the EAD");
+  }
+  TypeFamily family;
+  family.determinant = ead.determinant();
+  // Supertype: W − Y, domains as in the base (dom(X) unrestricted).
+  family.supertype = base.Project(w.Minus(y));
+  family.supertype.set_name(base.name() + "_super");
+
+  // One subtype per variant.
+  for (size_t i = 0; i < ead.variants().size(); ++i) {
+    const EadVariant& v = ead.variants()[i];
+    RecordType sub = family.supertype;
+    sub.set_name(StrCat(base.name(), "_variant", i));
+    // Add the variant's attributes with their base domains.
+    for (AttrId a : v.then) {
+      const Domain* d = base.FieldDomain(a);
+      if (d == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("base type lacks a domain for determined attribute ", a));
+      }
+      sub.SetField(a, *d);
+    }
+    // Restrict each determinant attribute's domain to the values appearing
+    // in Vi (the projection of the condition set onto that attribute).
+    for (AttrId x : ead.condition_base()) {
+      std::vector<Value> seen;
+      for (const Tuple& val : v.when.values()) {
+        const Value* pv = val.Get(x);
+        if (pv != nullptr) seen.push_back(*pv);
+      }
+      if (seen.empty()) continue;
+      const Domain* d = base.FieldDomain(x);
+      if (d == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("base type lacks a domain for determinant attribute ", x));
+      }
+      FLEXREL_ASSIGN_OR_RETURN(Domain restricted, d->RestrictTo(seen));
+      sub.SetField(x, std::move(restricted));
+    }
+    family.subtypes.push_back(std::move(sub));
+  }
+  return family;
+}
+
+SupertypeVerdict CheckSupertype(const RecordType& candidate,
+                                const TypeFamily& family,
+                                const AttrCatalog& catalog) {
+  SupertypeVerdict verdict;
+  verdict.record_rule_ok = true;
+  for (const RecordType& sub : family.subtypes) {
+    if (!IsRecordSubtype(sub, candidate)) {
+      verdict.record_rule_ok = false;
+      verdict.reason = StrCat("record rule already rejects: ", sub.name(),
+                              " is not a width/depth subtype of the candidate");
+      return verdict;
+    }
+  }
+  const AttrSet cand = candidate.attrs();
+  if (family.determinant.IsSubsetOf(cand)) {
+    verdict.semantics_preserving = true;
+    verdict.reason = "retains the determinant; the causal connection between "
+                     "domain restriction and added attributes survives";
+  } else {
+    verdict.semantics_preserving = false;
+    verdict.reason = StrCat(
+        "drops determinant attribute(s) ",
+        family.determinant.Minus(cand).ToString(catalog),
+        "; the record rule accepts the candidate but the attribute "
+        "dependency no longer holds in it (Theorem 4.3 rule (2))");
+  }
+  return verdict;
+}
+
+std::vector<std::vector<bool>> SubtypeMatrix(
+    const std::vector<RecordType>& types) {
+  size_t n = types.size();
+  std::vector<std::vector<bool>> m(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      m[i][j] = IsRecordSubtype(types[i], types[j]);
+    }
+  }
+  return m;
+}
+
+std::vector<std::pair<size_t, size_t>> HasseEdges(
+    const std::vector<RecordType>& types) {
+  auto m = SubtypeMatrix(types);
+  size_t n = types.size();
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || !m[i][j] || m[j][i]) continue;  // skip equals & non-edges
+      // (i, j) is immediate unless some k sits strictly between.
+      bool immediate = true;
+      for (size_t k = 0; k < n && immediate; ++k) {
+        if (k == i || k == j) continue;
+        bool strictly_between = m[i][k] && !m[k][i] && m[k][j] && !m[j][k];
+        if (strictly_between) immediate = false;
+      }
+      if (immediate) edges.push_back({i, j});
+    }
+  }
+  return edges;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,76 @@
+// AD-induced record subtyping (Section 3.2).
+//
+// From an EAD over a base record type with attributes W one derives:
+//   - the supertype over W − Y, with the determinant domain unrestricted;
+//   - n subtypes over (W − Y) ∪ Yi, with dom(X) restricted to Vi.
+// (Example 3: employee_type and its secretary/salesman/software-engineer
+// subtypes inferred from the jobtype EAD.)
+//
+// The paper's key observation: each subtype differs from the supertype by
+// *two* simultaneous changes — the determinant's domain shrinks to Vi and
+// the variant attributes Yi appear — and the record rule treats these as
+// accidental. It therefore accepts <salary: float> (without jobtype) as a
+// supertype even though dropping jobtype severs the causal connection. The
+// semantic check below rejects exactly those supertypes: a projection of the
+// supertype preserves the dependency only when it retains the determinant
+// (this is rule (2) of Theorem 4.3 applied at the type level: an AD survives
+// projection onto P only when its LHS lies inside P).
+
+#ifndef FLEXREL_SUBTYPING_AD_SUBTYPING_H_
+#define FLEXREL_SUBTYPING_AD_SUBTYPING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explicit_ad.h"
+#include "subtyping/record_type.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// The family of types an EAD induces over a base record type.
+struct TypeFamily {
+  RecordType supertype;                ///< attributes W − Y
+  std::vector<RecordType> subtypes;    ///< (W − Y) ∪ Yi, dom(X) ↓ Vi
+  AttrSet determinant;                 ///< X, the causal link
+};
+
+/// Derives the Section-3.2 family. `base` must contain every determinant
+/// attribute with a domain covering all variant condition values, and a
+/// domain for every determined attribute appearing in some Yi.
+Result<TypeFamily> DeriveTypeFamily(const RecordType& base,
+                                    const ExplicitAD& ead);
+
+/// Verdict on a candidate supertype of a family.
+struct SupertypeVerdict {
+  /// Accepted by the classical record rule (every subtype ≤ candidate).
+  bool record_rule_ok = false;
+  /// Additionally preserves the AD connection: the candidate retains the
+  /// full determinant X (or touches none of the family's variant
+  /// attributes, in which case there is no refinement left to determine).
+  bool semantics_preserving = false;
+  /// Human-readable explanation of the semantic decision.
+  std::string reason;
+};
+
+/// Evaluates `candidate` against the family per both notions of subtyping.
+SupertypeVerdict CheckSupertype(const RecordType& candidate,
+                                const TypeFamily& family,
+                                const AttrCatalog& catalog);
+
+/// Pairwise subtype relation (classical rule) over a set of types; returns
+/// the adjacency matrix edges[i][j] = (types[i] ≤ types[j]). Reflexive edges
+/// are included.
+std::vector<std::vector<bool>> SubtypeMatrix(
+    const std::vector<RecordType>& types);
+
+/// Transitive reduction of the subtype matrix: the Hasse diagram of the
+/// subtype lattice restricted to the given types (useful for rendering
+/// Example-3-style hierarchies). Edge (i, j) means "i is an immediate
+/// subtype of j". Equal types (mutual subtypes) produce no edges.
+std::vector<std::pair<size_t, size_t>> HasseEdges(
+    const std::vector<RecordType>& types);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_SUBTYPING_AD_SUBTYPING_H_

@@ -1,0 +1,74 @@
+#include "subtyping/record_type.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace flexrel {
+
+void RecordType::SetField(AttrId attr, Domain domain) {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), attr,
+      [](const auto& f, AttrId a) { return f.first < a; });
+  if (it != fields_.end() && it->first == attr) {
+    it->second = std::move(domain);
+  } else {
+    fields_.insert(it, {attr, std::move(domain)});
+  }
+}
+
+AttrSet RecordType::attrs() const {
+  std::vector<AttrId> ids;
+  ids.reserve(fields_.size());
+  for (const auto& [attr, domain] : fields_) ids.push_back(attr);
+  return AttrSet::FromIds(std::move(ids));
+}
+
+const Domain* RecordType::FieldDomain(AttrId attr) const {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), attr,
+      [](const auto& f, AttrId a) { return f.first < a; });
+  if (it != fields_.end() && it->first == attr) return &it->second;
+  return nullptr;
+}
+
+bool RecordType::Accepts(const Tuple& t) const {
+  if (t.attrs() != attrs()) return false;
+  for (const auto& [attr, domain] : fields_) {
+    const Value* v = t.Get(attr);
+    if (v == nullptr || !domain.Contains(*v)) return false;
+  }
+  return true;
+}
+
+RecordType RecordType::Project(const AttrSet& keep) const {
+  RecordType out(name_ + "|projected");
+  for (const auto& [attr, domain] : fields_) {
+    if (keep.Contains(attr)) out.SetField(attr, domain);
+  }
+  return out;
+}
+
+std::string RecordType::ToString(const AttrCatalog& catalog) const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& [attr, domain] : fields_) {
+    parts.push_back(StrCat(catalog.Name(attr), ": ", domain.ToString()));
+  }
+  std::ostringstream os;
+  if (!name_.empty()) os << name_ << " = ";
+  os << "< " << Join(parts, ", ") << " >";
+  return os.str();
+}
+
+bool IsRecordSubtype(const RecordType& sub, const RecordType& super) {
+  for (const auto& [attr, super_domain] : super.fields()) {
+    const Domain* sub_domain = sub.FieldDomain(attr);
+    if (sub_domain == nullptr) return false;               // width
+    if (!sub_domain->IsSubdomainOf(super_domain)) return false;  // depth
+  }
+  return true;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,72 @@
+// Record types and the classical record subtyping rule.
+//
+// Section 3.2 compares attribute dependencies against the traditional
+// subtyping rule for records (Cardelli/Wegner):
+//
+//      ti ≤ ui  (i = 1..n)
+//      <a1:t1, ..., an:tn, ..., am:tm>  ≤  <a1:u1, ..., an:un>
+//
+// i.e. a record type is a subtype of another when it has *at least* the
+// supertype's fields (width) and each common field's type refines the
+// supertype's (depth). We model field types as attribute domains, so depth
+// subtyping is domain containment.
+
+#ifndef FLEXREL_SUBTYPING_RECORD_TYPE_H_
+#define FLEXREL_SUBTYPING_RECORD_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "relational/domain.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// A record type: a set of attributes, each with a domain.
+class RecordType {
+ public:
+  RecordType() = default;
+  explicit RecordType(std::string name) : name_(std::move(name)) {}
+
+  /// Adds (or replaces) a field.
+  void SetField(AttrId attr, Domain domain);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// The attribute set of the record.
+  AttrSet attrs() const;
+
+  /// The domain of `attr`, or nullptr when the field is absent.
+  const Domain* FieldDomain(AttrId attr) const;
+
+  size_t size() const { return fields_.size(); }
+  const std::vector<std::pair<AttrId, Domain>>& fields() const {
+    return fields_;
+  }
+
+  /// Structural membership: `t` is a value of this type when attr(t) equals
+  /// the record's attribute set and every field value lies in its domain.
+  bool Accepts(const Tuple& t) const;
+
+  /// Keeps only the fields in `keep` (record projection — the operation the
+  /// classical rule says always yields a supertype).
+  RecordType Project(const AttrSet& keep) const;
+
+  std::string ToString(const AttrCatalog& catalog) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<AttrId, Domain>> fields_;  // sorted by AttrId
+};
+
+/// The classical record subtyping rule: `sub` ≤ `super` iff `super`'s fields
+/// are a subset of `sub`'s and each shared field's domain in `sub` is
+/// contained in `super`'s.
+bool IsRecordSubtype(const RecordType& sub, const RecordType& super);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_SUBTYPING_RECORD_TYPE_H_

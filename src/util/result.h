@@ -1,0 +1,85 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+
+#ifndef FLEXREL_UTIL_RESULT_H_
+#define FLEXREL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace flexrel {
+
+/// Holds either a successfully produced `T` or the Status explaining why the
+/// value could not be produced. A Result is never "empty": constructing one
+/// from an OK status is a programming error.
+///
+/// Typical use:
+///
+///     Result<FlexibleScheme> r = FlexibleScheme::Make(...);
+///     if (!r.ok()) return r.status();
+///     const FlexibleScheme& fs = r.value();
+///
+/// or, inside another Result-returning function,
+///
+///     FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme fs, FlexibleScheme::Make(...));
+template <typename T>
+class Result {
+ public:
+  /// Wraps a success value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Wraps an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result built from OK status without a value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the contained value out. Must only be called when ok().
+  /// Returns by value (not T&&) so that `Make().value()` used directly in a
+  /// range-for binds to a lifetime-extended temporary instead of dangling.
+  T value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Value or fallback.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK when value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace flexrel
+
+// Internal: token pasting for unique temporaries.
+#define FLEXREL_CONCAT_INNER_(x, y) x##y
+#define FLEXREL_CONCAT_(x, y) FLEXREL_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise move-assigns the value into `lhs`.
+#define FLEXREL_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  auto FLEXREL_CONCAT_(_flexrel_result_, __LINE__) = (rexpr);             \
+  if (!FLEXREL_CONCAT_(_flexrel_result_, __LINE__).ok())                  \
+    return FLEXREL_CONCAT_(_flexrel_result_, __LINE__).status();          \
+  lhs = std::move(FLEXREL_CONCAT_(_flexrel_result_, __LINE__)).value()
+
+#endif  // FLEXREL_UTIL_RESULT_H_

@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace flexrel {
+
+Rng::Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+uint64_t Rng::Next() {
+  // splitmix64 step: excellent avalanche for cheap sequential draws.
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0,1) double.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Index(size_t size) {
+  assert(size > 0);
+  return static_cast<size_t>(Next() % size);
+}
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace flexrel

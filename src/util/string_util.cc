@@ -1,0 +1,40 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace flexrel {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Trim(const std::string& text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string AsciiLower(std::string text) {
+  for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return text;
+}
+
+}  // namespace flexrel

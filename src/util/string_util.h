@@ -1,0 +1,48 @@
+// Small string helpers shared across the library (GCC 12 lacks <format>, so
+// we provide the few pieces we need instead of pulling a dependency).
+
+#ifndef FLEXREL_UTIL_STRING_UTIL_H_
+#define FLEXREL_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flexrel {
+
+/// Joins the elements of `items` with `sep` using operator<< formatting.
+template <typename Container>
+std::string Join(const Container& items, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+/// StrCat via ostream: concatenates the printable arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+/// Lower-cases ASCII letters.
+std::string AsciiLower(std::string text);
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_UTIL_STRING_UTIL_H_

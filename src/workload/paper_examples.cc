@@ -1,0 +1,128 @@
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+
+Result<FlexibleScheme> MakeExample1Scheme(AttrCatalog* catalog) {
+  return FlexibleScheme::Parse(
+      catalog, "<4,4,{A,B,<1,1,{C,D}>,<1,3,{E,F,G}>}>");
+}
+
+Result<std::unique_ptr<JobtypeExample>> MakeJobtypeExample() {
+  auto ex = std::make_unique<JobtypeExample>();
+  ex->salary = ex->catalog.Intern("salary");
+  ex->jobtype = ex->catalog.Intern("jobtype");
+  ex->typing_speed = ex->catalog.Intern("typing-speed");
+  ex->foreign_languages = ex->catalog.Intern("foreign-languages");
+  ex->products = ex->catalog.Intern("products");
+  ex->programming_languages = ex->catalog.Intern("programming-languages");
+  ex->sales_commission = ex->catalog.Intern("sales-commission");
+
+  const AttrSet y{ex->typing_speed, ex->foreign_languages, ex->products,
+                  ex->programming_languages, ex->sales_commission};
+
+  std::vector<EadVariant> variants;
+  variants.push_back(
+      {ConditionSet::Single(ex->jobtype, Value::Str("secretary")),
+       AttrSet{ex->typing_speed, ex->foreign_languages}});
+  variants.push_back(
+      {ConditionSet::Single(ex->jobtype, Value::Str("software engineer")),
+       AttrSet{ex->products, ex->programming_languages}});
+  variants.push_back(
+      {ConditionSet::Single(ex->jobtype, Value::Str("salesman")),
+       AttrSet{ex->products, ex->sales_commission}});
+  FLEXREL_ASSIGN_OR_RETURN(
+      ex->ead,
+      ExplicitAD::Make(AttrSet::Of(ex->jobtype), y, std::move(variants)));
+
+  FLEXREL_ASSIGN_OR_RETURN(
+      Domain jobtype_domain,
+      Domain::Enumerated({Value::Str("secretary"),
+                          Value::Str("software engineer"),
+                          Value::Str("salesman")}));
+  ex->domains = {
+      {ex->salary, Domain::Any(ValueType::kInt)},
+      {ex->jobtype, jobtype_domain},
+      {ex->typing_speed, Domain::Any(ValueType::kInt)},
+      {ex->foreign_languages, Domain::Any(ValueType::kString)},
+      {ex->products, Domain::Any(ValueType::kInt)},
+      {ex->programming_languages, Domain::Any(ValueType::kString)},
+      {ex->sales_commission, Domain::Any(ValueType::kInt)},
+  };
+
+  // Scheme: salary, jobtype unconditioned; any subset of the three variant
+  // blocks structurally (the EAD narrows it to the matching one).
+  std::vector<FlexibleScheme> blocks;
+  {
+    std::vector<FlexibleScheme> b1;
+    b1.push_back(FlexibleScheme::Attr(ex->typing_speed));
+    b1.push_back(FlexibleScheme::Attr(ex->foreign_languages));
+    FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme g1,
+                             FlexibleScheme::Group(2, 2, std::move(b1)));
+    blocks.push_back(std::move(g1));
+    // products is shared between the engineer and salesman variants, so the
+    // structural region lists each attribute independently; the EAD enforces
+    // the exact pairing.
+    blocks.push_back(FlexibleScheme::Attr(ex->products));
+    blocks.push_back(FlexibleScheme::Attr(ex->programming_languages));
+    blocks.push_back(FlexibleScheme::Attr(ex->sales_commission));
+  }
+  const uint32_t num_blocks = static_cast<uint32_t>(blocks.size());
+  FLEXREL_ASSIGN_OR_RETURN(
+      FlexibleScheme region,
+      FlexibleScheme::Group(0, num_blocks, std::move(blocks)));
+  std::vector<FlexibleScheme> top;
+  top.push_back(FlexibleScheme::Attr(ex->salary));
+  top.push_back(FlexibleScheme::Attr(ex->jobtype));
+  top.push_back(std::move(region));
+  FLEXREL_ASSIGN_OR_RETURN(FlexibleScheme scheme,
+                           FlexibleScheme::Group(3, 3, std::move(top)));
+  ex->scheme = scheme;
+
+  ex->relation = FlexibleRelation::Base("employee", &ex->catalog, ex->scheme,
+                                        {ex->ead}, ex->domains);
+  FLEXREL_RETURN_IF_ERROR(ex->relation.Insert(ex->MakeSecretary(4800, 320)));
+  FLEXREL_RETURN_IF_ERROR(ex->relation.Insert(ex->MakeEngineer(6200, 3)));
+  FLEXREL_RETURN_IF_ERROR(ex->relation.Insert(ex->MakeSalesman(5400, 12)));
+  return ex;
+}
+
+Tuple JobtypeExample::MakeSecretary(int64_t salary_value,
+                                    int64_t speed) const {
+  Tuple t;
+  t.Set(salary, Value::Int(salary_value));
+  t.Set(jobtype, Value::Str("secretary"));
+  t.Set(typing_speed, Value::Int(speed));
+  t.Set(foreign_languages, Value::Str("french, russian"));
+  return t;
+}
+
+Tuple JobtypeExample::MakeEngineer(int64_t salary_value,
+                                   int64_t n_products) const {
+  Tuple t;
+  t.Set(salary, Value::Int(salary_value));
+  t.Set(jobtype, Value::Str("software engineer"));
+  t.Set(products, Value::Int(n_products));
+  t.Set(programming_languages, Value::Str("modula-2, pascal"));
+  return t;
+}
+
+Tuple JobtypeExample::MakeSalesman(int64_t salary_value,
+                                   int64_t commission) const {
+  Tuple t;
+  t.Set(salary, Value::Int(salary_value));
+  t.Set(jobtype, Value::Str("salesman"));
+  t.Set(products, Value::Int(7));
+  t.Set(sales_commission, Value::Int(commission));
+  return t;
+}
+
+Tuple JobtypeExample::MakeMistypedSalesman() const {
+  Tuple t;
+  t.Set(salary, Value::Int(5000));
+  t.Set(jobtype, Value::Str("salesman"));
+  t.Set(typing_speed, Value::Int(280));
+  t.Set(foreign_languages, Value::Str("french, russian"));
+  return t;
+}
+
+}  // namespace flexrel

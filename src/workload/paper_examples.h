@@ -1,0 +1,71 @@
+// The paper's worked examples as executable fixtures.
+//
+// Example 1: the abstract flexible scheme
+//     FS = <4, 4, {A, B, <1, 1, {C, D}>, <1, 3, {E, F, G}>}>
+// with |dnf(FS)| = 14.
+//
+// Example 2 (with Examples 3 and 4 building on it): the employee relation
+// with attributes salary and jobtype where
+//   jobtype = 'secretary'         -> typing-speed, foreign-languages
+//   jobtype = 'software engineer' -> products, programming-languages
+//   jobtype = 'salesman'          -> products, sales-commission
+//
+// Tests, benchmarks and the example programs all reproduce the paper's
+// claims against these fixtures.
+
+#ifndef FLEXREL_WORKLOAD_PAPER_EXAMPLES_H_
+#define FLEXREL_WORKLOAD_PAPER_EXAMPLES_H_
+
+#include <memory>
+
+#include "core/flexible_relation.h"
+#include "util/result.h"
+
+namespace flexrel {
+
+/// Example 1's scheme over a caller-provided catalog; attributes A..G are
+/// interned on demand.
+Result<FlexibleScheme> MakeExample1Scheme(AttrCatalog* catalog);
+
+/// The jobtype world of Examples 2–4.
+struct JobtypeExample {
+  AttrCatalog catalog;
+
+  AttrId salary = 0;
+  AttrId jobtype = 0;
+  AttrId typing_speed = 0;
+  AttrId foreign_languages = 0;
+  AttrId products = 0;
+  AttrId programming_languages = 0;
+  AttrId sales_commission = 0;
+
+  /// Example 2's EAD, verbatim.
+  ExplicitAD ead;
+
+  /// dom(jobtype) = {'secretary', 'software engineer', 'salesman'}.
+  std::vector<std::pair<AttrId, Domain>> domains;
+
+  /// The flexible scheme: salary and jobtype unconditioned, plus a variant
+  /// region for the determined attributes.
+  FlexibleScheme scheme;
+
+  /// An employee relation typed by the scheme + EAD, pre-loaded with one
+  /// well-typed tuple per jobtype.
+  FlexibleRelation relation;
+
+  /// Builders for well-typed tuples of each variant.
+  Tuple MakeSecretary(int64_t salary_value, int64_t speed) const;
+  Tuple MakeEngineer(int64_t salary_value, int64_t n_products) const;
+  Tuple MakeSalesman(int64_t salary_value, int64_t commission) const;
+
+  /// Section 3.1's ill-typed adversary: a salesman with secretary
+  /// attributes — admitted by the scheme, rejected by the EAD.
+  Tuple MakeMistypedSalesman() const;
+};
+
+/// Heap-allocated (the catalog must not move under the type checker).
+Result<std::unique_ptr<JobtypeExample>> MakeJobtypeExample();
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_WORKLOAD_PAPER_EXAMPLES_H_

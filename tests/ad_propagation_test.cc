@@ -1,0 +1,221 @@
+// Property tests for Theorem 4.3: every dependency the propagation rules
+// emit must hold in the operator's output, on arbitrary (random) inputs that
+// satisfy the input dependencies. Tightness is sampled, too: the dependencies
+// the rules *drop* (projection with lost LHS, plain union) really can fail.
+
+#include "algebra/ad_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluate.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+// Builds a random employee-style relation whose declared deps hold by
+// construction.
+std::unique_ptr<EmployeeWorkload> RandomEmployees(uint64_t seed, size_t rows) {
+  EmployeeConfig config;
+  config.num_variants = 3;
+  config.attrs_per_variant = 2;
+  config.num_common_attrs = 1;
+  config.rows = rows;
+  config.seed = seed;
+  auto w = MakeEmployeeWorkload(config);
+  EXPECT_TRUE(w.ok());
+  return std::move(w).value();
+}
+
+class PropagationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagationSweep, SelectPreservesAllDeps) {
+  auto w = RandomEmployees(GetParam(), 60);
+  Rng rng(GetParam() * 7 + 1);
+  ExprPtr pred = Expr::Compare(w->id_attr, CmpOp::kLt,
+                               Value::Int(rng.UniformInt(0, 60)));
+  auto out = Evaluate(Plan::Select(Plan::Scan(&w->relation), pred));
+  ASSERT_TRUE(out.ok());
+  // Rule (3): the full dependency set propagates and must hold.
+  EXPECT_EQ(out.value().deps().ads().size(),
+            w->relation.deps().ads().size());
+  EXPECT_TRUE(out.value().SatisfiesDeclaredDeps());
+}
+
+TEST_P(PropagationSweep, ProjectEmitsOnlyValidDeps) {
+  auto w = RandomEmployees(GetParam(), 60);
+  Rng rng(GetParam() * 13 + 5);
+  // Random keep-set over the active attributes.
+  std::vector<AttrId> keep_ids;
+  for (AttrId a : w->relation.ActiveAttrs()) {
+    if (rng.Bernoulli(0.6)) keep_ids.push_back(a);
+  }
+  AttrSet keep = AttrSet::FromIds(std::move(keep_ids));
+  auto out = Evaluate(Plan::Project(Plan::Scan(&w->relation), keep));
+  ASSERT_TRUE(out.ok());
+  // Rule (2): everything propagated must hold in the projection.
+  EXPECT_TRUE(out.value().SatisfiesDeclaredDeps())
+      << "projection onto " << keep.ToString() << " violates propagated deps";
+  // And the rule only keeps ADs whose LHS survived.
+  for (const AttrDep& ad : out.value().deps().ads()) {
+    EXPECT_TRUE(ad.lhs.IsSubsetOf(keep));
+    EXPECT_TRUE(ad.rhs.IsSubsetOf(keep));
+  }
+}
+
+TEST_P(PropagationSweep, ProductUnionOfDepsHolds) {
+  auto w1 = RandomEmployees(GetParam(), 12);
+  // A disjoint second relation: fresh catalog → fresh ids do not apply;
+  // instead build a derived relation over distinct attribute ids.
+  FlexibleRelation r2 = FlexibleRelation::Derived("r2", [] {
+    DependencySet d;
+    d.AddAd(AttrDep{AttrSet{1000}, AttrSet{1001}});
+    return d;
+  }());
+  Rng rng(GetParam());
+  for (int i = 0; i < 8; ++i) {
+    Tuple t;
+    int64_t x = rng.UniformInt(0, 2);
+    t.Set(1000, Value::Int(x));
+    if (x != 1) t.Set(1001, Value::Int(rng.UniformInt(0, 9)));
+    t.Set(1002, Value::Int(i));
+    r2.InsertUnchecked(t);
+  }
+  ASSERT_TRUE(r2.SatisfiesDeclaredDeps());
+  auto out =
+      Evaluate(Plan::Product(Plan::Scan(&w1->relation), Plan::Scan(&r2)));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Rule (1): both dependency sets hold in the product.
+  EXPECT_EQ(out.value().deps().ads().size(),
+            w1->relation.deps().ads().size() + r2.deps().ads().size());
+  EXPECT_TRUE(out.value().SatisfiesDeclaredDeps());
+}
+
+TEST_P(PropagationSweep, DifferencePreservesLeftDeps) {
+  auto w = RandomEmployees(GetParam(), 40);
+  ExprPtr pred = Expr::Eq(w->jobtype_attr, w->jobtype_values[0]);
+  PlanPtr left = Plan::Scan(&w->relation);
+  PlanPtr right = Plan::Select(Plan::Scan(&w->relation), pred);
+  auto out = Evaluate(Plan::Difference(left, right));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().SatisfiesDeclaredDeps());
+}
+
+TEST_P(PropagationSweep, TaggedUnionDepsHold) {
+  auto w1 = RandomEmployees(GetParam(), 25);
+  auto w2 = RandomEmployees(GetParam() + 1000, 25);
+  // NOTE: w2 uses its own catalog but the attribute ids coincide by
+  // construction (same interning order), so the union is meaningful: same
+  // ids, independently generated instances.
+  AttrId tag = 9999;
+  PlanPtr u = Plan::Union(
+      Plan::Extend(Plan::Scan(&w1->relation), tag, Value::Int(1)),
+      Plan::Extend(Plan::Scan(&w2->relation), tag, Value::Int(2)));
+  auto out = Evaluate(u);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().deps().ads().empty());
+  // Rule (6): the tag-augmented dependencies hold across the union.
+  EXPECT_TRUE(out.value().SatisfiesDeclaredDeps());
+}
+
+TEST_P(PropagationSweep, PlainUnionTightness) {
+  // Rule (4) is tight: two instances that *individually* satisfy
+  // X --attr--> Y can violate it jointly. Construct the classic clash:
+  // same determinant value, different variant shapes.
+  auto w1 = RandomEmployees(GetParam(), 5);
+  Rng rng(GetParam());
+  FlexibleRelation clash = FlexibleRelation::Derived("clash", [&] {
+    DependencySet d;
+    d.AddAd(AttrDep{AttrSet{w1->jobtype_attr},
+                    w1->relation.deps().ads()[0].rhs});
+    return d;
+  }());
+  // A tuple claiming variant 0's jobtype but carrying variant 1's block:
+  // *alone* this still satisfies the abbreviated AD (single tuple), and it
+  // clashes with w1's genuine variant-0 tuples after the union.
+  Tuple t = RandomEmployee(*w1, &rng, 1);
+  t.Set(w1->jobtype_attr, w1->jobtype_values[0]);
+  clash.InsertUnchecked(t);
+  ASSERT_TRUE(clash.SatisfiesDeclaredDeps());
+
+  auto out = Evaluate(
+      Plan::Union(Plan::Scan(&w1->relation), Plan::Scan(&clash)));
+  ASSERT_TRUE(out.ok());
+  // The union result (correctly) declares no dependencies …
+  EXPECT_TRUE(out.value().deps().ads().empty());
+  // … and indeed the input AD fails on the union whenever a genuine
+  // variant-0 tuple exists.
+  bool has_variant0 = false;
+  for (const Tuple& row : w1->relation.rows()) {
+    if (*row.Get(w1->jobtype_attr) == w1->jobtype_values[0]) {
+      has_variant0 = true;
+    }
+  }
+  if (has_variant0) {
+    EXPECT_FALSE(SatisfiesAttrDep(out.value().rows(),
+                                  w1->relation.deps().ads()[0]));
+  }
+}
+
+TEST_P(PropagationSweep, ProjectionTightness) {
+  // Dropping part of the determinant really can break the dependency:
+  // {A, B} --attr--> C with the A-part essential.
+  Rng rng(GetParam());
+  FlexibleRelation r = FlexibleRelation::Derived("r", [] {
+    DependencySet d;
+    d.AddAd(AttrDep{AttrSet{0, 1}, AttrSet{2}});
+    return d;
+  }());
+  // (A=0, B=0) -> C present; (A=1, B=0) -> C absent. Projecting away A
+  // leaves two tuples agreeing on B with different C-presence.
+  Tuple t1;
+  t1.Set(0, Value::Int(0));
+  t1.Set(1, Value::Int(0));
+  t1.Set(2, Value::Int(7));
+  Tuple t2;
+  t2.Set(0, Value::Int(1));
+  t2.Set(1, Value::Int(0));
+  r.InsertUnchecked(t1);
+  r.InsertUnchecked(t2);
+  ASSERT_TRUE(r.SatisfiesDeclaredDeps());
+
+  AttrSet keep{1, 2};
+  auto out = Evaluate(Plan::Project(Plan::Scan(&r), keep));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().deps().ads().empty());  // rule (2) dropped it
+  EXPECT_FALSE(SatisfiesAttrDep(out.value().rows(),
+                                AttrDep{AttrSet{1}, AttrSet{2}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// Direct unit checks of the propagation functions.
+TEST(PropagationUnit, ProjectClipsRhs) {
+  DependencySet in;
+  in.AddAd(AttrDep{AttrSet{0}, AttrSet{1, 2}});
+  in.AddAd(AttrDep{AttrSet{3}, AttrSet{4}});
+  in.AddFd(FuncDep{AttrSet{0}, AttrSet{2, 4}});
+  DependencySet out = PropagateProject(in, AttrSet{0, 1, 4});
+  ASSERT_EQ(out.ads().size(), 1u);
+  EXPECT_EQ(out.ads()[0].rhs, AttrSet{1});  // 2 clipped away
+  ASSERT_EQ(out.fds().size(), 1u);
+  EXPECT_EQ(out.fds()[0].rhs, AttrSet{4});
+}
+
+TEST(PropagationUnit, TaggedUnionAugmentsLhs) {
+  DependencySet a;
+  a.AddAd(AttrDep{AttrSet{0}, AttrSet{1}});
+  DependencySet b;
+  b.AddFd(FuncDep{AttrSet{2}, AttrSet{3}});
+  DependencySet out = PropagateTaggedUnion({a, b}, 9);
+  ASSERT_EQ(out.ads().size(), 1u);
+  EXPECT_EQ(out.ads()[0].lhs, (AttrSet{0, 9}));
+  ASSERT_EQ(out.fds().size(), 1u);
+  EXPECT_EQ(out.fds()[0].lhs, (AttrSet{2, 9}));
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,180 @@
+#include "core/artificial_ads.h"
+
+#include <gtest/gtest.h>
+
+#include "core/type_check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+TEST(ArtificialAdsTest, NoVariabilityNoTags) {
+  AttrCatalog catalog;
+  auto fs = FlexibleScheme::Parse(&catalog, "<2,2,{A,B}>");
+  ASSERT_TRUE(fs.ok());
+  auto ads = SynthesizeArtificialAds(&catalog, fs.value(), "r");
+  ASSERT_TRUE(ads.ok());
+  EXPECT_TRUE(ads.value().regions.empty());
+  EXPECT_TRUE(ads.value().augmented_scheme == fs.value());
+}
+
+TEST(ArtificialAdsTest, Example1GetsTwoRegionTags) {
+  AttrCatalog catalog;
+  auto fs = MakeExample1Scheme(&catalog);
+  ASSERT_TRUE(fs.ok());
+  auto ads = SynthesizeArtificialAds(&catalog, fs.value(), "ex1_");
+  ASSERT_TRUE(ads.ok()) << ads.status();
+  // A and B are fixed; <1,1,{C,D}> and <1,3,{E,F,G}> become regions.
+  ASSERT_EQ(ads.value().regions.size(), 2u);
+  EXPECT_EQ(ads.value().regions[0].combinations.size(), 2u);  // C | D
+  EXPECT_EQ(ads.value().regions[1].combinations.size(), 7u);  // 2^3-1
+  // Tag domains enumerate the combination indexes.
+  EXPECT_EQ(*ads.value().tag_domains[0].second.Cardinality(), 2u);
+  EXPECT_EQ(*ads.value().tag_domains[1].second.Cardinality(), 7u);
+  // The augmented scheme's dnf: each original combination in exactly one
+  // tagged form => same count.
+  EXPECT_EQ(ads.value().augmented_scheme.DnfCount(), 14u);
+}
+
+TEST(ArtificialAdsTest, CompleteAndStripRoundTrip) {
+  AttrCatalog catalog;
+  auto fs = MakeExample1Scheme(&catalog);
+  ASSERT_TRUE(fs.ok());
+  auto ads = SynthesizeArtificialAds(&catalog, fs.value(), "ex1_");
+  ASSERT_TRUE(ads.ok());
+
+  auto dnf = fs.value().Dnf();
+  ASSERT_TRUE(dnf.ok());
+  for (const AttrSet& combo : dnf.value()) {
+    Tuple t;
+    for (AttrId a : combo) t.Set(a, Value::Int(1));
+    auto tagged = CompleteWithTags(ads.value(), t);
+    ASSERT_TRUE(tagged.ok()) << tagged.status();
+    // Tagged tuple is admitted by the augmented scheme and satisfies every
+    // artificial EAD.
+    EXPECT_TRUE(ads.value().augmented_scheme.Admits(tagged.value().attrs()));
+    for (const ExplicitAD& ead : ads.value().eads()) {
+      EXPECT_TRUE(ead.Satisfies({tagged.value()}));
+    }
+    // Strip inverts.
+    EXPECT_EQ(StripTags(ads.value(), tagged.value()), t);
+  }
+}
+
+TEST(ArtificialAdsTest, IllShapedTupleRejected) {
+  AttrCatalog catalog;
+  auto fs = MakeExample1Scheme(&catalog);
+  ASSERT_TRUE(fs.ok());
+  auto ads = SynthesizeArtificialAds(&catalog, fs.value(), "ex1_");
+  ASSERT_TRUE(ads.ok());
+  // C and D together match no combination of the first region.
+  Tuple bad;
+  bad.Set(catalog.Find("C").value(), Value::Int(1));
+  bad.Set(catalog.Find("D").value(), Value::Int(1));
+  EXPECT_EQ(CompleteWithTags(ads.value(), bad).status().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ArtificialAdsTest, TopLevelChoiceBecomesOneRegion) {
+  // <1,2,{A,B}>: the top level itself chooses; one tag over the full dnf.
+  AttrCatalog catalog;
+  auto fs = FlexibleScheme::Parse(&catalog, "<1,2,{A,B}>");
+  ASSERT_TRUE(fs.ok());
+  auto ads = SynthesizeArtificialAds(&catalog, fs.value(), "top");
+  ASSERT_TRUE(ads.ok()) << ads.status();
+  ASSERT_EQ(ads.value().regions.size(), 1u);
+  EXPECT_EQ(ads.value().regions[0].combinations.size(), 3u);  // {A},{B},{AB}
+  // Augmented dnf = 3 (each original combo + the tag).
+  EXPECT_EQ(ads.value().augmented_scheme.DnfCount(), 3u);
+  // Every original combination completes and validates.
+  auto dnf = fs.value().Dnf();
+  ASSERT_TRUE(dnf.ok());
+  for (const AttrSet& combo : dnf.value()) {
+    Tuple t;
+    for (AttrId a : combo) t.Set(a, Value::Int(1));
+    auto tagged = CompleteWithTags(ads.value(), t);
+    ASSERT_TRUE(tagged.ok());
+    EXPECT_TRUE(ads.value().augmented_scheme.Admits(tagged.value().attrs()));
+  }
+}
+
+TEST(ArtificialAdsTest, CapOnCombinationExplosion) {
+  AttrCatalog catalog;
+  std::vector<FlexibleScheme> leaves;
+  for (int i = 0; i < 20; ++i) {
+    leaves.push_back(FlexibleScheme::Attr(catalog.Intern(StrCat("L", i))));
+  }
+  auto fs = FlexibleScheme::Group(1, 20, std::move(leaves));
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(SynthesizeArtificialAds(&catalog, fs.value(), "big")
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ArtificialAdsTest, AugmentedRelationIsFullyTypeCheckable) {
+  // The synthesized EADs make the augmented relation as strongly typed as a
+  // hand-written one: wrong tag values are caught.
+  AttrCatalog catalog;
+  auto fs = MakeExample1Scheme(&catalog);
+  ASSERT_TRUE(fs.ok());
+  auto ads = SynthesizeArtificialAds(&catalog, fs.value(), "ex1_");
+  ASSERT_TRUE(ads.ok());
+  TypeChecker checker(&catalog, ads.value().augmented_scheme,
+                      ads.value().eads(), ads.value().tag_domains);
+
+  Tuple t;
+  for (const char* name : {"A", "B", "C", "E"}) {
+    t.Set(catalog.Intern(name), Value::Int(1));
+  }
+  auto tagged = CompleteWithTags(ads.value(), t);
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_TRUE(checker.Check(tagged.value()).ok());
+
+  // Lie about the first region's tag: claim the D-combination while C is
+  // present.
+  Tuple lying = tagged.value();
+  lying.Set(ads.value().regions[0].tag, Value::Int(1));
+  EXPECT_FALSE(checker.Check(lying).ok());
+  // An out-of-domain tag value is caught by the domain check.
+  Tuple outlier = tagged.value();
+  outlier.Set(ads.value().regions[0].tag, Value::Int(99));
+  EXPECT_FALSE(checker.CheckDomains(outlier).ok());
+}
+
+// Property sweep: for random schemes, completion of every dnf member
+// validates against the augmented scheme + EADs, and stripping inverts.
+class ArtificialAdsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArtificialAdsSweep, RoundTripOnRandomSchemes) {
+  AttrCatalog catalog;
+  Rng rng(GetParam());
+  FlexibleScheme fs = RandomScheme(&catalog, &rng, 3, 4,
+                                   StrCat("s", GetParam()));
+  auto dnf = fs.Dnf(512);
+  if (!dnf.ok()) return;  // too large for this sweep — covered by the cap test
+  auto ads = SynthesizeArtificialAds(&catalog, fs, "t", 512);
+  ASSERT_TRUE(ads.ok()) << ads.status();
+  for (const AttrSet& combo : dnf.value()) {
+    Tuple t;
+    for (AttrId a : combo) t.Set(a, Value::Int(1));
+    auto tagged = CompleteWithTags(ads.value(), t);
+    ASSERT_TRUE(tagged.ok()) << tagged.status();
+    EXPECT_TRUE(ads.value().augmented_scheme.Admits(tagged.value().attrs()))
+        << "augmented scheme rejects tagged form of "
+        << combo.ToString(catalog);
+    for (const ExplicitAD& ead : ads.value().eads()) {
+      EXPECT_TRUE(ead.Satisfies({tagged.value()}));
+    }
+    EXPECT_EQ(StripTags(ads.value(), tagged.value()), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArtificialAdsSweep,
+                         ::testing::Range<uint64_t>(50, 75));
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,96 @@
+#include "relational/attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace {
+
+TEST(AttrCatalogTest, InternIsIdempotent) {
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("salary");
+  AttrId b = catalog.Intern("jobtype");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(catalog.Intern("salary"), a);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.Name(a), "salary");
+  EXPECT_EQ(catalog.Name(b), "jobtype");
+}
+
+TEST(AttrCatalogTest, FindReportsMissing) {
+  AttrCatalog catalog;
+  catalog.Intern("x");
+  ASSERT_TRUE(catalog.Find("x").ok());
+  EXPECT_EQ(catalog.Find("y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttrSetTest, ConstructionDedupsAndSorts) {
+  AttrSet s{3, 1, 2, 1, 3};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<AttrId>{1, 2, 3}));
+}
+
+TEST(AttrSetTest, ContainsAndSubset) {
+  AttrSet s{1, 2, 3};
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE((AttrSet{1, 3}).IsSubsetOf(s));
+  EXPECT_TRUE(AttrSet().IsSubsetOf(s));
+  EXPECT_FALSE((AttrSet{1, 4}).IsSubsetOf(s));
+  EXPECT_TRUE(s.IsSubsetOf(s));
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a{1, 2, 3};
+  AttrSet b{3, 4};
+  EXPECT_EQ(a.Union(b), (AttrSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), AttrSet{3});
+  EXPECT_EQ(a.Minus(b), (AttrSet{1, 2}));
+  EXPECT_EQ(b.Minus(a), AttrSet{4});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((AttrSet{1}).Intersects(AttrSet{2}));
+}
+
+TEST(AttrSetTest, AlgebraWithEmpty) {
+  AttrSet a{1, 2};
+  AttrSet empty;
+  EXPECT_EQ(a.Union(empty), a);
+  EXPECT_EQ(a.Intersect(empty), empty);
+  EXPECT_EQ(a.Minus(empty), a);
+  EXPECT_EQ(empty.Minus(a), empty);
+  EXPECT_FALSE(a.Intersects(empty));
+}
+
+TEST(AttrSetTest, InsertMaintainsOrder) {
+  AttrSet s;
+  s.Insert(5);
+  s.Insert(1);
+  s.Insert(3);
+  s.Insert(3);
+  EXPECT_EQ(s.ids(), (std::vector<AttrId>{1, 3, 5}));
+}
+
+TEST(AttrSetTest, OrderingAndHash) {
+  AttrSet a{1, 2};
+  AttrSet b{1, 3};
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(a.Hash(), (AttrSet{2, 1}).Hash());
+  EXPECT_NE(a, b);
+}
+
+TEST(AttrSetTest, ToStringWithCatalog) {
+  AttrCatalog catalog;
+  AttrId x = catalog.Intern("jobtype");
+  AttrId y = catalog.Intern("salary");
+  AttrSet s{y, x};
+  EXPECT_EQ(s.ToString(catalog), "{jobtype, salary}");
+  EXPECT_EQ(AttrSet().ToString(catalog), "{}");
+}
+
+TEST(AttrSetTest, FromIds) {
+  AttrSet s = AttrSet::FromIds({9, 9, 2});
+  EXPECT_EQ(s.ids(), (std::vector<AttrId>{2, 9}));
+  EXPECT_EQ(AttrSet::Of(7), AttrSet{7});
+}
+
+}  // namespace
+}  // namespace flexrel

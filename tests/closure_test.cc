@@ -1,0 +1,196 @@
+#include "core/closure.h"
+
+#include <gtest/gtest.h>
+
+#include "core/witness.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+constexpr AttrId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+
+TEST(FuncClosureTest, ClassicalFixpoint) {
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddFd(FuncDep{AttrSet{kB}, AttrSet{kC}});
+  sigma.AddFd(FuncDep{AttrSet{kC, kD}, AttrSet{kE}});
+  EXPECT_EQ(FuncClosure(AttrSet{kA}, sigma), (AttrSet{kA, kB, kC}));
+  EXPECT_EQ(FuncClosure(AttrSet{kA, kD}, sigma),
+            (AttrSet{kA, kB, kC, kD, kE}));
+  EXPECT_EQ(FuncClosure(AttrSet{kD}, sigma), AttrSet{kD});
+  EXPECT_EQ(FuncClosure(AttrSet(), sigma), AttrSet());
+}
+
+TEST(AttrClosureTest, ReflexivityOnly) {
+  DependencySet sigma;
+  EXPECT_EQ(AttrClosure(AttrSet{kA, kB}, sigma, AxiomSystem::kAdOnly),
+            (AttrSet{kA, kB}));
+}
+
+TEST(AttrClosureTest, SingleFiring) {
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  EXPECT_EQ(AttrClosure(AttrSet{kA}, sigma, AxiomSystem::kAdOnly),
+            (AttrSet{kA, kB}));
+  // Left augmentation: a superset LHS fires the same AD.
+  EXPECT_EQ(AttrClosure(AttrSet{kA, kC}, sigma, AxiomSystem::kAdOnly),
+            (AttrSet{kA, kB, kC}));
+}
+
+TEST(AttrClosureTest, TransitivityIsInvalidForAds) {
+  // The paper's "remarkable point": A --attr--> B, B --attr--> C does NOT
+  // yield A --attr--> C.
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddAd(AttrDep{AttrSet{kB}, AttrSet{kC}});
+  AttrSet closure = AttrClosure(AttrSet{kA}, sigma, AxiomSystem::kAdOnly);
+  EXPECT_TRUE(closure.Contains(kB));
+  EXPECT_FALSE(closure.Contains(kC));
+  EXPECT_FALSE(Implies(sigma, AttrDep{AttrSet{kA}, AttrSet{kC}},
+                       AxiomSystem::kAdOnly));
+}
+
+TEST(AttrClosureTest, TransitivityFailureHasACountermodel) {
+  // Semantic confirmation: an instance satisfying both premises but
+  // violating the would-be conclusion. t1 has B (with value 1) and C;
+  // t2 has B (value 2) and no C. A --attr--> B holds (both have B),
+  // B --attr--> C fails to constrain (different B values), yet the two
+  // tuples agree on A.
+  std::vector<Tuple> rows;
+  {
+    Tuple t1;
+    t1.Set(kA, Value::Int(0));
+    t1.Set(kB, Value::Int(1));
+    t1.Set(kC, Value::Int(9));
+    Tuple t2;
+    t2.Set(kA, Value::Int(0));
+    t2.Set(kB, Value::Int(2));
+    rows = {t1, t2};
+  }
+  EXPECT_TRUE(SatisfiesAttrDep(rows, AttrDep{AttrSet{kA}, AttrSet{kB}}));
+  EXPECT_TRUE(SatisfiesAttrDep(rows, AttrDep{AttrSet{kB}, AttrSet{kC}}));
+  EXPECT_FALSE(SatisfiesAttrDep(rows, AttrDep{AttrSet{kA}, AttrSet{kC}}));
+}
+
+TEST(AttrClosureTest, CombinedSystemFiresThroughFuncClosure) {
+  // AF2: X --func--> V, V --attr--> W  ⊢  X --attr--> W.
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddAd(AttrDep{AttrSet{kB}, AttrSet{kC}});
+  // In the AD-only system the AD's LHS is out of reach.
+  EXPECT_FALSE(Implies(sigma, AttrDep{AttrSet{kA}, AttrSet{kC}},
+                       AxiomSystem::kAdOnly));
+  // In 𝔄* it fires.
+  EXPECT_TRUE(Implies(sigma, AttrDep{AttrSet{kA}, AttrSet{kC}},
+                      AxiomSystem::kCombined));
+  // AF1 subsumption: the functionally determined B is attr-determined too.
+  EXPECT_TRUE(Implies(sigma, AttrDep{AttrSet{kA}, AttrSet{kB}},
+                      AxiomSystem::kCombined));
+}
+
+TEST(AttrClosureTest, AdsNeverFeedBackIntoFds) {
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddFd(FuncDep{AttrSet{kB}, AttrSet{kC}});
+  // A attr-determines B, but that gives no functional grip on B, so C stays
+  // out of both closures.
+  EXPECT_EQ(FuncClosure(AttrSet{kA}, sigma), AttrSet{kA});
+  AttrSet closure = AttrClosure(AttrSet{kA}, sigma, AxiomSystem::kCombined);
+  EXPECT_TRUE(closure.Contains(kB));
+  EXPECT_FALSE(closure.Contains(kC));
+}
+
+TEST(ImpliesTest, ProjectivityAdditivityReflexivity) {
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB, kC}});
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kD}});
+  // A1: projection of the RHS.
+  EXPECT_TRUE(Implies(sigma, AttrDep{AttrSet{kA}, AttrSet{kB}},
+                      AxiomSystem::kAdOnly));
+  // A2: additivity across the two ADs.
+  EXPECT_TRUE(Implies(sigma, AttrDep{AttrSet{kA}, AttrSet{kB, kC, kD}},
+                      AxiomSystem::kAdOnly));
+  // A3: reflexivity.
+  EXPECT_TRUE(Implies(sigma, AttrDep{AttrSet{kA, kE}, AttrSet{kE}},
+                      AxiomSystem::kAdOnly));
+  // A4: left augmentation.
+  EXPECT_TRUE(Implies(sigma, AttrDep{AttrSet{kA, kE}, AttrSet{kB, kE}},
+                      AxiomSystem::kAdOnly));
+  // Not implied: RHS beyond reach.
+  EXPECT_FALSE(Implies(sigma, AttrDep{AttrSet{kB}, AttrSet{kC}},
+                       AxiomSystem::kAdOnly));
+}
+
+TEST(ImpliesTest, FdImplication) {
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddFd(FuncDep{AttrSet{kB}, AttrSet{kC}});
+  EXPECT_TRUE(Implies(sigma, FuncDep{AttrSet{kA}, AttrSet{kC}}));
+  EXPECT_TRUE(Implies(sigma, FuncDep{AttrSet{kA, kD}, AttrSet{kC, kD}}));
+  EXPECT_FALSE(Implies(sigma, FuncDep{AttrSet{kC}, AttrSet{kA}}));
+}
+
+TEST(ImpliedSingletonAdsTest, EnumeratesGenerators) {
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  AttrSet universe{kA, kB, kC};
+  auto implied = ImpliedSingletonAds(universe, sigma, AxiomSystem::kAdOnly);
+  // Only {A} --attr--> {B} (and nothing for other LHS subsets of the pool).
+  ASSERT_EQ(implied.size(), 1u);
+  EXPECT_EQ(implied[0].lhs, AttrSet{kA});
+  EXPECT_EQ(implied[0].rhs, AttrSet{kB});
+}
+
+// ---- Soundness & completeness sweep (E3/E9) ---------------------------------
+//
+// For random Σ and random targets, the axiom system's verdict (closure
+// membership) must agree with the semantic verdict delivered by the
+// appendix's witness construction: implied targets hold in every model
+// (spot-checked on the witness, which satisfies Σ), non-implied targets are
+// refuted by the witness.
+
+class SoundCompleteSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoundCompleteSweep, AxiomVerdictMatchesWitnessSemantics) {
+  Rng rng(GetParam());
+  AttrSet universe;
+  size_t n = 4 + rng.Index(6);
+  for (AttrId a = 0; a < n; ++a) universe.Insert(a);
+  DependencySet sigma = RandomDependencies(universe, &rng, 1 + rng.Index(4),
+                                           1 + rng.Index(4));
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<AttrId> lhs_ids, rhs_ids;
+    for (AttrId a : universe) {
+      if (rng.Bernoulli(0.3)) lhs_ids.push_back(a);
+      if (rng.Bernoulli(0.3)) rhs_ids.push_back(a);
+    }
+    AttrDep ad{AttrSet::FromIds(lhs_ids), AttrSet::FromIds(rhs_ids)};
+    FuncDep fd{ad.lhs, ad.rhs};
+
+    Witness w = BuildWitness(universe, ad.lhs, sigma);
+    // The witness must satisfy Σ itself (it is a legal relation).
+    EXPECT_TRUE(sigma.SatisfiedBy(w.rows()))
+        << "witness violates sigma (seed " << GetParam() << ")";
+
+    bool ad_implied = Implies(sigma, ad, AxiomSystem::kCombined);
+    // Soundness: implied ⟹ the Σ-satisfying witness also satisfies it.
+    // Completeness: not implied ⟹ the witness refutes it.
+    EXPECT_EQ(!ad_implied, WitnessRefutesAd(universe, sigma, ad))
+        << "AD verdict mismatch (seed " << GetParam() << ", trial " << trial
+        << ")";
+
+    bool fd_implied = Implies(sigma, fd);
+    EXPECT_EQ(!fd_implied, WitnessRefutesFd(universe, sigma, fd))
+        << "FD verdict mismatch (seed " << GetParam() << ", trial " << trial
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundCompleteSweep,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,163 @@
+#include "core/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+Tuple T(std::vector<std::pair<AttrId, int64_t>> fields) {
+  Tuple t;
+  for (auto [a, v] : fields) t.Set(a, Value::Int(v));
+  return t;
+}
+
+constexpr AttrId kA = 0, kB = 1, kC = 2, kD = 3;
+
+TEST(AttrDepTest, SatisfiedWhenAgreeingTuplesShareYSubset) {
+  // Definition 4.1: equal X values -> equal attr(t) ∩ Y.
+  AttrDep ad{AttrSet{kA}, AttrSet{kB, kC}};
+  std::vector<Tuple> rows = {
+      T({{kA, 1}, {kB, 10}}),
+      T({{kA, 1}, {kB, 20}}),  // same X, same Y-subset {B} (values differ!)
+      T({{kA, 2}, {kC, 30}}),  // different X: free to differ
+  };
+  EXPECT_TRUE(SatisfiesAttrDep(rows, ad));
+}
+
+TEST(AttrDepTest, ViolatedWhenYSubsetsDiffer) {
+  AttrDep ad{AttrSet{kA}, AttrSet{kB, kC}};
+  std::vector<Tuple> rows = {
+      T({{kA, 1}, {kB, 10}}),
+      T({{kA, 1}, {kC, 20}}),  // same X but Y-part {C} instead of {B}
+  };
+  EXPECT_FALSE(SatisfiesAttrDep(rows, ad));
+}
+
+TEST(AttrDepTest, ValuesInYAreIrrelevant) {
+  // The purely existential nature of ADs: contents of Y never matter.
+  AttrDep ad{AttrSet{kA}, AttrSet{kB}};
+  std::vector<Tuple> rows = {
+      T({{kA, 1}, {kB, 111}}),
+      T({{kA, 1}, {kB, 999}}),
+  };
+  EXPECT_TRUE(SatisfiesAttrDep(rows, ad));
+}
+
+TEST(AttrDepTest, TuplesNotDefinedOnXAreUnconstrained) {
+  AttrDep ad{AttrSet{kA}, AttrSet{kB}};
+  std::vector<Tuple> rows = {
+      T({{kB, 1}}),          // lacks A entirely
+      T({{kA, 1}, {kB, 2}}),
+      T({{kC, 5}}),
+  };
+  EXPECT_TRUE(SatisfiesAttrDep(rows, ad));
+}
+
+TEST(AttrDepTest, TrivialByReflexivity) {
+  EXPECT_TRUE((AttrDep{AttrSet{kA, kB}, AttrSet{kA}}).IsTrivial());
+  EXPECT_FALSE((AttrDep{AttrSet{kA}, AttrSet{kB}}).IsTrivial());
+}
+
+TEST(FuncDepTest, ClassicalViolation) {
+  FuncDep fd{AttrSet{kA}, AttrSet{kB}};
+  std::vector<Tuple> ok = {
+      T({{kA, 1}, {kB, 5}}),
+      T({{kA, 1}, {kB, 5}, {kC, 9}}),
+      T({{kA, 2}, {kB, 7}}),
+  };
+  EXPECT_TRUE(SatisfiesFuncDep(ok, fd));
+  std::vector<Tuple> bad = {
+      T({{kA, 1}, {kB, 5}}),
+      T({{kA, 1}, {kB, 6}}),
+  };
+  EXPECT_FALSE(SatisfiesFuncDep(bad, fd));
+}
+
+TEST(FuncDepTest, MissingRhsOnAgreeingPairViolates) {
+  // Definition 4.2 demands both tuples be defined on Y.
+  FuncDep fd{AttrSet{kA}, AttrSet{kB}};
+  std::vector<Tuple> bad = {
+      T({{kA, 1}, {kB, 5}}),
+      T({{kA, 1}, {kC, 5}}),  // agrees on A, lacks B
+  };
+  EXPECT_FALSE(SatisfiesFuncDep(bad, fd));
+}
+
+TEST(FuncDepTest, DistinctPairReadingAllowsLoneGuardlessTuple) {
+  // A single tuple defined on X but not Y does not violate the FD (the
+  // appendix's witness construction depends on this reading; see the header
+  // comment in dependency.h).
+  FuncDep fd{AttrSet{kA}, AttrSet{kB}};
+  std::vector<Tuple> rows = {
+      T({{kA, 1}, {kC, 5}}),
+  };
+  EXPECT_TRUE(SatisfiesFuncDep(rows, fd));
+}
+
+TEST(FuncDepTest, TwoAgreeingTuplesBothLackingRhsViolate) {
+  FuncDep fd{AttrSet{kA}, AttrSet{kB}};
+  std::vector<Tuple> rows = {
+      T({{kA, 1}, {kC, 5}}),
+      T({{kA, 1}, {kD, 5}}),
+  };
+  EXPECT_FALSE(SatisfiesFuncDep(rows, fd));
+}
+
+TEST(FuncDepTest, EmptyLhsMeansGlobalAgreement) {
+  FuncDep fd{AttrSet(), AttrSet{kB}};
+  std::vector<Tuple> ok = {T({{kB, 1}}), T({{kB, 1}, {kC, 2}})};
+  EXPECT_TRUE(SatisfiesFuncDep(ok, fd));
+  std::vector<Tuple> bad = {T({{kB, 1}}), T({{kB, 2}})};
+  EXPECT_FALSE(SatisfiesFuncDep(bad, fd));
+}
+
+TEST(DependencyTest, EmptyInstanceSatisfiesEverything) {
+  std::vector<Tuple> empty;
+  EXPECT_TRUE(SatisfiesAttrDep(empty, AttrDep{AttrSet{kA}, AttrSet{kB}}));
+  EXPECT_TRUE(SatisfiesFuncDep(empty, FuncDep{AttrSet{kA}, AttrSet{kB}}));
+}
+
+// ---- Hashed implementations agree with the quadratic reference -------------
+
+class HashedEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HashedEquivalence, AttrDepAndFuncDepAgree) {
+  Rng rng(GetParam());
+  // Random heterogeneous instance over 6 attributes with small value ranges
+  // (to provoke agreements) and random presence.
+  std::vector<Tuple> rows;
+  size_t n = 2 + rng.Index(30);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    for (AttrId a = 0; a < 6; ++a) {
+      if (rng.Bernoulli(0.6)) t.Set(a, Value::Int(rng.UniformInt(0, 2)));
+    }
+    rows.push_back(std::move(t));
+  }
+  // Instances are sets: dedup to respect the checkers' precondition.
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    auto subset = [&]() {
+      std::vector<AttrId> ids;
+      for (AttrId a = 0; a < 6; ++a) {
+        if (rng.Bernoulli(0.35)) ids.push_back(a);
+      }
+      return AttrSet::FromIds(std::move(ids));
+    };
+    AttrDep ad{subset(), subset()};
+    FuncDep fd{subset(), subset()};
+    EXPECT_EQ(SatisfiesAttrDep(rows, ad), SatisfiesAttrDepHashed(rows, ad));
+    EXPECT_EQ(SatisfiesFuncDep(rows, fd), SatisfiesFuncDepHashed(rows, fd));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashedEquivalence,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,190 @@
+#include "core/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/closure.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+TEST(DiscoveryTest, FindsTheJobtypeAdInGeneratedData) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  AttrSet universe;
+  for (size_t i = 0; i < world.catalog.size(); ++i) {
+    universe.Insert(static_cast<AttrId>(i));
+  }
+  DiscoveryOptions options;
+  options.max_lhs_size = 1;
+  auto ads = DiscoverAttrDeps(world.relation.rows(), universe, options);
+  // The jobtype determinant must be (re)discovered with the full
+  // determined set.
+  bool found = false;
+  for (const AttrDep& ad : ads) {
+    if (ad.lhs == AttrSet::Of(world.jobtype)) {
+      found = true;
+      EXPECT_TRUE(world.ead.determined().IsSubsetOf(ad.rhs));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiscoveryTest, LargeEmployeeInstanceRediscoversTheEad) {
+  EmployeeConfig config;
+  config.num_variants = 4;
+  config.attrs_per_variant = 2;
+  config.rows = 300;
+  config.seed = 8;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  AttrSet universe;
+  for (size_t i = 0; i < w.value()->catalog.size(); ++i) {
+    universe.Insert(static_cast<AttrId>(i));
+  }
+  DiscoveryOptions options;
+  options.max_lhs_size = 1;
+  auto ads = DiscoverAttrDeps(w.value()->relation.rows(), universe, options);
+  bool found = false;
+  for (const AttrDep& ad : ads) {
+    if (ad.lhs == AttrSet::Of(w.value()->jobtype_attr)) {
+      found = true;
+      EXPECT_TRUE(w.value()->eads[0].determined().IsSubsetOf(ad.rhs));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiscoveryTest, FdsInHomogeneousData) {
+  // id -> everything; value columns with a functional pattern.
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 20; ++i) {
+    Tuple t;
+    t.Set(0, Value::Int(i));          // key
+    t.Set(1, Value::Int(i % 4));      // group
+    t.Set(2, Value::Int((i % 4) * 10));  // functionally determined by group
+    rows.push_back(std::move(t));
+  }
+  AttrSet universe{0, 1, 2};
+  auto fds = DiscoverFuncDeps(rows, universe, {});
+  DependencySet found;
+  for (const FuncDep& fd : fds) found.AddFd(fd);
+  EXPECT_TRUE(Implies(found, FuncDep{AttrSet{0}, AttrSet{1, 2}}));
+  EXPECT_TRUE(Implies(found, FuncDep{AttrSet{1}, AttrSet{2}}));
+  EXPECT_TRUE(Implies(found, FuncDep{AttrSet{2}, AttrSet{1}}));
+  // No spurious reverse dependency: group does not determine the key.
+  EXPECT_FALSE(Implies(found, FuncDep{AttrSet{1}, AttrSet{0}}));
+}
+
+TEST(DiscoveryTest, SoundnessEveryReportedDependencyHolds) {
+  Rng rng(99);
+  // Random heterogeneous instance.
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 60; ++i) {
+    Tuple t;
+    for (AttrId a = 0; a < 5; ++a) {
+      if (rng.Bernoulli(0.6)) t.Set(a, Value::Int(rng.UniformInt(0, 2)));
+    }
+    rows.push_back(std::move(t));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  AttrSet universe{0, 1, 2, 3, 4};
+  DiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.minimal_only = false;
+  for (const AttrDep& ad : DiscoverAttrDeps(rows, universe, options)) {
+    EXPECT_TRUE(SatisfiesAttrDep(rows, ad))
+        << "discovered AD does not hold: " << ad.lhs.ToString() << " -> "
+        << ad.rhs.ToString();
+  }
+  for (const FuncDep& fd : DiscoverFuncDeps(rows, universe, options)) {
+    EXPECT_TRUE(SatisfiesFuncDep(rows, fd))
+        << "discovered FD does not hold";
+  }
+}
+
+TEST(DiscoveryTest, CompletenessMaximalRhsPerLhs) {
+  // Brute-force cross-check on a small instance: for every LHS of size <= 2
+  // and every single attribute, discovery's RHS contains the attribute iff
+  // the dependency holds.
+  Rng rng(7);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 25; ++i) {
+    Tuple t;
+    for (AttrId a = 0; a < 4; ++a) {
+      if (rng.Bernoulli(0.7)) t.Set(a, Value::Int(rng.UniformInt(0, 1)));
+    }
+    rows.push_back(std::move(t));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  AttrSet universe{0, 1, 2, 3};
+  DiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.minimal_only = false;
+  auto ads = DiscoverAttrDeps(rows, universe, options);
+  auto rhs_of = [&](const AttrSet& lhs) {
+    for (const AttrDep& ad : ads) {
+      if (ad.lhs == lhs) return ad.rhs;
+    }
+    return AttrSet();
+  };
+  for (AttrId x = 0; x < 4; ++x) {
+    for (AttrId y = 0; y < 4; ++y) {
+      if (x == y) continue;
+      bool holds = SatisfiesAttrDep(rows, AttrDep{AttrSet{x}, AttrSet{y}});
+      EXPECT_EQ(rhs_of(AttrSet{x}).Contains(y), holds)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(DiscoveryTest, MinimalOnlySuppressesImpliedDependencies) {
+  // With a constant attribute, every LHS determines it; minimal_only keeps
+  // the generator (the empty... smallest LHS) and drops the rest.
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 10; ++i) {
+    Tuple t;
+    t.Set(0, Value::Int(i));
+    t.Set(1, Value::Int(42));  // constant => present everywhere
+    rows.push_back(std::move(t));
+  }
+  AttrSet universe{0, 1};
+  DiscoveryOptions all;
+  all.minimal_only = false;
+  all.max_lhs_size = 2;
+  DiscoveryOptions minimal;
+  minimal.minimal_only = true;
+  minimal.max_lhs_size = 2;
+  auto every = DiscoverFuncDeps(rows, universe, all);
+  auto reduced = DiscoverFuncDeps(rows, universe, minimal);
+  EXPECT_LE(reduced.size(), every.size());
+  // The reduced set still implies everything the full set reports.
+  DependencySet base;
+  for (const FuncDep& fd : reduced) base.AddFd(fd);
+  for (const FuncDep& fd : every) {
+    EXPECT_TRUE(Implies(base, fd)) << "lost dependency after reduction";
+  }
+}
+
+TEST(DiscoveryTest, BundledDiscovery) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  AttrSet universe;
+  for (size_t i = 0; i < ex.value()->catalog.size(); ++i) {
+    universe.Insert(static_cast<AttrId>(i));
+  }
+  DependencySet deps =
+      DiscoverDependencies(ex.value()->relation.rows(), universe, {});
+  EXPECT_FALSE(deps.empty());
+  EXPECT_TRUE(deps.SatisfiedBy(ex.value()->relation.rows()));
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,117 @@
+#include "relational/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace {
+
+TEST(DomainTest, AnyDomainChecksTypeOnly) {
+  Domain d = Domain::Any(ValueType::kInt);
+  EXPECT_TRUE(d.Contains(Value::Int(5)));
+  EXPECT_FALSE(d.Contains(Value::Str("5")));
+  EXPECT_FALSE(d.Contains(Value::Null()));
+  EXPECT_FALSE(d.Cardinality().has_value());
+}
+
+TEST(DomainTest, BoolAnyIsFinite) {
+  Domain d = Domain::Any(ValueType::kBool);
+  ASSERT_TRUE(d.Cardinality().has_value());
+  EXPECT_EQ(*d.Cardinality(), 2u);
+}
+
+TEST(DomainTest, EnumeratedMembership) {
+  auto d = Domain::Enumerated({Value::Str("secretary"), Value::Str("salesman"),
+                               Value::Str("secretary")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().Contains(Value::Str("salesman")));
+  EXPECT_FALSE(d.value().Contains(Value::Str("engineer")));
+  EXPECT_EQ(*d.value().Cardinality(), 2u);  // deduplicated
+}
+
+TEST(DomainTest, EnumeratedRejectsMixedTypesAndEmpty) {
+  EXPECT_FALSE(Domain::Enumerated({Value::Int(1), Value::Str("x")}).ok());
+  EXPECT_FALSE(Domain::Enumerated({}).ok());
+  EXPECT_FALSE(Domain::Enumerated({Value::Null()}).ok());
+}
+
+TEST(DomainTest, IntRange) {
+  auto d = Domain::IntRange(1, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().Contains(Value::Int(1)));
+  EXPECT_TRUE(d.value().Contains(Value::Int(10)));
+  EXPECT_FALSE(d.value().Contains(Value::Int(0)));
+  EXPECT_FALSE(d.value().Contains(Value::Int(11)));
+  EXPECT_EQ(*d.value().Cardinality(), 10u);
+  EXPECT_FALSE(Domain::IntRange(5, 4).ok());
+}
+
+TEST(DomainTest, RestrictTo) {
+  auto base = Domain::Enumerated(
+      {Value::Str("a"), Value::Str("b"), Value::Str("c")});
+  ASSERT_TRUE(base.ok());
+  auto restricted = base.value().RestrictTo({Value::Str("b")});
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_TRUE(restricted.value().Contains(Value::Str("b")));
+  EXPECT_FALSE(restricted.value().Contains(Value::Str("a")));
+  // Restricting to a non-member fails.
+  EXPECT_FALSE(base.value().RestrictTo({Value::Str("z")}).ok());
+}
+
+TEST(DomainTest, SubdomainEnumerated) {
+  Domain all = Domain::Any(ValueType::kString);
+  auto abc = Domain::Enumerated(
+      {Value::Str("a"), Value::Str("b"), Value::Str("c")});
+  auto ab = Domain::Enumerated({Value::Str("a"), Value::Str("b")});
+  ASSERT_TRUE(abc.ok());
+  ASSERT_TRUE(ab.ok());
+  EXPECT_TRUE(ab.value().IsSubdomainOf(abc.value()));
+  EXPECT_FALSE(abc.value().IsSubdomainOf(ab.value()));
+  EXPECT_TRUE(ab.value().IsSubdomainOf(all));
+  EXPECT_FALSE(all.IsSubdomainOf(ab.value()));
+  EXPECT_TRUE(all.IsSubdomainOf(all));
+}
+
+TEST(DomainTest, SubdomainRanges) {
+  Domain r1 = Domain::IntRange(2, 5).value();
+  Domain r2 = Domain::IntRange(1, 10).value();
+  EXPECT_TRUE(r1.IsSubdomainOf(r2));
+  EXPECT_FALSE(r2.IsSubdomainOf(r1));
+  EXPECT_TRUE(r1.IsSubdomainOf(Domain::Any(ValueType::kInt)));
+  // Range within an enumerated domain.
+  auto enum123 = Domain::Enumerated(
+      {Value::Int(1), Value::Int(2), Value::Int(3)});
+  ASSERT_TRUE(enum123.ok());
+  EXPECT_TRUE(Domain::IntRange(1, 3).value().IsSubdomainOf(enum123.value()));
+  EXPECT_FALSE(Domain::IntRange(1, 4).value().IsSubdomainOf(enum123.value()));
+}
+
+TEST(DomainTest, CrossTypeNeverSubdomain) {
+  EXPECT_FALSE(Domain::Any(ValueType::kInt)
+                   .IsSubdomainOf(Domain::Any(ValueType::kDouble)));
+}
+
+TEST(DomainTest, SampleRespectsDomain) {
+  Rng rng(99);
+  Domain d = Domain::IntRange(5, 8).value();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(d.Contains(d.Sample(&rng)));
+  }
+  auto e = Domain::Enumerated({Value::Str("x"), Value::Str("y")}).value();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(e.Contains(e.Sample(&rng)));
+  }
+  Domain any_int = Domain::Any(ValueType::kInt);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(any_int.Contains(any_int.Sample(&rng)));
+  }
+}
+
+TEST(DomainTest, ToString) {
+  EXPECT_EQ(Domain::Any(ValueType::kInt).ToString(), "int");
+  EXPECT_EQ(Domain::IntRange(1, 3).value().ToString(), "int[1..3]");
+  EXPECT_EQ(Domain::Enumerated({Value::Str("a")}).value().ToString(),
+            "{'a'}");
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,179 @@
+#include "ermodel/er_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/type_check.h"
+
+namespace flexrel {
+namespace {
+
+class ErMappingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sex_ = catalog_.Intern("sex");
+    marital_ = catalog_.Intern("marital-status");
+    name_ = catalog_.Intern("name");
+    maiden_ = catalog_.Intern("maiden-name");
+
+    entity_.name = "person";
+    entity_.attrs = {
+        {name_, Domain::Any(ValueType::kString)},
+        {sex_, Domain::Enumerated({Value::Str("f"), Value::Str("m")}).value()},
+        {marital_, Domain::Enumerated({Value::Str("single"),
+                                       Value::Str("married")})
+                       .value()},
+    };
+
+    // The paper's second value-based example: sex and marital-status
+    // determine the existence of maiden-name.
+    ErSpecialization spec;
+    spec.discriminators = AttrSet{sex_, marital_};
+    ErSubclass married_woman;
+    married_woman.name = "married-woman";
+    Tuple fm;
+    fm.Set(sex_, Value::Str("f"));
+    fm.Set(marital_, Value::Str("married"));
+    married_woman.defining_values =
+        ConditionSet::Make(spec.discriminators, {fm}).value();
+    married_woman.specific_attrs = {{maiden_, Domain::Any(ValueType::kString)}};
+    spec.subclasses.push_back(std::move(married_woman));
+    entity_.specializations.push_back(std::move(spec));
+  }
+
+  AttrCatalog catalog_;
+  AttrId sex_, marital_, name_, maiden_;
+  ErEntity entity_;
+};
+
+TEST_F(ErMappingTest, MapEntityBuildsSchemeAndEad) {
+  auto mapped = MapEntity(entity_);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_EQ(mapped.value().eads.size(), 1u);
+  const ExplicitAD& ead = mapped.value().eads[0];
+  EXPECT_EQ(ead.determinant(), (AttrSet{sex_, marital_}));
+  EXPECT_EQ(ead.determined(), AttrSet{maiden_});
+
+  // The scheme admits both shapes.
+  const FlexibleScheme& fs = mapped.value().scheme;
+  EXPECT_TRUE(fs.Admits(AttrSet{name_, sex_, marital_}));
+  EXPECT_TRUE(fs.Admits(AttrSet{name_, sex_, marital_, maiden_}));
+  EXPECT_FALSE(fs.Admits(AttrSet{name_, maiden_, sex_, marital_, 999}));
+}
+
+TEST_F(ErMappingTest, MappedEadTypeChecksCorrectly) {
+  auto mapped = MapEntity(entity_);
+  ASSERT_TRUE(mapped.ok());
+  TypeChecker checker(&catalog_, mapped.value().scheme, mapped.value().eads,
+                      mapped.value().domains);
+  Tuple married_woman;
+  married_woman.Set(name_, Value::Str("Ada"));
+  married_woman.Set(sex_, Value::Str("f"));
+  married_woman.Set(marital_, Value::Str("married"));
+  married_woman.Set(maiden_, Value::Str("Byron"));
+  EXPECT_TRUE(checker.Check(married_woman).ok());
+
+  // A married man with a maiden name violates the EAD.
+  Tuple married_man = married_woman;
+  married_man.Set(sex_, Value::Str("m"));
+  EXPECT_FALSE(checker.Check(married_man).ok());
+
+  // A married woman *without* a maiden name violates it too.
+  Tuple incomplete;
+  incomplete.Set(name_, Value::Str("Eva"));
+  incomplete.Set(sex_, Value::Str("f"));
+  incomplete.Set(marital_, Value::Str("married"));
+  EXPECT_FALSE(checker.Check(incomplete).ok());
+}
+
+TEST_F(ErMappingTest, ClassificationPartialDisjoint) {
+  auto mapped = MapEntity(entity_);
+  ASSERT_TRUE(mapped.ok());
+  auto cls = ClassifySpecialization(mapped.value().eads[0],
+                                    mapped.value().domains);
+  ASSERT_TRUE(cls.ok()) << cls.status();
+  EXPECT_TRUE(cls.value().disjoint);  // single subclass: trivially disjoint
+  EXPECT_FALSE(cls.value().total);    // 3 of 4 (sex × marital) combos uncovered
+}
+
+TEST_F(ErMappingTest, TotalSpecializationClassified) {
+  // Cover all four combinations to make it total.
+  ErEntity entity = entity_;
+  ErSpecialization& spec = entity.specializations[0];
+  ErSubclass others;
+  others.name = "others";
+  std::vector<Tuple> rest;
+  for (const char* s : {"f", "m"}) {
+    for (const char* m : {"single", "married"}) {
+      if (std::string(s) == "f" && std::string(m) == "married") continue;
+      Tuple t;
+      t.Set(sex_, Value::Str(s));
+      t.Set(marital_, Value::Str(m));
+      rest.push_back(std::move(t));
+    }
+  }
+  others.defining_values =
+      ConditionSet::Make(spec.discriminators, rest).value();
+  spec.subclasses.push_back(std::move(others));
+
+  auto mapped = MapEntity(entity);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  auto cls = ClassifySpecialization(mapped.value().eads[0],
+                                    mapped.value().domains);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_TRUE(cls.value().total);
+}
+
+TEST_F(ErMappingTest, RoundTripSpecializationFromEad) {
+  auto mapped = MapEntity(entity_);
+  ASSERT_TRUE(mapped.ok());
+  ErSpecialization recovered = SpecializationFromEad(
+      mapped.value().eads[0], mapped.value().domains);
+  EXPECT_EQ(recovered.discriminators, (AttrSet{sex_, marital_}));
+  ASSERT_EQ(recovered.subclasses.size(), 1u);
+  EXPECT_EQ(recovered.subclasses[0].specific_attrs.size(), 1u);
+  EXPECT_EQ(recovered.subclasses[0].specific_attrs[0].first, maiden_);
+  // The defining values survive exactly.
+  EXPECT_EQ(recovered.subclasses[0].defining_values.values(),
+            entity_.specializations[0].subclasses[0].defining_values.values());
+}
+
+TEST_F(ErMappingTest, MapEntityValidatesDiscriminators) {
+  ErEntity bad = entity_;
+  bad.specializations[0].discriminators = AttrSet{9999};
+  EXPECT_FALSE(MapEntity(bad).ok());
+}
+
+TEST_F(ErMappingTest, MultipleSpecializationsCompose) {
+  // Add a second specialization on marital-status alone.
+  ErEntity entity = entity_;
+  ErSpecialization spec2;
+  spec2.discriminators = AttrSet{marital_};
+  ErSubclass married;
+  married.name = "married";
+  married.defining_values =
+      ConditionSet::Single(marital_, Value::Str("married"));
+  AttrId spouse = catalog_.Intern("spouse");
+  married.specific_attrs = {{spouse, Domain::Any(ValueType::kString)}};
+  spec2.subclasses.push_back(std::move(married));
+  entity.specializations.push_back(std::move(spec2));
+
+  auto mapped = MapEntity(entity);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped.value().eads.size(), 2u);
+
+  TypeChecker checker(&catalog_, mapped.value().scheme, mapped.value().eads,
+                      mapped.value().domains);
+  Tuple t;
+  t.Set(name_, Value::Str("Ada"));
+  t.Set(sex_, Value::Str("f"));
+  t.Set(marital_, Value::Str("married"));
+  t.Set(maiden_, Value::Str("Byron"));
+  t.Set(spouse, Value::Str("William"));
+  EXPECT_TRUE(checker.Check(t).ok());
+  // Dropping spouse violates the second EAD only.
+  t.Erase(spouse);
+  EXPECT_FALSE(checker.Check(t).ok());
+}
+
+}  // namespace
+}  // namespace flexrel

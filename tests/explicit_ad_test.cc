@@ -1,0 +1,343 @@
+#include "core/explicit_ad.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+class ExplicitAdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ex = MakeJobtypeExample();
+    ASSERT_TRUE(ex.ok()) << ex.status();
+    ex_ = std::move(ex).value();
+  }
+  std::unique_ptr<JobtypeExample> ex_;
+};
+
+TEST_F(ExplicitAdTest, ConditionSetBasics) {
+  ConditionSet c = ConditionSet::Single(5, Value::Str("secretary"));
+  EXPECT_EQ(c.base(), AttrSet{5});
+  EXPECT_EQ(c.size(), 1u);
+  Tuple match;
+  match.Set(5, Value::Str("secretary"));
+  match.Set(9, Value::Int(1));
+  EXPECT_TRUE(c.Matches(match));
+  Tuple wrong;
+  wrong.Set(5, Value::Str("salesman"));
+  EXPECT_FALSE(c.Matches(wrong));
+  EXPECT_FALSE(c.Matches(Tuple()));  // not defined on the base
+}
+
+TEST_F(ExplicitAdTest, ConditionSetValidatesValueShapes) {
+  Tuple over_wrong_attrs;
+  over_wrong_attrs.Set(1, Value::Int(1));
+  EXPECT_FALSE(ConditionSet::Make(AttrSet{0}, {over_wrong_attrs}).ok());
+}
+
+TEST_F(ExplicitAdTest, ConditionSetAlgebra) {
+  AttrSet base{0};
+  auto mk = [&](std::vector<int64_t> vals) {
+    std::vector<Tuple> ts;
+    for (int64_t v : vals) {
+      Tuple t;
+      t.Set(0, Value::Int(v));
+      ts.push_back(std::move(t));
+    }
+    return ConditionSet::Make(base, std::move(ts)).value();
+  };
+  ConditionSet a = mk({1, 2, 3});
+  ConditionSet b = mk({2, 3, 4});
+  EXPECT_EQ(a.Intersect(b).value().size(), 2u);
+  EXPECT_EQ(a.Minus(b).value().size(), 1u);
+  EXPECT_EQ(a.UnionWith(b).value().size(), 4u);
+  EXPECT_FALSE(a.DisjointFrom(b));
+  EXPECT_TRUE(mk({1}).DisjointFrom(mk({2})));
+  // Mismatched bases are rejected.
+  ConditionSet other = ConditionSet::Single(1, Value::Int(1));
+  EXPECT_FALSE(a.Intersect(other).ok());
+}
+
+TEST_F(ExplicitAdTest, MakeRejectsOverlappingConditions) {
+  AttrSet x{0};
+  AttrSet y{1};
+  EadVariant v1{ConditionSet::Single(0, Value::Int(1)), AttrSet{1}};
+  EadVariant v2{ConditionSet::Single(0, Value::Int(1)), AttrSet()};
+  EXPECT_FALSE(ExplicitAD::Make(x, y, {v1, v2}).ok());
+}
+
+TEST_F(ExplicitAdTest, MakeRejectsVariantOutsideDetermined) {
+  AttrSet x{0};
+  EadVariant v{ConditionSet::Single(0, Value::Int(1)), AttrSet{2}};
+  EXPECT_FALSE(ExplicitAD::Make(x, AttrSet{1}, {v}).ok());
+}
+
+// ---- Example 2: the jobtype EAD --------------------------------------------
+
+TEST_F(ExplicitAdTest, Example2AcceptsWellTypedTuples) {
+  const AttrCatalog& cat = ex_->catalog;
+  EXPECT_TRUE(ex_->ead.CheckTuple(ex_->MakeSecretary(4800, 300), cat).ok());
+  EXPECT_TRUE(ex_->ead.CheckTuple(ex_->MakeEngineer(6000, 2), cat).ok());
+  EXPECT_TRUE(ex_->ead.CheckTuple(ex_->MakeSalesman(5000, 10), cat).ok());
+}
+
+TEST_F(ExplicitAdTest, Example2RejectsTheMistypedSalesman) {
+  // "< .. jobtype: 'salesman', typing-speed: high, foreign-languages: .. >"
+  Status s = ex_->ead.CheckTuple(ex_->MakeMistypedSalesman(), ex_->catalog);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(s.message().find("salesman"), std::string::npos);
+}
+
+TEST_F(ExplicitAdTest, TupleWithoutDeterminantMustLackAllOfY) {
+  Tuple t;
+  t.Set(ex_->salary, Value::Int(1000));
+  EXPECT_TRUE(ex_->ead.CheckTuple(t, ex_->catalog).ok());
+  t.Set(ex_->products, Value::Int(1));
+  EXPECT_FALSE(ex_->ead.CheckTuple(t, ex_->catalog).ok());
+}
+
+TEST_F(ExplicitAdTest, UnmatchedDeterminantValueMustLackAllOfY) {
+  Tuple t;
+  t.Set(ex_->jobtype, Value::Str("janitor"));  // no variant matches
+  t.Set(ex_->salary, Value::Int(1000));
+  EXPECT_TRUE(ex_->ead.CheckTuple(t, ex_->catalog).ok());
+  t.Set(ex_->typing_speed, Value::Int(100));
+  EXPECT_FALSE(ex_->ead.CheckTuple(t, ex_->catalog).ok());
+}
+
+TEST_F(ExplicitAdTest, MatchVariantAndRequiredAttrs) {
+  Tuple t = ex_->MakeEngineer(6000, 2);
+  EXPECT_EQ(ex_->ead.MatchVariant(t), 1);
+  EXPECT_EQ(ex_->ead.RequiredAttrs(t),
+            (AttrSet{ex_->products, ex_->programming_languages}));
+  EXPECT_EQ(ex_->ead.MatchVariant(Tuple()), -1);
+  EXPECT_EQ(ex_->ead.RequiredAttrs(Tuple()), AttrSet());
+}
+
+TEST_F(ExplicitAdTest, SatisfiesOverInstance) {
+  std::vector<Tuple> good = {ex_->MakeSecretary(1, 2),
+                             ex_->MakeSalesman(3, 4)};
+  EXPECT_TRUE(ex_->ead.Satisfies(good));
+  std::vector<Tuple> bad = good;
+  bad.push_back(ex_->MakeMistypedSalesman());
+  EXPECT_FALSE(ex_->ead.Satisfies(bad));
+}
+
+// ---- EAD-level rule algebra (Section 4.1's remark) --------------------------
+
+TEST_F(ExplicitAdTest, ProjectRhsKeepsConditions) {
+  // Example 4 step 1: project the right side onto {typing-speed}.
+  ExplicitAD projected = ex_->ead.ProjectRhs(AttrSet{ex_->typing_speed});
+  EXPECT_EQ(projected.determined(), AttrSet{ex_->typing_speed});
+  // The secretary variant keeps typing-speed, the others become empty.
+  Tuple sec = ex_->MakeSecretary(1, 2);
+  EXPECT_EQ(projected.RequiredAttrs(sec), AttrSet{ex_->typing_speed});
+  Tuple sales = ex_->MakeSalesman(1, 2);
+  EXPECT_EQ(projected.RequiredAttrs(sales), AttrSet());
+  // Projection is sound: every tuple satisfying the original satisfies it.
+  EXPECT_TRUE(projected.CheckTuple(sec, ex_->catalog).ok());
+  EXPECT_TRUE(projected.CheckTuple(sales, ex_->catalog).ok());
+}
+
+TEST_F(ExplicitAdTest, AugmentLhsEvaluatesByProjection) {
+  // Example 4 step 2: augment the left side with salary.
+  ExplicitAD augmented = ex_->ead.AugmentLhs(AttrSet{ex_->salary});
+  EXPECT_EQ(augmented.determinant(), (AttrSet{ex_->jobtype, ex_->salary}));
+  EXPECT_EQ(augmented.condition_base(), AttrSet{ex_->jobtype});
+  Tuple sec = ex_->MakeSecretary(5500, 250);
+  EXPECT_EQ(augmented.MatchVariant(sec), 0);
+  EXPECT_TRUE(augmented.CheckTuple(sec, ex_->catalog).ok());
+  // A tuple lacking salary is not defined on the augmented determinant, so
+  // it matches no variant — and must then carry none of Y. (Augmentation is
+  // a *weaker* statement; this is exactly rule A4's direction.)
+  Tuple no_salary;
+  no_salary.Set(ex_->jobtype, Value::Str("secretary"));
+  EXPECT_EQ(augmented.MatchVariant(no_salary), -1);
+}
+
+TEST_F(ExplicitAdTest, AdditivityFullPartitionIsSound) {
+  // Two EADs over the same determinant with different determined sets.
+  AttrSet x{0};
+  auto cond = [&](int64_t v) { return ConditionSet::Single(0, Value::Int(v)); };
+  ExplicitAD e1 = ExplicitAD::Make(x, AttrSet{1},
+                                   {EadVariant{cond(1), AttrSet{1}},
+                                    EadVariant{cond(2), AttrSet()}})
+                      .value();
+  ExplicitAD e2 = ExplicitAD::Make(x, AttrSet{2},
+                                   {EadVariant{cond(2), AttrSet{2}},
+                                    EadVariant{cond(3), AttrSet{2}}})
+                      .value();
+  ExplicitAD sum = ExplicitAD::Add(e1, e2).value();
+  EXPECT_EQ(sum.determined(), (AttrSet{1, 2}));
+
+  // A tuple with X=1 satisfies e1 (carries {1}) and e2 (carries nothing of
+  // {2}); the sound combined EAD must accept it. The paper's literal
+  // pairwise-intersection rule would map X=1 to "no variant" and demand the
+  // tuple carry nothing — i.e. it would *reject* this legal tuple.
+  Tuple t1;
+  t1.Set(0, Value::Int(1));
+  t1.Set(1, Value::Int(99));
+  AttrCatalog cat;
+  cat.Intern("X");
+  cat.Intern("P");
+  cat.Intern("Q");
+  EXPECT_TRUE(e1.CheckTuple(t1, cat).ok());
+  EXPECT_TRUE(e2.CheckTuple(t1, cat).ok());
+  EXPECT_TRUE(sum.CheckTuple(t1, cat).ok()) << sum.ToString(cat);
+
+  // X=2: e1 demands nothing, e2 demands {2}.
+  Tuple t2;
+  t2.Set(0, Value::Int(2));
+  t2.Set(2, Value::Int(5));
+  EXPECT_TRUE(sum.CheckTuple(t2, cat).ok());
+
+  // X=3: e2 demands {2}; carrying attr 1 as well must fail.
+  Tuple t3;
+  t3.Set(0, Value::Int(3));
+  t3.Set(1, Value::Int(5));
+  t3.Set(2, Value::Int(5));
+  EXPECT_FALSE(sum.CheckTuple(t3, cat).ok());
+}
+
+TEST_F(ExplicitAdTest, AdditivityPropertySweep) {
+  // For every determinant value 0..5, any tuple satisfying both inputs
+  // satisfies the sum, and vice versa.
+  AttrSet x{0};
+  auto cond = [&](std::vector<int64_t> vals) {
+    std::vector<Tuple> ts;
+    for (int64_t v : vals) {
+      Tuple t;
+      t.Set(0, Value::Int(v));
+      ts.push_back(std::move(t));
+    }
+    return ConditionSet::Make(x, std::move(ts)).value();
+  };
+  ExplicitAD e1 = ExplicitAD::Make(x, AttrSet{1},
+                                   {EadVariant{cond({0, 1}), AttrSet{1}}})
+                      .value();
+  ExplicitAD e2 = ExplicitAD::Make(x, AttrSet{2},
+                                   {EadVariant{cond({1, 2}), AttrSet{2}}})
+                      .value();
+  ExplicitAD sum = ExplicitAD::Add(e1, e2).value();
+  AttrCatalog cat;
+  cat.Intern("X");
+  cat.Intern("P");
+  cat.Intern("Q");
+  for (int64_t xv = 0; xv <= 5; ++xv) {
+    for (int mask = 0; mask < 4; ++mask) {
+      Tuple t;
+      t.Set(0, Value::Int(xv));
+      if (mask & 1) t.Set(1, Value::Int(7));
+      if (mask & 2) t.Set(2, Value::Int(7));
+      bool both = e1.CheckTuple(t, cat).ok() && e2.CheckTuple(t, cat).ok();
+      bool combined = sum.CheckTuple(t, cat).ok();
+      EXPECT_EQ(both, combined)
+          << "x=" << xv << " mask=" << mask << " sum=" << sum.ToString(cat);
+    }
+  }
+}
+
+// EAD-level projectivity and augmentation are *sound*: any tuple satisfying
+// the original EAD satisfies every projected / augmented form. Swept over
+// random tuples of all shapes.
+class EadRuleSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EadRuleSoundness, ProjectAndAugmentPreserveSatisfaction) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  Rng rng(GetParam());
+
+  // Random subset of Y for projection, random extra attrs for augmentation.
+  std::vector<AttrId> y_ids(world.ead.determined().ids());
+  std::vector<AttrId> keep_ids;
+  for (AttrId a : y_ids) {
+    if (rng.Bernoulli(0.5)) keep_ids.push_back(a);
+  }
+  ExplicitAD projected = world.ead.ProjectRhs(AttrSet::FromIds(keep_ids));
+  ExplicitAD augmented = world.ead.AugmentLhs(AttrSet::Of(world.salary));
+
+  // Random tuples: valid variants, mistyped ones, determinant-free ones.
+  for (int trial = 0; trial < 40; ++trial) {
+    Tuple t;
+    switch (rng.Index(5)) {
+      case 0:
+        t = world.MakeSecretary(rng.UniformInt(0, 9999), 1);
+        break;
+      case 1:
+        t = world.MakeEngineer(rng.UniformInt(0, 9999), 1);
+        break;
+      case 2:
+        t = world.MakeSalesman(rng.UniformInt(0, 9999), 1);
+        break;
+      case 3:
+        t = world.MakeMistypedSalesman();
+        break;
+      default:
+        t.Set(world.salary, Value::Int(1));
+        break;
+    }
+    if (world.ead.CheckTuple(t, world.catalog).ok()) {
+      EXPECT_TRUE(projected.CheckTuple(t, world.catalog).ok())
+          << "projectivity unsound on " << t.ToString(world.catalog);
+      EXPECT_TRUE(augmented.CheckTuple(t, world.catalog).ok())
+          << "augmentation unsound on " << t.ToString(world.catalog);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EadRuleSoundness,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---- ER classifications ------------------------------------------------------
+
+TEST_F(ExplicitAdTest, JobtypeSpecializationIsOverlappingNotDisjoint) {
+  // products appears in both the engineer and the salesman variant.
+  EXPECT_FALSE(ex_->ead.IsDisjointSpecialization());
+}
+
+TEST_F(ExplicitAdTest, TotalityOverEnumeratedDomain) {
+  auto total = ex_->ead.IsTotalSpecialization(ex_->domains);
+  ASSERT_TRUE(total.ok()) << total.status();
+  // dom(jobtype) = exactly the three variant values: total.
+  EXPECT_TRUE(total.value());
+
+  // Enlarging the domain makes it partial.
+  auto domains = ex_->domains;
+  for (auto& [attr, domain] : domains) {
+    if (attr == ex_->jobtype) {
+      domain = Domain::Enumerated({Value::Str("secretary"),
+                                   Value::Str("software engineer"),
+                                   Value::Str("salesman"),
+                                   Value::Str("janitor")})
+                   .value();
+    }
+  }
+  auto partial = ex_->ead.IsTotalSpecialization(domains);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value());
+}
+
+TEST_F(ExplicitAdTest, TotalityUndecidableOverInfiniteDomain) {
+  std::vector<std::pair<AttrId, Domain>> domains = {
+      {ex_->jobtype, Domain::Any(ValueType::kString)}};
+  EXPECT_EQ(ex_->ead.IsTotalSpecialization(domains).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ExplicitAdTest, DisjointSpecializationDetected) {
+  AttrSet x{0};
+  ExplicitAD disjoint =
+      ExplicitAD::Make(x, AttrSet{1, 2},
+                       {EadVariant{ConditionSet::Single(0, Value::Int(1)),
+                                   AttrSet{1}},
+                        EadVariant{ConditionSet::Single(0, Value::Int(2)),
+                                   AttrSet{2}}})
+          .value();
+  EXPECT_TRUE(disjoint.IsDisjointSpecialization());
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,121 @@
+#include "relational/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest() {
+    salary_ = catalog_.Intern("salary");
+    jobtype_ = catalog_.Intern("jobtype");
+    speed_ = catalog_.Intern("typing-speed");
+    secretary_ = Tuple::FromPairs({{salary_, Value::Int(6000)},
+                                   {jobtype_, Value::Str("secretary")},
+                                   {speed_, Value::Int(300)}});
+    salesman_ = Tuple::FromPairs(
+        {{salary_, Value::Int(4000)}, {jobtype_, Value::Str("salesman")}});
+  }
+  AttrCatalog catalog_;
+  AttrId salary_, jobtype_, speed_;
+  Tuple secretary_, salesman_;
+};
+
+TEST_F(ExpressionTest, TriBoolTables) {
+  using enum TriBool;
+  EXPECT_EQ(TriAnd(kTrue, kTrue), kTrue);
+  EXPECT_EQ(TriAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TriAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TriOr(kFalse, kFalse), kFalse);
+  EXPECT_EQ(TriOr(kUnknown, kTrue), kTrue);
+  EXPECT_EQ(TriOr(kUnknown, kFalse), kUnknown);
+  EXPECT_EQ(TriNot(kTrue), kFalse);
+  EXPECT_EQ(TriNot(kUnknown), kUnknown);
+}
+
+TEST_F(ExpressionTest, ComparisonOperators) {
+  EXPECT_EQ(Expr::Compare(salary_, CmpOp::kGt, Value::Int(5000))->Eval(secretary_),
+            TriBool::kTrue);
+  EXPECT_EQ(Expr::Compare(salary_, CmpOp::kLt, Value::Int(5000))->Eval(secretary_),
+            TriBool::kFalse);
+  EXPECT_EQ(Expr::Compare(salary_, CmpOp::kGe, Value::Int(6000))->Eval(secretary_),
+            TriBool::kTrue);
+  EXPECT_EQ(Expr::Compare(salary_, CmpOp::kLe, Value::Int(5999))->Eval(secretary_),
+            TriBool::kFalse);
+  EXPECT_EQ(Expr::Compare(salary_, CmpOp::kNe, Value::Int(1))->Eval(secretary_),
+            TriBool::kTrue);
+  EXPECT_EQ(Expr::Eq(jobtype_, Value::Str("secretary"))->Eval(secretary_),
+            TriBool::kTrue);
+}
+
+TEST_F(ExpressionTest, MissingAttributeYieldsUnknown) {
+  ExprPtr e = Expr::Compare(speed_, CmpOp::kGt, Value::Int(100));
+  EXPECT_EQ(e->Eval(salesman_), TriBool::kUnknown);
+  EXPECT_FALSE(e->Accepts(salesman_));
+  EXPECT_TRUE(e->Accepts(secretary_));
+}
+
+TEST_F(ExpressionTest, TypeMismatchIsFalseNotUnknown) {
+  // salary is int; comparing against a string literal can never hold.
+  EXPECT_EQ(Expr::Eq(salary_, Value::Str("6000"))->Eval(secretary_),
+            TriBool::kFalse);
+}
+
+TEST_F(ExpressionTest, InSet) {
+  ExprPtr e = Expr::In(jobtype_,
+                       {Value::Str("secretary"), Value::Str("salesman")});
+  EXPECT_EQ(e->Eval(secretary_), TriBool::kTrue);
+  EXPECT_EQ(e->Eval(salesman_), TriBool::kTrue);
+  Tuple engineer = Tuple::FromPairs(
+      {{jobtype_, Value::Str("software engineer")}});
+  EXPECT_EQ(e->Eval(engineer), TriBool::kFalse);
+  // Missing attribute.
+  EXPECT_EQ(e->Eval(Tuple()), TriBool::kUnknown);
+}
+
+TEST_F(ExpressionTest, ExistsIsTheTypeGuard) {
+  EXPECT_EQ(Expr::Exists(speed_)->Eval(secretary_), TriBool::kTrue);
+  EXPECT_EQ(Expr::Exists(speed_)->Eval(salesman_), TriBool::kFalse);
+  // A null value counts as absent (decomposition baselines).
+  Tuple padded = Tuple::FromPairs({{speed_, Value::Null()}});
+  EXPECT_EQ(Expr::Exists(speed_)->Eval(padded), TriBool::kFalse);
+}
+
+TEST_F(ExpressionTest, ConnectivesPropagateKleene) {
+  ExprPtr missing = Expr::Compare(speed_, CmpOp::kGt, Value::Int(0));
+  ExprPtr true_on_salesman = Expr::Eq(jobtype_, Value::Str("salesman"));
+  EXPECT_EQ(Expr::And(missing, true_on_salesman)->Eval(salesman_),
+            TriBool::kUnknown);
+  EXPECT_EQ(Expr::Or(missing, true_on_salesman)->Eval(salesman_),
+            TriBool::kTrue);
+  EXPECT_EQ(Expr::Not(missing)->Eval(salesman_), TriBool::kUnknown);
+  EXPECT_EQ(Expr::And(missing, Expr::Const(TriBool::kFalse))->Eval(salesman_),
+            TriBool::kFalse);
+}
+
+TEST_F(ExpressionTest, AndAll) {
+  EXPECT_EQ(Expr::AndAll({})->Eval(salesman_), TriBool::kTrue);
+  ExprPtr e = Expr::AndAll({Expr::Eq(jobtype_, Value::Str("salesman")),
+                            Expr::Compare(salary_, CmpOp::kLt, Value::Int(5000))});
+  EXPECT_TRUE(e->Accepts(salesman_));
+  EXPECT_FALSE(e->Accepts(secretary_));
+}
+
+TEST_F(ExpressionTest, ReferencedVsValueAttrs) {
+  ExprPtr e = Expr::And(Expr::Eq(jobtype_, Value::Str("secretary")),
+                        Expr::Exists(speed_));
+  EXPECT_EQ(e->ReferencedAttrs(), (AttrSet{jobtype_, speed_}));
+  EXPECT_EQ(e->ValueAttrs(), AttrSet{jobtype_});
+}
+
+TEST_F(ExpressionTest, ToStringRendersFormula) {
+  ExprPtr e = Expr::And(Expr::Compare(salary_, CmpOp::kGt, Value::Int(5000)),
+                        Expr::Eq(jobtype_, Value::Str("secretary")));
+  EXPECT_EQ(e->ToString(catalog_),
+            "(salary > 5000 AND jobtype = 'secretary')");
+  EXPECT_EQ(Expr::Exists(speed_)->ToString(catalog_), "EXISTS(typing-speed)");
+}
+
+}  // namespace
+}  // namespace flexrel

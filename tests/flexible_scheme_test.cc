@@ -1,0 +1,261 @@
+#include "core/flexible_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+class SchemeTest : public ::testing::Test {
+ protected:
+  AttrCatalog catalog_;
+  AttrSet Ids(const std::vector<std::string>& names) {
+    std::vector<AttrId> ids;
+    for (const auto& n : names) ids.push_back(catalog_.Intern(n));
+    return AttrSet::FromIds(std::move(ids));
+  }
+};
+
+TEST_F(SchemeTest, RelationalSchemeAdmitsExactlyItsAttrs) {
+  AttrSet abc = Ids({"A", "B", "C"});
+  auto fs = FlexibleScheme::Relational(abc);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE(fs.value().Admits(abc));
+  EXPECT_FALSE(fs.value().Admits(Ids({"A", "B"})));
+  EXPECT_FALSE(fs.value().Admits(AttrSet()));
+  EXPECT_EQ(fs.value().DnfCount(), 1u);
+}
+
+TEST_F(SchemeTest, DisjointUnionAdmitsOneOf) {
+  auto fs = FlexibleScheme::DisjointUnion(
+      {FlexibleScheme::Attr(catalog_.Intern("C")),
+       FlexibleScheme::Attr(catalog_.Intern("D"))});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE(fs.value().Admits(Ids({"C"})));
+  EXPECT_TRUE(fs.value().Admits(Ids({"D"})));
+  EXPECT_FALSE(fs.value().Admits(Ids({"C", "D"})));
+  EXPECT_FALSE(fs.value().Admits(AttrSet()));
+  EXPECT_EQ(fs.value().DnfCount(), 2u);
+}
+
+TEST_F(SchemeTest, NonDisjointUnionAdmitsNonEmptySubsets) {
+  auto fs = FlexibleScheme::NonDisjointUnion(
+      {FlexibleScheme::Attr(catalog_.Intern("E")),
+       FlexibleScheme::Attr(catalog_.Intern("F")),
+       FlexibleScheme::Attr(catalog_.Intern("G"))});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs.value().DnfCount(), 7u);  // 2^3 - 1
+  EXPECT_TRUE(fs.value().Admits(Ids({"E"})));
+  EXPECT_TRUE(fs.value().Admits(Ids({"E", "G"})));
+  EXPECT_TRUE(fs.value().Admits(Ids({"E", "F", "G"})));
+  EXPECT_FALSE(fs.value().Admits(AttrSet()));
+}
+
+TEST_F(SchemeTest, OptionalPart) {
+  auto fs = FlexibleScheme::Optional(
+      FlexibleScheme::Attr(catalog_.Intern("H")));
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE(fs.value().Admits(AttrSet()));
+  EXPECT_TRUE(fs.value().Admits(Ids({"H"})));
+  EXPECT_EQ(fs.value().DnfCount(), 2u);
+}
+
+TEST_F(SchemeTest, GroupValidation) {
+  std::vector<FlexibleScheme> comps;
+  comps.push_back(FlexibleScheme::Attr(catalog_.Intern("A")));
+  // at-least > at-most.
+  EXPECT_FALSE(FlexibleScheme::Group(2, 1, comps).ok());
+  // at-most beyond component count.
+  EXPECT_FALSE(FlexibleScheme::Group(0, 2, comps).ok());
+  // Duplicate attribute across components.
+  std::vector<FlexibleScheme> dup;
+  dup.push_back(FlexibleScheme::Attr(catalog_.Intern("A")));
+  dup.push_back(FlexibleScheme::Attr(catalog_.Intern("A")));
+  EXPECT_FALSE(FlexibleScheme::Group(2, 2, std::move(dup)).ok());
+}
+
+// ---- Example 1 of the paper ------------------------------------------------
+
+TEST_F(SchemeTest, Example1Has14Combinations) {
+  auto fs = MakeExample1Scheme(&catalog_);
+  ASSERT_TRUE(fs.ok()) << fs.status();
+  EXPECT_EQ(fs.value().DnfCount(), 14u);
+  auto dnf = fs.value().Dnf();
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf.value().size(), 14u);
+}
+
+TEST_F(SchemeTest, Example1DnfMatchesThePaperList) {
+  auto fs = MakeExample1Scheme(&catalog_);
+  ASSERT_TRUE(fs.ok());
+  auto dnf = fs.value().Dnf();
+  ASSERT_TRUE(dnf.ok());
+  std::set<AttrSet> got(dnf.value().begin(), dnf.value().end());
+  // dnf(FS) = {ABCE, ABDE, ABCF, ABDF, ABCG, ABDG, ABCEF, ABDEF, ABCEG,
+  //            ABDEG, ABCFG, ABDFG, ABCEFG, ABDEFG}
+  const std::vector<std::vector<std::string>> expected = {
+      {"A", "B", "C", "E"},           {"A", "B", "D", "E"},
+      {"A", "B", "C", "F"},           {"A", "B", "D", "F"},
+      {"A", "B", "C", "G"},           {"A", "B", "D", "G"},
+      {"A", "B", "C", "E", "F"},      {"A", "B", "D", "E", "F"},
+      {"A", "B", "C", "E", "G"},      {"A", "B", "D", "E", "G"},
+      {"A", "B", "C", "F", "G"},      {"A", "B", "D", "F", "G"},
+      {"A", "B", "C", "E", "F", "G"}, {"A", "B", "D", "E", "F", "G"}};
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& names : expected) {
+    EXPECT_TRUE(got.count(Ids(names)))
+        << "missing combination {" << Join(names, ",") << "}";
+  }
+}
+
+TEST_F(SchemeTest, Example1Membership) {
+  auto fs = MakeExample1Scheme(&catalog_);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE(fs.value().Admits(Ids({"A", "B", "C", "E"})));
+  EXPECT_TRUE(fs.value().Admits(Ids({"A", "B", "D", "E", "F", "G"})));
+  // Both C and D: violates the disjoint union.
+  EXPECT_FALSE(fs.value().Admits(Ids({"A", "B", "C", "D", "E"})));
+  // None of E/F/G: violates the non-disjoint union's lower bound.
+  EXPECT_FALSE(fs.value().Admits(Ids({"A", "B", "C"})));
+  // Missing unconditioned B.
+  EXPECT_FALSE(fs.value().Admits(Ids({"A", "C", "E"})));
+}
+
+TEST_F(SchemeTest, ParseRoundTrip) {
+  auto fs = MakeExample1Scheme(&catalog_);
+  ASSERT_TRUE(fs.ok());
+  std::string text = fs.value().ToString(catalog_);
+  auto reparsed = FlexibleScheme::Parse(&catalog_, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(fs.value() == reparsed.value());
+}
+
+TEST_F(SchemeTest, ParseErrors) {
+  EXPECT_FALSE(FlexibleScheme::Parse(&catalog_, "<1,2").ok());
+  EXPECT_FALSE(FlexibleScheme::Parse(&catalog_, "<x,2,{A}>").ok());
+  EXPECT_FALSE(FlexibleScheme::Parse(&catalog_, "<1,1,{A}> junk").ok());
+  EXPECT_FALSE(FlexibleScheme::Parse(&catalog_, "<2,1,{A,B}>").ok());
+  EXPECT_TRUE(FlexibleScheme::Parse(&catalog_, "  <1, 1, { A , B }> ").ok());
+}
+
+TEST_F(SchemeTest, NestedOptionalRealizesEmpty) {
+  // <1,1,{ <0,1,{A}> , B }>: choosing the optional group empty is legal,
+  // so dnf = { {}, {A}, {B} }.
+  auto fs = FlexibleScheme::Parse(&catalog_, "<1,1,{<0,1,{A}>,B}>");
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE(fs.value().Admits(AttrSet()));
+  EXPECT_TRUE(fs.value().Admits(Ids({"A"})));
+  EXPECT_TRUE(fs.value().Admits(Ids({"B"})));
+  EXPECT_FALSE(fs.value().Admits(Ids({"A", "B"})));
+  EXPECT_EQ(fs.value().DnfCount(), 3u);
+}
+
+TEST_F(SchemeTest, DnfCountDeduplicatesChoicePaths) {
+  // {A} is realizable both by choosing only A and by choosing A plus the
+  // empty-capable group: still one distinct combination.
+  auto fs = FlexibleScheme::Parse(&catalog_, "<1,2,{A,<0,1,{B}>}>");
+  ASSERT_TRUE(fs.ok());
+  auto dnf = fs.value().Dnf();
+  ASSERT_TRUE(dnf.ok());
+  std::set<AttrSet> distinct(dnf.value().begin(), dnf.value().end());
+  EXPECT_EQ(fs.value().DnfCount(), distinct.size());
+  // {} (the group alone, empty), {A} (twice realizable, counted once),
+  // {B}, {A, B}.
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST_F(SchemeTest, ProjectionAdmitsExactlyProjectedDnf) {
+  auto fs = MakeExample1Scheme(&catalog_);
+  ASSERT_TRUE(fs.ok());
+  AttrSet keep = Ids({"A", "C", "D", "E"});
+  FlexibleScheme projected = fs.value().Project(keep);
+  auto dnf = fs.value().Dnf();
+  ASSERT_TRUE(dnf.ok());
+  std::set<AttrSet> expected;
+  for (const AttrSet& s : dnf.value()) expected.insert(s.Intersect(keep));
+  auto projected_dnf = projected.Dnf();
+  ASSERT_TRUE(projected_dnf.ok());
+  std::set<AttrSet> got(projected_dnf.value().begin(),
+                        projected_dnf.value().end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(SchemeTest, ConcatRequiresDisjointAttrs) {
+  auto ab = FlexibleScheme::Relational(Ids({"A", "B"}));
+  auto bc = FlexibleScheme::Relational(Ids({"B", "C"}));
+  auto cd = FlexibleScheme::Relational(Ids({"C", "D"}));
+  ASSERT_TRUE(ab.ok() && bc.ok() && cd.ok());
+  EXPECT_FALSE(ab.value().Concat(bc.value()).ok());
+  auto joined = ab.value().Concat(cd.value());
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined.value().Admits(Ids({"A", "B", "C", "D"})));
+  EXPECT_EQ(joined.value().DnfCount(), 1u);
+}
+
+TEST_F(SchemeTest, DnfLimitGuardsBlowup) {
+  // 2^20 - 1 combinations exceed a small limit.
+  std::vector<FlexibleScheme> leaves;
+  for (int i = 0; i < 20; ++i) {
+    leaves.push_back(FlexibleScheme::Attr(catalog_.Intern(StrCat("L", i))));
+  }
+  auto fs = FlexibleScheme::Group(1, 20, std::move(leaves));
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs.value().DnfCount(), (1u << 20) - 1);
+  EXPECT_EQ(fs.value().Dnf(1000).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SchemeTest, EmptySchemeAdmitsOnlyEmpty) {
+  FlexibleScheme empty;
+  EXPECT_TRUE(empty.Admits(AttrSet()));
+  EXPECT_FALSE(empty.Admits(Ids({"A"})));
+  EXPECT_EQ(empty.DnfCount(), 1u);
+}
+
+// ---- Property sweep: Admits() and DnfCount() agree with enumeration --------
+
+class RandomSchemeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSchemeProperty, MembershipMatchesEnumerationAndCountIsExact) {
+  AttrCatalog catalog;
+  Rng rng(GetParam());
+  FlexibleScheme fs = RandomScheme(&catalog, &rng, 3, 4,
+                                   StrCat("s", GetParam()));
+  auto dnf_result = fs.Dnf(1u << 16);
+  ASSERT_TRUE(dnf_result.ok()) << dnf_result.status();
+  const std::vector<AttrSet>& dnf = dnf_result.value();
+  std::set<AttrSet> dnf_set(dnf.begin(), dnf.end());
+
+  // Count is exactly the number of distinct combinations.
+  EXPECT_EQ(fs.DnfCount(), dnf_set.size());
+
+  // Every enumerated combination is admitted.
+  for (const AttrSet& s : dnf) {
+    EXPECT_TRUE(fs.Admits(s)) << "enumerated set not admitted";
+  }
+
+  // Random subsets of the attribute universe are admitted iff enumerated.
+  std::vector<AttrId> universe(fs.attrs().ids());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<AttrId> pick;
+    for (AttrId a : universe) {
+      if (rng.Bernoulli(0.4)) pick.push_back(a);
+    }
+    AttrSet candidate = AttrSet::FromIds(std::move(pick));
+    EXPECT_EQ(fs.Admits(candidate), dnf_set.count(candidate) > 0)
+        << "membership disagrees with enumeration for "
+        << candidate.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchemeProperty,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,202 @@
+#include "optimizer/guard_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluate.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+class GuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ex = MakeJobtypeExample();
+    ASSERT_TRUE(ex.ok()) << ex.status();
+    ex_ = std::move(ex).value();
+    eads_ = {ex_->ead};
+  }
+  std::unique_ptr<JobtypeExample> ex_;
+  std::vector<ExplicitAD> eads_;
+};
+
+TEST_F(GuardTest, ExtractConstraintsFromConjunction) {
+  ExprPtr f = Expr::And(
+      Expr::Compare(ex_->salary, CmpOp::kGt, Value::Int(5000)),
+      Expr::Eq(ex_->jobtype, Value::Str("secretary")));
+  ConstraintMap m = ExtractConstraints(f);
+  ASSERT_EQ(m.size(), 1u);  // inequality on salary constrains nothing
+  ASSERT_TRUE(m.count(ex_->jobtype));
+  EXPECT_TRUE(m[ex_->jobtype].Permits(Value::Str("secretary")));
+  EXPECT_FALSE(m[ex_->jobtype].Permits(Value::Str("salesman")));
+}
+
+TEST_F(GuardTest, ExtractConstraintsThroughOrAndIn) {
+  ExprPtr f = Expr::Or(Expr::Eq(ex_->jobtype, Value::Str("secretary")),
+                       Expr::In(ex_->jobtype, {Value::Str("salesman")}));
+  ConstraintMap m = ExtractConstraints(f);
+  ASSERT_TRUE(m.count(ex_->jobtype));
+  EXPECT_TRUE(m[ex_->jobtype].Permits(Value::Str("secretary")));
+  EXPECT_TRUE(m[ex_->jobtype].Permits(Value::Str("salesman")));
+  EXPECT_FALSE(m[ex_->jobtype].Permits(Value::Str("software engineer")));
+
+  // One branch unconstrained: the attribute drops out.
+  ExprPtr g = Expr::Or(Expr::Eq(ex_->jobtype, Value::Str("secretary")),
+                       Expr::Compare(ex_->salary, CmpOp::kGt, Value::Int(0)));
+  EXPECT_TRUE(ExtractConstraints(g).empty());
+}
+
+TEST_F(GuardTest, ContradictoryConstraintsYieldEmptySet) {
+  ExprPtr f = Expr::And(Expr::Eq(ex_->jobtype, Value::Str("secretary")),
+                        Expr::Eq(ex_->jobtype, Value::Str("salesman")));
+  ConstraintMap m = ExtractConstraints(f);
+  ASSERT_TRUE(m.count(ex_->jobtype));
+  EXPECT_TRUE(m[ex_->jobtype].allowed.empty());
+}
+
+TEST_F(GuardTest, AnalyzeVariantsConsistency) {
+  ConstraintMap m;
+  m[ex_->jobtype] = ValueConstraint{{Value::Str("secretary")}};
+  VariantAnalysis a = AnalyzeVariants(m, ex_->ead);
+  ASSERT_EQ(a.consistent_variants.size(), 1u);
+  EXPECT_EQ(a.consistent_variants[0], 0u);
+  // The lone allowed value is covered by variant 0, so "no variant" is
+  // impossible.
+  EXPECT_FALSE(a.unmatched_possible);
+
+  // Unconstrained determinant: everything is possible.
+  VariantAnalysis b = AnalyzeVariants({}, ex_->ead);
+  EXPECT_EQ(b.consistent_variants.size(), 3u);
+  EXPECT_TRUE(b.unmatched_possible);
+
+  // A value outside every variant: nothing consistent, mismatch certain.
+  ConstraintMap m2;
+  m2[ex_->jobtype] = ValueConstraint{{Value::Str("janitor")}};
+  VariantAnalysis c = AnalyzeVariants(m2, ex_->ead);
+  EXPECT_TRUE(c.consistent_variants.empty());
+  EXPECT_TRUE(c.unmatched_possible);
+}
+
+TEST_F(GuardTest, AttrPresenceVerdicts) {
+  ConstraintMap secretary;
+  secretary[ex_->jobtype] = ValueConstraint{{Value::Str("secretary")}};
+  EXPECT_EQ(AttrPresence(ex_->typing_speed, secretary, eads_),
+            Presence::kAlways);
+  EXPECT_EQ(AttrPresence(ex_->sales_commission, secretary, eads_),
+            Presence::kNever);
+  // products appears in two variants; under {engineer, salesman} it is
+  // always present, under no constraint it is maybe.
+  ConstraintMap two;
+  two[ex_->jobtype] = ValueConstraint{
+      {Value::Str("software engineer"), Value::Str("salesman")}};
+  EXPECT_EQ(AttrPresence(ex_->products, two, eads_), Presence::kAlways);
+  EXPECT_EQ(AttrPresence(ex_->products, {}, eads_), Presence::kMaybe);
+  // The determinant itself, when constrained, is present.
+  EXPECT_EQ(AttrPresence(ex_->jobtype, secretary, eads_), Presence::kAlways);
+  // An attribute no EAD governs.
+  EXPECT_EQ(AttrPresence(ex_->salary, {}, eads_), Presence::kMaybe);
+}
+
+TEST_F(GuardTest, Example4GuardIsEliminated) {
+  // "salary > 5000 AND jobtype = 'secretary'" followed by a type guard on
+  // typing-speed: the guard is redundant.
+  ExprPtr f = Expr::And(
+      Expr::And(Expr::Compare(ex_->salary, CmpOp::kGt, Value::Int(5000)),
+                Expr::Eq(ex_->jobtype, Value::Str("secretary"))),
+      Expr::Exists(ex_->typing_speed));
+  GuardRewrite r = EliminateRedundantGuards(f, eads_);
+  EXPECT_EQ(r.guards_eliminated, 1u);
+  EXPECT_EQ(r.guards_falsified, 0u);
+  // The guard disappeared from the rewritten formula.
+  EXPECT_EQ(r.formula->ToString(ex_->catalog).find("EXISTS"),
+            std::string::npos);
+}
+
+TEST_F(GuardTest, ImpossibleGuardFalsified) {
+  ExprPtr f = Expr::And(Expr::Eq(ex_->jobtype, Value::Str("secretary")),
+                        Expr::Exists(ex_->sales_commission));
+  GuardRewrite r = EliminateRedundantGuards(f, eads_);
+  EXPECT_EQ(r.guards_falsified, 1u);
+  // The whole conjunction collapses to false.
+  EXPECT_EQ(r.formula->kind(), ExprKind::kConst);
+  EXPECT_EQ(r.formula->const_value(), TriBool::kFalse);
+}
+
+TEST_F(GuardTest, UnconstrainedGuardSurvives) {
+  ExprPtr f = Expr::And(Expr::Compare(ex_->salary, CmpOp::kGt, Value::Int(0)),
+                        Expr::Exists(ex_->typing_speed));
+  GuardRewrite r = EliminateRedundantGuards(f, eads_);
+  EXPECT_EQ(r.guards_eliminated, 0u);
+  EXPECT_EQ(r.guards_falsified, 0u);
+  EXPECT_NE(r.formula->ToString(ex_->catalog).find("EXISTS"),
+            std::string::npos);
+}
+
+TEST_F(GuardTest, SimplifyExprFoldsConstants) {
+  ExprPtr t = Expr::Const(TriBool::kTrue);
+  ExprPtr f = Expr::Const(TriBool::kFalse);
+  ExprPtr atom = Expr::Eq(ex_->jobtype, Value::Str("secretary"));
+  EXPECT_EQ(SimplifyExpr(Expr::And(t, atom)).get(), atom.get());
+  EXPECT_EQ(SimplifyExpr(Expr::And(f, atom))->const_value(), TriBool::kFalse);
+  EXPECT_EQ(SimplifyExpr(Expr::Or(t, atom))->const_value(), TriBool::kTrue);
+  EXPECT_EQ(SimplifyExpr(Expr::Or(f, atom)).get(), atom.get());
+  EXPECT_EQ(SimplifyExpr(Expr::Not(t))->const_value(), TriBool::kFalse);
+  EXPECT_EQ(SimplifyExpr(Expr::Not(Expr::Not(atom)))->kind(), ExprKind::kNot);
+}
+
+// The rewrite must preserve query results exactly on EAD-valid instances.
+class GuardEquivalenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuardEquivalenceSweep, RewrittenFormulaSelectsTheSameTuples) {
+  EmployeeConfig config;
+  config.num_variants = 4;
+  config.attrs_per_variant = 2;
+  config.rows = 80;
+  config.seed = GetParam();
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  Rng rng(GetParam() * 31);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random formula: a jobtype constraint AND/OR a guard on a random
+    // variant attribute, plus a numeric conjunct.
+    const ExplicitAD& ead = w.value()->eads[0];
+    size_t variant = rng.Index(ead.variants().size());
+    AttrSet then = ead.variants()[variant].then;
+    AttrId guarded = *then.begin();
+    ExprPtr jt = Expr::Eq(w.value()->jobtype_attr,
+                          w.value()->jobtype_values[rng.Index(
+                              w.value()->jobtype_values.size())]);
+    ExprPtr guard = Expr::Exists(guarded);
+    ExprPtr num = Expr::Compare(w.value()->id_attr, CmpOp::kLt,
+                                Value::Int(rng.UniformInt(0, 80)));
+    ExprPtr f = rng.Bernoulli(0.5)
+                    ? Expr::And(Expr::And(jt, num), guard)
+                    : Expr::And(jt, Expr::Or(guard, num));
+
+    GuardRewrite r = EliminateRedundantGuards(f, w.value()->eads);
+    auto base = Evaluate(Plan::Select(Plan::Scan(&w.value()->relation), f));
+    auto rewritten =
+        Evaluate(Plan::Select(Plan::Scan(&w.value()->relation), r.formula));
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(rewritten.ok());
+    ASSERT_EQ(base.value().size(), rewritten.value().size())
+        << "rewrite changed the result (seed " << GetParam() << ", trial "
+        << trial << "): " << f->ToString(w.value()->catalog) << " vs "
+        << r.formula->ToString(w.value()->catalog);
+    // Same tuples, not just same count.
+    std::vector<Tuple> a = base.value().rows();
+    std::vector<Tuple> b = rewritten.value().rows();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuardEquivalenceSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace flexrel

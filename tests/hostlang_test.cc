@@ -1,0 +1,215 @@
+#include "hostlang/pascal_emit.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+TEST(PascalIdentifierTest, Sanitization) {
+  EXPECT_EQ(PascalIdentifier("typing-speed"), "typing_speed");
+  EXPECT_EQ(PascalIdentifier("FAX-number"), "fax_number");
+  EXPECT_EQ(PascalIdentifier("123abc"), "f123abc");
+  EXPECT_EQ(PascalIdentifier("software engineer"), "software_engineer");
+}
+
+TEST(PascalTypeNameTest, Mapping) {
+  EXPECT_EQ(PascalTypeName(Domain::Any(ValueType::kInt)), "integer");
+  EXPECT_EQ(PascalTypeName(Domain::Any(ValueType::kBool)), "boolean");
+  EXPECT_EQ(PascalTypeName(Domain::Any(ValueType::kDouble)), "real");
+  EXPECT_EQ(PascalTypeName(Domain::Any(ValueType::kString)), "string[255]");
+  EXPECT_EQ(PascalTypeName(Domain::IntRange(1, 9).value()), "1..9");
+}
+
+class PascalEmitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ex = MakeJobtypeExample();
+    ASSERT_TRUE(ex.ok()) << ex.status();
+    ex_ = std::move(ex).value();
+  }
+  std::vector<std::pair<AttrId, Domain>> CommonFields() {
+    return {{ex_->salary, Domain::Any(ValueType::kInt)},
+            {ex_->jobtype, ex_->domains[1].second}};
+  }
+  std::vector<std::pair<AttrId, Domain>> VariantFields() {
+    std::vector<std::pair<AttrId, Domain>> out;
+    for (const auto& [attr, domain] : ex_->domains) {
+      if (attr != ex_->salary && attr != ex_->jobtype) {
+        out.push_back({attr, domain});
+      }
+    }
+    return out;
+  }
+  std::unique_ptr<JobtypeExample> ex_;
+};
+
+TEST_F(PascalEmitTest, SingleDeterminantEmitsDirectVariantRecord) {
+  auto emission = EmitPascalRecord(&ex_->catalog, "employee", CommonFields(),
+                                   VariantFields(), ex_->ead);
+  ASSERT_TRUE(emission.ok()) << emission.status();
+  const PascalEmission& e = emission.value();
+  EXPECT_FALSE(e.used_artificial_tag);
+  // The enum type for jobtype and the case discriminant appear.
+  EXPECT_NE(e.source.find("jobtype_type = ("), std::string::npos);
+  EXPECT_NE(e.source.find("case jobtype: jobtype_type of"),
+            std::string::npos);
+  EXPECT_NE(e.source.find("secretary"), std::string::npos);
+  EXPECT_NE(e.source.find("typing_speed: integer"), std::string::npos);
+  EXPECT_NE(e.source.find("salary: integer"), std::string::npos);
+  EXPECT_NE(e.source.find("end;"), std::string::npos);
+  // The validity proof derives the original dependency (trivially here).
+  EXPECT_FALSE(e.validity_proof.steps.empty());
+}
+
+TEST_F(PascalEmitTest, MultiAttributeDeterminantUsesWorkaround) {
+  // Build an EAD whose determinant has two attributes (the paper's
+  // sex/marital-status shape), forcing the artificial tag.
+  AttrId sex = ex_->catalog.Intern("sex");
+  AttrId marital = ex_->catalog.Intern("marital-status");
+  AttrId maiden = ex_->catalog.Intern("maiden-name");
+  AttrSet x{sex, marital};
+  Tuple fm;
+  fm.Set(sex, Value::Str("f"));
+  fm.Set(marital, Value::Str("married"));
+  auto ead = ExplicitAD::Make(
+      x, AttrSet{maiden},
+      {EadVariant{ConditionSet::Make(x, {fm}).value(), AttrSet{maiden}}});
+  ASSERT_TRUE(ead.ok());
+
+  std::vector<std::pair<AttrId, Domain>> common = {
+      {sex, Domain::Enumerated({Value::Str("f"), Value::Str("m")}).value()},
+      {marital, Domain::Enumerated({Value::Str("single"),
+                                    Value::Str("married")})
+                    .value()},
+  };
+  std::vector<std::pair<AttrId, Domain>> variant = {
+      {maiden, Domain::Any(ValueType::kString)}};
+
+  auto emission = EmitPascalRecord(&ex_->catalog, "person", common, variant,
+                                   ead.value());
+  ASSERT_TRUE(emission.ok()) << emission.status();
+  const PascalEmission& e = emission.value();
+  EXPECT_TRUE(e.used_artificial_tag);
+  ASSERT_TRUE(e.tag_fd.has_value());
+  ASSERT_TRUE(e.tag_ad.has_value());
+  // X --func--> A and A --attr--> Y.
+  EXPECT_EQ(e.tag_fd->lhs, x);
+  EXPECT_EQ(e.tag_fd->rhs, AttrSet::Of(e.tag_attr));
+  EXPECT_EQ(e.tag_ad->lhs, AttrSet::Of(e.tag_attr));
+  EXPECT_EQ(e.tag_ad->rhs, AttrSet{maiden});
+  // The machine-checked validity proof applies AF2.
+  bool has_af2 = false;
+  for (const ProofStep& s : e.validity_proof.steps) {
+    if (s.rule == "AF2") has_af2 = true;
+  }
+  EXPECT_TRUE(has_af2) << e.validity_proof.ToString();
+  // The record uses the artificial discriminant.
+  EXPECT_NE(e.source.find("person_tag_type"), std::string::npos);
+  EXPECT_NE(e.source.find("tag_variant0"), std::string::npos);
+  EXPECT_NE(e.source.find("tag_none"), std::string::npos);
+}
+
+TEST_F(PascalEmitTest, NonOrdinalDiscriminantRejected) {
+  // A real-typed determinant cannot discriminate a PASCAL variant record.
+  AttrId level = ex_->catalog.Intern("level");
+  auto ead = ExplicitAD::Make(
+      AttrSet{level}, AttrSet{ex_->products},
+      {EadVariant{ConditionSet::Single(level, Value::Real(1.5)),
+                  AttrSet{ex_->products}}});
+  ASSERT_TRUE(ead.ok());
+  std::vector<std::pair<AttrId, Domain>> common = {
+      {level, Domain::Any(ValueType::kDouble)}};
+  std::vector<std::pair<AttrId, Domain>> variant = {
+      {ex_->products, Domain::Any(ValueType::kInt)}};
+  auto emission = EmitPascalRecord(&ex_->catalog, "bad", common, variant,
+                                   ead.value());
+  EXPECT_EQ(emission.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PascalEmitTest, SchemeWideEmissionAddressBook) {
+  // Section 3.3's full claim: ANY flexible scheme becomes a PASCAL type once
+  // artificial ADs cover its existential relationships. Exercise it on the
+  // Section-1 address scheme (disjoint union + optional part + non-disjoint
+  // union).
+  AttrCatalog catalog;
+  auto fs = FlexibleScheme::Parse(
+      &catalog,
+      "<4,4,{ZipCode,Town,"
+      "<1,1,{POBox,<2,2,{Street,<0,1,{HouseNumber}>}>}>,"
+      "<1,3,{tel,fax,email}>}>");
+  ASSERT_TRUE(fs.ok()) << fs.status();
+  std::vector<std::pair<AttrId, Domain>> fields;
+  for (const char* name : {"ZipCode", "POBox", "HouseNumber"}) {
+    fields.push_back({catalog.Find(name).value(), Domain::Any(ValueType::kInt)});
+  }
+  for (const char* name : {"Town", "Street", "tel", "fax", "email"}) {
+    fields.push_back(
+        {catalog.Find(name).value(), Domain::Any(ValueType::kString)});
+  }
+  auto emission = EmitPascalScheme(&catalog, "address", fs.value(), fields);
+  ASSERT_TRUE(emission.ok()) << emission.status();
+  const std::string& src = emission.value().source;
+  // Two variant regions (town-local part, electronic part) as nested variant
+  // records, fixed fields inline.
+  EXPECT_NE(src.find("address_region0 = record"), std::string::npos);
+  EXPECT_NE(src.find("address_region1 = record"), std::string::npos);
+  EXPECT_NE(src.find("zipcode: integer;"), std::string::npos);
+  EXPECT_NE(src.find("region0: address_region0;"), std::string::npos);
+  // The town-local region has 3 combinations: {POBox}, {Street},
+  // {Street, HouseNumber}; the electronic one has 7.
+  ASSERT_EQ(emission.value().ads.regions.size(), 2u);
+  EXPECT_EQ(emission.value().ads.regions[0].combinations.size(), 3u);
+  EXPECT_EQ(emission.value().ads.regions[1].combinations.size(), 7u);
+  EXPECT_NE(src.find("case tag: 0..2 of"), std::string::npos);
+  EXPECT_NE(src.find("case tag: 0..6 of"), std::string::npos);
+  // Street occurs in two combinations of region 0: branch-suffixed names.
+  EXPECT_NE(src.find("street_v"), std::string::npos);
+}
+
+TEST_F(PascalEmitTest, SchemeWideEmissionRequiresDomains) {
+  AttrCatalog catalog;
+  auto fs = FlexibleScheme::Parse(&catalog, "<1,2,{A,B}>");
+  ASSERT_TRUE(fs.ok());
+  auto emission = EmitPascalScheme(&catalog, "t", fs.value(), {});
+  EXPECT_EQ(emission.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PascalEmitTest, SchemeWideEmissionFixedSchemeHasNoRegions) {
+  AttrCatalog catalog;
+  auto fs = FlexibleScheme::Parse(&catalog, "<2,2,{A,B}>");
+  ASSERT_TRUE(fs.ok());
+  std::vector<std::pair<AttrId, Domain>> fields = {
+      {catalog.Find("A").value(), Domain::Any(ValueType::kInt)},
+      {catalog.Find("B").value(), Domain::Any(ValueType::kInt)}};
+  auto emission = EmitPascalScheme(&catalog, "flat", fs.value(), fields);
+  ASSERT_TRUE(emission.ok()) << emission.status();
+  EXPECT_TRUE(emission.value().ads.regions.empty());
+  EXPECT_EQ(emission.value().source.find("case"), std::string::npos);
+  EXPECT_NE(emission.value().source.find("a: integer;"), std::string::npos);
+}
+
+TEST_F(PascalEmitTest, IntDiscriminantUsesLiteralLabels) {
+  AttrId code = ex_->catalog.Intern("code");
+  AttrId extra = ex_->catalog.Intern("extra");
+  auto ead = ExplicitAD::Make(
+      AttrSet{code}, AttrSet{extra},
+      {EadVariant{ConditionSet::Single(code, Value::Int(1)),
+                  AttrSet{extra}}});
+  ASSERT_TRUE(ead.ok());
+  std::vector<std::pair<AttrId, Domain>> common = {
+      {code, Domain::IntRange(0, 3).value()}};
+  std::vector<std::pair<AttrId, Domain>> variant = {
+      {extra, Domain::Any(ValueType::kInt)}};
+  auto emission =
+      EmitPascalRecord(&ex_->catalog, "coded", common, variant, ead.value());
+  ASSERT_TRUE(emission.ok()) << emission.status();
+  EXPECT_NE(emission.value().source.find("case code: 0..3 of"),
+            std::string::npos);
+  EXPECT_NE(emission.value().source.find("1: (extra: integer);"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,181 @@
+#include "core/implication.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+constexpr AttrId kA = 0, kB = 1, kC = 2;
+
+TEST(DerivationTest, NotDerivableReportsNotFound) {
+  AttrCatalog cat;
+  cat.Intern("A");
+  cat.Intern("B");
+  DependencySet sigma;
+  auto d = DeriveAttrDep(cat, sigma, AttrDep{AttrSet{kA}, AttrSet{kB}},
+                         AxiomSystem::kAdOnly);
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DerivationTest, ReflexivityIsOneStep) {
+  AttrCatalog cat;
+  cat.Intern("A");
+  cat.Intern("B");
+  DependencySet sigma;
+  auto d = DeriveAttrDep(cat, sigma, AttrDep{AttrSet{kA, kB}, AttrSet{kA}},
+                         AxiomSystem::kAdOnly);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().steps.size(), 1u);
+  EXPECT_EQ(d.value().steps[0].rule, "A3");
+}
+
+TEST(DerivationTest, Example4Derivation) {
+  // Example 4: from the jobtype EAD, prove
+  //   {jobtype, salary} --attr--> {typing-speed}
+  // via A1 (project the RHS) then A4 (augment the LHS with salary).
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  DependencySet sigma;
+  auto abbrev = ex.value()->ead.Abbreviate();
+  sigma.AddAd(AttrDep{abbrev.lhs, abbrev.rhs});
+
+  AttrDep target{AttrSet{ex.value()->jobtype, ex.value()->salary},
+                 AttrSet{ex.value()->typing_speed}};
+  auto d = DeriveAttrDep(ex.value()->catalog, sigma, target,
+                         AxiomSystem::kAdOnly);
+  ASSERT_TRUE(d.ok()) << d.status();
+  const Derivation& proof = d.value();
+  // premise, A1 projection, A4 augmentation.
+  ASSERT_EQ(proof.steps.size(), 3u);
+  EXPECT_EQ(proof.steps[0].rule, "premise");
+  EXPECT_EQ(proof.steps[1].rule, "A1");
+  EXPECT_EQ(proof.steps[2].rule, "A4");
+  EXPECT_NE(proof.steps[2].conclusion.find("typing-speed"),
+            std::string::npos);
+  EXPECT_NE(proof.ToString().find("[2] A4"), std::string::npos);
+}
+
+TEST(DerivationTest, AdditivityCombinesPieces) {
+  AttrCatalog cat;
+  cat.Intern("A");
+  cat.Intern("B");
+  cat.Intern("C");
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kC}});
+  auto d = DeriveAttrDep(cat, sigma, AttrDep{AttrSet{kA}, AttrSet{kB, kC}},
+                         AxiomSystem::kAdOnly);
+  ASSERT_TRUE(d.ok());
+  bool has_a2 = false;
+  for (const ProofStep& s : d.value().steps) {
+    if (s.rule == "A2") has_a2 = true;
+  }
+  EXPECT_TRUE(has_a2);
+}
+
+TEST(DerivationTest, CombinedSystemUsesAf2) {
+  AttrCatalog cat;
+  cat.Intern("A");
+  cat.Intern("B");
+  cat.Intern("C");
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddAd(AttrDep{AttrSet{kB}, AttrSet{kC}});
+  auto d = DeriveAttrDep(cat, sigma, AttrDep{AttrSet{kA}, AttrSet{kC}},
+                         AxiomSystem::kCombined);
+  ASSERT_TRUE(d.ok()) << d.status();
+  bool has_af2 = false;
+  for (const ProofStep& s : d.value().steps) {
+    if (s.rule == "AF2") has_af2 = true;
+  }
+  EXPECT_TRUE(has_af2) << d.value().ToString();
+}
+
+TEST(DerivationTest, FdDerivationUsesArmstrongRules) {
+  AttrCatalog cat;
+  cat.Intern("A");
+  cat.Intern("B");
+  cat.Intern("C");
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddFd(FuncDep{AttrSet{kB}, AttrSet{kC}});
+  auto d = DeriveFuncDep(cat, sigma, FuncDep{AttrSet{kA}, AttrSet{kC}});
+  ASSERT_TRUE(d.ok());
+  std::set<std::string> rules;
+  for (const ProofStep& s : d.value().steps) rules.insert(s.rule);
+  EXPECT_TRUE(rules.count("F1"));
+  EXPECT_TRUE(rules.count("F2"));
+  EXPECT_TRUE(rules.count("F3"));
+  EXPECT_FALSE(DeriveFuncDep(cat, sigma,
+                             FuncDep{AttrSet{kC}, AttrSet{kA}})
+                   .ok());
+}
+
+TEST(DerivationTest, PremiseIndicesAreValid) {
+  AttrCatalog cat;
+  for (int i = 0; i < 8; ++i) cat.Intern(StrCat("x", i));
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{0}, AttrSet{1}});
+  sigma.AddFd(FuncDep{AttrSet{1}, AttrSet{2}});
+  sigma.AddAd(AttrDep{AttrSet{2}, AttrSet{3, 4}});
+  sigma.AddAd(AttrDep{AttrSet{0}, AttrSet{5}});
+  auto d = DeriveAttrDep(cat, sigma, AttrDep{AttrSet{0}, AttrSet{3, 5}},
+                         AxiomSystem::kCombined);
+  ASSERT_TRUE(d.ok()) << d.status();
+  const auto& steps = d.value().steps;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    for (size_t p : steps[i].premises) {
+      EXPECT_LT(p, i) << "premise must reference an earlier step";
+    }
+  }
+}
+
+// Derivability must coincide exactly with closure-based implication.
+class DerivabilitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DerivabilitySweep, DeriveSucceedsIffImplied) {
+  Rng rng(GetParam());
+  AttrCatalog cat;
+  AttrSet universe;
+  for (AttrId a = 0; a < 6; ++a) {
+    cat.Intern(StrCat("a", a));
+    universe.Insert(a);
+  }
+  DependencySet sigma =
+      RandomDependencies(universe, &rng, rng.Index(3), 1 + rng.Index(3));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<AttrId> lhs, rhs;
+    for (AttrId a : universe) {
+      if (rng.Bernoulli(0.3)) lhs.push_back(a);
+      if (rng.Bernoulli(0.3)) rhs.push_back(a);
+    }
+    AttrDep target{AttrSet::FromIds(lhs), AttrSet::FromIds(rhs)};
+    for (AxiomSystem system :
+         {AxiomSystem::kAdOnly, AxiomSystem::kCombined}) {
+      bool implied = Implies(sigma, target, system);
+      auto d = DeriveAttrDep(cat, sigma, target, system);
+      EXPECT_EQ(implied, d.ok())
+          << "derivability and implication disagree (seed " << GetParam()
+          << ")";
+      if (d.ok()) {
+        EXPECT_FALSE(d.value().steps.empty());
+      }
+    }
+    FuncDep fd_target{target.lhs, target.rhs};
+    EXPECT_EQ(Implies(sigma, fd_target),
+              DeriveFuncDep(cat, sigma, fd_target).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerivabilitySweep,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace flexrel

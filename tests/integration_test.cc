@@ -1,0 +1,221 @@
+// End-to-end integration: EER design -> flexible scheme + EAD -> typed
+// inserts -> subtype family -> algebra queries with dependency propagation ->
+// optimizer guard elimination -> decomposition round trip -> PASCAL export.
+// One scenario, every subsystem.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algebra/evaluate.h"
+#include "decomposition/decomposition.h"
+#include "ermodel/er_model.h"
+#include "hostlang/pascal_emit.h"
+#include "optimizer/guard_analysis.h"
+#include "subtyping/ad_subtyping.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    id_ = catalog_.Intern("vehicle-id");
+    kind_ = catalog_.Intern("kind");
+    wheels_ = catalog_.Intern("wheels");
+    cargo_ = catalog_.Intern("cargo-capacity");
+    axles_ = catalog_.Intern("axles");
+    seats_ = catalog_.Intern("seats");
+
+    entity_.name = "vehicle";
+    entity_.attrs = {
+        {id_, Domain::Any(ValueType::kInt)},
+        {kind_, Domain::Enumerated({Value::Str("truck"), Value::Str("car"),
+                                    Value::Str("bike")})
+                    .value()},
+        {wheels_, Domain::IntRange(1, 18).value()},
+    };
+    ErSpecialization spec;
+    spec.discriminators = AttrSet{kind_};
+    {
+      ErSubclass truck;
+      truck.name = "truck";
+      truck.defining_values = ConditionSet::Single(kind_, Value::Str("truck"));
+      truck.specific_attrs = {{cargo_, Domain::Any(ValueType::kInt)},
+                              {axles_, Domain::IntRange(2, 6).value()}};
+      spec.subclasses.push_back(std::move(truck));
+    }
+    {
+      ErSubclass car;
+      car.name = "car";
+      car.defining_values = ConditionSet::Single(kind_, Value::Str("car"));
+      car.specific_attrs = {{seats_, Domain::IntRange(1, 9).value()}};
+      spec.subclasses.push_back(std::move(car));
+    }
+    entity_.specializations.push_back(std::move(spec));
+
+    auto mapped = MapEntity(entity_);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    mapped_ = std::move(mapped).value();
+    relation_ = FlexibleRelation::Base("vehicles", &catalog_, mapped_.scheme,
+                                       mapped_.eads, mapped_.domains);
+  }
+
+  Tuple Truck(int64_t id, int64_t cargo, int64_t axles, int64_t wheels) {
+    Tuple t;
+    t.Set(id_, Value::Int(id));
+    t.Set(kind_, Value::Str("truck"));
+    t.Set(wheels_, Value::Int(wheels));
+    t.Set(cargo_, Value::Int(cargo));
+    t.Set(axles_, Value::Int(axles));
+    return t;
+  }
+  Tuple Car(int64_t id, int64_t seats) {
+    Tuple t;
+    t.Set(id_, Value::Int(id));
+    t.Set(kind_, Value::Str("car"));
+    t.Set(wheels_, Value::Int(4));
+    t.Set(seats_, Value::Int(seats));
+    return t;
+  }
+  Tuple Bike(int64_t id) {
+    Tuple t;
+    t.Set(id_, Value::Int(id));
+    t.Set(kind_, Value::Str("bike"));
+    t.Set(wheels_, Value::Int(2));
+    return t;
+  }
+
+  AttrCatalog catalog_;
+  AttrId id_, kind_, wheels_, cargo_, axles_, seats_;
+  ErEntity entity_;
+  MappedEntity mapped_;
+  FlexibleRelation relation_;
+};
+
+TEST_F(EndToEnd, FullPipeline) {
+  // --- Typed inserts ---------------------------------------------------
+  ASSERT_TRUE(relation_.Insert(Truck(1, 4000, 3, 10)).ok());
+  ASSERT_TRUE(relation_.Insert(Truck(2, 9000, 5, 18)).ok());
+  ASSERT_TRUE(relation_.Insert(Car(3, 5)).ok());
+  ASSERT_TRUE(relation_.Insert(Car(4, 2)).ok());
+  ASSERT_TRUE(relation_.Insert(Bike(5)).ok());
+  // A car with truck attributes is rejected (value-based check).
+  Tuple franken = Car(6, 4);
+  franken.Set(cargo_, Value::Int(100));
+  EXPECT_FALSE(relation_.Insert(franken).ok());
+  // A truck with axles outside its domain is rejected (domain check).
+  EXPECT_FALSE(relation_.Insert(Truck(7, 1000, 9, 10)).ok());
+
+  // --- Classification ----------------------------------------------------
+  auto cls = ClassifySpecialization(mapped_.eads[0], mapped_.domains);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_TRUE(cls.value().disjoint);
+  EXPECT_FALSE(cls.value().total);  // bikes join no subclass
+
+  // --- Subtyping ---------------------------------------------------------
+  RecordType base("vehicle");
+  for (const auto& [attr, domain] : mapped_.domains) {
+    base.SetField(attr, domain);
+  }
+  auto family = DeriveTypeFamily(base, mapped_.eads[0]);
+  ASSERT_TRUE(family.ok());
+  RecordType no_kind = family.value().supertype.Project(
+      family.value().supertype.attrs().Minus(AttrSet::Of(kind_)));
+  SupertypeVerdict verdict =
+      CheckSupertype(no_kind, family.value(), catalog_);
+  EXPECT_TRUE(verdict.record_rule_ok);
+  EXPECT_FALSE(verdict.semantics_preserving);
+
+  // --- Algebra + optimizer -----------------------------------------------
+  // Query: kind = 'truck' AND EXISTS(cargo-capacity) AND wheels >= 6.
+  ExprPtr formula = Expr::AndAll(
+      {Expr::Eq(kind_, Value::Str("truck")), Expr::Exists(cargo_),
+       Expr::Compare(wheels_, CmpOp::kGe, Value::Int(6))});
+  GuardRewrite rewrite = EliminateRedundantGuards(formula, mapped_.eads);
+  EXPECT_EQ(rewrite.guards_eliminated, 1u);
+
+  EvalStats stats_orig, stats_rewritten;
+  auto r1 = Evaluate(Plan::Select(Plan::Scan(&relation_), formula),
+                     &stats_orig);
+  auto r2 = Evaluate(Plan::Select(Plan::Scan(&relation_), rewrite.formula),
+                     &stats_rewritten);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().size(), 2u);
+  std::vector<Tuple> rows1 = r1.value().rows();
+  std::vector<Tuple> rows2 = r2.value().rows();
+  std::sort(rows1.begin(), rows1.end());
+  std::sort(rows2.begin(), rows2.end());
+  EXPECT_EQ(rows1, rows2);
+  // Rule (3): the selection preserves the EAD's abbreviated dependency.
+  EXPECT_FALSE(r1.value().deps().ads().empty());
+  EXPECT_TRUE(r1.value().SatisfiesDeclaredDeps());
+
+  // --- Decomposition round trips ------------------------------------------
+  auto horizontal = TranslateHorizontal(relation_, mapped_.eads[0]);
+  ASSERT_TRUE(horizontal.ok());
+  FlexibleRelation h_restored = RestoreHorizontal(horizontal.value());
+  EXPECT_EQ(h_restored.size(), relation_.size());
+
+  auto vertical =
+      TranslateVertical(relation_, mapped_.eads[0], AttrSet::Of(id_));
+  ASSERT_TRUE(vertical.ok());
+  FlexibleRelation v_restored = RestoreVertical(vertical.value());
+  EXPECT_EQ(v_restored.size(), relation_.size());
+  std::vector<Tuple> orig = relation_.rows();
+  std::vector<Tuple> rest = v_restored.rows();
+  std::sort(orig.begin(), orig.end());
+  std::sort(rest.begin(), rest.end());
+  EXPECT_EQ(orig, rest);
+
+  // The bike (no variant) survives in master-only form.
+  bool bike_found = false;
+  for (const Tuple& t : v_restored.rows()) {
+    if (*t.Get(kind_) == Value::Str("bike")) {
+      bike_found = true;
+      EXPECT_FALSE(t.Has(cargo_));
+      EXPECT_FALSE(t.Has(seats_));
+    }
+  }
+  EXPECT_TRUE(bike_found);
+
+  // --- Host-language export ------------------------------------------------
+  std::vector<std::pair<AttrId, Domain>> common_fields = {
+      {id_, Domain::Any(ValueType::kInt)},
+      {kind_, entity_.attrs[1].second},
+      {wheels_, entity_.attrs[2].second}};
+  std::vector<std::pair<AttrId, Domain>> variant_fields = {
+      {cargo_, Domain::Any(ValueType::kInt)},
+      {axles_, Domain::IntRange(2, 6).value()},
+      {seats_, Domain::IntRange(1, 9).value()}};
+  auto pascal = EmitPascalRecord(&catalog_, "vehicle", common_fields,
+                                 variant_fields, mapped_.eads[0]);
+  ASSERT_TRUE(pascal.ok()) << pascal.status();
+  EXPECT_NE(pascal.value().source.find("case kind: kind_type of"),
+            std::string::npos);
+  EXPECT_FALSE(pascal.value().used_artificial_tag);
+}
+
+TEST_F(EndToEnd, UpdateDrivenTypeMigration) {
+  ASSERT_TRUE(relation_.Insert(Car(10, 4)).ok());
+  // Re-classify the car as a truck: a type-changing update.
+  Tuple fill;
+  fill.Set(cargo_, Value::Int(800));
+  fill.Set(axles_, Value::Int(2));
+  auto delta = relation_.Update(0, kind_, Value::Str("truck"), fill);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_EQ(delta.value().to_add, (AttrSet{cargo_, axles_}));
+  EXPECT_EQ(delta.value().to_remove, AttrSet{seats_});
+  EXPECT_TRUE(relation_.SatisfiesDeclaredDeps());
+  // And the variant pruning view: after the update the instance has no car.
+  ConstraintMap constraints;
+  constraints[kind_] = ValueConstraint{{Value::Str("truck")}};
+  VariantAnalysis analysis = AnalyzeVariants(constraints, mapped_.eads[0]);
+  ASSERT_EQ(analysis.consistent_variants.size(), 1u);
+  EXPECT_EQ(analysis.consistent_variants[0], 0u);
+  EXPECT_FALSE(analysis.unmatched_possible);
+}
+
+}  // namespace
+}  // namespace flexrel

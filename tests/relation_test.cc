@@ -1,0 +1,71 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace {
+
+Tuple Row(AttrId a, int64_t va, AttrId b, int64_t vb) {
+  return Tuple::FromPairs({{a, Value::Int(va)}, {b, Value::Int(vb)}});
+}
+
+TEST(RelationTest, InsertEnforcesExactScheme) {
+  Relation r("r", AttrSet{0, 1});
+  EXPECT_TRUE(r.Insert(Row(0, 1, 1, 2)).ok());
+  // Missing attribute.
+  Tuple narrow = Tuple::FromPairs({{0, Value::Int(1)}});
+  EXPECT_EQ(r.Insert(narrow).code(), StatusCode::kConstraintViolation);
+  // Extra attribute.
+  Tuple wide = Tuple::FromPairs(
+      {{0, Value::Int(1)}, {1, Value::Int(2)}, {2, Value::Int(3)}});
+  EXPECT_EQ(r.Insert(wide).code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, NullsAreAllowedValues) {
+  Relation r("r", AttrSet{0, 1});
+  Tuple t = Tuple::FromPairs({{0, Value::Int(1)}, {1, Value::Null()}});
+  EXPECT_TRUE(r.Insert(t).ok());
+  EXPECT_EQ(r.CountNulls(), 1u);
+}
+
+TEST(RelationTest, CountNullsAcrossRows) {
+  Relation r("r", AttrSet{0, 1, 2});
+  ASSERT_TRUE(r.Insert(Tuple::FromPairs({{0, Value::Int(1)},
+                                         {1, Value::Null()},
+                                         {2, Value::Null()}}))
+                  .ok());
+  ASSERT_TRUE(r.Insert(Tuple::FromPairs({{0, Value::Null()},
+                                         {1, Value::Int(2)},
+                                         {2, Value::Int(3)}}))
+                  .ok());
+  EXPECT_EQ(r.CountNulls(), 3u);
+}
+
+TEST(RelationTest, DeduplicateSortsAndRemovesCopies) {
+  Relation r("r", AttrSet{0, 1});
+  ASSERT_TRUE(r.Insert(Row(0, 2, 1, 2)).ok());
+  ASSERT_TRUE(r.Insert(Row(0, 1, 1, 1)).ok());
+  ASSERT_TRUE(r.Insert(Row(0, 2, 1, 2)).ok());
+  r.Deduplicate();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.row(0), Row(0, 1, 1, 1));
+}
+
+TEST(RelationTest, EqualsUnordered) {
+  Relation a("a", AttrSet{0, 1});
+  Relation b("b", AttrSet{0, 1});
+  ASSERT_TRUE(a.Insert(Row(0, 1, 1, 1)).ok());
+  ASSERT_TRUE(a.Insert(Row(0, 2, 1, 2)).ok());
+  ASSERT_TRUE(b.Insert(Row(0, 2, 1, 2)).ok());
+  ASSERT_TRUE(b.Insert(Row(0, 1, 1, 1)).ok());
+  EXPECT_TRUE(a.EqualsUnordered(b));
+  ASSERT_TRUE(b.Insert(Row(0, 3, 1, 3)).ok());
+  EXPECT_FALSE(a.EqualsUnordered(b));
+  // Different schemes are never equal.
+  Relation c("c", AttrSet{0, 2});
+  EXPECT_FALSE(a.EqualsUnordered(c));
+}
+
+}  // namespace
+}  // namespace flexrel

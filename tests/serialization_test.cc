@@ -1,0 +1,168 @@
+#include "storage/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+TEST(EscapeTest, RoundTrip) {
+  for (const std::string& text :
+       {std::string("plain"), std::string("with space"),
+        std::string("pipes|commas,equals=percent%"), std::string(""),
+        std::string("new\nline\ttab")}) {
+    std::string escaped = EscapeText(text);
+    // Escaped text carries no separators or whitespace.
+    for (char c : escaped) {
+      EXPECT_NE(c, ' ');
+      EXPECT_NE(c, '|');
+      EXPECT_NE(c, ',');
+      EXPECT_NE(c, '\n');
+    }
+    auto back = UnescapeText(escaped);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), text);
+  }
+}
+
+TEST(EscapeTest, RejectsMalformed) {
+  EXPECT_FALSE(UnescapeText("%2").ok());
+  EXPECT_FALSE(UnescapeText("%zz").ok());
+  EXPECT_TRUE(UnescapeText("%25").ok());
+}
+
+TEST(ValueCodecTest, AllTypesRoundTrip) {
+  for (const Value& v :
+       {Value::Null(), Value::Bool(true), Value::Bool(false), Value::Int(-42),
+        Value::Int(1ll << 60), Value::Real(3.141592653589793),
+        Value::Str("hello world"), Value::Str("x|y=z,%")}) {
+    auto back = DecodeValue(EncodeValue(v));
+    ASSERT_TRUE(back.ok()) << EncodeValue(v);
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(ValueCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeValue("").ok());
+  EXPECT_FALSE(DecodeValue("x").ok());
+  EXPECT_FALSE(DecodeValue("q:1").ok());
+  EXPECT_FALSE(DecodeValue("i:notanint").ok());
+}
+
+TEST(FlexDbTest, JobtypeExampleRoundTrips) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+
+  std::string text = WriteFlexDb(world.catalog, world.scheme, {world.ead},
+                                 world.domains, world.relation);
+  auto db = ReadFlexDb(text);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  EXPECT_EQ(db.value()->relation.name(), "employee");
+  EXPECT_EQ(db.value()->relation.size(), world.relation.size());
+  EXPECT_EQ(db.value()->eads.size(), 1u);
+  EXPECT_EQ(db.value()->eads[0].variants().size(), 3u);
+  EXPECT_EQ(db.value()->scheme.DnfCount(), world.scheme.DnfCount());
+
+  // Tuples round-trip by name (ids may differ): compare rendered forms.
+  std::vector<std::string> original, loaded;
+  for (const Tuple& t : world.relation.rows()) {
+    original.push_back(t.ToString(world.catalog));
+  }
+  for (const Tuple& t : db.value()->relation.rows()) {
+    loaded.push_back(t.ToString(db.value()->catalog));
+  }
+  std::sort(original.begin(), original.end());
+  std::sort(loaded.begin(), loaded.end());
+  EXPECT_EQ(original, loaded);
+
+  // The reloaded relation is still strongly typed.
+  Tuple bad = db.value()->relation.rows().empty()
+                  ? Tuple()
+                  : db.value()->relation.row(0);
+  AttrId jobtype = db.value()->catalog.Find("jobtype").value();
+  bad.Set(jobtype, Value::Str("salesman"));
+  EXPECT_FALSE(db.value()->relation.Insert(bad).ok());
+}
+
+TEST(FlexDbTest, GeneratedWorkloadRoundTrips) {
+  EmployeeConfig config;
+  config.num_variants = 4;
+  config.attrs_per_variant = 2;
+  config.rows = 120;
+  config.seed = 77;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  std::string text =
+      WriteFlexDb(w.value()->catalog, w.value()->scheme, w.value()->eads,
+                  w.value()->domains, w.value()->relation);
+  auto db = ReadFlexDb(text);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db.value()->relation.size(), 120u);
+  EXPECT_TRUE(db.value()->relation.SatisfiesDeclaredDeps());
+  // Second round trip is byte-identical (canonical form).
+  std::string text2 =
+      WriteFlexDb(db.value()->catalog, db.value()->scheme, db.value()->eads,
+                  db.value()->domains, db.value()->relation);
+  EXPECT_EQ(text, text2);
+}
+
+TEST(FlexDbTest, CorruptedInputsRejected) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  std::string good = WriteFlexDb(world.catalog, world.scheme, {world.ead},
+                                 world.domains, world.relation);
+
+  // Version mismatch.
+  {
+    std::string bad = good;
+    bad.replace(0, 8, "flexdb 9");
+    EXPECT_FALSE(ReadFlexDb(bad).ok());
+  }
+  // Truncation mid-rows.
+  {
+    std::string bad = good.substr(0, good.rfind("row "));
+    EXPECT_FALSE(ReadFlexDb(bad).ok());
+  }
+  // An ill-typed row is caught by the type checker on load: swap a
+  // secretary's jobtype to salesman in the serialized text.
+  {
+    std::string bad = good;
+    size_t rows_at = bad.find("\nrow ");
+    ASSERT_NE(rows_at, std::string::npos);
+    size_t pos = bad.find("jobtype=s:secretary", rows_at);
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, std::string("jobtype=s:secretary").size(),
+                "jobtype=s:salesman");
+    auto r = ReadFlexDb(bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  }
+  // Garbage counts.
+  {
+    std::string bad = good;
+    size_t pos = bad.find("rows ");
+    bad.replace(pos, 6, "rows x");
+    EXPECT_FALSE(ReadFlexDb(bad).ok());
+  }
+}
+
+TEST(FlexDbTest, EmptyRelationRoundTrips) {
+  AttrCatalog catalog;
+  auto fs = FlexibleScheme::Parse(&catalog, "<1,2,{A,B}>");
+  ASSERT_TRUE(fs.ok());
+  FlexibleRelation r =
+      FlexibleRelation::Base("empty_rel", &catalog, fs.value(), {}, {});
+  std::string text = WriteFlexDb(catalog, fs.value(), {}, {}, r);
+  auto db = ReadFlexDb(text);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db.value()->relation.size(), 0u);
+  EXPECT_EQ(db.value()->scheme.DnfCount(), 3u);
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,48 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace {
+
+TEST(StringUtilTest, JoinBasics) {
+  EXPECT_EQ(Join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("flexible", "flex"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xabc", "abc"));
+}
+
+TEST(StringUtilTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("JobType"), "jobtype");
+  EXPECT_EQ(AsciiLower("already"), "already");
+  EXPECT_EQ(AsciiLower("Mixed-1_X"), "mixed-1_x");
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,161 @@
+#include "subtyping/ad_subtyping.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+class SubtypeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ex = MakeJobtypeExample();
+    ASSERT_TRUE(ex.ok()) << ex.status();
+    ex_ = std::move(ex).value();
+    base_ = RecordType("employee");
+    for (const auto& [attr, domain] : ex_->domains) {
+      base_.SetField(attr, domain);
+    }
+    auto family = DeriveTypeFamily(base_, ex_->ead);
+    ASSERT_TRUE(family.ok()) << family.status();
+    family_ = std::move(family).value();
+  }
+  std::unique_ptr<JobtypeExample> ex_;
+  RecordType base_;
+  TypeFamily family_;
+};
+
+TEST_F(SubtypeTest, RecordRuleWidthAndDepth) {
+  RecordType wide("wide"), narrow("narrow");
+  narrow.SetField(0, Domain::Any(ValueType::kInt));
+  wide.SetField(0, Domain::IntRange(1, 5).value());  // depth refinement
+  wide.SetField(1, Domain::Any(ValueType::kString)); // width extension
+  EXPECT_TRUE(IsRecordSubtype(wide, narrow));
+  EXPECT_FALSE(IsRecordSubtype(narrow, wide));
+  // Depth violation: field domain not contained.
+  RecordType other("other");
+  other.SetField(0, Domain::IntRange(0, 99).value());
+  EXPECT_FALSE(IsRecordSubtype(other, wide.Project(AttrSet{0})));
+  EXPECT_TRUE(IsRecordSubtype(wide, wide));  // reflexive
+}
+
+TEST_F(SubtypeTest, RecordTypeAccepts) {
+  RecordType t("t");
+  t.SetField(0, Domain::IntRange(1, 10).value());
+  Tuple good;
+  good.Set(0, Value::Int(5));
+  EXPECT_TRUE(t.Accepts(good));
+  Tuple out_of_domain;
+  out_of_domain.Set(0, Value::Int(50));
+  EXPECT_FALSE(t.Accepts(out_of_domain));
+  Tuple wrong_shape;
+  wrong_shape.Set(1, Value::Int(5));
+  EXPECT_FALSE(t.Accepts(wrong_shape));
+}
+
+// ---- Example 3: the AD-induced type family ----------------------------------
+
+TEST_F(SubtypeTest, FamilyMatchesExample3) {
+  // Supertype: < salary, jobtype : {'secretary','software eng','salesman'} >.
+  EXPECT_EQ(family_.supertype.attrs(),
+            (AttrSet{ex_->salary, ex_->jobtype}));
+  // Three subtypes, each adding its block and restricting dom(jobtype).
+  ASSERT_EQ(family_.subtypes.size(), 3u);
+
+  const RecordType& secretary = family_.subtypes[0];
+  EXPECT_EQ(secretary.attrs(),
+            (AttrSet{ex_->salary, ex_->jobtype, ex_->typing_speed,
+                     ex_->foreign_languages}));
+  const Domain* jd = secretary.FieldDomain(ex_->jobtype);
+  ASSERT_NE(jd, nullptr);
+  EXPECT_TRUE(jd->Contains(Value::Str("secretary")));
+  EXPECT_FALSE(jd->Contains(Value::Str("salesman")));
+
+  // Every subtype is a record subtype of the supertype (the rule is
+  // *sufficient* here — that is the paper's starting point).
+  for (const RecordType& sub : family_.subtypes) {
+    EXPECT_TRUE(IsRecordSubtype(sub, family_.supertype)) << sub.name();
+  }
+}
+
+TEST_F(SubtypeTest, SupertypeWithDeterminantIsSemanticsPreserving) {
+  SupertypeVerdict v =
+      CheckSupertype(family_.supertype, family_, ex_->catalog);
+  EXPECT_TRUE(v.record_rule_ok);
+  EXPECT_TRUE(v.semantics_preserving);
+}
+
+TEST_F(SubtypeTest, Example3LostDeterminantSupertype) {
+  // The paper: "< ..., salary : float > (without attribute jobtype) is
+  // therefore treated as a valid supertype … although the connection
+  // between the determining attribute jobtype and the subtypes is
+  // destroyed."
+  RecordType salary_only("salary_only");
+  salary_only.SetField(ex_->salary, Domain::Any(ValueType::kInt));
+  SupertypeVerdict v = CheckSupertype(salary_only, family_, ex_->catalog);
+  EXPECT_TRUE(v.record_rule_ok);        // the record rule accepts it …
+  EXPECT_FALSE(v.semantics_preserving); // … the AD-aware check does not.
+  EXPECT_NE(v.reason.find("jobtype"), std::string::npos);
+}
+
+TEST_F(SubtypeTest, NonSupertypeRejectedByBothNotions) {
+  RecordType unrelated("unrelated");
+  unrelated.SetField(ex_->typing_speed, Domain::Any(ValueType::kInt));
+  SupertypeVerdict v = CheckSupertype(unrelated, family_, ex_->catalog);
+  EXPECT_FALSE(v.record_rule_ok);
+  EXPECT_FALSE(v.semantics_preserving);
+}
+
+TEST_F(SubtypeTest, DeriveFamilyValidatesInputs) {
+  RecordType missing_determinant("m");
+  missing_determinant.SetField(ex_->salary, Domain::Any(ValueType::kInt));
+  EXPECT_FALSE(DeriveTypeFamily(missing_determinant, ex_->ead).ok());
+}
+
+TEST_F(SubtypeTest, SubtypeMatrixAndHasse) {
+  std::vector<RecordType> types;
+  types.push_back(family_.supertype);           // 0
+  for (const RecordType& s : family_.subtypes)  // 1..3
+    types.push_back(s);
+  // Also the problematic salary-only top. All four family members are its
+  // record subtypes.
+  RecordType salary_only("salary_only");
+  salary_only.SetField(ex_->salary, Domain::Any(ValueType::kInt));
+  types.push_back(salary_only);                 // 4
+
+  auto m = SubtypeMatrix(types);
+  for (size_t i = 0; i < types.size(); ++i) {
+    EXPECT_TRUE(m[i][i]);
+    EXPECT_TRUE(m[i][4]) << "everything is a subtype of salary-only";
+  }
+  for (size_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(m[i][0]);
+    EXPECT_FALSE(m[0][i]);
+  }
+
+  auto edges = HasseEdges(types);
+  // Immediate edges: each subtype -> supertype, supertype -> salary_only.
+  // Subtype -> salary_only edges are transitive, hence absent.
+  std::set<std::pair<size_t, size_t>> edge_set(edges.begin(), edges.end());
+  EXPECT_TRUE(edge_set.count({1, 0}));
+  EXPECT_TRUE(edge_set.count({2, 0}));
+  EXPECT_TRUE(edge_set.count({3, 0}));
+  EXPECT_TRUE(edge_set.count({0, 4}));
+  EXPECT_FALSE(edge_set.count({1, 4}));
+  EXPECT_EQ(edge_set.size(), 4u);
+}
+
+TEST_F(SubtypeTest, ProjectionAlwaysYieldsRecordSupertype) {
+  // Scholl/Schek's observation the paper contrasts against: *any* projection
+  // of a type is a supertype under the record rule — even one that breaks
+  // the dependency.
+  const RecordType& sub = family_.subtypes[1];
+  for (AttrId drop : sub.attrs()) {
+    RecordType projected = sub.Project(sub.attrs().Minus(AttrSet::Of(drop)));
+    EXPECT_TRUE(IsRecordSubtype(sub, projected));
+  }
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,106 @@
+#include "relational/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace {
+
+TEST(TupleTest, SetGetErase) {
+  Tuple t;
+  t.Set(2, Value::Int(5));
+  t.Set(0, Value::Str("x"));
+  ASSERT_NE(t.Get(2), nullptr);
+  EXPECT_EQ(*t.Get(2), Value::Int(5));
+  EXPECT_EQ(t.Get(1), nullptr);
+  EXPECT_TRUE(t.Has(0));
+  t.Erase(0);
+  EXPECT_FALSE(t.Has(0));
+  t.Erase(99);  // no-op
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TupleTest, SetOverwrites) {
+  Tuple t;
+  t.Set(1, Value::Int(1));
+  t.Set(1, Value::Int(2));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.Get(1), Value::Int(2));
+}
+
+TEST(TupleTest, FieldsSortedByAttr) {
+  Tuple t;
+  t.Set(9, Value::Int(9));
+  t.Set(1, Value::Int(1));
+  t.Set(5, Value::Int(5));
+  std::vector<AttrId> order;
+  for (const auto& [attr, value] : t.fields()) order.push_back(attr);
+  EXPECT_EQ(order, (std::vector<AttrId>{1, 5, 9}));
+}
+
+TEST(TupleTest, AttrsIsTheAttributeSet) {
+  Tuple t = Tuple::FromPairs({{3, Value::Int(0)}, {1, Value::Int(0)}});
+  EXPECT_EQ(t.attrs(), (AttrSet{1, 3}));
+  EXPECT_EQ(Tuple().attrs(), AttrSet());
+}
+
+TEST(TupleTest, FromPairsLastWriteWins) {
+  Tuple t = Tuple::FromPairs({{1, Value::Int(1)}, {1, Value::Int(7)}});
+  EXPECT_EQ(*t.Get(1), Value::Int(7));
+}
+
+TEST(TupleTest, ProjectKeepsIntersection) {
+  Tuple t = Tuple::FromPairs(
+      {{1, Value::Int(1)}, {2, Value::Int(2)}, {3, Value::Int(3)}});
+  Tuple p = t.Project(AttrSet{2, 3, 9});
+  EXPECT_EQ(p.attrs(), (AttrSet{2, 3}));
+  EXPECT_EQ(*p.Get(2), Value::Int(2));
+}
+
+TEST(TupleTest, DefinedOn) {
+  Tuple t = Tuple::FromPairs({{1, Value::Int(1)}, {2, Value::Int(2)}});
+  EXPECT_TRUE(t.DefinedOn(AttrSet{1}));
+  EXPECT_TRUE(t.DefinedOn(AttrSet{1, 2}));
+  EXPECT_TRUE(t.DefinedOn(AttrSet()));
+  EXPECT_FALSE(t.DefinedOn(AttrSet{1, 3}));
+}
+
+TEST(TupleTest, AgreesOn) {
+  Tuple a = Tuple::FromPairs({{1, Value::Int(1)}, {2, Value::Int(2)}});
+  Tuple b = Tuple::FromPairs({{1, Value::Int(1)}, {2, Value::Int(9)}});
+  EXPECT_TRUE(a.AgreesOn(b, AttrSet{1}));
+  EXPECT_FALSE(a.AgreesOn(b, AttrSet{1, 2}));
+  // Missing attribute on either side -> no agreement.
+  EXPECT_FALSE(a.AgreesOn(b, AttrSet{3}));
+  EXPECT_TRUE(a.AgreesOn(b, AttrSet()));
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  Tuple a = Tuple::FromPairs({{1, Value::Int(1)}});
+  Tuple b = Tuple::FromPairs({{1, Value::Int(1)}});
+  Tuple c = Tuple::FromPairs({{1, Value::Int(2)}});
+  Tuple d = Tuple::FromPairs({{2, Value::Int(1)}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(a < d);  // attr 1 < attr 2 lexicographically
+}
+
+TEST(TupleTest, HashConsistency) {
+  Tuple a = Tuple::FromPairs({{1, Value::Int(1)}, {2, Value::Str("x")}});
+  Tuple b = Tuple::FromPairs({{2, Value::Str("x")}, {1, Value::Int(1)}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, ToStringUsesNames) {
+  AttrCatalog catalog;
+  AttrId salary = catalog.Intern("salary");
+  AttrId job = catalog.Intern("jobtype");
+  Tuple t;
+  t.Set(job, Value::Str("salesman"));
+  t.Set(salary, Value::Int(5000));
+  EXPECT_EQ(t.ToString(catalog), "<salary: 5000, jobtype: 'salesman'>");
+}
+
+}  // namespace
+}  // namespace flexrel

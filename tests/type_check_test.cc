@@ -1,0 +1,101 @@
+#include "core/type_check.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+class TypeCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ex = MakeJobtypeExample();
+    ASSERT_TRUE(ex.ok()) << ex.status();
+    ex_ = std::move(ex).value();
+    checker_ = std::make_unique<TypeChecker>(
+        &ex_->catalog, ex_->scheme, std::vector<ExplicitAD>{ex_->ead},
+        ex_->domains);
+  }
+  std::unique_ptr<JobtypeExample> ex_;
+  std::unique_ptr<TypeChecker> checker_;
+};
+
+TEST_F(TypeCheckTest, AcceptsAllThreeVariants) {
+  EXPECT_TRUE(checker_->Check(ex_->MakeSecretary(4000, 280)).ok());
+  EXPECT_TRUE(checker_->Check(ex_->MakeEngineer(7000, 4)).ok());
+  EXPECT_TRUE(checker_->Check(ex_->MakeSalesman(5000, 15)).ok());
+}
+
+TEST_F(TypeCheckTest, SchemeAloneCannotCatchTheMistypedSalesman) {
+  // This is the paper's Section-3.1 argument verbatim: the attribute
+  // combination is admissible, so the shape check passes …
+  Tuple bad = ex_->MakeMistypedSalesman();
+  EXPECT_TRUE(checker_->CheckShape(bad).ok());
+  // … and only the EAD-based dependency check rejects it.
+  EXPECT_EQ(checker_->CheckDependencies(bad).code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_FALSE(checker_->Check(bad).ok());
+}
+
+TEST_F(TypeCheckTest, ShapeViolationsAreCaught) {
+  // Both C-and-D style violation: typing-speed without foreign-languages
+  // breaks the secretary block's all-or-nothing grouping.
+  Tuple t;
+  t.Set(ex_->salary, Value::Int(1));
+  t.Set(ex_->jobtype, Value::Str("secretary"));
+  t.Set(ex_->typing_speed, Value::Int(100));
+  EXPECT_EQ(checker_->CheckShape(t).code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(TypeCheckTest, DomainViolationsAreCaught) {
+  Tuple t = ex_->MakeSecretary(1000, 100);
+  t.Set(ex_->jobtype, Value::Str("astronaut"));  // outside dom(jobtype)
+  EXPECT_EQ(checker_->CheckDomains(t).code(),
+            StatusCode::kConstraintViolation);
+  // Type errors are domain errors too.
+  Tuple t2 = ex_->MakeSecretary(1000, 100);
+  t2.Set(ex_->salary, Value::Str("much"));
+  EXPECT_FALSE(checker_->CheckDomains(t2).ok());
+}
+
+TEST_F(TypeCheckTest, AttributesWithoutDomainsAreUnconstrained) {
+  TypeChecker lax(&ex_->catalog, ex_->scheme, {ex_->ead}, {});
+  Tuple t = ex_->MakeSecretary(1, 1);
+  t.Set(ex_->salary, Value::Str("anything"));
+  EXPECT_TRUE(lax.CheckDomains(t).ok());
+}
+
+TEST_F(TypeCheckTest, DeltaForComputesTypeChange) {
+  // A secretary tuple whose jobtype was flipped to 'salesman' (footnote 3):
+  // the delta must demand the salesman block and drop the secretary block.
+  Tuple t = ex_->MakeSecretary(5000, 300);
+  t.Set(ex_->jobtype, Value::Str("salesman"));
+  TypeChecker::TypeDelta delta = checker_->DeltaFor(t);
+  EXPECT_EQ(delta.to_add, (AttrSet{ex_->products, ex_->sales_commission}));
+  EXPECT_EQ(delta.to_remove,
+            (AttrSet{ex_->typing_speed, ex_->foreign_languages}));
+  EXPECT_FALSE(delta.IsNoop());
+}
+
+TEST_F(TypeCheckTest, DeltaForWellTypedTupleIsNoop) {
+  EXPECT_TRUE(checker_->DeltaFor(ex_->MakeSalesman(1, 2)).IsNoop());
+}
+
+TEST_F(TypeCheckTest, DomainForLookup) {
+  const Domain* d = checker_->DomainFor(ex_->jobtype);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->is_enumerated());
+  EXPECT_EQ(checker_->DomainFor(12345), nullptr);
+}
+
+TEST_F(TypeCheckTest, SalaryUpdateCausesNoTypeChange) {
+  // Footnote 3's contrast: updating salary has no type consequences.
+  Tuple t = ex_->MakeSecretary(5000, 300);
+  t.Set(ex_->salary, Value::Int(9999));
+  EXPECT_TRUE(checker_->DeltaFor(t).IsNoop());
+  EXPECT_TRUE(checker_->Check(t).ok());
+}
+
+}  // namespace
+}  // namespace flexrel

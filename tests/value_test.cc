@@ -1,0 +1,87 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace flexrel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).as_bool(), true);
+  EXPECT_EQ(Value::Int(-3).as_int(), -3);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value::Int(4), Value::Int(4));
+  EXPECT_NE(Value::Int(4), Value::Int(5));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeValuesAreUnequal) {
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Bool(true), Value::Int(1));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, TotalOrderWithinType) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("abc"), Value::Str("abd"));
+  EXPECT_LT(Value::Real(-1.5), Value::Real(0.0));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, CrossTypeOrderIsByTypeTag) {
+  // null < bool < int < double < string.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(-100));
+  EXPECT_LT(Value::Int(1000), Value::Real(-5.0));
+  EXPECT_LT(Value::Real(1e9), Value::Str(""));
+}
+
+TEST(ValueTest, CompareIsAntisymmetric) {
+  Value a = Value::Int(3);
+  Value b = Value::Int(9);
+  EXPECT_EQ(a.Compare(b), -b.Compare(a));
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Str("xyz").Hash(), Value::Str("xyz").Hash());
+  // Different types with "equal-looking" payloads should (overwhelmingly)
+  // hash differently because the type participates.
+  EXPECT_NE(Value::Int(0).Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, WorksInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::Str("1"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value::Int(1)));
+  EXPECT_FALSE(set.count(Value::Int(2)));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("jobtype").ToString(), "'jobtype'");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -1,0 +1,119 @@
+#include "core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+constexpr AttrId kA = 0, kB = 1, kC = 2, kD = 3;
+
+TEST(WitnessTest, ShapeMatchesTheAppendixFigure) {
+  // Σ = {A --func--> B, A --attr--> C}; X = {A}.
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kC}});
+  AttrSet universe{kA, kB, kC, kD};
+  Witness w = BuildWitness(universe, AttrSet{kA}, sigma);
+
+  EXPECT_EQ(w.func_closure, (AttrSet{kA, kB}));
+  EXPECT_EQ(w.attr_closure, (AttrSet{kA, kB, kC}));
+
+  // t1: defined on the whole universe, all 1.
+  EXPECT_EQ(w.t1.attrs(), universe);
+  for (AttrId a : universe) {
+    EXPECT_EQ(*w.t1.Get(a), Value::Int(1));
+  }
+  // t2: defined on X+attr; 1 on X+func, 0 on the rest.
+  EXPECT_EQ(w.t2.attrs(), (AttrSet{kA, kB, kC}));
+  EXPECT_EQ(*w.t2.Get(kA), Value::Int(1));
+  EXPECT_EQ(*w.t2.Get(kB), Value::Int(1));
+  EXPECT_EQ(*w.t2.Get(kC), Value::Int(0));
+}
+
+TEST(WitnessTest, WitnessSatisfiesSigma) {
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kC}});
+  sigma.AddAd(AttrDep{AttrSet{kB}, AttrSet{kD}});
+  AttrSet universe{kA, kB, kC, kD};
+  for (AttrId x = 0; x < 4; ++x) {
+    Witness w = BuildWitness(universe, AttrSet{x}, sigma);
+    EXPECT_TRUE(sigma.SatisfiedBy(w.rows()))
+        << "witness for X={" << x << "} violates sigma";
+  }
+}
+
+TEST(WitnessTest, RefutesExactlyTheNonImplied) {
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  AttrSet universe{kA, kB, kC};
+  // Implied: A --attr--> B. Not implied: A --attr--> C, B --attr--> A.
+  EXPECT_FALSE(
+      WitnessRefutesAd(universe, sigma, AttrDep{AttrSet{kA}, AttrSet{kB}}));
+  EXPECT_TRUE(
+      WitnessRefutesAd(universe, sigma, AttrDep{AttrSet{kA}, AttrSet{kC}}));
+  EXPECT_TRUE(
+      WitnessRefutesAd(universe, sigma, AttrDep{AttrSet{kB}, AttrSet{kA}}));
+}
+
+TEST(WitnessTest, FdRefutation) {
+  DependencySet sigma;
+  sigma.AddFd(FuncDep{AttrSet{kA}, AttrSet{kB}});
+  AttrSet universe{kA, kB, kC};
+  EXPECT_FALSE(
+      WitnessRefutesFd(universe, sigma, FuncDep{AttrSet{kA}, AttrSet{kB}}));
+  EXPECT_TRUE(
+      WitnessRefutesFd(universe, sigma, FuncDep{AttrSet{kA}, AttrSet{kC}}));
+  // An AD premise gives no functional grip: A --attr--> B does not make
+  // A --func--> B.
+  DependencySet sigma_ad;
+  sigma_ad.AddAd(AttrDep{AttrSet{kA}, AttrSet{kB}});
+  EXPECT_TRUE(
+      WitnessRefutesFd(universe, sigma_ad, FuncDep{AttrSet{kA}, AttrSet{kB}}));
+}
+
+TEST(WitnessTest, EmptyLhsWitness) {
+  DependencySet sigma;
+  sigma.AddAd(AttrDep{AttrSet(), AttrSet{kB}});
+  AttrSet universe{kA, kB};
+  Witness w = BuildWitness(universe, AttrSet(), sigma);
+  // X+func = {}, X+attr = {B}: t2 defined on {B} with value 0.
+  EXPECT_EQ(w.t2.attrs(), AttrSet{kB});
+  EXPECT_EQ(*w.t2.Get(kB), Value::Int(0));
+  EXPECT_TRUE(sigma.SatisfiedBy(w.rows()));
+}
+
+// The central property, swept broadly (this is experiment E9's correctness
+// backbone): for arbitrary Σ and target, the witness refutes the target iff
+// the axiom system does not derive it.
+class WitnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WitnessSweep, CompletenessOnRandomInputs) {
+  Rng rng(GetParam());
+  AttrSet universe;
+  size_t n = 3 + rng.Index(8);
+  for (AttrId a = 0; a < n; ++a) universe.Insert(a);
+  DependencySet sigma = RandomDependencies(universe, &rng, 1 + rng.Index(5),
+                                           1 + rng.Index(5));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<AttrId> lhs, rhs;
+    for (AttrId a : universe) {
+      if (rng.Bernoulli(0.35)) lhs.push_back(a);
+      if (rng.Bernoulli(0.35)) rhs.push_back(a);
+    }
+    AttrDep ad{AttrSet::FromIds(lhs), AttrSet::FromIds(rhs)};
+    EXPECT_EQ(WitnessRefutesAd(universe, sigma, ad),
+              !Implies(sigma, ad, AxiomSystem::kCombined));
+    FuncDep fd{ad.lhs, ad.rhs};
+    EXPECT_EQ(WitnessRefutesFd(universe, sigma, fd), !Implies(sigma, fd));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessSweep,
+                         ::testing::Range<uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace flexrel
