@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "core/closure.h"
+#include "engine/parallel_discovery.h"
 
 namespace flexrel {
 
@@ -10,28 +11,13 @@ namespace {
 
 // Enumerates subsets of `universe` with size in [1, max_size], invoking
 // `visit(lhs)` smallest-first (so minimality pruning sees generators first).
+// Delegates to the engine's LatticeLevel so both paths share one
+// enumeration order — the engine's results-identical guarantee depends on
+// it.
 template <typename Visitor>
 void ForEachLhs(const AttrSet& universe, size_t max_size, Visitor visit) {
-  const std::vector<AttrId>& ids = universe.ids();
-  std::vector<AttrId> current;
-  // Depth-limited combinations, by increasing size.
-  for (size_t k = 1; k <= max_size && k <= ids.size(); ++k) {
-    std::vector<size_t> idx(k);
-    for (size_t i = 0; i < k; ++i) idx[i] = i;
-    while (true) {
-      current.clear();
-      for (size_t i : idx) current.push_back(ids[i]);
-      visit(AttrSet::FromIds(current));
-      // Next combination.
-      size_t i = k;
-      while (i > 0) {
-        --i;
-        if (idx[i] != i + ids.size() - k) break;
-      }
-      if (idx[i] == i + ids.size() - k) break;
-      ++idx[i];
-      for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
-    }
+  for (size_t k = 1; k <= max_size && k <= universe.size(); ++k) {
+    for (const AttrSet& lhs : LatticeLevel(universe, k)) visit(lhs);
   }
 }
 
@@ -115,6 +101,9 @@ AttrSet MaximalFdRhs(const std::vector<Tuple>& rows, const AttrSet& lhs,
 std::vector<AttrDep> DiscoverAttrDeps(const std::vector<Tuple>& rows,
                                       const AttrSet& universe,
                                       const DiscoveryOptions& options) {
+  if (options.use_engine) {
+    return EngineDiscoverAttrDeps(rows, universe, ToEngineOptions(options));
+  }
   std::vector<AttrDep> out;
   DependencySet found;
   ForEachLhs(universe, options.max_lhs_size, [&](const AttrSet& lhs) {
@@ -134,6 +123,9 @@ std::vector<AttrDep> DiscoverAttrDeps(const std::vector<Tuple>& rows,
 std::vector<FuncDep> DiscoverFuncDeps(const std::vector<Tuple>& rows,
                                       const AttrSet& universe,
                                       const DiscoveryOptions& options) {
+  if (options.use_engine) {
+    return EngineDiscoverFuncDeps(rows, universe, ToEngineOptions(options));
+  }
   std::vector<FuncDep> out;
   DependencySet found;
   ForEachLhs(universe, options.max_lhs_size, [&](const AttrSet& lhs) {
@@ -150,6 +142,9 @@ std::vector<FuncDep> DiscoverFuncDeps(const std::vector<Tuple>& rows,
 DependencySet DiscoverDependencies(const std::vector<Tuple>& rows,
                                    const AttrSet& universe,
                                    const DiscoveryOptions& options) {
+  if (options.use_engine) {
+    return EngineDiscoverDependencies(rows, universe, ToEngineOptions(options));
+  }
   DependencySet out;
   for (FuncDep& fd : DiscoverFuncDeps(rows, universe, options)) {
     out.AddFd(std::move(fd));

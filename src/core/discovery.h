@@ -25,6 +25,14 @@ struct DiscoveryOptions {
   /// Skip dependencies already implied (via the axiom systems) by ones
   /// discovered at smaller determinants — reports generators only.
   bool minimal_only = true;
+  /// Validate candidates through the partition engine (src/engine/): cached
+  /// stripped partitions intersected up the lattice, parallel per level.
+  /// False keeps the original hash-grouping reference path; both produce
+  /// identical results (cross-validated by tests/engine_discovery_test.cc).
+  bool use_engine = true;
+  /// Worker threads for the engine path; 0 = hardware concurrency. Ignored
+  /// by the reference path.
+  size_t num_threads = 0;
 };
 
 /// All non-trivial ADs X --attr--> Y with |X| <= max_lhs_size satisfied by

@@ -1,0 +1,194 @@
+#include "engine/parallel_discovery.h"
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "core/closure.h"
+
+namespace flexrel {
+
+namespace {
+
+size_t ResolveThreads(size_t requested, size_t work_items) {
+  size_t n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (work_items == 0) work_items = 1;
+  return n < work_items ? n : work_items;
+}
+
+// Runs fn(0..n-1) across `num_threads` workers pulling from a shared
+// counter; the calling thread participates. The first exception a worker
+// hits is captured and rethrown on the calling thread after the join —
+// letting it escape a thread entry function would std::terminate.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    try {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+      next.store(n);  // drain remaining work
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  try {
+    for (size_t t = 1; t < num_threads; ++t) pool.emplace_back(worker);
+  } catch (const std::system_error&) {
+    // Thread exhaustion: degrade to the workers that did spawn (plus this
+    // thread) instead of letting ~thread() terminate the process.
+  }
+  worker();
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+// Below this many row-candidate pairs per level, thread spawn/join costs
+// more than the partition work it would parallelise; auto mode stays
+// sequential (an explicit num_threads is honoured regardless).
+constexpr size_t kMinWorkForAutoThreads = size_t{1} << 15;
+
+// Shared traversal: per level, fan the maximal-RHS computations out, then
+// prune and emit sequentially in enumeration order (pruning consults the
+// dependencies already emitted, so its order is semantics-bearing).
+template <typename Dep, typename RhsFn, typename PrunedFn, typename EmitFn>
+std::vector<Dep> LevelWise(const AttrSet& universe,
+                           const EngineDiscoveryOptions& options,
+                           size_t num_rows, const RhsFn& maximal_rhs,
+                           const PrunedFn& pruned, const EmitFn& emit) {
+  std::vector<Dep> out;
+  DependencySet found;
+  for (size_t k = 1; k <= options.max_lhs_size && k <= universe.size(); ++k) {
+    std::vector<AttrSet> candidates = LatticeLevel(universe, k);
+    std::vector<AttrSet> rhss(candidates.size());
+    size_t threads = ResolveThreads(options.num_threads, candidates.size());
+    if (options.num_threads == 0 &&
+        num_rows * candidates.size() < kMinWorkForAutoThreads) {
+      threads = 1;
+    }
+    ParallelFor(candidates.size(), threads,
+                [&](size_t i) { rhss[i] = maximal_rhs(candidates[i]); });
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (rhss[i].empty()) continue;
+      Dep candidate{std::move(candidates[i]), std::move(rhss[i])};
+      if (options.minimal_only && pruned(found, candidate)) continue;
+      out.push_back(candidate);
+      emit(&found, std::move(candidate));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EngineDiscoveryOptions ToEngineOptions(const DiscoveryOptions& options) {
+  EngineDiscoveryOptions out;
+  out.max_lhs_size = options.max_lhs_size;
+  out.minimal_only = options.minimal_only;
+  out.num_threads = options.num_threads;
+  return out;
+}
+
+std::vector<AttrSet> LatticeLevel(const AttrSet& universe, size_t k) {
+  const std::vector<AttrId>& ids = universe.ids();
+  std::vector<AttrSet> out;
+  if (k == 0 || k > ids.size()) return out;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<AttrId> current;
+  while (true) {
+    current.clear();
+    for (size_t i : idx) current.push_back(ids[i]);
+    out.push_back(AttrSet::FromIds(current));
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + ids.size() - k) break;
+    }
+    if (idx[i] == i + ids.size() - k) break;
+    ++idx[i];
+    for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return out;
+}
+
+std::vector<AttrDep> EngineDiscoverAttrDeps(
+    DependencyValidator* validator, const AttrSet& universe,
+    const EngineDiscoveryOptions& options) {
+  return LevelWise<AttrDep>(
+      universe, options, validator->row_attrs().size(),
+      [&](const AttrSet& lhs) {
+        return validator->MaximalAdRhs(lhs, universe);
+      },
+      [](const DependencySet& found, const AttrDep& candidate) {
+        return Implies(found, candidate, AxiomSystem::kAdOnly);
+      },
+      [](DependencySet* found, AttrDep dep) { found->AddAd(std::move(dep)); });
+}
+
+std::vector<FuncDep> EngineDiscoverFuncDeps(
+    DependencyValidator* validator, const AttrSet& universe,
+    const EngineDiscoveryOptions& options) {
+  return LevelWise<FuncDep>(
+      universe, options, validator->row_attrs().size(),
+      [&](const AttrSet& lhs) {
+        return validator->MaximalFdRhs(lhs, universe);
+      },
+      [](const DependencySet& found, const FuncDep& candidate) {
+        return Implies(found, candidate);
+      },
+      [](DependencySet* found, FuncDep dep) { found->AddFd(std::move(dep)); });
+}
+
+std::vector<AttrDep> EngineDiscoverAttrDeps(
+    const std::vector<Tuple>& rows, const AttrSet& universe,
+    const EngineDiscoveryOptions& options) {
+  PliCache cache(&rows, PliCache::Options{options.cache_max_entries});
+  DependencyValidator validator(&cache);
+  return EngineDiscoverAttrDeps(&validator, universe, options);
+}
+
+std::vector<FuncDep> EngineDiscoverFuncDeps(
+    const std::vector<Tuple>& rows, const AttrSet& universe,
+    const EngineDiscoveryOptions& options) {
+  PliCache cache(&rows, PliCache::Options{options.cache_max_entries});
+  DependencyValidator validator(&cache);
+  return EngineDiscoverFuncDeps(&validator, universe, options);
+}
+
+DependencySet EngineDiscoverDependencies(DependencyValidator* validator,
+                                         const AttrSet& universe,
+                                         const EngineDiscoveryOptions& options) {
+  DependencySet out;
+  for (FuncDep& fd : EngineDiscoverFuncDeps(validator, universe, options)) {
+    out.AddFd(std::move(fd));
+  }
+  for (AttrDep& ad : EngineDiscoverAttrDeps(validator, universe, options)) {
+    out.AddAd(std::move(ad));
+  }
+  return out;
+}
+
+DependencySet EngineDiscoverDependencies(const std::vector<Tuple>& rows,
+                                         const AttrSet& universe,
+                                         const EngineDiscoveryOptions& options) {
+  // One cache serves both passes: the FD pass leaves every candidate
+  // partition warm for the AD pass.
+  PliCache cache(&rows, PliCache::Options{options.cache_max_entries});
+  DependencyValidator validator(&cache);
+  return EngineDiscoverDependencies(&validator, universe, options);
+}
+
+}  // namespace flexrel

@@ -1,0 +1,104 @@
+#include "engine/pli.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "relational/value.h"
+
+namespace flexrel {
+
+namespace {
+
+// Clusters ascend by first row id so that structurally equal partitions are
+// representationally equal regardless of hash-map iteration order.
+void SortByFirstRow(std::vector<Pli::Cluster>* clusters) {
+  std::sort(clusters->begin(), clusters->end(),
+            [](const Pli::Cluster& a, const Pli::Cluster& b) {
+              return a.front() < b.front();
+            });
+}
+
+}  // namespace
+
+void Pli::Canonicalize() {
+  SortByFirstRow(&clusters_);
+  grouped_rows_ = 0;
+  for (const Cluster& c : clusters_) grouped_rows_ += c.size();
+}
+
+Pli Pli::Build(const std::vector<Tuple>& rows, AttrId attr) {
+  Pli out;
+  out.num_rows_ = rows.size();
+  std::unordered_map<Value, Cluster, ValueHash> groups;
+  groups.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (const Value* v = rows[i].Get(attr)) {
+      groups[*v].push_back(static_cast<RowId>(i));
+    }
+  }
+  for (auto& [value, cluster] : groups) {
+    (void)value;
+    if (cluster.size() >= 2) out.clusters_.push_back(std::move(cluster));
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Pli Pli::Build(const std::vector<Tuple>& rows, const AttrSet& attrs) {
+  Pli out;
+  out.num_rows_ = rows.size();
+  std::unordered_map<Tuple, Cluster, TupleHash> groups;
+  groups.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].DefinedOn(attrs)) continue;
+    groups[rows[i].Project(attrs)].push_back(static_cast<RowId>(i));
+  }
+  for (auto& [key, cluster] : groups) {
+    (void)key;
+    if (cluster.size() >= 2) out.clusters_.push_back(std::move(cluster));
+  }
+  out.Canonicalize();
+  return out;
+}
+
+std::vector<int32_t> Pli::ProbeTable() const {
+  std::vector<int32_t> probe(num_rows_, kNoCluster);
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (RowId row : clusters_[c]) probe[row] = static_cast<int32_t>(c);
+  }
+  return probe;
+}
+
+Pli Pli::Intersect(const Pli& other) const {
+  return IntersectWithProbe(other.ProbeTable());
+}
+
+Pli Pli::IntersectWithProbe(const std::vector<int32_t>& probe) const {
+  Pli out;
+  out.num_rows_ = num_rows_;
+  // Refine each of our clusters by the other partition's cluster ids. Rows
+  // the other partition dropped (undefined or partnerless there) stay
+  // partnerless in the product and are dropped here too.
+  std::unordered_map<int32_t, Cluster> refined;
+  for (const Cluster& cluster : clusters_) {
+    refined.clear();
+    for (RowId row : cluster) {
+      int32_t oc = probe[row];
+      if (oc != kNoCluster) refined[oc].push_back(row);
+    }
+    for (auto& [oc, sub] : refined) {
+      (void)oc;
+      if (sub.size() >= 2) out.clusters_.push_back(std::move(sub));
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+size_t Pli::MemoryBytes() const {
+  size_t bytes = sizeof(Pli) + clusters_.capacity() * sizeof(Cluster);
+  for (const Cluster& c : clusters_) bytes += c.capacity() * sizeof(RowId);
+  return bytes;
+}
+
+}  // namespace flexrel

@@ -1,0 +1,103 @@
+// Position-list indexes (stripped partitions) over flexible-relation rows.
+//
+// A partition of an instance by an attribute set X clusters the rows that
+// are (a) defined on all of X and (b) agree on X — i.e. exactly the tuple
+// pairs quantified over by Definitions 4.1 and 4.2. Following the
+// TANE/Desbordante representation we keep the partition *stripped*:
+// singleton clusters are dropped, because a lone tuple can neither witness
+// nor violate an AD (existence-pattern reading) or an FD (distinct-pair
+// reading). Rows not defined on some attribute of X never enter the
+// partition at all; an explicit Value::Null, by contrast, is an ordinary
+// value that equals itself (matching Tuple's hashing and comparison), so
+// null-valued rows cluster together. This is the absence-vs-null split the
+// paper's flexible model is built on.
+//
+// The payoff is the product construction: the partition by X ∪ Y is the
+// cluster-wise refinement of the partition by X with the partition by Y.
+// Intersecting two cached partitions costs O(rows in clusters) integer
+// work — no value hashing, no tuple projection — which is what makes
+// level-wise dependency discovery scale (see pli_cache.h).
+
+#ifndef FLEXREL_ENGINE_PLI_H_
+#define FLEXREL_ENGINE_PLI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "relational/tuple.h"
+
+namespace flexrel {
+
+/// A stripped partition: clusters of row indices, each cluster the rows
+/// agreeing on the partition's attribute set, singleton clusters removed.
+/// Canonical form — rows ascending within a cluster, clusters ordered by
+/// their first row — so equal partitions compare equal.
+class Pli {
+ public:
+  using RowId = uint32_t;
+  using Cluster = std::vector<RowId>;
+
+  /// Marker for rows outside every cluster in ProbeTable().
+  static constexpr int32_t kNoCluster = -1;
+
+  Pli() = default;
+
+  /// Partition by a single attribute: clusters rows carrying `attr` by its
+  /// value. The workhorse base case — higher partitions come from
+  /// Intersect.
+  static Pli Build(const std::vector<Tuple>& rows, AttrId attr);
+
+  /// Partition by an arbitrary attribute set, built directly by hashing
+  /// X-projections. Reference implementation for tests and one-off callers;
+  /// the cache assembles the same partition out of single-attribute PLIs.
+  static Pli Build(const std::vector<Tuple>& rows, const AttrSet& attrs);
+
+  /// The product partition: clusters of `this` refined by the clusters of
+  /// `other`. Equals Build(rows, X ∪ Y) when the operands are the
+  /// partitions by X and Y over the same instance.
+  Pli Intersect(const Pli& other) const;
+
+  /// Intersect against a precomputed probe table (other.ProbeTable()) —
+  /// lets a caller that intersects many partitions against the same operand
+  /// (the cache's single-attribute base partitions) skip the O(num_rows)
+  /// rebuild per call.
+  Pli IntersectWithProbe(const std::vector<int32_t>& probe) const;
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  size_t num_clusters() const { return clusters_.size(); }
+
+  /// Number of rows of the underlying instance (cluster ids index into it).
+  size_t num_rows() const { return num_rows_; }
+
+  /// Rows appearing in some cluster (i.e. rows with at least one partner
+  /// agreeing with them on the partition attributes).
+  size_t grouped_rows() const { return grouped_rows_; }
+
+  bool empty() const { return clusters_.empty(); }
+
+  /// Inverse mapping: row index -> cluster index, kNoCluster for stripped
+  /// or undefined rows. O(num_rows).
+  std::vector<int32_t> ProbeTable() const;
+
+  /// Approximate heap footprint — reported by bench_pli and the input to a
+  /// future byte-budgeted cache eviction policy (the cache currently bounds
+  /// entry count only; see ROADMAP).
+  size_t MemoryBytes() const;
+
+  bool operator==(const Pli& other) const {
+    return num_rows_ == other.num_rows_ && clusters_ == other.clusters_;
+  }
+  bool operator!=(const Pli& other) const { return !(*this == other); }
+
+ private:
+  void Canonicalize();
+
+  std::vector<Cluster> clusters_;
+  size_t num_rows_ = 0;
+  size_t grouped_rows_ = 0;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ENGINE_PLI_H_

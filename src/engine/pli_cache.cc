@@ -1,0 +1,135 @@
+#include "engine/pli_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace flexrel {
+
+PliCache::PliCache(const std::vector<Tuple>* rows)
+    : PliCache(rows, Options()) {}
+
+PliCache::PliCache(const std::vector<Tuple>* rows, Options options)
+    : rows_(rows), options_(options) {}
+
+std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
+  std::promise<PliPtr> promise;
+  std::shared_future<PliPtr> future;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(attrs);
+    if (it != entries_.end()) {
+      ++hits_;
+      if (it->second.evictable) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      }
+      // Copy the future and wait outside the lock: the thread fulfilling it
+      // may itself need the lock for recursive sub-partition lookups.
+      std::shared_future<PliPtr> pending = it->second.future;
+      lock.unlock();
+      return pending.get();
+    }
+    ++misses_;
+    Entry entry;
+    entry.future = future = promise.get_future().share();
+    entry.evictable = attrs.size() > 1;
+    if (entry.evictable) {
+      lru_.push_front(attrs);
+      entry.lru_pos = lru_.begin();
+    }
+    entries_.emplace(attrs, std::move(entry));
+    EvictLocked();
+  }
+  // Build outside the lock; concurrent requesters for the same key block on
+  // the shared future instead of rebuilding.
+  try {
+    PliPtr pli = BuildFor(attrs);
+    promise.set_value(std::move(pli));
+  } catch (...) {
+    // Un-poison the slot before publishing the failure: requesters already
+    // waiting see this exception, but the next Get() rebuilds instead of
+    // rethrowing a stale (possibly transient) error forever.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(attrs);
+      if (it != entries_.end()) {
+        if (it->second.evictable) lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+      }
+    }
+    promise.set_exception(std::current_exception());
+  }
+  return future.get();
+}
+
+PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
+  if (attrs.size() <= 1) {
+    Pli built = attrs.empty() ? Pli::Build(*rows_, attrs)
+                              : Pli::Build(*rows_, attrs.ids().front());
+    return std::make_shared<const Pli>(std::move(built));
+  }
+  // X = prefix ∪ {last}: intersect the cached prefix partition (the more
+  // refined operand, hence the outer one) with the last attribute's,
+  // through that attribute's memoized probe table.
+  AttrId last = attrs.ids().back();
+  AttrSet prefix = attrs.Minus(AttrSet::Of(last));
+  PliPtr left = Get(prefix);
+  std::shared_ptr<const std::vector<int32_t>> probe = ProbeFor(last);
+  return std::make_shared<const Pli>(left->IntersectWithProbe(*probe));
+}
+
+std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = probes_.find(attr);
+    if (it != probes_.end()) return it->second;
+  }
+  PliPtr pli = Get(AttrSet::Of(attr));
+  auto probe =
+      std::make_shared<const std::vector<int32_t>>(pli->ProbeTable());
+  std::lock_guard<std::mutex> lock(mu_);
+  // Racing builders compute identical tables; first insert wins.
+  return probes_.emplace(attr, std::move(probe)).first->second;
+}
+
+void PliCache::EvictLocked() {
+  using namespace std::chrono_literals;
+  while (lru_.size() > options_.max_entries) {
+    bool erased = false;
+    // Oldest-first; entries still being built (future not ready) survive.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto entry = entries_.find(*it);
+      if (entry == entries_.end()) continue;  // defensive; should not happen
+      if (entry->second.future.wait_for(0s) != std::future_status::ready) {
+        continue;
+      }
+      entries_.erase(entry);
+      lru_.erase(std::next(it).base());
+      ++evictions_;
+      erased = true;
+      break;
+    }
+    if (!erased) break;  // everything over budget is still building
+  }
+}
+
+size_t PliCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t PliCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t PliCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t PliCache::cached_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace flexrel

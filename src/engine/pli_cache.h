@@ -1,0 +1,96 @@
+// An LRU-bounded cache of stripped partitions keyed by attribute set.
+//
+// Level-wise discovery asks for the partition of every candidate
+// determinant; naively each request re-hashes the instance. The cache
+// instead builds the partition of X = {a1 < ... < ak} as
+//     Get({a1..a(k-1)}) ∩ Get({ak}),
+// recursing down to single-attribute partitions, which are built from the
+// rows once and pinned. Because candidates of one lattice level share
+// (k-1)-prefixes, almost every multi-attribute request reduces to a single
+// integer-valued Intersect over already cached operands.
+//
+// Concurrency: Get() is safe to call from many worker threads. Each cache
+// slot holds a shared_future; the first requester of a key builds the
+// partition outside the lock and fulfils the promise, later requesters
+// block on the future instead of duplicating the work. Eviction is LRU over
+// completed multi-attribute entries only — single-attribute partitions are
+// the base of every product and stay resident.
+
+#ifndef FLEXREL_ENGINE_PLI_CACHE_H_
+#define FLEXREL_ENGINE_PLI_CACHE_H_
+
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/pli.h"
+
+namespace flexrel {
+
+/// Thread-safe partition cache over one immutable instance. The referenced
+/// rows must outlive the cache and must not change while it is in use.
+class PliCache {
+ public:
+  struct Options {
+    /// Maximal number of cached multi-attribute partitions (single-attribute
+    /// partitions are pinned and not counted). Least recently used entries
+    /// are dropped beyond this bound.
+    size_t max_entries = 1024;
+  };
+
+  explicit PliCache(const std::vector<Tuple>* rows);
+  PliCache(const std::vector<Tuple>* rows, Options options);
+
+  PliCache(const PliCache&) = delete;
+  PliCache& operator=(const PliCache&) = delete;
+
+  /// The stripped partition by `attrs`, building (and caching) it when
+  /// absent. Never returns null.
+  std::shared_ptr<const Pli> Get(const AttrSet& attrs);
+
+  const std::vector<Tuple>& rows() const { return *rows_; }
+
+  /// Statistics for tests and benchmarks.
+  size_t hits() const;
+  size_t misses() const;
+  size_t evictions() const;
+  size_t cached_entries() const;
+
+ private:
+  using PliPtr = std::shared_ptr<const Pli>;
+  struct Entry {
+    std::shared_future<PliPtr> future;
+    /// Position in lru_; only meaningful when evictable.
+    std::list<AttrSet>::iterator lru_pos;
+    bool evictable = false;
+  };
+
+  /// Builds the partition for `attrs` from cached sub-partitions.
+  PliPtr BuildFor(const AttrSet& attrs);
+
+  /// Memoized probe table of the single-attribute partition of `attr` —
+  /// shared by every intersection whose right operand is that partition.
+  std::shared_ptr<const std::vector<int32_t>> ProbeFor(AttrId attr);
+
+  /// Drops completed evictable entries beyond max_entries. Requires mu_.
+  void EvictLocked();
+
+  const std::vector<Tuple>* rows_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<AttrSet, Entry, AttrSetHash> entries_;
+  std::unordered_map<AttrId, std::shared_ptr<const std::vector<int32_t>>>
+      probes_;  // pinned, like the single-attribute partitions they invert
+  std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ENGINE_PLI_CACHE_H_

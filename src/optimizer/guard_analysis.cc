@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/parallel_discovery.h"
+
 namespace flexrel {
 
 namespace {
@@ -201,6 +203,37 @@ GuardRewrite EliminateRedundantGuards(const ExprPtr& formula,
   ExprPtr rewritten = RewriteGuardsRec(formula, constraints, eads, &report);
   report.formula = SimplifyExpr(rewritten);
   return report;
+}
+
+GuardRewrite EliminateRedundantGuardsFromInstance(
+    const ExprPtr& formula, const std::vector<Tuple>& rows,
+    const AttrSet& universe) {
+  // Mine determinants: engine-discovered single-attribute ADs, lifted to
+  // explicit variants from the same partition cache. Attributes violating
+  // the stricter explicit reading (Definition 2.1's "otherwise ∅" clause —
+  // carried by rows lacking the determinant) are filtered per determinant
+  // rather than poisoning the whole EAD, keeping the rewrite sound while
+  // preserving the eliminations the remaining attributes support.
+  PliCache cache(&rows);
+  DependencyValidator validator(&cache);
+  EngineDiscoveryOptions options;
+  options.max_lhs_size = 1;
+  // Key-like determinants would mine one variant per row — and variant
+  // construction validates disjointness pairwise — while an EAD that fine
+  // never proves a guard redundant for a realistic selection. Budget them
+  // away.
+  constexpr size_t kMaxMinedVariants = 256;
+  std::vector<ExplicitAD> eads;
+  for (const AttrDep& ad : EngineDiscoverAttrDeps(&validator, universe,
+                                                  options)) {
+    AttrSet minable = ExplicitlyMinableRhs(rows, ad.lhs, ad.rhs);
+    if (minable.empty()) continue;
+    Result<ExplicitAD> mined =
+        MineExplicitAd(&cache, ad.lhs, minable, &validator.row_attrs(),
+                       kMaxMinedVariants);
+    if (mined.ok()) eads.push_back(std::move(mined).value());
+  }
+  return EliminateRedundantGuards(formula, eads);
 }
 
 }  // namespace flexrel

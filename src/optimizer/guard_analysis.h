@@ -63,6 +63,19 @@ struct GuardRewrite {
 GuardRewrite EliminateRedundantGuards(const ExprPtr& formula,
                                       const std::vector<ExplicitAD>& eads);
 
+/// Instance-driven variant for relations with no declared EADs (derived
+/// relations, migrated data): mines explicit ADs from `rows` through the
+/// partition engine — engine-discovered ADs lifted back to per-value
+/// variants — and rewrites guards against the mined set. The rewrite is
+/// sound w.r.t. the instance the EADs were mined from. Limitations vs. the
+/// declared-EAD overload: only single-attribute determinants are mined
+/// (max_lhs_size = 1), and key-like determinants exceeding an internal
+/// variant budget are skipped — a guard depending on a multi-attribute or
+/// near-unique determinant is simply left in place.
+GuardRewrite EliminateRedundantGuardsFromInstance(const ExprPtr& formula,
+                                                  const std::vector<Tuple>& rows,
+                                                  const AttrSet& universe);
+
 /// Constant folding / identity simplification of a predicate tree.
 ExprPtr SimplifyExpr(const ExprPtr& e);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/parallel_discovery.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -270,6 +271,30 @@ Tuple RandomEmployee(const EmployeeWorkload& workload, Rng* rng,
     t.Set(a, Value::Int(rng->UniformInt(0, 1 << 16)));
   }
   return t;
+}
+
+Status InstallDiscoveredDeps(FlexibleRelation* relation,
+                             const DiscoveryOptions& options) {
+  const std::vector<Tuple>& rows = relation->rows();
+  AttrSet universe = relation->ActiveAttrs();
+  // One partition cache serves discovery and the pre-install audit: the
+  // audit's lookups all hit partitions discovery just built. (A dependency
+  // set the instance does not satisfy must never become declared Σ — the
+  // audit is cheap insurance against divergence between the paths.)
+  PliCache cache(&rows);
+  DependencyValidator validator(&cache);
+  DependencySet discovered =
+      options.use_engine
+          ? EngineDiscoverDependencies(&validator, universe,
+                                       ToEngineOptions(options))
+          : DiscoverDependencies(rows, universe, options);
+  if (!validator.ValidatesAll(discovered)) {
+    return Status::FailedPrecondition(
+        "discovered dependency set fails engine validation against the "
+        "instance");
+  }
+  *relation->mutable_deps() = std::move(discovered);
+  return Status::OK();
 }
 
 }  // namespace flexrel

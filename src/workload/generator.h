@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/discovery.h"
 #include "core/flexible_relation.h"
 #include "util/rng.h"
 
@@ -84,6 +85,15 @@ DependencySet RandomDependencies(const AttrSet& universe, Rng* rng,
 /// values from the domains. `force_variant` < 0 draws uniformly.
 Tuple RandomEmployee(const EmployeeWorkload& workload, Rng* rng,
                      int force_variant = -1);
+
+/// Mines the dependency set the instance satisfies (through the partition
+/// engine by default; `options` selects path and bounds), audits it against
+/// the instance with the engine's validator, and installs it as the
+/// relation's declared Σ, replacing what was there. This is how generated
+/// and migrated relations come to carry engine-validated dependency sets
+/// that the optimizer and propagation layers can trust.
+Status InstallDiscoveredDeps(FlexibleRelation* relation,
+                             const DiscoveryOptions& options = {});
 
 }  // namespace flexrel
 

@@ -1,0 +1,276 @@
+// Cross-validation of the partition-engine discovery path against the
+// retained brute-force reference, plus the engine's consumer bridges
+// (EAD mining for the optimizer, Σ installation for generated workloads).
+
+#include "engine/parallel_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/closure.h"
+#include "core/discovery.h"
+#include "optimizer/guard_analysis.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+std::vector<Tuple> RandomInstance(Rng* rng, size_t n, AttrId num_attrs,
+                                  double density, int64_t spread) {
+  std::vector<Tuple> rows;
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    for (AttrId a = 0; a < num_attrs; ++a) {
+      if (rng->Bernoulli(density)) {
+        t.Set(a, Value::Int(rng->UniformInt(0, spread)));
+      }
+    }
+    rows.push_back(std::move(t));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+AttrSet FullUniverse(size_t n) {
+  AttrSet u;
+  for (size_t i = 0; i < n; ++i) u.Insert(static_cast<AttrId>(i));
+  return u;
+}
+
+// Engine and brute force must return *identical* result vectors — same
+// dependencies, same order — under every option combination.
+void ExpectIdenticalDiscovery(const std::vector<Tuple>& rows,
+                              const AttrSet& universe, size_t max_lhs,
+                              bool minimal_only, const char* label) {
+  DiscoveryOptions engine;
+  engine.max_lhs_size = max_lhs;
+  engine.minimal_only = minimal_only;
+  engine.use_engine = true;
+  DiscoveryOptions brute = engine;
+  brute.use_engine = false;
+
+  EXPECT_EQ(DiscoverAttrDeps(rows, universe, engine),
+            DiscoverAttrDeps(rows, universe, brute))
+      << label << " (ADs, max_lhs=" << max_lhs << " minimal=" << minimal_only
+      << ")";
+  EXPECT_EQ(DiscoverFuncDeps(rows, universe, engine),
+            DiscoverFuncDeps(rows, universe, brute))
+      << label << " (FDs, max_lhs=" << max_lhs << " minimal=" << minimal_only
+      << ")";
+}
+
+TEST(EngineDiscoveryTest, LatticeLevelMatchesCombinationOrder) {
+  AttrSet universe{2, 5, 7, 9};
+  auto level2 = LatticeLevel(universe, 2);
+  ASSERT_EQ(level2.size(), 6u);
+  EXPECT_EQ(level2.front(), (AttrSet{2, 5}));
+  EXPECT_EQ(level2.back(), (AttrSet{7, 9}));
+  EXPECT_TRUE(LatticeLevel(universe, 5).empty());
+  EXPECT_TRUE(LatticeLevel(universe, 0).empty());
+}
+
+TEST(EngineDiscoveryTest, MatchesBruteForceOnPaperExamples) {
+  auto jobtype = MakeJobtypeExample();
+  ASSERT_TRUE(jobtype.ok());
+  AttrSet ju = FullUniverse(jobtype.value()->catalog.size());
+  for (size_t max_lhs : {1u, 2u}) {
+    for (bool minimal : {true, false}) {
+      ExpectIdenticalDiscovery(jobtype.value()->relation.rows(), ju, max_lhs,
+                               minimal, "jobtype example");
+    }
+  }
+
+  auto address = MakeAddressWorkload(200, 31);
+  ASSERT_TRUE(address.ok());
+  AttrSet au = FullUniverse(address.value()->catalog.size());
+  ExpectIdenticalDiscovery(address.value()->relation.rows(), au, 2, true,
+                           "address workload");
+}
+
+TEST(EngineDiscoveryTest, MatchesBruteForceOnRandomInstances) {
+  // >= 20 randomized instances sweeping shape, density, and value spread.
+  size_t instances = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 101);
+    std::vector<Tuple> sparse = RandomInstance(&rng, 60, 5, 0.55, 2);
+    std::vector<Tuple> dense = RandomInstance(&rng, 50, 4, 0.95, 3);
+    std::vector<Tuple> tiny = RandomInstance(&rng, 6, 3, 0.7, 1);
+    ExpectIdenticalDiscovery(sparse, FullUniverse(5), 2, true, "sparse");
+    ExpectIdenticalDiscovery(sparse, FullUniverse(5), 2, false, "sparse");
+    ExpectIdenticalDiscovery(dense, FullUniverse(4), 3, true, "dense");
+    ExpectIdenticalDiscovery(tiny, FullUniverse(3), 3, false, "tiny");
+    instances += 3;
+  }
+  EXPECT_GE(instances, 20u);
+}
+
+TEST(EngineDiscoveryTest, MatchesBruteForceOnEmployeeWorkloads) {
+  for (uint64_t seed : {3u, 14u, 15u}) {
+    EmployeeConfig config;
+    config.num_variants = 3;
+    config.attrs_per_variant = 2;
+    config.rows = 150;
+    config.seed = seed;
+    auto w = MakeEmployeeWorkload(config);
+    ASSERT_TRUE(w.ok());
+    ExpectIdenticalDiscovery(w.value()->relation.rows(),
+                             FullUniverse(w.value()->catalog.size()), 2, true,
+                             "employee workload");
+  }
+}
+
+TEST(EngineDiscoveryTest, ThreadCountDoesNotChangeResults) {
+  Rng rng(77);
+  std::vector<Tuple> rows = RandomInstance(&rng, 80, 5, 0.7, 2);
+  AttrSet universe = FullUniverse(5);
+  EngineDiscoveryOptions sequential;
+  sequential.num_threads = 1;
+  sequential.max_lhs_size = 3;
+  EngineDiscoveryOptions parallel = sequential;
+  parallel.num_threads = 4;
+  EXPECT_EQ(EngineDiscoverAttrDeps(rows, universe, sequential),
+            EngineDiscoverAttrDeps(rows, universe, parallel));
+  EXPECT_EQ(EngineDiscoverFuncDeps(rows, universe, sequential),
+            EngineDiscoverFuncDeps(rows, universe, parallel));
+}
+
+TEST(EngineDiscoveryTest, TinyCacheStillProducesIdenticalResults) {
+  // Eviction pressure must never change answers, only cost.
+  Rng rng(123);
+  std::vector<Tuple> rows = RandomInstance(&rng, 60, 6, 0.8, 2);
+  AttrSet universe = FullUniverse(6);
+  EngineDiscoveryOptions roomy;
+  roomy.max_lhs_size = 3;
+  EngineDiscoveryOptions cramped = roomy;
+  cramped.cache_max_entries = 1;
+  EXPECT_EQ(EngineDiscoverAttrDeps(rows, universe, roomy),
+            EngineDiscoverAttrDeps(rows, universe, cramped));
+  EXPECT_EQ(EngineDiscoverFuncDeps(rows, universe, roomy),
+            EngineDiscoverFuncDeps(rows, universe, cramped));
+}
+
+TEST(EngineDiscoveryTest, BundledDiscoveryMatchesBruteForce) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  AttrSet universe = FullUniverse(ex.value()->catalog.size());
+  DiscoveryOptions engine;
+  DiscoveryOptions brute;
+  brute.use_engine = false;
+  DependencySet via_engine =
+      DiscoverDependencies(ex.value()->relation.rows(), universe, engine);
+  DependencySet via_brute =
+      DiscoverDependencies(ex.value()->relation.rows(), universe, brute);
+  EXPECT_EQ(via_engine.fds(), via_brute.fds());
+  EXPECT_EQ(via_engine.ads(), via_brute.ads());
+}
+
+TEST(EngineConsumerTest, MinedEadMatchesTheDeclaredOne) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  const std::vector<Tuple>& rows = world.relation.rows();
+  PliCache cache(&rows);
+  auto mined = MineExplicitAd(&cache, AttrSet::Of(world.jobtype),
+                              world.ead.determined());
+  ASSERT_TRUE(mined.ok()) << mined.status();
+  EXPECT_EQ(mined.value().determinant(), world.ead.determinant());
+  EXPECT_EQ(mined.value().determined(), world.ead.determined());
+  EXPECT_TRUE(mined.value().Satisfies(rows));
+  // Every instance tuple lands in the same variant under both EADs.
+  for (const Tuple& t : rows) {
+    EXPECT_EQ(mined.value().RequiredAttrs(t), world.ead.RequiredAttrs(t))
+        << t.ToString(world.catalog);
+  }
+}
+
+TEST(EngineConsumerTest, MiningRejectsViolatedDeterminants) {
+  std::vector<Tuple> rows(2);
+  rows[0].Set(0, Value::Int(1));
+  rows[0].Set(1, Value::Int(9));
+  rows[1].Set(0, Value::Int(1));  // same determinant value, lacks attr 1
+  PliCache cache(&rows);
+  auto mined = MineExplicitAd(&cache, AttrSet{0}, AttrSet{1});
+  EXPECT_FALSE(mined.ok());
+}
+
+TEST(EngineConsumerTest, MiningRejectsDeterminedAttrsOutsideTheDeterminant) {
+  // Definition 2.1's "otherwise ∅": a row lacking the determinant must not
+  // carry determined attributes.
+  std::vector<Tuple> rows(3);
+  rows[0].Set(0, Value::Int(1));
+  rows[0].Set(1, Value::Int(4));
+  rows[1].Set(0, Value::Int(1));
+  rows[1].Set(1, Value::Int(5));
+  rows[2].Set(1, Value::Int(6));  // carries Y without the determinant
+  PliCache cache(&rows);
+  auto mined = MineExplicitAd(&cache, AttrSet{0}, AttrSet{1});
+  EXPECT_FALSE(mined.ok());
+}
+
+TEST(EngineConsumerTest, GuardEliminationFromInstance) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  // Example 4's shape: selecting secretaries makes the typing-speed guard
+  // redundant; the mined EAD must prove it just like the declared one.
+  ExprPtr formula =
+      Expr::And(Expr::Eq(world.jobtype, Value::Str("secretary")),
+                Expr::Exists(world.typing_speed));
+  GuardRewrite declared =
+      EliminateRedundantGuards(formula, {world.ead});
+  GuardRewrite mined = EliminateRedundantGuardsFromInstance(
+      formula, world.relation.rows(),
+      FullUniverse(world.catalog.size()));
+  EXPECT_EQ(declared.guards_eliminated, 1u);
+  EXPECT_EQ(mined.guards_eliminated, declared.guards_eliminated);
+  EXPECT_EQ(mined.guards_falsified, declared.guards_falsified);
+}
+
+TEST(EngineConsumerTest, GuardEliminationSurvivesPartiallyMinableRhs) {
+  // Determinant A -> {B, C} holds as an AD, but a row lacking A carries C,
+  // so only B is minable under the explicit reading. The B-guard
+  // elimination must survive the C poisoning.
+  std::vector<Tuple> rows(3);
+  rows[0].Set(0, Value::Int(1));
+  rows[0].Set(1, Value::Int(10));
+  rows[0].Set(2, Value::Int(20));
+  rows[1].Set(0, Value::Int(1));
+  rows[1].Set(1, Value::Int(11));
+  rows[1].Set(2, Value::Int(21));
+  rows[2].Set(2, Value::Int(22));  // carries C without the determinant A
+  AttrSet universe{0, 1, 2};
+  EXPECT_EQ(ExplicitlyMinableRhs(rows, AttrSet{0}, AttrSet{1, 2}),
+            AttrSet{1});
+  ExprPtr formula =
+      Expr::And(Expr::Eq(0, Value::Int(1)), Expr::Exists(1));
+  GuardRewrite rewrite =
+      EliminateRedundantGuardsFromInstance(formula, rows, universe);
+  EXPECT_EQ(rewrite.guards_eliminated, 1u);
+}
+
+TEST(EngineConsumerTest, InstallDiscoveredDepsValidatesAndInstalls) {
+  EmployeeConfig config;
+  config.rows = 120;
+  config.seed = 21;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  FlexibleRelation* relation = &w.value()->relation;
+  DiscoveryOptions options;
+  options.max_lhs_size = 1;
+  ASSERT_TRUE(InstallDiscoveredDeps(relation, options).ok());
+  EXPECT_FALSE(relation->deps().empty());
+  // The installed Σ is engine-validated, hence satisfied by the instance.
+  EXPECT_TRUE(relation->SatisfiesDeclaredDeps());
+  // It must cover the workload's declared EAD abbreviation.
+  DependencySet installed = relation->deps();
+  AttrDep abbreviated{w.value()->eads[0].determinant(),
+                      w.value()->eads[0].determined()};
+  EXPECT_TRUE(Implies(installed, abbreviated, AxiomSystem::kAdOnly));
+}
+
+}  // namespace
+}  // namespace flexrel
