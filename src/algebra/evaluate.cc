@@ -1,9 +1,14 @@
 #include "algebra/evaluate.h"
 
 #include <algorithm>
+#include <limits>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "algebra/ad_propagation.h"
+#include "engine/pli.h"
+#include "engine/pli_cache.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -11,9 +16,36 @@ namespace flexrel {
 EvalStats& EvalStats::operator+=(const EvalStats& other) {
   tuples_scanned += other.tuples_scanned;
   tuples_emitted += other.tuples_emitted;
+  intermediate_tuples += other.intermediate_tuples;
   predicate_evals += other.predicate_evals;
   join_probes += other.join_probes;
   return *this;
+}
+
+bool IsIndexableSelect(const Expr& formula) {
+  return (formula.kind() == ExprKind::kCompare && formula.op() == CmpOp::kEq) ||
+         formula.kind() == ExprKind::kIn;
+}
+
+std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
+                                     const Expr& formula) {
+  std::vector<Pli::RowId> matched;
+  auto add_value = [&](const Value& v) {
+    // Comparing a null (or comparing against one) yields Unknown under the
+    // Kleene semantics, never True — so the Null cluster stays out.
+    if (v.is_null()) return;
+    auto it = index.find(v);
+    if (it == index.end()) return;
+    matched.insert(matched.end(), it->second.begin(), it->second.end());
+  };
+  if (formula.kind() == ExprKind::kCompare) {
+    add_value(formula.literal());
+  } else {
+    for (const Value& v : formula.values()) add_value(v);
+  }
+  // Distinct values own disjoint clusters; sorting restores scan order.
+  std::sort(matched.begin(), matched.end());
+  return matched;
 }
 
 namespace {
@@ -39,16 +71,63 @@ bool TryJoin(const Tuple& a, const Tuple& b, Tuple* out) {
   return true;
 }
 
-Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats);
+class Evaluator {
+ public:
+  Evaluator(const EvalOptions& options, EvalStats* stats)
+      : options_(options), stats_(stats) {}
 
-Result<FlexibleRelation> EvalJoinPair(const FlexibleRelation& left,
+  Result<FlexibleRelation> Eval(const PlanPtr& plan);
+
+ private:
+  // Joins a tuple pair stream; `final_output` routes the result-size counter
+  // to tuples_emitted (the operator's real output) vs intermediate_tuples
+  // (a multiway join's internal accumulations).
+  Result<FlexibleRelation> JoinPair(const FlexibleRelation& left,
+                                    const FlexibleRelation& right,
+                                    bool final_output);
+  Result<FlexibleRelation> JoinNested(const FlexibleRelation& left,
                                       const FlexibleRelation& right,
-                                      EvalStats* stats) {
+                                      bool final_output);
+  Result<FlexibleRelation> JoinHashed(const FlexibleRelation& left,
+                                      const FlexibleRelation& right,
+                                      bool final_output);
+
+  Result<FlexibleRelation> SelectViaIndex(const Plan& plan);
+  Result<FlexibleRelation> EvalMultiwayOrdered(const Plan& plan);
+
+  // PLI-derived count of distinct `attrs`-projections in `rel` (clusters
+  // plus partnerless defined rows). Feeds the join-order estimates only, so
+  // the multi-attribute lower bound from intersection products is fine.
+  size_t DistinctOn(const FlexibleRelation& rel, const AttrSet& attrs);
+
+  void CountJoinOutput(size_t rows, bool final_output) {
+    if (stats_ == nullptr) return;
+    if (final_output) {
+      stats_->tuples_emitted += rows;
+    } else {
+      stats_->intermediate_tuples += rows;
+    }
+  }
+
+  EvalOptions options_;
+  EvalStats* stats_;
+};
+
+Result<FlexibleRelation> Evaluator::JoinPair(const FlexibleRelation& left,
+                                             const FlexibleRelation& right,
+                                             bool final_output) {
+  return options_.use_engine ? JoinHashed(left, right, final_output)
+                             : JoinNested(left, right, final_output);
+}
+
+Result<FlexibleRelation> Evaluator::JoinNested(const FlexibleRelation& left,
+                                               const FlexibleRelation& right,
+                                               bool final_output) {
   FlexibleRelation out = FlexibleRelation::Derived("join", DependencySet());
   std::vector<Tuple> rows;
   for (const Tuple& a : left.rows()) {
     for (const Tuple& b : right.rows()) {
-      if (stats != nullptr) ++stats->join_probes;
+      if (stats_ != nullptr) ++stats_->join_probes;
       Tuple merged;
       if (TryJoin(a, b, &merged)) {
         rows.push_back(std::move(merged));
@@ -56,12 +135,154 @@ Result<FlexibleRelation> EvalJoinPair(const FlexibleRelation& left,
     }
   }
   Dedup(&rows);
-  if (stats != nullptr) stats->tuples_emitted += rows.size();
+  CountJoinOutput(rows.size(), final_output);
   for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
   return out;
 }
 
-Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
+// The signature-grouped hash join. Because schemes are heterogeneous, the
+// shared attributes vary per tuple *pair*; a single-key hash join would be
+// wrong. But grouping the build side by T = attrs(b) ∩ active(probe side)
+// fixes the pair-shared set per (probe tuple, group): for every b in group
+// T, shared(a, b) = attrs(a) ∩ T. One lazily built sub-index per (T, K)
+// then turns compatibility into a hash lookup whose hits are exactly the
+// cluster-compatible pairs — join_probes counts those, not all n·m pairs.
+Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
+                                               const FlexibleRelation& right,
+                                               bool final_output) {
+  const bool build_right = right.size() <= left.size();
+  const FlexibleRelation& build = build_right ? right : left;
+  const FlexibleRelation& probe = build_right ? left : right;
+  const AttrSet probe_active = probe.ActiveAttrs();
+
+  using Bucket = std::vector<const Tuple*>;
+  struct Group {
+    Bucket rows;
+    // K = attrs(a) ∩ T  ->  projection-on-K  ->  build rows carrying it.
+    std::unordered_map<AttrSet,
+                       std::unordered_map<Tuple, Bucket, TupleHash>,
+                       AttrSetHash>
+        by_key;
+  };
+  std::unordered_map<AttrSet, Group, AttrSetHash> groups;
+  for (const Tuple& b : build.rows()) {
+    groups[b.attrs().Intersect(probe_active)].rows.push_back(&b);
+  }
+
+  std::vector<Tuple> rows;
+  for (const Tuple& a : probe.rows()) {
+    const AttrSet a_attrs = a.attrs();
+    for (auto& [signature, group] : groups) {
+      AttrSet key = a_attrs.Intersect(signature);
+      auto [index_it, missing] = group.by_key.try_emplace(key);
+      if (missing) {
+        for (const Tuple* b : group.rows) {
+          index_it->second[b->Project(key)].push_back(b);
+        }
+      }
+      auto bucket = index_it->second.find(a.Project(key));
+      if (bucket == index_it->second.end()) continue;
+      for (const Tuple* b : bucket->second) {
+        if (stats_ != nullptr) ++stats_->join_probes;
+        Tuple merged;
+        // Agreement on the shared attributes is guaranteed by the bucket,
+        // so the merge cannot fail; TryJoin stays as a cheap invariant.
+        if (TryJoin(a, *b, &merged)) rows.push_back(std::move(merged));
+      }
+    }
+  }
+  Dedup(&rows);
+  CountJoinOutput(rows.size(), final_output);
+  FlexibleRelation out = FlexibleRelation::Derived("join", DependencySet());
+  for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
+  return out;
+}
+
+// Equality/IN selection directly over a base scan: the answer is a value
+// index lookup on the scanned relation's attached cache — zero predicate
+// evaluations, and only the matching rows are ever read.
+Result<FlexibleRelation> Evaluator::SelectViaIndex(const Plan& plan) {
+  const FlexibleRelation* src = plan.inputs()[0]->relation();
+  const Expr& formula = *plan.formula();
+  // Matches come back in scan order, so the output is row-for-row identical
+  // to the naive path's.
+  std::vector<Pli::RowId> matched =
+      IndexMatches(*src->pli_cache()->IndexFor(formula.attr()), formula);
+
+  FlexibleRelation out = FlexibleRelation::Derived(
+      StrCat("sel(", src->name(), ")"), PropagateSelect(src->deps()));
+  for (Pli::RowId row : matched) out.InsertUnchecked(src->row(row));
+  if (stats_ != nullptr) {
+    stats_->tuples_scanned += matched.size();
+    stats_->tuples_emitted += matched.size();
+  }
+  return out;
+}
+
+size_t Evaluator::DistinctOn(const FlexibleRelation& rel,
+                             const AttrSet& attrs) {
+  if (attrs.empty() || rel.empty()) return 1;
+  if (options_.use_cache) {
+    if (attrs.size() == 1) {
+      return rel.pli_cache()->IndexFor(attrs.ids().front())->size();
+    }
+    return rel.pli_cache()->Get(attrs)->NumDistinct();
+  }
+  return Pli::Build(rel.rows(), attrs).NumDistinct();
+}
+
+// Multiway join with engine ordering: evaluate every leg, then fold
+// greedily, always joining the accumulator with the leg of smallest
+// estimated intermediate — |acc|·|leg| / max(distinct projections on the
+// shared attributes), the classic PLI-backed textbook estimate. Natural
+// join over heterogeneous tuples is commutative and associative (a
+// combination of one tuple per leg survives iff all its pairwise overlaps
+// agree, independent of fold order), so any order is result-preserving.
+Result<FlexibleRelation> Evaluator::EvalMultiwayOrdered(const Plan& plan) {
+  std::vector<FlexibleRelation> legs;
+  legs.reserve(plan.inputs().size());
+  for (const PlanPtr& in : plan.inputs()) {
+    FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation leg, Eval(in));
+    legs.push_back(std::move(leg));
+  }
+
+  std::vector<bool> used(legs.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < legs.size(); ++i) {
+    if (legs[i].size() < legs[first].size()) first = i;
+  }
+  used[first] = true;
+  FlexibleRelation acc = std::move(legs[first]);
+
+  for (size_t step = 1; step < legs.size(); ++step) {
+    const AttrSet acc_active = acc.ActiveAttrs();
+    size_t best = legs.size();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < legs.size(); ++j) {
+      if (used[j]) continue;
+      AttrSet shared = acc_active.Intersect(legs[j].ActiveAttrs());
+      double cost = static_cast<double>(acc.size()) *
+                    static_cast<double>(legs[j].size());
+      if (!shared.empty()) {
+        double distinct = static_cast<double>(std::max(
+            DistinctOn(acc, shared), DistinctOn(legs[j], shared)));
+        cost /= std::max(distinct, 1.0);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = j;
+      }
+    }
+    used[best] = true;
+    FLEXREL_ASSIGN_OR_RETURN(
+        acc, JoinPair(acc, legs[best], /*final_output=*/step + 1 ==
+                                           legs.size()));
+  }
+  return acc;
+}
+
+Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
+  EvalStats* stats = stats_;
   switch (plan->kind()) {
     case PlanKind::kScan: {
       const FlexibleRelation* src = plan->relation();
@@ -77,8 +298,13 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       return out;
     }
     case PlanKind::kSelect: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
-                               Eval(plan->inputs()[0], stats));
+      if (options_.use_engine && options_.use_cache &&
+          plan->inputs()[0]->kind() == PlanKind::kScan &&
+          plan->inputs()[0]->relation() != nullptr &&
+          IsIndexableSelect(*plan->formula())) {
+        return SelectViaIndex(*plan);
+      }
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(plan->inputs()[0]));
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("sel(", in.name(), ")"), PropagateSelect(in.deps()));
       for (const Tuple& t : in.rows()) {
@@ -91,8 +317,7 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       return out;
     }
     case PlanKind::kProject: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
-                               Eval(plan->inputs()[0], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(plan->inputs()[0]));
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("proj(", in.name(), ")"),
           PropagateProject(in.deps(), plan->attrs()));
@@ -105,10 +330,8 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       return out;
     }
     case PlanKind::kProduct: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
-                               Eval(plan->inputs()[0], stats));
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
-                               Eval(plan->inputs()[1], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l, Eval(plan->inputs()[0]));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r, Eval(plan->inputs()[1]));
       if (l.ActiveAttrs().Intersects(r.ActiveAttrs())) {
         return Status::InvalidArgument(
             "cartesian product requires attribute-disjoint inputs");
@@ -160,7 +383,7 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       std::vector<DependencySet> input_deps;
       std::vector<Tuple> rows;
       for (const PlanPtr& in_plan : plan->inputs()) {
-        FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(in_plan, stats));
+        FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(in_plan));
         input_deps.push_back(in.deps());
         for (const Tuple& t : in.rows()) rows.push_back(t);
       }
@@ -173,10 +396,8 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       return out;
     }
     case PlanKind::kDifference: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
-                               Eval(plan->inputs()[0], stats));
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
-                               Eval(plan->inputs()[1], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l, Eval(plan->inputs()[0]));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r, Eval(plan->inputs()[1]));
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("diff(", l.name(), ")"), PropagateDifference(l.deps()));
       std::unordered_set<Tuple, TupleHash> right_rows(r.rows().begin(),
@@ -190,8 +411,7 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       return out;
     }
     case PlanKind::kExtend: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
-                               Eval(plan->inputs()[0], stats));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(plan->inputs()[0]));
       AttrId tag = plan->extend_attr();
       if (in.ActiveAttrs().Contains(tag)) {
         return Status::InvalidArgument(
@@ -208,11 +428,9 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       return out;
     }
     case PlanKind::kNaturalJoin: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
-                               Eval(plan->inputs()[0], stats));
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
-                               Eval(plan->inputs()[1], stats));
-      return EvalJoinPair(l, r, stats);
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l, Eval(plan->inputs()[0]));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r, Eval(plan->inputs()[1]));
+      return JoinPair(l, r, /*final_output=*/true);
     }
     case PlanKind::kEmpty:
       return FlexibleRelation::Derived("empty", DependencySet());
@@ -220,12 +438,14 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
       if (plan->inputs().empty()) {
         return Status::InvalidArgument("multiway join over zero inputs");
       }
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation acc,
-                               Eval(plan->inputs()[0], stats));
+      if (options_.use_engine) return EvalMultiwayOrdered(*plan);
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation acc, Eval(plan->inputs()[0]));
       for (size_t i = 1; i < plan->inputs().size(); ++i) {
         FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation next,
-                                 Eval(plan->inputs()[i], stats));
-        FLEXREL_ASSIGN_OR_RETURN(acc, EvalJoinPair(acc, next, stats));
+                                 Eval(plan->inputs()[i]));
+        FLEXREL_ASSIGN_OR_RETURN(
+            acc, JoinPair(acc, next,
+                          /*final_output=*/i + 1 == plan->inputs().size()));
       }
       return acc;
     }
@@ -236,7 +456,14 @@ Result<FlexibleRelation> Eval(const PlanPtr& plan, EvalStats* stats) {
 }  // namespace
 
 Result<FlexibleRelation> Evaluate(const PlanPtr& plan, EvalStats* stats) {
-  return Eval(plan, stats);
+  return Evaluate(plan, EvalOptions(), stats);
+}
+
+Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
+                                  const EvalOptions& options,
+                                  EvalStats* stats) {
+  Evaluator evaluator(options, stats);
+  return evaluator.Eval(plan);
 }
 
 }  // namespace flexrel

@@ -4,30 +4,84 @@
 // FlexibleRelation whose dependency set is propagated per Theorem 4.3
 // (ad_propagation.h). Instances follow set semantics (the paper defines an
 // instance as a finite set of tuples), so operators deduplicate.
+//
+// Two evaluation paths exist, selected by EvalOptions::use_engine:
+//
+//  - The *naive* path evaluates every selection formula per tuple and every
+//    natural join by an O(n·m) nested loop. It is the reference oracle: the
+//    direct transcription of the operator definitions, kept bit-for-bit
+//    stable so the accelerated path can be cross-validated against it
+//    (tests/engine_eval_test.cc).
+//  - The *engine* path reads the partition engine (src/engine/). Equality
+//    selections over base scans resolve via the scanned relation's attached
+//    PliCache value index instead of evaluating the predicate per tuple;
+//    natural joins bucket the build side by shared-attribute signature and
+//    probe only cluster-compatible pairs; multiway joins order their legs by
+//    PLI-derived cluster-count estimates, smallest expected intermediate
+//    first. Results — rows and propagated dependencies — are identical to
+//    the naive path; only the EvalStats work counters shrink.
 
 #ifndef FLEXREL_ALGEBRA_EVALUATE_H_
 #define FLEXREL_ALGEBRA_EVALUATE_H_
 
+#include <vector>
+
 #include "algebra/plan.h"
+#include "engine/pli_cache.h"
 #include "util/result.h"
 
 namespace flexrel {
+
+/// True when `formula` is a selection the value index can answer outright: a
+/// plain equality or IN over a single attribute. Everything else
+/// (inequalities, guards, boolean structure) needs per-tuple Kleene
+/// evaluation.
+bool IsIndexableSelect(const Expr& formula);
+
+/// Row ids (ascending) that the indexable `formula` matches in `index` —
+/// the single point implementing the Kleene null rule for index lookups
+/// (comparing a null, or against one, never yields True), shared by the
+/// engine's select path and the optimizer's cardinality estimates so the
+/// two cannot drift. Requires IsIndexableSelect(formula).
+std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
+                                     const Expr& formula);
 
 /// Work counters, reported for the optimizer experiments (E4/E5): comparing
 /// an optimized against an unoptimized plan is a statement about these
 /// numbers, not only wall-clock time.
 struct EvalStats {
-  size_t tuples_scanned = 0;    ///< tuples read from scans
-  size_t tuples_emitted = 0;    ///< tuples produced across all operators
-  size_t predicate_evals = 0;   ///< selection formula evaluations
-  size_t join_probes = 0;       ///< tuple-pair compatibility checks
+  size_t tuples_scanned = 0;      ///< tuples read from scans
+  size_t tuples_emitted = 0;      ///< tuples produced by plan operators
+  size_t intermediate_tuples = 0; ///< tuples of multiway-join intermediates
+  size_t predicate_evals = 0;     ///< selection formula evaluations
+  size_t join_probes = 0;         ///< tuple-pair compatibility checks
 
   EvalStats& operator+=(const EvalStats& other);
 };
 
-/// Evaluates `plan`; on success the result's deps() hold the dependencies
-/// propagated by Theorem 4.3. `stats` (optional) accumulates work counters.
+/// Evaluation knobs, mirroring DiscoveryOptions::use_engine: the engine path
+/// is the default, the naive path stays available as the reference oracle.
+struct EvalOptions {
+  /// Evaluate through the partition engine (PLI-backed selections, hash/PLI
+  /// joins, estimate-ordered multiway joins). False selects the naive
+  /// reference path.
+  bool use_engine = true;
+  /// Consult (and lazily build) the scanned relations' attached PliCaches.
+  /// False keeps the engine's join algorithm but skips everything that
+  /// would touch per-relation cache state: equality selections fall back to
+  /// per-tuple evaluation and join-order estimates are computed ad hoc.
+  bool use_cache = true;
+};
+
+/// Evaluates `plan` with default options; on success the result's deps()
+/// hold the dependencies propagated by Theorem 4.3. `stats` (optional)
+/// accumulates work counters.
 Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
+                                  EvalStats* stats = nullptr);
+
+/// Evaluates `plan` on the path chosen by `options`.
+Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
+                                  const EvalOptions& options,
                                   EvalStats* stats = nullptr);
 
 }  // namespace flexrel

@@ -3,9 +3,74 @@
 #include <algorithm>
 #include <sstream>
 
+#include "engine/pli_cache.h"
 #include "util/string_util.h"
 
 namespace flexrel {
+
+// The special members exist to pin down one fact: the partition cache never
+// travels with the relation. It holds a pointer to this object's row vector,
+// so a copy's or move-target's rows live elsewhere; both start cache-less
+// and rebuild lazily.
+FlexibleRelation::FlexibleRelation(const FlexibleRelation& other)
+    : name_(other.name_),
+      checker_(other.checker_),
+      deps_(other.deps_),
+      rows_(other.rows_) {}
+
+FlexibleRelation::FlexibleRelation(FlexibleRelation&& other) noexcept
+    : name_(std::move(other.name_)),
+      checker_(std::move(other.checker_)),
+      deps_(std::move(other.deps_)),
+      rows_(std::move(other.rows_)) {
+  other.InvalidateCache();
+}
+
+FlexibleRelation& FlexibleRelation::operator=(const FlexibleRelation& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    checker_ = other.checker_;
+    deps_ = other.deps_;
+    rows_ = other.rows_;
+    InvalidateCache();
+  }
+  return *this;
+}
+
+FlexibleRelation& FlexibleRelation::operator=(
+    FlexibleRelation&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    checker_ = std::move(other.checker_);
+    deps_ = std::move(other.deps_);
+    rows_ = std::move(other.rows_);
+    InvalidateCache();
+    other.InvalidateCache();
+  }
+  return *this;
+}
+
+FlexibleRelation::~FlexibleRelation() = default;
+
+std::shared_ptr<PliCache> FlexibleRelation::pli_cache() const {
+  std::lock_guard<std::mutex> lock(pli_mu_);
+  if (pli_cache_ == nullptr) {
+    pli_cache_ = std::make_shared<PliCache>(&rows_);
+    has_pli_cache_.store(true, std::memory_order_release);
+  }
+  return pli_cache_;
+}
+
+void FlexibleRelation::InvalidateCache() {
+  // Cache-less is the common case (every derived relation an operator
+  // materializes tuple by tuple); skip the lock entirely then. Mutating
+  // concurrently with readers is a documented data race regardless, so the
+  // relaxed pre-check gives up nothing.
+  if (!has_pli_cache_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(pli_mu_);
+  pli_cache_.reset();
+  has_pli_cache_.store(false, std::memory_order_release);
+}
 
 FlexibleRelation FlexibleRelation::Base(
     std::string name, const AttrCatalog* catalog, FlexibleScheme scheme,
@@ -42,11 +107,13 @@ Status FlexibleRelation::Insert(const Tuple& t) {
         StrCat("duplicate tuple rejected by set semantics of ", name_));
   }
   rows_.push_back(t);
+  InvalidateCache();
   return Status::OK();
 }
 
 void FlexibleRelation::InsertUnchecked(Tuple t) {
   rows_.push_back(std::move(t));
+  InvalidateCache();
 }
 
 Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
@@ -79,6 +146,7 @@ Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
         checker_->Check(updated).WithContext(StrCat("update of ", name_)));
   }
   rows_[index] = std::move(updated);
+  InvalidateCache();
   return delta;
 }
 

@@ -13,7 +13,9 @@
 #ifndef FLEXREL_CORE_FLEXIBLE_RELATION_H_
 #define FLEXREL_CORE_FLEXIBLE_RELATION_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,9 +25,17 @@
 
 namespace flexrel {
 
+class PliCache;
+
 /// A heterogeneous, strongly typed set of tuples.
 class FlexibleRelation {
  public:
+  FlexibleRelation() = default;
+  FlexibleRelation(const FlexibleRelation& other);
+  FlexibleRelation(FlexibleRelation&& other) noexcept;
+  FlexibleRelation& operator=(const FlexibleRelation& other);
+  FlexibleRelation& operator=(FlexibleRelation&& other) noexcept;
+  ~FlexibleRelation();
   /// A base relation with declared scheme, EADs, and domains.
   static FlexibleRelation Base(std::string name, const AttrCatalog* catalog,
                                FlexibleScheme scheme,
@@ -75,13 +85,35 @@ class FlexibleRelation {
   /// (instance-level audit; per-tuple EAD checks happen on insert).
   bool SatisfiesDeclaredDeps() const { return deps_.SatisfiedBy(rows_); }
 
+  /// The relation's partition cache over the current instance, built lazily
+  /// on first use. The engine-backed evaluator (algebra/evaluate.h) reads it
+  /// to resolve equality selections and to estimate join orders.
+  ///
+  /// Invalidation contract: Insert/InsertUnchecked/Update drop the cache —
+  /// the row vector's address and contents change under it — so a fresh
+  /// cache is built against the mutated instance on the next call. Callers
+  /// must therefore not hold the returned pointer across mutations, and
+  /// mutating the relation while another thread evaluates it is a data race
+  /// exactly as iterating rows() would be. Partitions already obtained from
+  /// an old cache stay alive (shared ownership) but describe the old
+  /// instance. Copies and moves of the relation start cache-less.
+  std::shared_ptr<PliCache> pli_cache() const;
+
   std::string ToString(const AttrCatalog& catalog) const;
 
  private:
+  void InvalidateCache();
+
   std::string name_;
   std::shared_ptr<const TypeChecker> checker_;  // null for derived relations
   DependencySet deps_;
   std::vector<Tuple> rows_;
+  mutable std::mutex pli_mu_;  // guards lazy creation of pli_cache_
+  mutable std::shared_ptr<PliCache> pli_cache_;
+  // Fast-path flag so the per-tuple InsertUnchecked loop skips the mutex
+  // while no cache exists (the overwhelmingly common case for the derived
+  // relations algebra operators materialize).
+  mutable std::atomic<bool> has_pli_cache_{false};
 };
 
 }  // namespace flexrel

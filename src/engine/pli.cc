@@ -34,6 +34,7 @@ Pli Pli::Build(const std::vector<Tuple>& rows, AttrId attr) {
   for (size_t i = 0; i < rows.size(); ++i) {
     if (const Value* v = rows[i].Get(attr)) {
       groups[*v].push_back(static_cast<RowId>(i));
+      ++out.defined_rows_;
     }
   }
   for (auto& [value, cluster] : groups) {
@@ -52,6 +53,7 @@ Pli Pli::Build(const std::vector<Tuple>& rows, const AttrSet& attrs) {
   for (size_t i = 0; i < rows.size(); ++i) {
     if (!rows[i].DefinedOn(attrs)) continue;
     groups[rows[i].Project(attrs)].push_back(static_cast<RowId>(i));
+    ++out.defined_rows_;
   }
   for (auto& [key, cluster] : groups) {
     (void)key;
@@ -92,6 +94,9 @@ Pli Pli::IntersectWithProbe(const std::vector<int32_t>& probe) const {
     }
   }
   out.Canonicalize();
+  // Stripped singletons of the operands are unrecoverable here, so the
+  // defined-row count degrades to the grouped-row lower bound.
+  out.defined_rows_ = out.grouped_rows_;
   return out;
 }
 

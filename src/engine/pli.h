@@ -74,6 +74,20 @@ class Pli {
   /// agreeing with them on the partition attributes).
   size_t grouped_rows() const { return grouped_rows_; }
 
+  /// Rows defined on the partition's attribute set. Exact for partitions
+  /// coming out of Build; a lower bound (= grouped_rows) for intersection
+  /// products, whose stripped singletons are unrecoverable.
+  size_t defined_rows() const { return defined_rows_; }
+
+  /// Number of distinct projections over the partition attributes among the
+  /// defined rows: the stripped clusters plus one singleton cluster per
+  /// partnerless defined row. This is the cluster-count statistic the
+  /// evaluator's join-order estimates consume (exact after Build, a lower
+  /// bound after Intersect — see defined_rows()).
+  size_t NumDistinct() const {
+    return clusters_.size() + (defined_rows_ - grouped_rows_);
+  }
+
   bool empty() const { return clusters_.empty(); }
 
   /// Inverse mapping: row index -> cluster index, kNoCluster for stripped
@@ -96,6 +110,7 @@ class Pli {
   std::vector<Cluster> clusters_;
   size_t num_rows_ = 0;
   size_t grouped_rows_ = 0;
+  size_t defined_rows_ = 0;
 };
 
 }  // namespace flexrel

@@ -91,6 +91,25 @@ std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
   return probes_.emplace(attr, std::move(probe)).first->second;
 }
 
+std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = value_indexes_.find(attr);
+    if (it != value_indexes_.end()) return it->second;
+  }
+  // No reserve: the map holds one entry per *distinct* value, and typical
+  // indexed attributes (the bench's jobtype shape) have few of those.
+  auto index = std::make_shared<ValueIndex>();
+  for (size_t i = 0; i < rows_->size(); ++i) {
+    if (const Value* v = (*rows_)[i].Get(attr)) {
+      (*index)[*v].push_back(static_cast<Pli::RowId>(i));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Racing builders compute identical indexes; first insert wins.
+  return value_indexes_.emplace(attr, std::move(index)).first->second;
+}
+
 void PliCache::EvictLocked() {
   using namespace std::chrono_literals;
   while (lru_.size() > options_.max_entries) {

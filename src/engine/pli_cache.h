@@ -51,6 +51,18 @@ class PliCache {
   /// absent. Never returns null.
   std::shared_ptr<const Pli> Get(const AttrSet& attrs);
 
+  /// The *unstripped* value-keyed view of the single-attribute partition of
+  /// `attr`: value -> ascending row ids carrying exactly that value. Rows
+  /// lacking the attribute appear nowhere; rows with an explicit Value::Null
+  /// cluster under the Null key. Unlike the stripped partitions, singleton
+  /// clusters are kept — a lone row cannot influence a dependency but very
+  /// much belongs to an equality selection's answer. Built once per
+  /// attribute and pinned, like the probe tables. Never returns null; safe
+  /// to call from many threads.
+  using ValueIndex =
+      std::unordered_map<Value, std::vector<Pli::RowId>, ValueHash>;
+  std::shared_ptr<const ValueIndex> IndexFor(AttrId attr);
+
   const std::vector<Tuple>& rows() const { return *rows_; }
 
   /// Statistics for tests and benchmarks.
@@ -85,6 +97,8 @@ class PliCache {
   std::unordered_map<AttrSet, Entry, AttrSetHash> entries_;
   std::unordered_map<AttrId, std::shared_ptr<const std::vector<int32_t>>>
       probes_;  // pinned, like the single-attribute partitions they invert
+  std::unordered_map<AttrId, std::shared_ptr<const ValueIndex>>
+      value_indexes_;  // pinned; the selections' value -> rows view
   std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
   size_t hits_ = 0;
   size_t misses_ = 0;

@@ -1,6 +1,64 @@
 #include "optimizer/plan_rewrite.h"
 
+#include <algorithm>
+#include <numeric>
+
+#include "algebra/evaluate.h"
+#include "engine/pli_cache.h"
+
 namespace flexrel {
+
+size_t EstimateRows(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return plan->relation() != nullptr ? plan->relation()->size() : 0;
+    case PlanKind::kEmpty:
+      return 0;
+    case PlanKind::kSelect: {
+      const PlanPtr& input = plan->inputs()[0];
+      size_t base = EstimateRows(input);
+      const Expr& f = *plan->formula();
+      // Equality/IN over a base scan: the value index knows the exact
+      // cluster sizes — the same PLI statistic (and the same Kleene null
+      // rule, via IndexMatches) the evaluator selects by.
+      if (input->kind() == PlanKind::kScan && input->relation() != nullptr &&
+          !input->relation()->empty() && IsIndexableSelect(f)) {
+        size_t matched =
+            IndexMatches(*input->relation()->pli_cache()->IndexFor(f.attr()),
+                         f)
+                .size();
+        return std::min(base, matched);
+      }
+      return base;  // no provable reduction for general formulas
+    }
+    case PlanKind::kProject:
+    case PlanKind::kExtend:
+      return EstimateRows(plan->inputs()[0]);
+    case PlanKind::kProduct:
+      return EstimateRows(plan->inputs()[0]) *
+             EstimateRows(plan->inputs()[1]);
+    case PlanKind::kDifference:
+      return EstimateRows(plan->inputs()[0]);
+    case PlanKind::kUnion:
+    case PlanKind::kOuterUnion: {
+      size_t total = 0;
+      for (const PlanPtr& in : plan->inputs()) total += EstimateRows(in);
+      return total;
+    }
+    case PlanKind::kNaturalJoin:
+      // Shared-attribute joins usually filter; cap at the larger side.
+      return std::max(EstimateRows(plan->inputs()[0]),
+                      EstimateRows(plan->inputs()[1]));
+    case PlanKind::kMultiwayJoin: {
+      size_t worst = 0;
+      for (const PlanPtr& in : plan->inputs()) {
+        worst = std::max(worst, EstimateRows(in));
+      }
+      return worst;
+    }
+  }
+  return 0;
+}
 
 AttrSet GuaranteedAttrs(const PlanPtr& plan) {
   switch (plan->kind()) {
@@ -202,6 +260,25 @@ PlanPtr Rewrite(const PlanPtr& plan, const std::vector<ExplicitAD>& eads,
           return Plan::Empty();
         }
         ins.push_back(std::move(r));
+      }
+      // Order legs smallest estimated output first, so the evaluator's
+      // left-deep fold keeps its intermediates small. Natural join over
+      // heterogeneous tuples is commutative and associative (a combination
+      // survives iff all pairwise overlaps agree, independent of order), so
+      // reordering is result-preserving.
+      std::vector<size_t> estimates(ins.size());
+      for (size_t i = 0; i < ins.size(); ++i) estimates[i] = EstimateRows(ins[i]);
+      std::vector<size_t> order(ins.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return estimates[a] < estimates[b];
+      });
+      if (!std::is_sorted(order.begin(), order.end())) {
+        ++report->joins_reordered;
+        std::vector<PlanPtr> sorted;
+        sorted.reserve(ins.size());
+        for (size_t i : order) sorted.push_back(std::move(ins[i]));
+        ins = std::move(sorted);
       }
       return Plan::MultiwayJoin(std::move(ins));
     }

@@ -41,7 +41,16 @@ struct RewriteReport {
   size_t guards_falsified = 0;
   size_t branches_pruned = 0;   ///< subtrees proven empty
   size_t selects_pushed = 0;    ///< selections pushed through unions
+  size_t joins_reordered = 0;   ///< multiway joins whose leg order changed
 };
+
+/// Rough output-cardinality estimate of `plan`, the statistic behind
+/// multiway-join leg ordering. Scans report their relation's size; equality
+/// and IN selections directly over a scan consult the scanned relation's
+/// partition cache (the matching value cluster's exact size); everything
+/// else combines child estimates structurally. Estimates of derived
+/// operators are heuristic — they order work, they never gate correctness.
+size_t EstimateRows(const PlanPtr& plan);
 
 /// Rewrites `plan` under the given EADs. Soundness contract: the rewrite is
 /// result-preserving whenever the tuple streams reaching each selection are

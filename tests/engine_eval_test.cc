@@ -1,0 +1,473 @@
+// Cross-validation of the partition-accelerated evaluator against the naive
+// reference path, plus the EvalStats regression pins the optimizer
+// experiments (E4/E5) rely on.
+//
+// The accelerated path (EvalOptions::use_engine, the default) must be
+// observationally identical to the naive oracle — same rows, same propagated
+// dependency sets, same error codes — while doing strictly less counted
+// work on selection- and join-heavy plans. The property test below throws
+// hundreds of randomized plans over generated workloads at both paths; the
+// fixture tests pin exact per-operator counter values on the paper examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "algebra/evaluate.h"
+#include "decomposition/decomposition.h"
+#include "optimizer/plan_rewrite.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace flexrel {
+namespace {
+
+EvalOptions NaiveOptions() {
+  EvalOptions options;
+  options.use_engine = false;
+  return options;
+}
+
+EvalOptions EngineNoCacheOptions() {
+  EvalOptions options;
+  options.use_cache = false;
+  return options;
+}
+
+std::vector<Tuple> SortedRows(const FlexibleRelation& rel) {
+  std::vector<Tuple> rows = rel.rows();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Evaluates `plan` on the naive, engine, and engine-without-cache paths and
+// asserts they are observationally identical; returns the number of checked
+// instances (1) for the property-test counter.
+void CrossValidate(const PlanPtr& plan, const std::string& context) {
+  EvalStats naive_stats, engine_stats, nocache_stats;
+  auto naive = Evaluate(plan, NaiveOptions(), &naive_stats);
+  auto engine = Evaluate(plan, EvalOptions(), &engine_stats);
+  auto nocache = Evaluate(plan, EngineNoCacheOptions(), &nocache_stats);
+
+  ASSERT_EQ(naive.ok(), engine.ok()) << context;
+  ASSERT_EQ(naive.ok(), nocache.ok()) << context;
+  if (!naive.ok()) {
+    EXPECT_EQ(naive.status().code(), engine.status().code()) << context;
+    EXPECT_EQ(naive.status().code(), nocache.status().code()) << context;
+    return;
+  }
+
+  // Set-equal rows...
+  EXPECT_EQ(SortedRows(naive.value()), SortedRows(engine.value())) << context;
+  EXPECT_EQ(SortedRows(naive.value()), SortedRows(nocache.value())) << context;
+  // ...and identical propagated dependency sets (same propagation code must
+  // run in the same order on both paths).
+  EXPECT_EQ(naive.value().deps().ads(), engine.value().deps().ads()) << context;
+  EXPECT_EQ(naive.value().deps().fds(), engine.value().deps().fds()) << context;
+  EXPECT_EQ(naive.value().deps().ads(), nocache.value().deps().ads())
+      << context;
+
+  // Selection work can only shrink: the indexed path evaluates nothing and
+  // the generic path evaluates exactly what the oracle does. (join_probes
+  // usually shrink too, but greedy multiway ordering under value skew gives
+  // no pointwise guarantee — the fixture tests below assert the strict
+  // reductions on deterministic plans.)
+  EXPECT_LE(engine_stats.predicate_evals, naive_stats.predicate_evals)
+      << context;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property test: ≥200 random plans over generated workloads.
+// ---------------------------------------------------------------------------
+
+struct PlanPool {
+  std::vector<const FlexibleRelation*> relations;
+  std::vector<AttrId> attrs;
+  std::vector<Value> values;
+  AttrId extend_tag = 0;
+};
+
+const FlexibleRelation* PickRelation(const PlanPool& pool, Rng* rng) {
+  return pool.relations[rng->Index(pool.relations.size())];
+}
+
+AttrId PickAttr(const PlanPool& pool, Rng* rng) {
+  return pool.attrs[rng->Index(pool.attrs.size())];
+}
+
+Value PickValue(const PlanPool& pool, Rng* rng) {
+  return pool.values[rng->Index(pool.values.size())];
+}
+
+ExprPtr RandomFormula(const PlanPool& pool, Rng* rng, int depth) {
+  switch (rng->UniformInt(0, depth > 0 ? 6 : 4)) {
+    case 0:
+    case 1:  // weight equality higher: it is the accelerated shape
+      return Expr::Eq(PickAttr(pool, rng), PickValue(pool, rng));
+    case 2:
+      return Expr::In(PickAttr(pool, rng),
+                      {PickValue(pool, rng), PickValue(pool, rng)});
+    case 3: {
+      CmpOp op = static_cast<CmpOp>(rng->UniformInt(0, 5));
+      return Expr::Compare(PickAttr(pool, rng), op, PickValue(pool, rng));
+    }
+    case 4:
+      return Expr::Exists(PickAttr(pool, rng));
+    case 5:
+      return Expr::And(RandomFormula(pool, rng, depth - 1),
+                       RandomFormula(pool, rng, depth - 1));
+    default:
+      return Expr::Or(RandomFormula(pool, rng, depth - 1),
+                      RandomFormula(pool, rng, depth - 1));
+  }
+}
+
+PlanPtr RandomPlan(const PlanPool& pool, Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.25)) {
+    return Plan::Scan(PickRelation(pool, rng));
+  }
+  switch (rng->UniformInt(0, 6)) {
+    case 0:
+    case 1:  // selections dominate real query mixes
+      return Plan::Select(RandomPlan(pool, rng, depth - 1),
+                          RandomFormula(pool, rng, 1));
+    case 2:
+      return Plan::NaturalJoin(RandomPlan(pool, rng, depth - 1),
+                               RandomPlan(pool, rng, depth - 1));
+    case 3: {
+      std::vector<PlanPtr> legs;
+      size_t n = 2 + rng->Index(3);
+      for (size_t i = 0; i < n; ++i) {
+        legs.push_back(RandomPlan(pool, rng, depth - 1));
+      }
+      return Plan::MultiwayJoin(std::move(legs));
+    }
+    case 4:
+      return Plan::Union(RandomPlan(pool, rng, depth - 1),
+                         RandomPlan(pool, rng, depth - 1));
+    case 5: {
+      std::vector<PlanPtr> branches;
+      size_t n = 2 + rng->Index(2);
+      for (size_t i = 0; i < n; ++i) {
+        // Extend-tagged branches exercise the rule (6) propagation.
+        PlanPtr branch = RandomPlan(pool, rng, depth - 1);
+        if (rng->Bernoulli(0.5)) {
+          branch = Plan::Extend(branch, pool.extend_tag,
+                                Value::Int(static_cast<int64_t>(i)));
+        }
+        branches.push_back(std::move(branch));
+      }
+      return Plan::OuterUnion(std::move(branches));
+    }
+    default: {
+      AttrSet attrs;
+      size_t n = 1 + rng->Index(3);
+      for (size_t i = 0; i < n; ++i) attrs.Insert(PickAttr(pool, rng));
+      return Plan::Project(RandomPlan(pool, rng, depth - 1), attrs);
+    }
+  }
+}
+
+TEST(EngineEvalCrossValidation, RandomPlansAgreeWithNaiveOracle) {
+  size_t instances = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    EmployeeConfig config;
+    config.num_variants = 2 + seed % 3;
+    config.attrs_per_variant = 2;
+    config.rows = 40;
+    config.seed = seed;
+    auto w = MakeEmployeeWorkload(config);
+    ASSERT_TRUE(w.ok()) << w.status();
+
+    auto parts = TranslateVertical(w.value()->relation, w.value()->eads[0],
+                                   AttrSet::Of(w.value()->id_attr));
+    ASSERT_TRUE(parts.ok());
+    FlexibleRelation master = FlexibleRelation::Derived("m", DependencySet());
+    for (const Tuple& t : parts.value().master.rows()) {
+      master.InsertUnchecked(t);
+    }
+    std::vector<std::unique_ptr<FlexibleRelation>> variants;
+    for (const Relation& r : parts.value().variant_relations) {
+      auto fr = std::make_unique<FlexibleRelation>(
+          FlexibleRelation::Derived(r.name(), DependencySet()));
+      for (const Tuple& t : r.rows()) fr->InsertUnchecked(t);
+      variants.push_back(std::move(fr));
+    }
+
+    PlanPool pool;
+    pool.relations.push_back(&w.value()->relation);
+    pool.relations.push_back(&master);
+    for (const auto& v : variants) pool.relations.push_back(v.get());
+    pool.attrs.push_back(w.value()->id_attr);
+    pool.attrs.push_back(w.value()->jobtype_attr);
+    for (AttrId a : w.value()->common_attrs) pool.attrs.push_back(a);
+    for (const auto& variant : w.value()->eads[0].variants()) {
+      for (AttrId a : variant.then) pool.attrs.push_back(a);
+    }
+    pool.extend_tag = w.value()->catalog.Intern("xval-tag");
+    // Values drawn from actual rows keep selections and joins selective but
+    // non-empty; a few foreign constants cover the miss paths.
+    Rng rng(seed * 7919);
+    for (int i = 0; i < 12; ++i) {
+      const Tuple& t = w.value()->relation.row(
+          rng.Index(w.value()->relation.size()));
+      const auto& field = t.fields()[rng.Index(t.fields().size())];
+      pool.values.push_back(field.second);
+    }
+    pool.values.push_back(Value::Int(-123456));
+    pool.values.push_back(Value::Str("no-such-value"));
+    pool.values.push_back(Value::Null());
+
+    for (int p = 0; p < 8; ++p) {
+      PlanPtr plan = RandomPlan(pool, &rng, 3);
+      CrossValidate(plan, StrCat("seed=", seed, " plan=", p));
+      ++instances;
+    }
+  }
+  EXPECT_GE(instances, 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Exact per-operator EvalStats regression on the paper examples (naive
+// path), plus strict-improvement assertions for the engine path.
+// ---------------------------------------------------------------------------
+
+class EngineEvalStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ex = MakeJobtypeExample();
+    ASSERT_TRUE(ex.ok()) << ex.status();
+    ex_ = std::move(ex).value();
+  }
+
+  EvalStats NaiveStats(const PlanPtr& plan) {
+    EvalStats stats;
+    auto out = Evaluate(plan, NaiveOptions(), &stats);
+    EXPECT_TRUE(out.ok()) << out.status();
+    return stats;
+  }
+
+  EvalStats EngineStats(const PlanPtr& plan) {
+    EvalStats stats;
+    auto out = Evaluate(plan, EvalOptions(), &stats);
+    EXPECT_TRUE(out.ok()) << out.status();
+    return stats;
+  }
+
+  std::unique_ptr<JobtypeExample> ex_;
+};
+
+TEST_F(EngineEvalStatsTest, ScanCountsExactly) {
+  EvalStats s = NaiveStats(Plan::Scan(&ex_->relation));
+  EXPECT_EQ(s.tuples_scanned, 3u);
+  EXPECT_EQ(s.tuples_emitted, 3u);
+  EXPECT_EQ(s.intermediate_tuples, 0u);
+  EXPECT_EQ(s.predicate_evals, 0u);
+  EXPECT_EQ(s.join_probes, 0u);
+}
+
+TEST_F(EngineEvalStatsTest, SelectCountsExactlyAndEngineSkipsPredicates) {
+  PlanPtr plan =
+      Plan::Select(Plan::Scan(&ex_->relation),
+                   Expr::Eq(ex_->jobtype, Value::Str("secretary")));
+  EvalStats naive = NaiveStats(plan);
+  EXPECT_EQ(naive.tuples_scanned, 3u);
+  EXPECT_EQ(naive.predicate_evals, 3u);   // one Kleene eval per tuple
+  EXPECT_EQ(naive.tuples_emitted, 4u);    // 3 from the scan + 1 selected
+  EXPECT_EQ(naive.join_probes, 0u);
+
+  EvalStats engine = EngineStats(plan);
+  EXPECT_EQ(engine.predicate_evals, 0u);  // resolved via the value index
+  EXPECT_LT(engine.predicate_evals, naive.predicate_evals);
+  EXPECT_EQ(engine.tuples_scanned, 1u);   // only the matching cluster
+  EXPECT_EQ(engine.tuples_emitted, 1u);
+}
+
+TEST_F(EngineEvalStatsTest, ProjectAndUnionCountExactly) {
+  EvalStats proj = NaiveStats(
+      Plan::Project(Plan::Scan(&ex_->relation), AttrSet{ex_->jobtype}));
+  EXPECT_EQ(proj.tuples_scanned, 3u);
+  EXPECT_EQ(proj.tuples_emitted, 6u);  // 3 scanned + 3 distinct projections
+
+  EvalStats uni = NaiveStats(
+      Plan::Union(Plan::Scan(&ex_->relation), Plan::Scan(&ex_->relation)));
+  EXPECT_EQ(uni.tuples_scanned, 6u);
+  EXPECT_EQ(uni.tuples_emitted, 9u);   // 3 + 3 from the scans + 3 deduped
+}
+
+TEST_F(EngineEvalStatsTest, NaturalJoinCountsExactlyAndEngineProbesFewer) {
+  FlexibleRelation bonus = FlexibleRelation::Derived("bonus", DependencySet());
+  AttrId amount = ex_->catalog.Intern("bonus-amount");
+  Tuple b;
+  b.Set(ex_->jobtype, Value::Str("salesman"));
+  b.Set(amount, Value::Int(500));
+  bonus.InsertUnchecked(b);
+
+  PlanPtr plan =
+      Plan::NaturalJoin(Plan::Scan(&ex_->relation), Plan::Scan(&bonus));
+  EvalStats naive = NaiveStats(plan);
+  EXPECT_EQ(naive.join_probes, 3u);       // 3 × 1 nested-loop pairs
+  EXPECT_EQ(naive.tuples_emitted, 5u);    // 3 + 1 scans + 1 joined
+  EXPECT_EQ(naive.intermediate_tuples, 0u);
+
+  EvalStats engine = EngineStats(plan);
+  EXPECT_EQ(engine.join_probes, 1u);      // only the compatible pair
+  EXPECT_LT(engine.join_probes, naive.join_probes);
+}
+
+TEST_F(EngineEvalStatsTest, MultiwayJoinSplitsIntermediateFromFinal) {
+  FlexibleRelation r1 = FlexibleRelation::Derived("r1", DependencySet());
+  FlexibleRelation r2 = FlexibleRelation::Derived("r2", DependencySet());
+  FlexibleRelation r3 = FlexibleRelation::Derived("r3", DependencySet());
+  AttrId k = ex_->catalog.Intern("k");
+  AttrId p = ex_->catalog.Intern("p");
+  AttrId q = ex_->catalog.Intern("q");
+  for (int i = 0; i < 3; ++i) {
+    Tuple a;
+    a.Set(k, Value::Int(i));
+    r1.InsertUnchecked(a);
+    Tuple b;
+    b.Set(k, Value::Int(i));
+    b.Set(p, Value::Int(i * 10));
+    r2.InsertUnchecked(b);
+  }
+  Tuple c;
+  c.Set(k, Value::Int(1));
+  c.Set(q, Value::Int(99));
+  r3.InsertUnchecked(c);
+
+  PlanPtr plan = Plan::MultiwayJoin(
+      {Plan::Scan(&r1), Plan::Scan(&r2), Plan::Scan(&r3)});
+  EvalStats naive = NaiveStats(plan);
+  // Naive fold order: (r1 ⋈ r2) is 9 probes emitting 3 intermediates, the
+  // final (⋈ r3) is 3 probes emitting 1 tuple. Before the counter split the
+  // 3 intermediates were conflated into tuples_emitted.
+  EXPECT_EQ(naive.join_probes, 12u);
+  EXPECT_EQ(naive.intermediate_tuples, 3u);
+  EXPECT_EQ(naive.tuples_emitted, 8u);  // 3 + 3 + 1 scans + 1 final join row
+  EXPECT_EQ(naive.tuples_scanned, 7u);
+
+  // The engine starts from the 1-row leg and probes only compatible pairs.
+  EvalStats engine = EngineStats(plan);
+  EXPECT_LT(engine.join_probes, naive.join_probes);
+  EXPECT_EQ(engine.join_probes, 2u);
+  EXPECT_EQ(engine.intermediate_tuples, 1u);
+  EXPECT_EQ(engine.tuples_emitted, 8u);  // identical final output accounting
+}
+
+TEST_F(EngineEvalStatsTest, RestoreSelectPlanDoesStrictlyLessEngineWork) {
+  // The E5 shape: σ[jobtype](∪ᵢ employee ⋈ bonusᵢ)-style join-heavy plan.
+  FlexibleRelation bonus = FlexibleRelation::Derived("bonus", DependencySet());
+  AttrId amount = ex_->catalog.Intern("bonus-amount");
+  for (int i = 0; i < 3; ++i) {
+    Tuple b;
+    b.Set(ex_->salary,
+          Value::Int(i == 0 ? 4700 : (i == 1 ? 6200 : 5400)));
+    b.Set(amount, Value::Int(100 * (i + 1)));
+    bonus.InsertUnchecked(b);
+  }
+  PlanPtr plan = Plan::Select(
+      Plan::NaturalJoin(Plan::Scan(&ex_->relation), Plan::Scan(&bonus)),
+      Expr::Eq(ex_->jobtype, Value::Str("salesman")));
+
+  EvalStats naive, engine;
+  auto a = Evaluate(plan, NaiveOptions(), &naive);
+  auto b2 = Evaluate(plan, EvalOptions(), &engine);
+  ASSERT_TRUE(a.ok() && b2.ok());
+  EXPECT_EQ(SortedRows(a.value()), SortedRows(b2.value()));
+  EXPECT_LT(engine.join_probes, naive.join_probes);
+}
+
+// ---------------------------------------------------------------------------
+// Value-index edge cases and the cache-invalidation contract.
+// ---------------------------------------------------------------------------
+
+TEST(EngineEvalIndexTest, NullLiteralsAndNullValuesFollowKleeneSemantics) {
+  FlexibleRelation rel = FlexibleRelation::Derived("r", DependencySet());
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("a");
+  AttrId b = catalog.Intern("b");
+  Tuple t1;
+  t1.Set(a, Value::Int(1));
+  t1.Set(b, Value::Str("x"));
+  rel.InsertUnchecked(t1);
+  Tuple t2;
+  t2.Set(a, Value::Null());  // explicit null: defined but Unknown to compare
+  rel.InsertUnchecked(t2);
+  Tuple t3;  // lacks `a` entirely
+  t3.Set(b, Value::Str("y"));
+  rel.InsertUnchecked(t3);
+
+  for (const ExprPtr& formula :
+       {Expr::Eq(a, Value::Int(1)), Expr::Eq(a, Value::Null()),
+        Expr::In(a, {Value::Int(1), Value::Null(), Value::Int(7)})}) {
+    PlanPtr plan = Plan::Select(Plan::Scan(&rel), formula);
+    auto naive = Evaluate(plan, NaiveOptions());
+    auto engine = Evaluate(plan, EvalOptions());
+    ASSERT_TRUE(naive.ok() && engine.ok());
+    // Not just set-equal: the index path must also preserve scan order.
+    EXPECT_EQ(naive.value().rows(), engine.value().rows());
+  }
+}
+
+TEST(EngineEvalIndexTest, InsertAndUpdateInvalidateTheAttachedCache) {
+  FlexibleRelation rel = FlexibleRelation::Derived("r", DependencySet());
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("a");
+  for (int i = 0; i < 4; ++i) {
+    Tuple t;
+    t.Set(a, Value::Int(i % 2));
+    rel.InsertUnchecked(t);
+  }
+  PlanPtr plan = Plan::Select(Plan::Scan(&rel), Expr::Eq(a, Value::Int(0)));
+  auto first = Evaluate(plan);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().size(), 2u);
+
+  // Insert after the cache was built: the next evaluation must see the row.
+  Tuple extra;
+  extra.Set(a, Value::Int(0));
+  extra.Set(catalog.Intern("b"), Value::Int(42));
+  rel.InsertUnchecked(extra);
+  auto second = Evaluate(plan);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().size(), 3u);
+
+  // Update flips a row out of the selected cluster.
+  ASSERT_TRUE(rel.Update(0, a, Value::Int(1)).ok());
+  auto third = Evaluate(plan);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().size(), 2u);
+}
+
+TEST(EngineEvalIndexTest, CopiesAndMovesStartCacheLess) {
+  FlexibleRelation rel = FlexibleRelation::Derived("r", DependencySet());
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("a");
+  Tuple t;
+  t.Set(a, Value::Int(7));
+  rel.InsertUnchecked(t);
+  (void)rel.pli_cache();  // force the cache into existence
+
+  FlexibleRelation copy = rel;  // must not alias rel's row vector
+  Tuple u;
+  u.Set(a, Value::Int(8));
+  copy.InsertUnchecked(u);
+  PlanPtr plan = Plan::Select(Plan::Scan(&copy), Expr::Eq(a, Value::Int(8)));
+  auto out = Evaluate(plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 1u);
+
+  FlexibleRelation moved = std::move(copy);
+  auto out2 = Evaluate(Plan::Select(Plan::Scan(&moved),
+                                    Expr::Eq(a, Value::Int(8))));
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -189,6 +189,63 @@ TEST_F(PlanRewriteTest, EmptyPropagatesThroughOperators) {
   EXPECT_TRUE(out.value().empty());
 }
 
+TEST_F(PlanRewriteTest, EstimateRowsReadsTheValueIndex) {
+  // Scans estimate their size; an equality selection over a scan estimates
+  // the matching cluster's exact size via the relation's partition cache.
+  EXPECT_EQ(EstimateRows(Plan::Scan(&master_)), master_.size());
+  EXPECT_EQ(EstimateRows(Plan::Empty()), 0u);
+  PlanPtr sel = Plan::Select(
+      Plan::Scan(&master_),
+      Expr::Eq(w_->jobtype_attr, w_->jobtype_values[0]));
+  size_t expected = 0;
+  for (const Tuple& t : master_.rows()) {
+    const Value* v = t.Get(w_->jobtype_attr);
+    if (v != nullptr && *v == w_->jobtype_values[0]) ++expected;
+  }
+  EXPECT_EQ(EstimateRows(sel), expected);
+  EXPECT_LT(EstimateRows(sel), EstimateRows(Plan::Scan(&master_)));
+  // Null literals never select anything under Kleene semantics, and the
+  // estimate must agree even when rows carry explicit nulls.
+  EXPECT_EQ(EstimateRows(Plan::Select(
+                Plan::Scan(&master_),
+                Expr::Eq(w_->jobtype_attr, Value::Null()))),
+            0u);
+}
+
+TEST_F(PlanRewriteTest, MultiwayJoinLegsOrderedSmallestEstimateFirst) {
+  // master (80 rows) before a selective leg: the rewriter must flip them.
+  PlanPtr selective = Plan::Select(
+      Plan::Scan(&master_),
+      Expr::Eq(w_->jobtype_attr, w_->jobtype_values[0]));
+  PlanPtr plan = Plan::MultiwayJoin(
+      {Plan::Scan(&master_), selective, Plan::Scan(variants_[0].get())});
+  RewriteReport report;
+  PlanPtr optimized = OptimizePlan(plan, w_->eads, &report);
+  EXPECT_EQ(report.joins_reordered, 1u);
+  ASSERT_EQ(optimized->kind(), PlanKind::kMultiwayJoin);
+  std::vector<size_t> estimates;
+  for (const PlanPtr& leg : optimized->inputs()) {
+    estimates.push_back(EstimateRows(leg));
+  }
+  EXPECT_TRUE(std::is_sorted(estimates.begin(), estimates.end()));
+
+  // Reordering is result-preserving.
+  auto base = Evaluate(plan);
+  auto opt = Evaluate(optimized);
+  ASSERT_TRUE(base.ok() && opt.ok());
+  std::vector<Tuple> a = base.value().rows();
+  std::vector<Tuple> b = opt.value().rows();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+
+  // Already sorted legs are left alone.
+  RewriteReport noop;
+  OptimizePlan(Plan::MultiwayJoin({selective, Plan::Scan(&master_)}),
+               w_->eads, &noop);
+  EXPECT_EQ(noop.joins_reordered, 0u);
+}
+
 // Property: optimized restore-and-select equals the unoptimized result for
 // every jobtype and several seeds.
 class RewriteEquivalence : public ::testing::TestWithParam<uint64_t> {};
