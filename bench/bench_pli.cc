@@ -1,9 +1,16 @@
 // Partition-engine microbenchmarks: stripped-partition construction and
-// intersection throughput, plus the cache's level-sweep behaviour. These are
-// the primitives whose cost replaces per-candidate instance re-hashing in
-// dependency discovery (see bench_discovery.cc for the end-to-end compare).
+// intersection throughput, the cache's level-sweep behaviour, and the
+// mutate-then-query sweep comparing incremental cluster patching
+// (PliCache::OnInsert/OnUpdate) against the historical
+// rebuild-after-invalidate mode (PliCacheOptions::incremental = false).
+// These are the primitives whose cost replaces per-candidate instance
+// re-hashing in dependency discovery (see bench_discovery.cc for the
+// end-to-end compare); the sweep's results are recorded in
+// BENCH_incremental.json.
 
 #include <benchmark/benchmark.h>
+
+#include <unordered_set>
 
 #include "engine/pli_cache.h"
 #include "util/rng.h"
@@ -88,6 +95,130 @@ void BM_PliCacheLevelSweep(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_PliCacheLevelSweep)->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// Mutate-then-query: the workload incremental maintenance exists for. Each
+// iteration applies `mutations` (state.range(1)) random updates and then
+// runs a query mix over the attached cache — a value-index selection shape
+// plus single- and two-attribute partition reads. With incremental
+// maintenance the mutations patch clusters in place; in rebuild mode every
+// mutation drops the attached cache and the query pays a full re-partition.
+// Updates only (no growth), so both modes benchmark the same instance size
+// regardless of iteration count.
+// ---------------------------------------------------------------------------
+
+constexpr AttrId kJobtype = 1;  // few fat clusters (the selective attribute)
+constexpr AttrId kCommon = 2;   // common attribute, medium clusters
+
+FlexibleRelation RelationOf(const std::vector<Tuple>& rows,
+                            bool incremental) {
+  FlexibleRelation rel = FlexibleRelation::Derived("bench", DependencySet());
+  PliCacheOptions options;
+  options.incremental = incremental;
+  rel.SetPliCacheOptions(options);
+  for (const Tuple& t : rows) rel.InsertUnchecked(t);
+  return rel;
+}
+
+// The per-round query: touches the structures a selection-plus-join plan
+// reads (algebra/evaluate.cc SelectViaIndex and DistinctOn).
+void QueryCache(FlexibleRelation* rel) {
+  std::shared_ptr<PliCache> cache = rel->pli_cache();
+  benchmark::DoNotOptimize(cache->IndexFor(kJobtype));
+  benchmark::DoNotOptimize(cache->Get(AttrSet::Of(kJobtype)));
+  benchmark::DoNotOptimize(cache->Get(AttrSet{kJobtype, kCommon}));
+}
+
+void MutateThenQuery(benchmark::State& state, bool incremental) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int mutations = static_cast<int>(state.range(1));
+  std::vector<Tuple> rows = MakeRows(n, 5);
+  // The pool of legal jobtype values, for cluster-to-cluster moves.
+  std::vector<Value> jobtypes;
+  {
+    std::unordered_set<std::string> seen;
+    for (const Tuple& t : rows) {
+      if (const Value* v = t.Get(kJobtype)) {
+        if (seen.insert(v->as_string()).second) jobtypes.push_back(*v);
+      }
+    }
+  }
+  FlexibleRelation rel = RelationOf(rows, incremental);
+  QueryCache(&rel);  // attach and warm the cache
+  Rng rng(99);
+  for (auto _ : state) {
+    for (int m = 0; m < mutations; ++m) {
+      size_t row = rng.Index(rel.size());
+      bool ok;
+      if (rng.Bernoulli(0.5)) {
+        // Move a row between the fat jobtype clusters.
+        ok = rel.Update(row, kJobtype, jobtypes[rng.Index(jobtypes.size())])
+                 .ok();
+      } else {
+        // Re-value a common attribute (medium clusters).
+        ok = rel.Update(row, kCommon, Value::Int(rng.UniformInt(0, 50))).ok();
+      }
+      if (!ok) {
+        state.SkipWithError("update failed");
+        return;
+      }
+    }
+    QueryCache(&rel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          mutations);
+}
+
+void BM_MutateThenQueryIncremental(benchmark::State& state) {
+  MutateThenQuery(state, /*incremental=*/true);
+}
+void BM_MutateThenQueryRebuild(benchmark::State& state) {
+  MutateThenQuery(state, /*incremental=*/false);
+}
+// rows × mutation ratio (mutations per query round).
+BENCHMARK(BM_MutateThenQueryIncremental)
+    ->ArgNames({"rows", "muts"})
+    ->Args({1000, 1})->Args({1000, 8})->Args({1000, 64})
+    ->Args({10000, 1})->Args({10000, 8})->Args({10000, 64})
+    ->Args({100000, 1})->Args({100000, 8})->Args({100000, 64});
+BENCHMARK(BM_MutateThenQueryRebuild)
+    ->ArgNames({"rows", "muts"})
+    ->Args({1000, 1})->Args({1000, 8})->Args({1000, 64})
+    ->Args({10000, 1})->Args({10000, 8})->Args({10000, 64})
+    ->Args({100000, 1})->Args({100000, 8})->Args({100000, 64});
+
+// Append-then-query: the insert path. The relation is reset (untimed) every
+// time it doubles so both modes amortize identical reset cadence.
+void AppendThenQuery(benchmark::State& state, bool incremental) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Tuple> rows = MakeRows(n, 5);
+  std::vector<Tuple> extra = MakeRows(n, 6);
+  size_t next = 0;
+  FlexibleRelation rel = RelationOf(rows, incremental);
+  QueryCache(&rel);
+  for (auto _ : state) {
+    if (rel.size() >= 2 * n) {
+      state.PauseTiming();
+      rel = RelationOf(rows, incremental);
+      QueryCache(&rel);
+      state.ResumeTiming();
+    }
+    rel.InsertUnchecked(extra[next++ % extra.size()]);
+    QueryCache(&rel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_AppendThenQueryIncremental(benchmark::State& state) {
+  AppendThenQuery(state, /*incremental=*/true);
+}
+void BM_AppendThenQueryRebuild(benchmark::State& state) {
+  AppendThenQuery(state, /*incremental=*/false);
+}
+BENCHMARK(BM_AppendThenQueryIncremental)
+    ->ArgNames({"rows"})->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_AppendThenQueryRebuild)
+    ->ArgNames({"rows"})->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 }  // namespace flexrel

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "engine/pli_cache.h"
+#include "engine/validator.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -16,13 +17,15 @@ FlexibleRelation::FlexibleRelation(const FlexibleRelation& other)
     : name_(other.name_),
       checker_(other.checker_),
       deps_(other.deps_),
-      rows_(other.rows_) {}
+      rows_(other.rows_),
+      pli_options_(other.pli_options_) {}
 
 FlexibleRelation::FlexibleRelation(FlexibleRelation&& other) noexcept
     : name_(std::move(other.name_)),
       checker_(std::move(other.checker_)),
       deps_(std::move(other.deps_)),
-      rows_(std::move(other.rows_)) {
+      rows_(std::move(other.rows_)),
+      pli_options_(other.pli_options_) {
   other.InvalidateCache();
 }
 
@@ -32,6 +35,7 @@ FlexibleRelation& FlexibleRelation::operator=(const FlexibleRelation& other) {
     checker_ = other.checker_;
     deps_ = other.deps_;
     rows_ = other.rows_;
+    pli_options_ = other.pli_options_;
     InvalidateCache();
   }
   return *this;
@@ -44,6 +48,7 @@ FlexibleRelation& FlexibleRelation::operator=(
     checker_ = std::move(other.checker_);
     deps_ = std::move(other.deps_);
     rows_ = std::move(other.rows_);
+    pli_options_ = other.pli_options_;
     InvalidateCache();
     other.InvalidateCache();
   }
@@ -55,10 +60,15 @@ FlexibleRelation::~FlexibleRelation() = default;
 std::shared_ptr<PliCache> FlexibleRelation::pli_cache() const {
   std::lock_guard<std::mutex> lock(pli_mu_);
   if (pli_cache_ == nullptr) {
-    pli_cache_ = std::make_shared<PliCache>(&rows_);
+    pli_cache_ = std::make_shared<PliCache>(&rows_, pli_options_);
     has_pli_cache_.store(true, std::memory_order_release);
   }
   return pli_cache_;
+}
+
+void FlexibleRelation::SetPliCacheOptions(const PliCacheOptions& options) {
+  InvalidateCache();
+  pli_options_ = options;
 }
 
 void FlexibleRelation::InvalidateCache() {
@@ -70,6 +80,34 @@ void FlexibleRelation::InvalidateCache() {
   std::lock_guard<std::mutex> lock(pli_mu_);
   pli_cache_.reset();
   has_pli_cache_.store(false, std::memory_order_release);
+}
+
+void FlexibleRelation::NotifyInsert() {
+  // Same fast path as InvalidateCache: no cache, no work. The row vector's
+  // *address* is stable across push_back (the cache points at the member),
+  // so the attached cache survives and is patched in place.
+  if (!has_pli_cache_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(pli_mu_);
+  if (pli_cache_ == nullptr) return;
+  if (!pli_options_.incremental) {
+    pli_cache_.reset();
+    has_pli_cache_.store(false, std::memory_order_release);
+    return;
+  }
+  pli_cache_->OnInsert(static_cast<Pli::RowId>(rows_.size() - 1),
+                       rows_.back());
+}
+
+void FlexibleRelation::NotifyUpdate(size_t index, const Tuple& old_row) {
+  if (!has_pli_cache_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(pli_mu_);
+  if (pli_cache_ == nullptr) return;
+  if (!pli_options_.incremental) {
+    pli_cache_.reset();
+    has_pli_cache_.store(false, std::memory_order_release);
+    return;
+  }
+  pli_cache_->OnUpdate(static_cast<Pli::RowId>(index), old_row, rows_[index]);
 }
 
 FlexibleRelation FlexibleRelation::Base(
@@ -107,13 +145,13 @@ Status FlexibleRelation::Insert(const Tuple& t) {
         StrCat("duplicate tuple rejected by set semantics of ", name_));
   }
   rows_.push_back(t);
-  InvalidateCache();
+  NotifyInsert();
   return Status::OK();
 }
 
 void FlexibleRelation::InsertUnchecked(Tuple t) {
   rows_.push_back(std::move(t));
-  InvalidateCache();
+  NotifyInsert();
 }
 
 Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
@@ -145,9 +183,17 @@ Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
     FLEXREL_RETURN_IF_ERROR(
         checker_->Check(updated).WithContext(StrCat("update of ", name_)));
   }
+  Tuple previous = std::move(rows_[index]);
   rows_[index] = std::move(updated);
-  InvalidateCache();
+  NotifyUpdate(index, previous);
   return delta;
+}
+
+bool FlexibleRelation::AuditDeclaredDeps() const {
+  if (deps_.empty()) return true;
+  std::shared_ptr<PliCache> cache = pli_cache();
+  DependencyValidator validator(cache.get());
+  return validator.ValidatesAll(deps_);
 }
 
 AttrSet FlexibleRelation::ActiveAttrs() const {

@@ -22,6 +22,7 @@
 
 #include "core/dependency_set.h"
 #include "core/type_check.h"
+#include "engine/pli_cache_options.h"
 
 namespace flexrel {
 
@@ -85,29 +86,55 @@ class FlexibleRelation {
   /// (instance-level audit; per-tuple EAD checks happen on insert).
   bool SatisfiesDeclaredDeps() const { return deps_.SatisfiedBy(rows_); }
 
+  /// Engine-backed counterpart of SatisfiesDeclaredDeps: validates Σ
+  /// through the attached partition cache (engine/validator.h) instead of
+  /// re-hashing the instance once per dependency — the audit the
+  /// storage/serialization load path runs over declared dependencies.
+  bool AuditDeclaredDeps() const;
+
   /// The relation's partition cache over the current instance, built lazily
   /// on first use. The engine-backed evaluator (algebra/evaluate.h) reads it
   /// to resolve equality selections and to estimate join orders.
   ///
-  /// Invalidation contract: Insert/InsertUnchecked/Update drop the cache —
-  /// the row vector's address and contents change under it — so a fresh
-  /// cache is built against the mutated instance on the next call. Callers
-  /// must therefore not hold the returned pointer across mutations, and
+  /// Maintenance contract: Insert/InsertUnchecked/Update keep the attached
+  /// cache alive and *patch* it — PliCache::OnInsert/OnUpdate move the
+  /// mutated row between the affected clusters of every cached partition
+  /// and value index, so the next query pays O(cluster) patch work instead
+  /// of a full O(rows) re-partition. Partition/index pointers obtained
+  /// before a mutation must still be treated as invalidated by it: they
+  /// usually observe the patched (current) instance, but when the cache
+  /// decides a partition is cheaper to rebuild than to patch it drops the
+  /// entry and a held pointer keeps the unmaintained object. Re-Get after
+  /// mutations; copy a partition to freeze it. With
+  /// pli_cache_options().incremental == false the historical behavior is
+  /// restored: every mutation drops the cache wholesale and the next call
+  /// rebuilds it from scratch (the oracle the incremental path is
+  /// soak-tested against — tests/engine_incremental_test.cc). In both modes
   /// mutating the relation while another thread evaluates it is a data race
-  /// exactly as iterating rows() would be. Partitions already obtained from
-  /// an old cache stay alive (shared ownership) but describe the old
-  /// instance. Copies and moves of the relation start cache-less.
+  /// exactly as iterating rows() would be. Copies and moves of the relation
+  /// start cache-less.
   std::shared_ptr<PliCache> pli_cache() const;
+
+  /// Replaces the options the lazily built cache is created with (and the
+  /// mutation-maintenance mode above). Drops any existing cache; the next
+  /// pli_cache() call rebuilds under the new options.
+  void SetPliCacheOptions(const PliCacheOptions& options);
+  const PliCacheOptions& pli_cache_options() const { return pli_options_; }
 
   std::string ToString(const AttrCatalog& catalog) const;
 
  private:
   void InvalidateCache();
+  /// Mutation fan-out to the attached cache: patch it (incremental mode) or
+  /// drop it (fallback mode). Called after rows_ has been mutated.
+  void NotifyInsert();
+  void NotifyUpdate(size_t index, const Tuple& old_row);
 
   std::string name_;
   std::shared_ptr<const TypeChecker> checker_;  // null for derived relations
   DependencySet deps_;
   std::vector<Tuple> rows_;
+  PliCacheOptions pli_options_;
   mutable std::mutex pli_mu_;  // guards lazy creation of pli_cache_
   mutable std::shared_ptr<PliCache> pli_cache_;
   // Fast-path flag so the per-tuple InsertUnchecked loop skips the mutex

@@ -78,6 +78,7 @@ Pli Pli::Intersect(const Pli& other) const {
 Pli Pli::IntersectWithProbe(const std::vector<int32_t>& probe) const {
   Pli out;
   out.num_rows_ = num_rows_;
+  out.exact_defined_ = false;
   // Refine each of our clusters by the other partition's cluster ids. Rows
   // the other partition dropped (undefined or partnerless there) stay
   // partnerless in the product and are dropped here too.
@@ -98,6 +99,126 @@ Pli Pli::IntersectWithProbe(const std::vector<int32_t>& probe) const {
   // defined-row count degrades to the grouped-row lower bound.
   out.defined_rows_ = out.grouped_rows_;
   return out;
+}
+
+namespace {
+
+constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+// The canonical-order insertion point for a cluster fronted by `front`:
+// the single comparator behind every by-front search, so the canonical key
+// lives in one place.
+std::vector<Pli::Cluster>::iterator LowerBoundByFront(
+    std::vector<Pli::Cluster>* clusters, Pli::RowId front) {
+  return std::lower_bound(clusters->begin(), clusters->end(), front,
+                          [](const Pli::Cluster& c, Pli::RowId f) {
+                            return c.front() < f;
+                          });
+}
+
+// Index of the cluster whose front() equals `front`, or kNoIndex.
+size_t FindClusterByFront(std::vector<Pli::Cluster>* clusters,
+                          Pli::RowId front) {
+  auto it = LowerBoundByFront(clusters, front);
+  if (it == clusters->end() || it->front() != front) return kNoIndex;
+  return static_cast<size_t>(it - clusters->begin());
+}
+
+// Moves clusters[index], whose front row changed, back to its canonical
+// position.
+void RepositionCluster(std::vector<Pli::Cluster>* clusters, size_t index) {
+  Pli::Cluster moved = std::move((*clusters)[index]);
+  clusters->erase(clusters->begin() + static_cast<ptrdiff_t>(index));
+  clusters->insert(LowerBoundByFront(clusters, moved.front()),
+                   std::move(moved));
+}
+
+// First element of `agreeing` other than `row` — the front of the cluster
+// the partners currently form. Requires at least one such element.
+Pli::RowId PartnerFront(const Pli::Cluster& agreeing, Pli::RowId row,
+                        bool includes_row) {
+  if (includes_row && agreeing.front() == row) return agreeing[1];
+  return agreeing.front();
+}
+
+}  // namespace
+
+bool Pli::ApplyInsert(RowId row, const Cluster& agreeing, bool includes_row) {
+  const size_t others = agreeing.size() - (includes_row ? 1 : 0);
+  return ApplyInsertCore(
+      row, others, others == 0 ? 0 : PartnerFront(agreeing, row, includes_row));
+}
+
+bool Pli::ApplyInsertAllRows(RowId row) {
+  // Every existing row (0..row-1) agrees, so the partners' cluster — when
+  // there is one — is fronted by row 0. Nothing to materialize.
+  return ApplyInsertCore(row, /*others=*/row, /*partner_front=*/0);
+}
+
+// Validation precedes every mutation in the patch bodies below: a false
+// return is a true no-op, so a caller may keep using the partition (though
+// PliCache drops refused entries anyway).
+bool Pli::ApplyInsertCore(RowId row, size_t others, RowId partner_front) {
+  if (others == 1) {
+    // Un-strip the lone partner: a fresh two-row cluster appears.
+    Cluster fresh = {std::min(partner_front, row),
+                     std::max(partner_front, row)};
+    auto it = LowerBoundByFront(&clusters_, fresh.front());
+    if (it != clusters_.end() && it->front() == fresh.front()) return false;
+    clusters_.insert(it, std::move(fresh));
+    grouped_rows_ += 2;
+  } else if (others >= 2) {
+    // The partners already form a cluster; `row` joins it.
+    size_t index = FindClusterByFront(&clusters_, partner_front);
+    if (index == kNoIndex) return false;
+    Cluster& cluster = clusters_[index];
+    if (cluster.size() != others) return false;
+    auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
+    if (pos != cluster.end() && *pos == row) return false;
+    cluster.insert(pos, row);
+    ++grouped_rows_;
+    if (row < partner_front) RepositionCluster(&clusters_, index);
+  }
+  // others == 0: partnerless — the stripped partition records nothing, and
+  // intersection products do not even count the row as defined.
+  if (exact_defined_) {
+    ++defined_rows_;
+  } else {
+    defined_rows_ = grouped_rows_;
+  }
+  return true;
+}
+
+bool Pli::ApplyErase(RowId row, const Cluster& agreeing, bool includes_row) {
+  const size_t others = agreeing.size() - (includes_row ? 1 : 0);
+  if (others > 0) {
+    RowId partner_front = PartnerFront(agreeing, row, includes_row);
+    RowId front = std::min(partner_front, row);
+    size_t index = FindClusterByFront(&clusters_, front);
+    if (index == kNoIndex) return false;
+    Cluster& cluster = clusters_[index];
+    if (cluster.size() != others + 1) return false;
+    if (others == 1) {
+      // The partner drops back to a stripped singleton; the cluster
+      // dissolves.
+      if (cluster.back() != std::max(partner_front, row)) return false;
+      clusters_.erase(clusters_.begin() + static_cast<ptrdiff_t>(index));
+      grouped_rows_ -= 2;
+    } else {
+      auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
+      if (pos == cluster.end() || *pos != row) return false;
+      cluster.erase(pos);
+      --grouped_rows_;
+      if (row == front) RepositionCluster(&clusters_, index);
+    }
+  }
+  // others == 0: the row was a stripped singleton.
+  if (exact_defined_) {
+    --defined_rows_;
+  } else {
+    defined_rows_ = grouped_rows_;
+  }
+  return true;
 }
 
 size_t Pli::MemoryBytes() const {

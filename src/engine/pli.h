@@ -64,6 +64,46 @@ class Pli {
   /// rebuild per call.
   Pli IntersectWithProbe(const std::vector<int32_t>& probe) const;
 
+  // ------------------------------------------------------------------
+  // Incremental maintenance primitives (driven by PliCache's
+  // OnInsert/OnUpdate hooks — see pli_cache.h). A stripped partition alone
+  // cannot patch itself: when a second row arrives for a value that so far
+  // had one (stripped) carrier, the partition does not know *which* row to
+  // un-strip. The cache therefore computes the `agreeing` list — the rows
+  // currently agreeing with `row` on the partition attributes — from its
+  // unstripped value indexes and hands it down here.
+  // ------------------------------------------------------------------
+
+  /// Patches the partition for a row that is (newly) defined on the
+  /// partition attributes and agrees with `agreeing` (ascending row ids;
+  /// `includes_row` says whether `row` itself appears in the list, which
+  /// lets the cache pass value-index cluster vectors without copying them).
+  /// Canonical form and the defined_rows semantics (exact for Build
+  /// output, grouped-rows lower bound for intersection products) are
+  /// preserved. Returns false — leaving the partition untouched — when the
+  /// cluster structure contradicts the arguments; the cache then drops the
+  /// partition and rebuilds it lazily.
+  bool ApplyInsert(RowId row, const Cluster& agreeing, bool includes_row);
+
+  /// ∅-partition fast path for appends: the new row agrees with *every*
+  /// existing row (all rows project to the empty tuple), so the partner
+  /// list — rows 0..row-1 — never needs materializing.
+  bool ApplyInsertAllRows(RowId row);
+
+  /// The reverse patch: detaches `row`, which previously agreed with
+  /// `agreeing` (same conventions), from the partition.
+  bool ApplyErase(RowId row, const Cluster& agreeing, bool includes_row);
+
+  /// Row-count bookkeeping for appends: ProbeTable sizing and operator==
+  /// depend on num_rows; the cache bumps every cached partition when the
+  /// instance grows, whether or not the new row enters its clusters.
+  void SetNumRows(size_t num_rows) { num_rows_ = num_rows; }
+
+  /// True when defined_rows() is exact (Build output); false when it is the
+  /// grouped-rows lower bound (intersection products). The patch primitives
+  /// preserve the mode.
+  bool exact_defined() const { return exact_defined_; }
+
   const std::vector<Cluster>& clusters() const { return clusters_; }
   size_t num_clusters() const { return clusters_.size(); }
 
@@ -106,11 +146,15 @@ class Pli {
 
  private:
   void Canonicalize();
+  /// Shared patch body: `others` partners, their cluster fronted by
+  /// `partner_front` (ignored when others == 0).
+  bool ApplyInsertCore(RowId row, size_t others, RowId partner_front);
 
   std::vector<Cluster> clusters_;
   size_t num_rows_ = 0;
   size_t grouped_rows_ = 0;
   size_t defined_rows_ = 0;
+  bool exact_defined_ = true;  // false for intersection products
 };
 
 }  // namespace flexrel

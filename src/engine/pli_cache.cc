@@ -1,9 +1,66 @@
 #include "engine/pli_cache.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 namespace flexrel {
+
+namespace {
+
+const Pli::Cluster kEmptyCluster;
+
+// The value's current cluster in the index, or the shared empty cluster.
+const Pli::Cluster& ClusterOf(const PliCache::ValueIndex& index,
+                              const Value& value) {
+  auto it = index.find(value);
+  return it == index.end() ? kEmptyCluster : it->second;
+}
+
+// One scan of the instance into a fresh value index — the single builder
+// behind both the read path (IndexFor) and the mutation hooks
+// (EnsureIndexLocked). No reserve: the map holds one entry per *distinct*
+// value, and typical indexed attributes (the bench's jobtype shape) have
+// few of those.
+std::shared_ptr<PliCache::ValueIndex> BuildValueIndex(
+    const std::vector<Tuple>& rows, AttrId attr) {
+  auto index = std::make_shared<PliCache::ValueIndex>();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (const Value* v = rows[i].Get(attr)) {
+      (*index)[*v].push_back(static_cast<Pli::RowId>(i));
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+void ValueIndexApplyInsert(PliCache::ValueIndex* index, Pli::RowId row,
+                           const Value* value) {
+  if (value == nullptr) return;  // the row does not carry the attribute
+  std::vector<Pli::RowId>& cluster = (*index)[*value];
+  if (cluster.empty() || cluster.back() < row) {
+    cluster.push_back(row);  // appends (the common case) stay O(1)
+  } else {
+    cluster.insert(std::lower_bound(cluster.begin(), cluster.end(), row),
+                   row);
+  }
+}
+
+void ValueIndexApplyUpdate(PliCache::ValueIndex* index, Pli::RowId row,
+                           const Value* old_value, const Value* new_value) {
+  if (old_value != nullptr) {
+    auto it = index->find(*old_value);
+    if (it != index->end()) {
+      std::vector<Pli::RowId>& cluster = it->second;
+      auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
+      if (pos != cluster.end() && *pos == row) cluster.erase(pos);
+      // Emptied values disappear, as in a from-scratch build.
+      if (cluster.empty()) index->erase(it);
+    }
+  }
+  ValueIndexApplyInsert(index, row, new_value);
+}
 
 PliCache::PliCache(const std::vector<Tuple>* rows)
     : PliCache(rows, Options()) {}
@@ -51,10 +108,7 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = entries_.find(attrs);
-      if (it != entries_.end()) {
-        if (it->second.evictable) lru_.erase(it->second.lru_pos);
-        entries_.erase(it);
-      }
+      if (it != entries_.end()) DropEntryLocked(it);
     }
     promise.set_exception(std::current_exception());
   }
@@ -65,16 +119,16 @@ PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
   if (attrs.size() <= 1) {
     Pli built = attrs.empty() ? Pli::Build(*rows_, attrs)
                               : Pli::Build(*rows_, attrs.ids().front());
-    return std::make_shared<const Pli>(std::move(built));
+    return std::make_shared<Pli>(std::move(built));
   }
   // X = prefix ∪ {last}: intersect the cached prefix partition (the more
   // refined operand, hence the outer one) with the last attribute's,
   // through that attribute's memoized probe table.
   AttrId last = attrs.ids().back();
   AttrSet prefix = attrs.Minus(AttrSet::Of(last));
-  PliPtr left = Get(prefix);
+  std::shared_ptr<const Pli> left = Get(prefix);
   std::shared_ptr<const std::vector<int32_t>> probe = ProbeFor(last);
-  return std::make_shared<const Pli>(left->IntersectWithProbe(*probe));
+  return std::make_shared<Pli>(left->IntersectWithProbe(*probe));
 }
 
 std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
@@ -83,7 +137,7 @@ std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
     auto it = probes_.find(attr);
     if (it != probes_.end()) return it->second;
   }
-  PliPtr pli = Get(AttrSet::Of(attr));
+  std::shared_ptr<const Pli> pli = Get(AttrSet::Of(attr));
   auto probe =
       std::make_shared<const std::vector<int32_t>>(pli->ProbeTable());
   std::lock_guard<std::mutex> lock(mu_);
@@ -97,17 +151,198 @@ std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
     auto it = value_indexes_.find(attr);
     if (it != value_indexes_.end()) return it->second;
   }
-  // No reserve: the map holds one entry per *distinct* value, and typical
-  // indexed attributes (the bench's jobtype shape) have few of those.
-  auto index = std::make_shared<ValueIndex>();
-  for (size_t i = 0; i < rows_->size(); ++i) {
-    if (const Value* v = (*rows_)[i].Get(attr)) {
-      (*index)[*v].push_back(static_cast<Pli::RowId>(i));
-    }
-  }
+  // Build outside the lock — an O(rows) scan must not stall concurrent
+  // Get()s. Only the mutation hooks (which already hold mu_ and need the
+  // fresh-build signal) go through EnsureIndexLocked.
+  std::shared_ptr<ValueIndex> index = BuildValueIndex(*rows_, attr);
   std::lock_guard<std::mutex> lock(mu_);
   // Racing builders compute identical indexes; first insert wins.
   return value_indexes_.emplace(attr, std::move(index)).first->second;
+}
+
+PliCache::ValueIndex* PliCache::EnsureIndexLocked(
+    AttrId attr, std::unordered_set<AttrId>* built_fresh) {
+  auto it = value_indexes_.find(attr);
+  if (it != value_indexes_.end()) return it->second.get();
+  if (built_fresh != nullptr) built_fresh->insert(attr);
+  return value_indexes_.emplace(attr, BuildValueIndex(*rows_, attr))
+      .first->second.get();
+}
+
+bool PliCache::AgreeingRowsLocked(const AttrSet& attrs, const Tuple& proj,
+                                  Pli::RowId exclude_row, Pli::Cluster* out,
+                                  std::unordered_set<AttrId>* built_fresh) {
+  out->clear();
+  // Seed with the smallest single-attribute value cluster; every partner
+  // must appear in all of them, so the smallest bounds the scan.
+  const Pli::Cluster* seed = nullptr;
+  for (AttrId a : attrs) {
+    ValueIndex* index = EnsureIndexLocked(a, built_fresh);
+    auto it = index->find(*proj.Get(a));
+    if (it == index->end()) return true;  // value unseen -> no partners
+    if (seed == nullptr || it->second.size() < seed->size()) {
+      seed = &it->second;
+    }
+  }
+  // Patch vs rebuild: verifying a seed cluster spanning most of the
+  // instance costs more than one probe-table pass over the patched
+  // sub-partitions — tell the caller to drop and re-intersect instead.
+  if (seed->size() >
+      std::max(options_.patch_scan_limit, rows_->size() / 2)) {
+    return false;
+  }
+  for (Pli::RowId r : *seed) {
+    if (r == exclude_row) continue;
+    if ((*rows_)[r].AgreesOn(proj, attrs)) out->push_back(r);
+  }
+  return true;
+}
+
+PliCache::EntryMap::iterator PliCache::DropEntryLocked(
+    EntryMap::iterator it) {
+  if (it->second.evictable) lru_.erase(it->second.lru_pos);
+  return entries_.erase(it);
+}
+
+void PliCache::PatchEntriesLocked(
+    const std::function<PatchResult(const AttrSet&, Pli*)>& patch) {
+  using namespace std::chrono_literals;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.future.wait_for(0s) != std::future_status::ready) {
+      ++patch_rebuilds_;
+      it = DropEntryLocked(it);
+      continue;
+    }
+    switch (patch(it->first, it->second.future.get().get())) {
+      case PatchResult::kRebuild:
+        ++patch_rebuilds_;
+        it = DropEntryLocked(it);
+        break;
+      case PatchResult::kPatched:
+        ++patches_;
+        ++it;
+        break;
+      case PatchResult::kUntouched:
+        ++it;
+        break;
+    }
+  }
+}
+
+void PliCache::OnInsert(Pli::RowId row, const Tuple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Cluster ids shift under patches and every memo's num_rows sizing is
+  // stale; the inverses are rebuilt on the next multi-attribute build.
+  probes_.clear();
+  std::unordered_set<AttrId> fresh;  // indexes built post-mutation this call
+  PatchEntriesLocked([&](const AttrSet& attrs, Pli* pli) -> PatchResult {
+    pli->SetNumRows(rows_->size());  // probe tables must cover the new row
+    bool ok;
+    if (attrs.empty()) {
+      // The ∅-partition holds every row in one cluster; the fast path
+      // skips materializing the all-previous-rows partner list.
+      ok = pli->ApplyInsertAllRows(row);
+    } else if (!t.DefinedOn(attrs)) {
+      return PatchResult::kPatched;  // the row stays out of scope, but the
+                                     // row count above was still patched
+    } else if (attrs.size() == 1) {
+      AttrId a = attrs.ids().front();
+      ValueIndex* index = EnsureIndexLocked(a, &fresh);
+      // A fresh index was built from the already mutated rows and so
+      // contains `row`; a pre-existing one is patched only further down.
+      ok = pli->ApplyInsert(row, ClusterOf(*index, *t.Get(a)),
+                           /*includes_row=*/fresh.count(a) > 0);
+    } else {
+      // An oversized partner scan means re-intersecting the patched
+      // sub-partitions is cheaper: fail the patch to drop the entry.
+      Pli::Cluster partners;
+      ok = AgreeingRowsLocked(attrs, t, row, &partners, &fresh) &&
+           pli->ApplyInsert(row, partners, /*includes_row=*/false);
+    }
+    return ok ? PatchResult::kPatched : PatchResult::kRebuild;
+  });
+  // Patch the value indexes last — they are the partner source above and
+  // must describe the pre-insert instance while partitions are patched.
+  for (auto& [attr, index] : value_indexes_) {
+    if (fresh.count(attr) > 0) continue;  // already post-mutation
+    if (const Value* v = t.Get(attr)) {
+      ValueIndexApplyInsert(index.get(), row, v);
+      ++patches_;
+    }
+  }
+}
+
+void PliCache::OnUpdate(Pli::RowId row, const Tuple& old_row,
+                        const Tuple& new_row) {
+  // The changed attribute set: presence flipped or value differs. Footnote-3
+  // type changes surface here as several attributes at once.
+  AttrSet changed;
+  for (const auto& [attr, value] : old_row.fields()) {
+    const Value* now = new_row.Get(attr);
+    if (now == nullptr || *now != value) changed.Insert(attr);
+  }
+  for (const auto& [attr, value] : new_row.fields()) {
+    (void)value;
+    if (!old_row.Has(attr)) changed.Insert(attr);
+  }
+  if (changed.empty()) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only the changed attributes' partitions shift cluster ids; probe memos
+  // of untouched attributes stay valid (an update never changes num_rows).
+  for (AttrId a : changed) probes_.erase(a);
+  std::unordered_set<AttrId> fresh;
+  // Detach the row from the old-value clusters of pre-existing indexes, so
+  // the indexes list exactly the row's potential partners.
+  for (AttrId a : changed) {
+    auto it = value_indexes_.find(a);
+    if (it == value_indexes_.end()) continue;
+    ValueIndexApplyUpdate(it->second.get(), row, old_row.Get(a), nullptr);
+  }
+  PatchEntriesLocked([&](const AttrSet& attrs, Pli* pli) -> PatchResult {
+    if (!attrs.Intersects(changed)) {
+      return PatchResult::kUntouched;  // incl. the ∅-partition
+    }
+    bool ok = true;
+    if (attrs.size() == 1) {
+      AttrId a = attrs.ids().front();
+      ValueIndex* index = EnsureIndexLocked(a, &fresh);
+      if (const Value* old_v = old_row.Get(a)) {
+        // Fresh and patched indexes both exclude `row` from the old value's
+        // cluster at this point.
+        ok = pli->ApplyErase(row, ClusterOf(*index, *old_v),
+                             /*includes_row=*/false);
+      }
+      if (ok) {
+        if (const Value* new_v = new_row.Get(a)) {
+          ok = pli->ApplyInsert(row, ClusterOf(*index, *new_v),
+                                /*includes_row=*/fresh.count(a) > 0);
+        }
+      }
+    } else {
+      Pli::Cluster partners;
+      if (old_row.DefinedOn(attrs)) {
+        ok = AgreeingRowsLocked(attrs, old_row, row, &partners, &fresh) &&
+             pli->ApplyErase(row, partners, /*includes_row=*/false);
+      }
+      if (ok && new_row.DefinedOn(attrs)) {
+        ok = AgreeingRowsLocked(attrs, new_row, row, &partners, &fresh) &&
+             pli->ApplyInsert(row, partners, /*includes_row=*/false);
+      }
+    }
+    return ok ? PatchResult::kPatched : PatchResult::kRebuild;
+  });
+  // Attach the row under its new values in the pre-existing indexes (fresh
+  // ones already carry it).
+  for (AttrId a : changed) {
+    if (fresh.count(a) > 0) continue;
+    auto it = value_indexes_.find(a);
+    if (it == value_indexes_.end()) continue;
+    if (const Value* new_v = new_row.Get(a)) {
+      ValueIndexApplyInsert(it->second.get(), row, new_v);
+      ++patches_;
+    }
+  }
 }
 
 void PliCache::EvictLocked() {
@@ -149,6 +384,16 @@ size_t PliCache::evictions() const {
 size_t PliCache::cached_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PliCache::patches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return patches_;
+}
+
+size_t PliCache::patch_rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return patch_rebuilds_;
 }
 
 }  // namespace flexrel

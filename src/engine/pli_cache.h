@@ -9,37 +9,54 @@
 // (k-1)-prefixes, almost every multi-attribute request reduces to a single
 // integer-valued Intersect over already cached operands.
 //
+// Mutations: the cache is no longer bound to an immutable instance. When
+// the underlying row vector changes, the owner calls OnInsert/OnUpdate and
+// every cached partition and value index is *patched* in place — only the
+// clusters the mutated row leaves or joins are touched, so a mutation costs
+// O(cluster) integer work per cached structure instead of the O(rows)
+// rebuild that dropping the cache used to force. The unstripped value
+// indexes are the base of the scheme: they know which lone row to un-strip
+// when a value gains its second carrier, which the stripped partitions
+// alone cannot. A multi-attribute entry whose patch (seed-cluster scan +
+// verification) would cost more than re-intersecting its patched
+// sub-partitions is dropped instead and rebuilt lazily on the next Get.
+// PliCacheOptions::incremental = false disables the hooks' use by
+// FlexibleRelation, restoring the historical drop-everything behavior as
+// the cross-validation oracle.
+//
 // Concurrency: Get() is safe to call from many worker threads. Each cache
 // slot holds a shared_future; the first requester of a key builds the
 // partition outside the lock and fulfils the promise, later requesters
 // block on the future instead of duplicating the work. Eviction is LRU over
 // completed multi-attribute entries only — single-attribute partitions are
-// the base of every product and stay resident.
+// the base of every product and stay resident. Mutation hooks must be
+// externally synchronized against readers (mutating a relation while
+// another thread evaluates it is a data race on the row vector regardless
+// of the cache).
 
 #ifndef FLEXREL_ENGINE_PLI_CACHE_H_
 #define FLEXREL_ENGINE_PLI_CACHE_H_
 
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/pli.h"
+#include "engine/pli_cache_options.h"
 
 namespace flexrel {
 
-/// Thread-safe partition cache over one immutable instance. The referenced
-/// rows must outlive the cache and must not change while it is in use.
+/// Thread-safe partition cache over one instance. The referenced rows must
+/// outlive the cache; every mutation of the rows must be reported through
+/// OnInsert/OnUpdate (or the cache discarded) before the next read.
 class PliCache {
  public:
-  struct Options {
-    /// Maximal number of cached multi-attribute partitions (single-attribute
-    /// partitions are pinned and not counted). Least recently used entries
-    /// are dropped beyond this bound.
-    size_t max_entries = 1024;
-  };
+  using Options = PliCacheOptions;
 
   explicit PliCache(const std::vector<Tuple>* rows);
   PliCache(const std::vector<Tuple>* rows, Options options);
@@ -57,22 +74,46 @@ class PliCache {
   /// cluster under the Null key. Unlike the stripped partitions, singleton
   /// clusters are kept — a lone row cannot influence a dependency but very
   /// much belongs to an equality selection's answer. Built once per
-  /// attribute and pinned, like the probe tables. Never returns null; safe
-  /// to call from many threads.
+  /// attribute, pinned, and patched across mutations. Never returns null;
+  /// safe to call from many threads.
   using ValueIndex =
       std::unordered_map<Value, std::vector<Pli::RowId>, ValueHash>;
   std::shared_ptr<const ValueIndex> IndexFor(AttrId attr);
 
+  // ------------------------------------------------------------------
+  // Incremental maintenance hooks. FlexibleRelation calls these *after*
+  // mutating its row vector (the cache reads the post-mutation rows to
+  // locate partners). Patched structures remain shared with earlier
+  // Get/IndexFor callers — holders see the new instance, which is exactly
+  // the documented contract: do not hold partition pointers across
+  // mutations you care to distinguish.
+  // ------------------------------------------------------------------
+
+  /// The row at index `row` == rows().size() - 1 was just appended.
+  void OnInsert(Pli::RowId row, const Tuple& t);
+
+  /// The row at index `row` changed from `old_row` to `new_row`. Attribute
+  /// additions and removals are handled, so footnote-3 type changes (an
+  /// Update whose TypeDelta adds/drops variant attributes) arrive as one
+  /// multi-attribute delta.
+  void OnUpdate(Pli::RowId row, const Tuple& old_row, const Tuple& new_row);
+
   const std::vector<Tuple>& rows() const { return *rows_; }
+  const Options& options() const { return options_; }
 
   /// Statistics for tests and benchmarks.
   size_t hits() const;
   size_t misses() const;
   size_t evictions() const;
   size_t cached_entries() const;
+  /// Structures patched in place by the mutation hooks.
+  size_t patches() const;
+  /// Cached partitions dropped by a mutation hook because re-intersecting
+  /// patched sub-partitions is cheaper than patching them (rebuilt lazily).
+  size_t patch_rebuilds() const;
 
  private:
-  using PliPtr = std::shared_ptr<const Pli>;
+  using PliPtr = std::shared_ptr<Pli>;
   struct Entry {
     std::shared_future<PliPtr> future;
     /// Position in lru_; only meaningful when evictable.
@@ -85,25 +126,80 @@ class PliCache {
 
   /// Memoized probe table of the single-attribute partition of `attr` —
   /// shared by every intersection whose right operand is that partition.
+  /// Inserts drop all memos (their num_rows sizing is stale); updates drop
+  /// only the changed attributes' (other partitions' cluster ids are
+  /// untouched). Dropped memos are rebuilt on the next multi-attribute
+  /// build that needs them.
   std::shared_ptr<const std::vector<int32_t>> ProbeFor(AttrId attr);
 
   /// Drops completed evictable entries beyond max_entries. Requires mu_.
   void EvictLocked();
 
+  /// The pinned value index of `attr`, building it from the current rows if
+  /// absent. When this call builds it, `attr` is added to `built_fresh`
+  /// (may be null) — a fresh index already reflects the post-mutation
+  /// instance and must not be patched again. Requires mu_.
+  ValueIndex* EnsureIndexLocked(AttrId attr,
+                                std::unordered_set<AttrId>* built_fresh);
+
+  /// Ascending rows agreeing with `proj` on `attrs`, excluding
+  /// `exclude_row`: scans the smallest value-index cluster among `attrs`
+  /// and verifies candidates against the rows. Returns false when that scan
+  /// would cost more than rebuilding the partition by intersection (the
+  /// caller drops the entry instead). Requires mu_; `proj` must be defined
+  /// on all of `attrs`.
+  bool AgreeingRowsLocked(const AttrSet& attrs, const Tuple& proj,
+                          Pli::RowId exclude_row, Pli::Cluster* out,
+                          std::unordered_set<AttrId>* built_fresh);
+
+  using EntryMap = std::unordered_map<AttrSet, Entry, AttrSetHash>;
+
+  /// Drops entry `it` (and its LRU slot), returning the next iterator.
+  /// Requires mu_.
+  EntryMap::iterator DropEntryLocked(EntryMap::iterator it);
+
+  enum class PatchResult {
+    kPatched,    ///< the partition was modified in place
+    kUntouched,  ///< the mutation does not affect this partition
+    kRebuild,    ///< contradicted or cheaper to rebuild: drop the entry
+  };
+
+  /// The mutation hooks' shared walk over the cached partitions: unready
+  /// entries (a build racing the mutation — a documented data race, shed
+  /// defensively) and entries whose `patch` returns kRebuild are dropped
+  /// for lazy rebuilding and counted in patch_rebuilds_; kPatched counts
+  /// in patches_. Callbacks must not create entries. Requires mu_.
+  void PatchEntriesLocked(
+      const std::function<PatchResult(const AttrSet&, Pli*)>& patch);
+
   const std::vector<Tuple>* rows_;
   Options options_;
 
   mutable std::mutex mu_;
-  std::unordered_map<AttrSet, Entry, AttrSetHash> entries_;
+  EntryMap entries_;
   std::unordered_map<AttrId, std::shared_ptr<const std::vector<int32_t>>>
-      probes_;  // pinned, like the single-attribute partitions they invert
-  std::unordered_map<AttrId, std::shared_ptr<const ValueIndex>>
-      value_indexes_;  // pinned; the selections' value -> rows view
+      probes_;  // memoized probe tables, dropped wholesale on mutation
+  std::unordered_map<AttrId, std::shared_ptr<ValueIndex>>
+      value_indexes_;  // pinned and patched; the selections' value -> rows view
   std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+  size_t patches_ = 0;
+  size_t patch_rebuilds_ = 0;
 };
+
+/// Patch primitives for the unstripped value index, mirroring
+/// Pli::ApplyInsert/ApplyErase: `ValueIndexApplyInsert` registers an
+/// appended or re-valued row under `value` (no-op when null-pointer —
+/// i.e. the row does not carry the attribute), `ValueIndexApplyUpdate`
+/// moves `row` from `old_value` to `new_value` (either may be null for
+/// attribute removal/addition). Row lists stay ascending; emptied values
+/// are erased so the index equals a from-scratch build.
+void ValueIndexApplyInsert(PliCache::ValueIndex* index, Pli::RowId row,
+                           const Value* value);
+void ValueIndexApplyUpdate(PliCache::ValueIndex* index, Pli::RowId row,
+                           const Value* old_value, const Value* new_value);
 
 }  // namespace flexrel
 

@@ -1,0 +1,37 @@
+// Maintenance knobs for the partition cache, split out of pli_cache.h so
+// that core/flexible_relation.h (which owns the options for its lazily
+// attached cache) does not pull the whole engine into every core include.
+
+#ifndef FLEXREL_ENGINE_PLI_CACHE_OPTIONS_H_
+#define FLEXREL_ENGINE_PLI_CACHE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace flexrel {
+
+struct PliCacheOptions {
+  /// Maximal number of cached multi-attribute partitions (single-attribute
+  /// partitions are pinned and not counted). Least recently used entries
+  /// are dropped beyond this bound.
+  size_t max_entries = 1024;
+
+  /// Maintain cached partitions and value indexes incrementally across
+  /// instance mutations (PliCache::OnInsert/OnUpdate patch the affected
+  /// clusters in place). False restores the pre-incremental behavior:
+  /// FlexibleRelation drops the whole cache on every mutation and the next
+  /// query rebuilds it from scratch — kept as the cross-validation oracle
+  /// for the incremental path.
+  bool incremental = true;
+
+  /// Patch-vs-rebuild crossover for multi-attribute partitions: when the
+  /// smallest value cluster seeding a partner scan exceeds
+  /// max(patch_scan_limit, rows/2), the mutation hooks drop the entry for
+  /// lazy re-intersection instead of patching it
+  /// (PliCache::patch_rebuilds() counts these). Tests lower it to force
+  /// the rebuild path on small instances.
+  size_t patch_scan_limit = 2048;
+};
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_ENGINE_PLI_CACHE_OPTIONS_H_

@@ -206,8 +206,38 @@ std::string WriteFlexDb(const AttrCatalog& catalog,
                         const std::vector<ExplicitAD>& eads,
                         const std::vector<std::pair<AttrId, Domain>>& domains,
                         const FlexibleRelation& relation) {
+  // Version 2 adds the optional extra-Σ section below; files without one
+  // keep the version-1 stamp (and stay byte-identical to what version-1
+  // writers produced), so old readers only reject files they genuinely
+  // cannot parse — with a clear version error instead of a puzzling
+  // "expected 'rows '" failure.
+  std::vector<std::string> extra_deps;
+  for (const FuncDep& fd : relation.deps().fds()) {
+    extra_deps.push_back(StrCat("dep fd|", EncodeAttrSet(catalog, fd.lhs),
+                                "|", EncodeAttrSet(catalog, fd.rhs)));
+  }
+  std::vector<std::pair<AttrSet, AttrSet>> ead_abbrevs;
+  ead_abbrevs.reserve(eads.size());
+  for (const ExplicitAD& ead : eads) {
+    auto abbrev = ead.Abbreviate();
+    ead_abbrevs.emplace_back(abbrev.lhs, abbrev.rhs);
+  }
+  for (const AttrDep& ad : relation.deps().ads()) {
+    bool from_ead = false;
+    for (const auto& [lhs, rhs] : ead_abbrevs) {
+      if (lhs == ad.lhs && rhs == ad.rhs) {
+        from_ead = true;
+        break;
+      }
+    }
+    if (!from_ead) {
+      extra_deps.push_back(StrCat("dep ad|", EncodeAttrSet(catalog, ad.lhs),
+                                  "|", EncodeAttrSet(catalog, ad.rhs)));
+    }
+  }
+
   std::ostringstream os;
-  os << "flexdb 1\n";
+  os << (extra_deps.empty() ? "flexdb 1\n" : "flexdb 2\n");
   os << "name " << EscapeText(relation.name()) << "\n";
   os << "scheme " << scheme.ToString(catalog) << "\n";
   os << "domains " << domains.size() << "\n";
@@ -227,6 +257,13 @@ std::string WriteFlexDb(const AttrCatalog& catalog,
         os << "when " << EncodeTuple(catalog, cond) << "\n";
       }
     }
+  }
+  // Declared dependencies beyond the EAD-derived ADs (e.g. an installed,
+  // discovery-mined Σ — workload/generator.h InstallDiscoveredDeps). The
+  // EAD abbreviations are re-derived on load and not repeated here.
+  if (!extra_deps.empty()) {
+    os << "deps " << extra_deps.size() << "\n";
+    for (const std::string& line : extra_deps) os << line << "\n";
   }
   os << "rows " << relation.size() << "\n";
   for (const Tuple& t : relation.rows()) {
@@ -253,7 +290,9 @@ Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
   };
 
   FLEXREL_ASSIGN_OR_RETURN(std::string version, next_line("flexdb "));
-  if (version != "1") {
+  // Version 2 = version 1 plus the optional extra-Σ section; the reader is
+  // lenient and accepts the section under either stamp.
+  if (version != "1" && version != "2") {
     return Status::InvalidArgument(StrCat("unsupported version ", version));
   }
   FLEXREL_ASSIGN_OR_RETURN(std::string escaped_name, next_line("name "));
@@ -324,13 +363,59 @@ Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
   db->relation = FlexibleRelation::Base(name, &db->catalog, db->scheme,
                                         db->eads, db->domains);
 
-  FLEXREL_ASSIGN_OR_RETURN(std::string row_count_text, next_line("rows "));
-  FLEXREL_ASSIGN_OR_RETURN(size_t row_count, ParseCount(row_count_text));
+  // Optional extra-Σ section (absent in files written before it existed).
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("unexpected end of input, wanted 'rows '");
+  }
+  if (StartsWith(line, "deps ")) {
+    FLEXREL_ASSIGN_OR_RETURN(size_t dep_count, ParseCount(line.substr(5)));
+    for (size_t d = 0; d < dep_count; ++d) {
+      FLEXREL_ASSIGN_OR_RETURN(std::string dep_text, next_line("dep "));
+      std::vector<std::string> parts = Split(dep_text, '|');
+      if (parts.size() != 3) {
+        return Status::InvalidArgument(
+            StrCat("bad dependency line 'dep ", dep_text, "'"));
+      }
+      FLEXREL_ASSIGN_OR_RETURN(AttrSet lhs,
+                               DecodeAttrSet(&db->catalog, parts[1]));
+      FLEXREL_ASSIGN_OR_RETURN(AttrSet rhs,
+                               DecodeAttrSet(&db->catalog, parts[2]));
+      if (parts[0] == "fd") {
+        db->relation.mutable_deps()->AddFd(FuncDep{std::move(lhs),
+                                                   std::move(rhs)});
+      } else if (parts[0] == "ad") {
+        db->relation.mutable_deps()->AddAd(AttrDep{std::move(lhs),
+                                                   std::move(rhs)});
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown dependency tag '", parts[0], "'"));
+      }
+    }
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("unexpected end of input, wanted 'rows '");
+    }
+  }
+  if (!StartsWith(line, "rows ")) {
+    return Status::InvalidArgument(
+        StrCat("expected 'rows ', got '", line, "'"));
+  }
+  FLEXREL_ASSIGN_OR_RETURN(size_t row_count, ParseCount(line.substr(5)));
   for (size_t r = 0; r < row_count; ++r) {
     FLEXREL_ASSIGN_OR_RETURN(std::string row_text, next_line("row "));
     FLEXREL_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&db->catalog, row_text));
     FLEXREL_RETURN_IF_ERROR(
         db->relation.Insert(t).WithContext(StrCat("row ", r)));
+  }
+  // Engine-backed instance audit (ROADMAP item): the declared Σ — the
+  // EAD-derived ADs plus any persisted extra dependencies — must hold over
+  // the loaded instance. Per-tuple type checks on insert cannot see
+  // cross-tuple violations of an installed Σ; the DependencyValidator reads
+  // them off cached partitions instead of re-hashing the instance once per
+  // dependency.
+  if (!db->relation.AuditDeclaredDeps()) {
+    return Status::ConstraintViolation(
+        StrCat("loaded instance of '", db->relation.name(),
+               "' violates its declared dependencies (corrupt sigma?)"));
   }
   return db;
 }

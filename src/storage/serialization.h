@@ -2,10 +2,15 @@
 //
 // A line-oriented, versioned format covering everything a base relation
 // needs to round-trip: the attribute catalog slice it uses, the flexible
-// scheme (in the paper's own notation, reparsed on load), domains, EADs and
-// the heterogeneous instance. Strings are %-escaped so arbitrary values
-// survive; loading re-validates every tuple through the TypeChecker, so a
-// corrupted or hand-edited file cannot smuggle ill-typed data in.
+// scheme (in the paper's own notation, reparsed on load), domains, EADs,
+// declared dependencies beyond the EAD-derived ones (an installed,
+// discovery-mined Σ survives the trip) and the heterogeneous instance.
+// Strings are %-escaped so arbitrary values survive; loading re-validates
+// every tuple through the TypeChecker, so a corrupted or hand-edited file
+// cannot smuggle ill-typed data in, and then audits the declared Σ against
+// the loaded instance through the partition engine's DependencyValidator —
+// a corrupt Σ (dependencies the instance does not satisfy) fails the load
+// with kConstraintViolation instead of poisoning downstream optimizers.
 
 #ifndef FLEXREL_STORAGE_SERIALIZATION_H_
 #define FLEXREL_STORAGE_SERIALIZATION_H_

@@ -18,6 +18,7 @@
 #include "algebra/evaluate.h"
 #include "decomposition/decomposition.h"
 #include "optimizer/plan_rewrite.h"
+#include "test_seed.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "workload/generator.h"
@@ -232,6 +233,96 @@ TEST(EngineEvalCrossValidation, RandomPlansAgreeWithNaiveOracle) {
 }
 
 // ---------------------------------------------------------------------------
+// Mutate-between-evaluations: the accelerated path must stay observationally
+// identical to the naive oracle while the scanned relations' attached caches
+// are patched in place by interleaved mutations (PliCache::OnInsert /
+// OnUpdate) — including the use_cache=false configuration, which bypasses
+// the patched state entirely. Unlike the 240-plan test above (fixed seeds:
+// it pins instance counts), this phase honors FLEXREL_TEST_SEED so CI's
+// seed-diversity step soaks a fresh mutation interleaving per run.
+// ---------------------------------------------------------------------------
+
+TEST(EngineEvalCrossValidation, RandomPlansAgreeAcrossCachePatches) {
+  uint64_t base = TestSeedBase(97, "eval-mutation");
+  for (uint64_t i = 1; i <= 10; ++i) {
+    uint64_t seed = base + i;
+    EmployeeConfig config;
+    config.num_variants = 2 + seed % 3;
+    config.attrs_per_variant = 2;
+    config.rows = 30;
+    config.seed = seed;
+    auto w = MakeEmployeeWorkload(config);
+    ASSERT_TRUE(w.ok()) << w.status();
+    EmployeeWorkload& workload = *w.value();
+
+    // A second, untyped relation so derived-relation mutations (no checker,
+    // arbitrary updates) are in the mix alongside typed ones.
+    FlexibleRelation derived =
+        FlexibleRelation::Derived("d", DependencySet());
+    for (const Tuple& t : workload.relation.rows()) derived.InsertUnchecked(t);
+
+    PlanPool pool;
+    pool.relations.push_back(&workload.relation);
+    pool.relations.push_back(&derived);
+    pool.attrs.push_back(workload.id_attr);
+    pool.attrs.push_back(workload.jobtype_attr);
+    for (AttrId a : workload.common_attrs) pool.attrs.push_back(a);
+    for (const auto& variant : workload.eads[0].variants()) {
+      for (AttrId a : variant.then) pool.attrs.push_back(a);
+    }
+    pool.extend_tag = workload.catalog.Intern("mut-tag");
+    Rng rng(seed * 104729);
+    for (int v = 0; v < 10; ++v) {
+      const Tuple& t =
+          workload.relation.row(rng.Index(workload.relation.size()));
+      const auto& field = t.fields()[rng.Index(t.fields().size())];
+      pool.values.push_back(field.second);
+    }
+    pool.values.push_back(Value::Int(-7));
+    pool.values.push_back(Value::Null());
+
+    // A fixed plan set, re-cross-validated after every mutation burst: the
+    // engine path of round r reads caches patched r times.
+    std::vector<PlanPtr> plans;
+    for (int p = 0; p < 4; ++p) plans.push_back(RandomPlan(pool, &rng, 3));
+    for (int round = 0; round < 4; ++round) {
+      for (size_t p = 0; p < plans.size(); ++p) {
+        CrossValidate(plans[p],
+                      StrCat("seed=", seed, " round=", round, " plan=", p));
+      }
+      for (int m = 0; m < 6; ++m) {
+        if (rng.Bernoulli(0.5)) {
+          Status s = workload.relation.Insert(RandomEmployee(workload, &rng));
+          if (!s.ok()) {
+            ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+          }
+          Tuple t;
+          t.Set(PickAttr(pool, &rng), PickValue(pool, &rng));
+          t.Set(PickAttr(pool, &rng), PickValue(pool, &rng));
+          derived.InsertUnchecked(std::move(t));
+        } else {
+          // Typed update flipping the jobtype: a footnote-3 type change
+          // lands in the cache as one multi-attribute delta.
+          size_t row = rng.Index(workload.relation.size());
+          int variant =
+              static_cast<int>(rng.Index(workload.jobtype_values.size()));
+          Tuple fill = RandomEmployee(workload, &rng, variant);
+          auto delta =
+              workload.relation.Update(row, workload.jobtype_attr,
+                                       workload.jobtype_values[variant], fill);
+          ASSERT_TRUE(delta.ok()) << delta.status();
+          size_t drow = rng.Index(derived.size());
+          ASSERT_TRUE(derived
+                          .Update(drow, PickAttr(pool, &rng),
+                                  PickValue(pool, &rng))
+                          .ok());
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Exact per-operator EvalStats regression on the paper examples (naive
 // path), plus strict-improvement assertions for the engine path.
 // ---------------------------------------------------------------------------
@@ -414,7 +505,10 @@ TEST(EngineEvalIndexTest, NullLiteralsAndNullValuesFollowKleeneSemantics) {
   }
 }
 
-TEST(EngineEvalIndexTest, InsertAndUpdateInvalidateTheAttachedCache) {
+// Mutations must be visible to the next evaluation — historically by
+// dropping the cache, now by patching it in place (the soak in
+// engine_incremental_test.cc covers the structural details).
+TEST(EngineEvalIndexTest, InsertAndUpdateKeepTheAttachedCacheCoherent) {
   FlexibleRelation rel = FlexibleRelation::Derived("r", DependencySet());
   AttrCatalog catalog;
   AttrId a = catalog.Intern("a");

@@ -1,0 +1,433 @@
+// Mutation soak for incremental PLI maintenance (PliCache::OnInsert /
+// OnUpdate, Pli::ApplyInsert / ApplyErase, the value-index patch
+// primitives).
+//
+// The contract under test: after ANY interleaving of Insert /
+// InsertUnchecked / Update with Get / IndexFor queries, every cached
+// partition and value index is structurally equal to a from-scratch rebuild
+// over the mutated instance — clusters (canonical form, so Pli::operator==
+// is exact), defined_rows, grouped_rows and NumDistinct all agree — and the
+// incremental mode is observationally identical to the
+// PliCacheOptions::incremental = false fallback, which drops the cache
+// wholesale on every mutation and therefore *is* the from-scratch oracle.
+//
+// Randomized tests take their seed from the FLEXREL_TEST_SEED environment
+// variable when set (CI's seed-diversity step passes the run id) and print
+// it, so every failure is replayable from the log.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/pli_cache.h"
+#include "test_seed.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+namespace flexrel {
+namespace {
+
+uint64_t SoakSeed(uint64_t salt) {
+  return TestSeed(0xF1E37A11DEADBEEFull, salt, "soak");
+}
+
+// ---------------------------------------------------------------------------
+// Pli patch primitives: the cluster transitions, pinned one by one.
+// ---------------------------------------------------------------------------
+
+std::vector<Tuple> RowsWithValues(AttrId attr,
+                                  const std::vector<int64_t>& values) {
+  std::vector<Tuple> rows;
+  for (int64_t v : values) {
+    Tuple t;
+    t.Set(attr, Value::Int(v));
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+TEST(PliPatchTest, InsertSecondCarrierUnstripsTheSingleton) {
+  const AttrId a = 3;
+  std::vector<Tuple> rows = RowsWithValues(a, {7, 8, 7});
+  Pli pli = Pli::Build(rows, a);  // clusters: {0,2}; row 1 stripped
+  ASSERT_EQ(pli.num_clusters(), 1u);
+
+  // Row 3 arrives with value 8: row 1 must be un-stripped into {1,3}.
+  Tuple t;
+  t.Set(a, Value::Int(8));
+  rows.push_back(t);
+  pli.SetNumRows(rows.size());
+  Pli::Cluster partners = {1};
+  ASSERT_TRUE(pli.ApplyInsert(3, partners, /*includes_row=*/false));
+  EXPECT_EQ(pli, Pli::Build(rows, a));
+  EXPECT_EQ(pli.defined_rows(), 4u);
+  EXPECT_EQ(pli.NumDistinct(), 2u);
+}
+
+TEST(PliPatchTest, EraseDownToOneCarrierDissolvesTheCluster) {
+  const AttrId a = 1;
+  std::vector<Tuple> rows = RowsWithValues(a, {5, 5, 9, 9});
+  Pli pli = Pli::Build(rows, a);
+  ASSERT_EQ(pli.num_clusters(), 2u);
+
+  // Row 0 leaves value 5 (update away): {0,1} dissolves, row 1 re-strips.
+  Pli::Cluster partners = {1};
+  ASSERT_TRUE(pli.ApplyErase(0, partners, /*includes_row=*/false));
+  rows[0].Set(a, Value::Int(1234));  // value 5 now carried by row 1 alone
+  Pli rebuilt = Pli::Build(rows, a);
+  // The erase alone models only the departure; defined_rows drops by one.
+  EXPECT_EQ(pli.num_clusters(), 1u);
+  EXPECT_EQ(pli.clusters()[0], (Pli::Cluster{2, 3}));
+  EXPECT_EQ(pli.defined_rows(), 3u);
+  // Completing the move (insert under the new value) matches the rebuild.
+  ASSERT_TRUE(pli.ApplyInsert(0, Pli::Cluster{}, /*includes_row=*/false));
+  EXPECT_EQ(pli, rebuilt);
+  EXPECT_EQ(pli.defined_rows(), rebuilt.defined_rows());
+}
+
+TEST(PliPatchTest, FrontRowChangesKeepCanonicalClusterOrder) {
+  const AttrId a = 0;
+  // Clusters {0,3} (v=1) and {1,2} (v=2): canonical order 0 < 1.
+  std::vector<Tuple> rows = RowsWithValues(a, {1, 2, 2, 1});
+  Pli pli = Pli::Build(rows, a);
+  ASSERT_EQ(pli.clusters().size(), 2u);
+
+  // Row 0 leaves cluster {0,3}: the remnant {3} dissolves; then row 0
+  // rejoins value 2's cluster {1,2} as its NEW front — the cluster must
+  // move to the first canonical slot.
+  ASSERT_TRUE(pli.ApplyErase(0, Pli::Cluster{3}, false));
+  ASSERT_TRUE(pli.ApplyInsert(0, Pli::Cluster{1, 2}, false));
+  rows[0].Set(a, Value::Int(2));
+  EXPECT_EQ(pli, Pli::Build(rows, a));
+  EXPECT_EQ(pli.clusters()[0], (Pli::Cluster{0, 1, 2}));
+}
+
+TEST(PliPatchTest, InconsistentArgumentsAreRejectedNotApplied) {
+  const AttrId a = 2;
+  std::vector<Tuple> rows = RowsWithValues(a, {4, 4, 6});
+  Pli pli = Pli::Build(rows, a);
+  const Pli before = pli;
+  // Claiming row 2 joins a two-row cluster fronted by row 1 is inconsistent
+  // (row 1's cluster is fronted by row 0): the patch must refuse...
+  EXPECT_FALSE(pli.ApplyInsert(2, Pli::Cluster{1, 0}, false));
+  // ...and refusal must be a true no-op, counters included.
+  EXPECT_EQ(pli, before);
+  EXPECT_EQ(pli.defined_rows(), before.defined_rows());
+  EXPECT_EQ(pli.grouped_rows(), before.grouped_rows());
+  // Same for an erase naming a partner that is not in the row's cluster.
+  EXPECT_FALSE(pli.ApplyErase(0, Pli::Cluster{2}, false));
+  EXPECT_EQ(pli, before);
+  EXPECT_EQ(pli.defined_rows(), before.defined_rows());
+}
+
+TEST(ValueIndexPatchTest, InsertAndUpdateKeepListsAscendingAndExact) {
+  PliCache::ValueIndex index;
+  ValueIndexApplyInsert(&index, 0, nullptr);  // row without the attribute
+  EXPECT_TRUE(index.empty());
+
+  Value v1 = Value::Str("x"), v2 = Value::Str("y");
+  ValueIndexApplyInsert(&index, 2, &v1);
+  ValueIndexApplyInsert(&index, 5, &v1);
+  ValueIndexApplyUpdate(&index, 3, nullptr, &v1);  // attribute added mid-list
+  EXPECT_EQ(index.at(v1), (std::vector<Pli::RowId>{2, 3, 5}));
+
+  ValueIndexApplyUpdate(&index, 3, &v1, &v2);  // re-valued
+  EXPECT_EQ(index.at(v1), (std::vector<Pli::RowId>{2, 5}));
+  EXPECT_EQ(index.at(v2), (std::vector<Pli::RowId>{3}));
+
+  ValueIndexApplyUpdate(&index, 3, &v2, nullptr);  // attribute removed
+  EXPECT_EQ(index.count(v2), 0u) << "emptied values must disappear";
+}
+
+// ---------------------------------------------------------------------------
+// Randomized mutation soak over an untyped (derived) relation.
+// ---------------------------------------------------------------------------
+
+struct SoakKeys {
+  std::vector<AttrSet> partitions;
+  std::vector<AttrId> indexes;
+};
+
+// Asserts every tracked structure of `rel`'s attached cache equals a
+// from-scratch rebuild over the current rows.
+void VerifyAgainstRebuild(const FlexibleRelation& rel, const SoakKeys& keys,
+                          const std::string& context) {
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  PliCache rebuild(&rel.rows());
+  for (const AttrSet& attrs : keys.partitions) {
+    std::shared_ptr<const Pli> patched = cache->Get(attrs);
+    std::shared_ptr<const Pli> fresh = rebuild.Get(attrs);
+    ASSERT_EQ(*patched, *fresh)
+        << context << " partition " << attrs.ToString() << " diverged";
+    EXPECT_EQ(patched->defined_rows(), fresh->defined_rows())
+        << context << " defined_rows of " << attrs.ToString();
+    EXPECT_EQ(patched->grouped_rows(), fresh->grouped_rows())
+        << context << " grouped_rows of " << attrs.ToString();
+    EXPECT_EQ(patched->NumDistinct(), fresh->NumDistinct())
+        << context << " NumDistinct of " << attrs.ToString();
+  }
+  for (AttrId attr : keys.indexes) {
+    ASSERT_EQ(*cache->IndexFor(attr), *rebuild.IndexFor(attr))
+        << context << " value index of attr " << attr << " diverged";
+  }
+}
+
+Value RandomSoakValue(Rng* rng) {
+  switch (rng->UniformInt(0, 3)) {
+    case 0:
+      return Value::Int(rng->UniformInt(0, 4));  // few values -> fat clusters
+    case 1:
+      return Value::Str(StrCat("s", rng->UniformInt(0, 2)));
+    case 2:
+      return Value::Null();  // explicit null: clusters under the Null key
+    default:
+      return Value::Int(rng->UniformInt(0, 1000));  // mostly-unique tail
+  }
+}
+
+Tuple RandomSoakTuple(const std::vector<AttrId>& attrs, Rng* rng) {
+  Tuple t;
+  for (AttrId a : attrs) {
+    if (rng->Bernoulli(0.75)) t.Set(a, RandomSoakValue(rng));
+  }
+  return t;
+}
+
+TEST(EngineIncrementalSoak, DerivedRelationPatchesMatchRebuilds) {
+  Rng rng(SoakSeed(1));
+  AttrCatalog catalog;
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < 6; ++i) attrs.push_back(catalog.Intern(StrCat("a", i)));
+
+  FlexibleRelation rel = FlexibleRelation::Derived("soak", DependencySet());
+  for (int i = 0; i < 60; ++i) rel.InsertUnchecked(RandomSoakTuple(attrs, &rng));
+
+  // Warm the cache: singles, pairs, a triple, the ∅-partition, and indexes.
+  SoakKeys keys;
+  for (AttrId a : attrs) keys.partitions.push_back(AttrSet::Of(a));
+  keys.partitions.push_back(AttrSet{attrs[0], attrs[1]});
+  keys.partitions.push_back(AttrSet{attrs[1], attrs[2]});
+  keys.partitions.push_back(AttrSet{attrs[0], attrs[2], attrs[3]});
+  keys.partitions.push_back(AttrSet());
+  keys.indexes = {attrs[0], attrs[1], attrs[2], attrs[3]};
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  for (const AttrSet& k : keys.partitions) (void)cache->Get(k);
+  for (AttrId a : keys.indexes) (void)cache->IndexFor(a);
+
+  const int kOps = 300;
+  for (int op = 0; op < kOps; ++op) {
+    double dice = rng.UniformDouble();
+    std::string what;
+    if (dice < 0.40) {
+      rel.InsertUnchecked(RandomSoakTuple(attrs, &rng));
+      what = "insert-unchecked";
+    } else if (dice < 0.55) {
+      // Checked insert: duplicates bounce off set semantics — both the
+      // accepted and the rejected path must leave the cache coherent.
+      Status s = rel.Insert(RandomSoakTuple(attrs, &rng));
+      what = StrCat("insert(", s.ok() ? "ok" : "dup", ")");
+    } else {
+      size_t row = rng.Index(rel.size());
+      AttrId attr = attrs[rng.Index(attrs.size())];
+      auto delta = rel.Update(row, attr, RandomSoakValue(&rng));
+      ASSERT_TRUE(delta.ok()) << delta.status();
+      what = StrCat("update(row=", row, ",attr=", attr, ")");
+    }
+    // Grow the tracked key set mid-soak: new partitions assemble out of
+    // *patched* bases and join the checked set from then on.
+    if (op % 40 == 17) {
+      AttrSet fresh_key{attrs[rng.Index(attrs.size())],
+                        attrs[rng.Index(attrs.size())]};
+      (void)cache->Get(fresh_key);
+      keys.partitions.push_back(fresh_key);
+    }
+    ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(
+        rel, keys, StrCat("op#", op, " [", what, "]")));
+  }
+  // The soak must have exercised the patch path, not silently rebuilt.
+  EXPECT_GT(cache->patches(), 0u);
+  EXPECT_EQ(cache.get(), rel.pli_cache().get())
+      << "incremental mode must keep the attached cache alive";
+}
+
+// ---------------------------------------------------------------------------
+// The patch-vs-rebuild crossover: oversized seed clusters drop the entry.
+// ---------------------------------------------------------------------------
+
+TEST(EngineIncrementalSoak, OversizedSeedClustersFallBackToLazyRebuild) {
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("a");
+  AttrId b = catalog.Intern("b");
+  FlexibleRelation rel = FlexibleRelation::Derived("fat", DependencySet());
+  // Constant values on both attributes: every seed cluster spans the whole
+  // instance, so with patch_scan_limit = 0 any multi-attribute patch
+  // exceeds max(limit, rows/2) and must take the drop-and-rebuild path.
+  PliCacheOptions options;
+  options.patch_scan_limit = 0;
+  rel.SetPliCacheOptions(options);
+  for (int i = 0; i < 12; ++i) {
+    Tuple t;
+    t.Set(a, Value::Int(1));
+    t.Set(b, Value::Int(2));
+    t.Set(catalog.Intern("uniq"), Value::Int(i));  // keeps tuples distinct
+    rel.InsertUnchecked(t);
+  }
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  (void)cache->Get(AttrSet{a, b});
+  ASSERT_EQ(cache->patch_rebuilds(), 0u);
+
+  Tuple t;
+  t.Set(a, Value::Int(1));
+  t.Set(b, Value::Int(2));
+  t.Set(catalog.Intern("uniq"), Value::Int(99));
+  rel.InsertUnchecked(t);
+  EXPECT_GT(cache->patch_rebuilds(), 0u)
+      << "the oversized seed cluster must have dropped the pair entry";
+
+  // The lazily re-intersected entry (built from the *patched* bases) must
+  // equal a from-scratch rebuild, and patching must keep working after it.
+  PliCache fresh(&rel.rows());
+  EXPECT_EQ(*cache->Get(AttrSet{a, b}), *fresh.Get(AttrSet{a, b}));
+  ASSERT_TRUE(rel.Update(0, b, Value::Int(7)).ok());
+  PliCache fresh2(&rel.rows());
+  EXPECT_EQ(*cache->Get(AttrSet{a, b}), *fresh2.Get(AttrSet{a, b}));
+  EXPECT_EQ(*cache->Get(AttrSet::Of(b)), *fresh2.Get(AttrSet::Of(b)));
+}
+
+// ---------------------------------------------------------------------------
+// The same soak, incremental vs the drop-everything oracle, side by side.
+// ---------------------------------------------------------------------------
+
+TEST(EngineIncrementalSoak, IncrementalModeMatchesDropEverythingOracle) {
+  Rng rng(SoakSeed(2));
+  AttrCatalog catalog;
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < 5; ++i) attrs.push_back(catalog.Intern(StrCat("b", i)));
+
+  FlexibleRelation incremental =
+      FlexibleRelation::Derived("inc", DependencySet());
+  FlexibleRelation oracle = FlexibleRelation::Derived("ora", DependencySet());
+  PliCacheOptions drop_everything;
+  drop_everything.incremental = false;
+  oracle.SetPliCacheOptions(drop_everything);
+
+  SoakKeys keys;
+  for (AttrId a : attrs) keys.partitions.push_back(AttrSet::Of(a));
+  keys.partitions.push_back(AttrSet{attrs[0], attrs[3]});
+  keys.partitions.push_back(AttrSet{attrs[1], attrs[2], attrs[4]});
+  keys.indexes = {attrs[0], attrs[2], attrs[4]};
+
+  auto touch = [&](FlexibleRelation* rel) {
+    std::shared_ptr<PliCache> cache = rel->pli_cache();
+    for (const AttrSet& k : keys.partitions) (void)cache->Get(k);
+    for (AttrId a : keys.indexes) (void)cache->IndexFor(a);
+  };
+
+  for (int op = 0; op < 250; ++op) {
+    // Identical mutation on both relations (one rng draw, applied twice).
+    if (rng.Bernoulli(0.5) || incremental.empty()) {
+      Tuple t = RandomSoakTuple(attrs, &rng);
+      incremental.InsertUnchecked(t);
+      oracle.InsertUnchecked(std::move(t));
+    } else {
+      size_t row = rng.Index(incremental.size());
+      AttrId attr = attrs[rng.Index(attrs.size())];
+      Value v = RandomSoakValue(&rng);
+      ASSERT_TRUE(incremental.Update(row, attr, v).ok());
+      ASSERT_TRUE(oracle.Update(row, attr, v).ok());
+    }
+    touch(&incremental);  // queries interleaved with mutations on both modes
+    touch(&oracle);
+    if (op % 10 == 9) {
+      std::shared_ptr<PliCache> lhs = incremental.pli_cache();
+      std::shared_ptr<PliCache> rhs = oracle.pli_cache();
+      for (const AttrSet& k : keys.partitions) {
+        ASSERT_EQ(*lhs->Get(k), *rhs->Get(k))
+            << "op#" << op << " partition " << k.ToString();
+        ASSERT_EQ(lhs->Get(k)->defined_rows(), rhs->Get(k)->defined_rows())
+            << "op#" << op << " partition " << k.ToString();
+      }
+      for (AttrId a : keys.indexes) {
+        ASSERT_EQ(*lhs->IndexFor(a), *rhs->IndexFor(a)) << "op#" << op;
+      }
+    }
+  }
+  // The two modes must have taken the two *different* maintenance paths.
+  EXPECT_GT(incremental.pli_cache()->patches(), 0u);
+  EXPECT_EQ(oracle.pli_cache()->patches(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Typed soak: footnote-3 type changes arrive as multi-attribute deltas.
+// ---------------------------------------------------------------------------
+
+TEST(EngineIncrementalSoak, TypedUpdatesWithTypeChangesPatchCorrectly) {
+  uint64_t seed = SoakSeed(3);
+  EmployeeConfig config;
+  config.num_variants = 3;
+  config.attrs_per_variant = 2;
+  config.rows = 80;
+  config.seed = seed;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok()) << w.status();
+  EmployeeWorkload& workload = *w.value();
+  FlexibleRelation& rel = workload.relation;
+  Rng rng(seed ^ 0xABCDEF);
+
+  SoakKeys keys;
+  keys.partitions.push_back(AttrSet::Of(workload.id_attr));
+  keys.partitions.push_back(AttrSet::Of(workload.jobtype_attr));
+  for (AttrId a : workload.common_attrs) {
+    keys.partitions.push_back(AttrSet::Of(a));
+  }
+  AttrId first_variant_attr = 0;
+  for (const auto& variant : workload.eads[0].variants()) {
+    for (AttrId a : variant.then) {
+      keys.partitions.push_back(AttrSet::Of(a));
+      keys.partitions.push_back(AttrSet{workload.jobtype_attr, a});
+      if (first_variant_attr == 0) first_variant_attr = a;
+    }
+  }
+  keys.indexes = {workload.id_attr, workload.jobtype_attr,
+                  first_variant_attr};
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  for (const AttrSet& k : keys.partitions) (void)cache->Get(k);
+  for (AttrId a : keys.indexes) (void)cache->IndexFor(a);
+
+  int type_changes = 0;
+  for (int op = 0; op < 150; ++op) {
+    if (rng.Bernoulli(0.5)) {
+      // Checked insert of a fresh random employee (rarely a duplicate).
+      Status s = rel.Insert(RandomEmployee(workload, &rng));
+      if (!s.ok()) {
+        ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+      }
+    } else {
+      // Flip a row's jobtype: the TypeChecker's delta removes the old
+      // variant's attributes and pulls the new variant's from `fill`, so
+      // OnUpdate sees a genuine multi-attribute presence change.
+      size_t row = rng.Index(rel.size());
+      int variant =
+          static_cast<int>(rng.Index(workload.jobtype_values.size()));
+      Tuple fill = RandomEmployee(workload, &rng, variant);
+      auto delta = rel.Update(row, workload.jobtype_attr,
+                              workload.jobtype_values[variant], fill);
+      ASSERT_TRUE(delta.ok()) << delta.status();
+      if (!delta.value().to_add.empty() || !delta.value().to_remove.empty()) {
+        ++type_changes;
+      }
+    }
+    if (op % 5 == 4) {
+      ASSERT_NO_FATAL_FAILURE(
+          VerifyAgainstRebuild(rel, keys, StrCat("typed op#", op)));
+    }
+  }
+  ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "typed final"));
+  EXPECT_GT(type_changes, 0) << "soak never exercised a footnote-3 change";
+  EXPECT_GT(cache->patches(), 0u);
+}
+
+}  // namespace
+}  // namespace flexrel

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/string_util.h"
 #include "workload/generator.h"
 #include "workload/paper_examples.h"
 
@@ -149,6 +150,89 @@ TEST(FlexDbTest, CorruptedInputsRejected) {
     bad.replace(pos, 6, "rows x");
     EXPECT_FALSE(ReadFlexDb(bad).ok());
   }
+}
+
+TEST(FlexDbTest, InstalledSigmaRoundTripsAndIsAudited) {
+  EmployeeConfig config;
+  config.num_variants = 4;
+  config.attrs_per_variant = 2;
+  config.rows = 120;
+  config.seed = 91;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  EmployeeWorkload& world = *w.value();
+
+  // Install a Σ beyond the EAD-derived AD: id is unique in the generated
+  // workload, so id --func--> jobtype holds over the instance.
+  size_t ead_ads = world.relation.deps().ads().size();
+  world.relation.mutable_deps()->AddFd(
+      FuncDep{AttrSet::Of(world.id_attr), AttrSet::Of(world.jobtype_attr)});
+  ASSERT_TRUE(world.relation.AuditDeclaredDeps());
+
+  std::string text = WriteFlexDb(world.catalog, world.scheme, world.eads,
+                                 world.domains, world.relation);
+  // Carrying an extra Σ bumps the format stamp so pre-section readers
+  // reject the file with a version error, not a parse error; Σ-less files
+  // keep the version-1 stamp byte-for-byte.
+  EXPECT_TRUE(StartsWith(text, "flexdb 2\n"));
+  EXPECT_NE(text.find("deps 1\n"), std::string::npos);
+  auto db = ReadFlexDb(text);
+  ASSERT_TRUE(db.ok()) << db.status();
+  // The installed FD survived; the EAD-derived ADs are re-derived, not
+  // duplicated.
+  ASSERT_EQ(db.value()->relation.deps().fds().size(), 1u);
+  EXPECT_EQ(db.value()->relation.deps().ads().size(), ead_ads);
+  // Canonical form: a second trip is byte-identical, Σ included.
+  std::string text2 =
+      WriteFlexDb(db.value()->catalog, db.value()->scheme, db.value()->eads,
+                  db.value()->domains, db.value()->relation);
+  EXPECT_EQ(text, text2);
+}
+
+TEST(FlexDbTest, CorruptSigmaFailsTheEngineAudit) {
+  EmployeeConfig config;
+  config.num_variants = 3;
+  config.attrs_per_variant = 2;
+  config.rows = 60;
+  config.seed = 19;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  EmployeeWorkload& world = *w.value();
+  std::string good = WriteFlexDb(world.catalog, world.scheme, world.eads,
+                                 world.domains, world.relation);
+
+  // Splice in a Σ the instance cannot satisfy: 60 rows over 3 jobtypes
+  // guarantee two rows agreeing on jobtype with distinct ids, so
+  // jobtype --func--> id is violated. Every tuple still type-checks — only
+  // the engine-backed instance audit can reject this file.
+  size_t rows_at = good.find("rows ");
+  ASSERT_NE(rows_at, std::string::npos);
+  std::string bad = good;
+  bad.insert(rows_at, "deps 1\ndep fd|jobtype|id\n");
+  auto r = ReadFlexDb(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+
+  // A violated AD is caught the same way. With an *empty* determinant every
+  // distinct row pair is in scope, so ∅ --attr--> {v} for a variant
+  // attribute v demands that either every row or no row carries v — false
+  // as soon as two variants coexist, which the 60-row/3-variant instance
+  // guarantees (and the per-tuple type checks cannot notice).
+  AttrId variant_attr = world.eads[0].variants()[0].then.ids().front();
+  std::string variant_name = world.catalog.Name(variant_attr);
+  std::string bad_ad = good;
+  bad_ad.insert(rows_at,
+                StrCat("deps 1\ndep ad||", EscapeText(variant_name), "\n"));
+  auto r2 = ReadFlexDb(bad_ad);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kConstraintViolation);
+
+  // Garbage dependency lines are format errors, not audit failures.
+  std::string bad_tag = good;
+  bad_tag.insert(rows_at, "deps 1\ndep xx|jobtype|id\n");
+  auto r3 = ReadFlexDb(bad_tag);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FlexDbTest, EmptyRelationRoundTrips) {

@@ -1,0 +1,45 @@
+// Shared FLEXREL_TEST_SEED plumbing for the randomized suites.
+//
+// CI's seed-diversity step exports FLEXREL_TEST_SEED (the workflow run id)
+// so every run soaks a fresh interleaving; each test prints the base and
+// the effective per-test seed it derived, so any failure is replayable
+// locally by exporting the logged base. Tests that pin exact instance
+// counts (the 240-plan cross-validation) intentionally do NOT use this.
+
+#ifndef FLEXREL_TESTS_TEST_SEED_H_
+#define FLEXREL_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace flexrel {
+
+/// The seed base: FLEXREL_TEST_SEED when set and numeric, else
+/// `default_base`. Printed under `label` so the CI log carries the replay
+/// value.
+inline uint64_t TestSeedBase(uint64_t default_base, const char* label) {
+  uint64_t base = default_base;
+  if (const char* env = std::getenv("FLEXREL_TEST_SEED")) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) base = static_cast<uint64_t>(parsed);
+  }
+  std::cout << "[" << label << "] FLEXREL_TEST_SEED base=" << base << "\n";
+  return base;
+}
+
+/// A per-test stream seed mixed from the base: distinct salts give
+/// uncorrelated streams under one base.
+inline uint64_t TestSeed(uint64_t default_base, uint64_t salt,
+                         const char* label) {
+  uint64_t seed = TestSeedBase(default_base, label) ^
+                  (salt * 0x9E3779B97F4A7C15ull);
+  std::cout << "[" << label << "] salt=" << salt << " effective=" << seed
+            << "\n";
+  return seed;
+}
+
+}  // namespace flexrel
+
+#endif  // FLEXREL_TESTS_TEST_SEED_H_
