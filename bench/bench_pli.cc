@@ -100,23 +100,43 @@ BENCHMARK(BM_PliCacheLevelSweep)->Arg(1000)->Arg(10000);
 // Mutate-then-query: the workload incremental maintenance exists for. Each
 // iteration applies `mutations` (state.range(1)) random updates and then
 // runs a query mix over the attached cache — a value-index selection shape
-// plus single- and two-attribute partition reads. With incremental
-// maintenance the mutations patch clusters in place; in rebuild mode every
-// mutation drops the attached cache and the query pays a full re-partition.
-// Updates only (no growth), so both modes benchmark the same instance size
+// plus single- and two-attribute partition reads. Four maintenance modes:
+//
+//   Incremental — per-row Update() calls under the default adaptive
+//     flush policy (the buffer coalesces the burst, so past
+//     batch_threshold the flush group-applies it);
+//   Batched     — the same burst staged through one UpdateRows() call;
+//   PerRow      — batch_threshold = SIZE_MAX pins the PR 3 per-mutation
+//     cluster surgery, the reference the adaptive policy must beat at
+//     high mutation ratios;
+//   Rebuild     — incremental = false, the drop-everything oracle.
+//
+// Updates only (no growth), so all modes benchmark the same instance size
 // regardless of iteration count.
 // ---------------------------------------------------------------------------
 
 constexpr AttrId kJobtype = 1;  // few fat clusters (the selective attribute)
 constexpr AttrId kCommon = 2;   // common attribute, medium clusters
 
+enum class MaintenanceMode {
+  kAdaptive,      // default options: patch / batch / drop by burst size
+  kPinnedPerRow,  // batch_threshold = SIZE_MAX: always per-row patches
+  kRebuild,       // incremental = false: drop the cache on every mutation
+};
+
 FlexibleRelation RelationOf(const std::vector<Tuple>& rows,
-                            bool incremental) {
+                            MaintenanceMode mode) {
   FlexibleRelation rel = FlexibleRelation::Derived("bench", DependencySet());
   PliCacheOptions options;
-  options.incremental = incremental;
+  if (mode == MaintenanceMode::kPinnedPerRow) {
+    options.batch_threshold = SIZE_MAX;
+    options.drop_threshold = SIZE_MAX;
+  } else if (mode == MaintenanceMode::kRebuild) {
+    options.incremental = false;
+  }
   rel.SetPliCacheOptions(options);
-  for (const Tuple& t : rows) rel.InsertUnchecked(t);
+  std::vector<Tuple> copy = rows;
+  rel.InsertRowsUnchecked(std::move(copy));
   return rel;
 }
 
@@ -129,7 +149,8 @@ void QueryCache(FlexibleRelation* rel) {
   benchmark::DoNotOptimize(cache->Get(AttrSet{kJobtype, kCommon}));
 }
 
-void MutateThenQuery(benchmark::State& state, bool incremental) {
+void MutateThenQuery(benchmark::State& state, MaintenanceMode mode,
+                     bool staged_batches) {
   const size_t n = static_cast<size_t>(state.range(0));
   const int mutations = static_cast<int>(state.range(1));
   std::vector<Tuple> rows = MakeRows(n, 5);
@@ -143,25 +164,46 @@ void MutateThenQuery(benchmark::State& state, bool incremental) {
       }
     }
   }
-  FlexibleRelation rel = RelationOf(rows, incremental);
+  FlexibleRelation rel = RelationOf(rows, mode);
   QueryCache(&rel);  // attach and warm the cache
   Rng rng(99);
+  std::vector<FlexibleRelation::UpdateSpec> burst;
+  burst.reserve(static_cast<size_t>(mutations));
   for (auto _ : state) {
+    burst.clear();
     for (int m = 0; m < mutations; ++m) {
       size_t row = rng.Index(rel.size());
-      bool ok;
+      FlexibleRelation::UpdateSpec spec;
+      spec.index = row;
       if (rng.Bernoulli(0.5)) {
         // Move a row between the fat jobtype clusters.
-        ok = rel.Update(row, kJobtype, jobtypes[rng.Index(jobtypes.size())])
-                 .ok();
+        spec.attr = kJobtype;
+        spec.value = jobtypes[rng.Index(jobtypes.size())];
       } else {
         // Re-value a common attribute (medium clusters).
-        ok = rel.Update(row, kCommon, Value::Int(rng.UniformInt(0, 50))).ok();
+        spec.attr = kCommon;
+        spec.value = Value::Int(rng.UniformInt(0, 50));
       }
-      if (!ok) {
-        state.SkipWithError("update failed");
-        return;
+      burst.push_back(std::move(spec));
+    }
+    bool ok;
+    if (staged_batches) {
+      // The whole burst through one transactional UpdateRows call.
+      ok = rel.UpdateRows(std::move(burst)).ok();
+      burst = {};
+    } else {
+      // Row-at-a-time mutation API; the cache still buffers and coalesces.
+      ok = true;
+      for (FlexibleRelation::UpdateSpec& spec : burst) {
+        if (!rel.Update(spec.index, spec.attr, std::move(spec.value)).ok()) {
+          ok = false;
+          break;
+        }
       }
+    }
+    if (!ok) {
+      state.SkipWithError("update failed");
+      return;
     }
     QueryCache(&rel);
   }
@@ -170,36 +212,45 @@ void MutateThenQuery(benchmark::State& state, bool incremental) {
 }
 
 void BM_MutateThenQueryIncremental(benchmark::State& state) {
-  MutateThenQuery(state, /*incremental=*/true);
+  MutateThenQuery(state, MaintenanceMode::kAdaptive,
+                  /*staged_batches=*/false);
+}
+void BM_MutateThenQueryBatched(benchmark::State& state) {
+  MutateThenQuery(state, MaintenanceMode::kAdaptive, /*staged_batches=*/true);
+}
+void BM_MutateThenQueryPerRow(benchmark::State& state) {
+  MutateThenQuery(state, MaintenanceMode::kPinnedPerRow,
+                  /*staged_batches=*/false);
 }
 void BM_MutateThenQueryRebuild(benchmark::State& state) {
-  MutateThenQuery(state, /*incremental=*/false);
+  MutateThenQuery(state, MaintenanceMode::kRebuild, /*staged_batches=*/false);
 }
 // rows × mutation ratio (mutations per query round).
-BENCHMARK(BM_MutateThenQueryIncremental)
-    ->ArgNames({"rows", "muts"})
-    ->Args({1000, 1})->Args({1000, 8})->Args({1000, 64})
-    ->Args({10000, 1})->Args({10000, 8})->Args({10000, 64})
-    ->Args({100000, 1})->Args({100000, 8})->Args({100000, 64});
-BENCHMARK(BM_MutateThenQueryRebuild)
-    ->ArgNames({"rows", "muts"})
-    ->Args({1000, 1})->Args({1000, 8})->Args({1000, 64})
-    ->Args({10000, 1})->Args({10000, 8})->Args({10000, 64})
-    ->Args({100000, 1})->Args({100000, 8})->Args({100000, 64});
+#define FLEXREL_MUTATE_SWEEP(bench)                      \
+  BENCHMARK(bench)                                       \
+      ->ArgNames({"rows", "muts"})                       \
+      ->Args({1000, 1})->Args({1000, 8})->Args({1000, 64})    \
+      ->Args({10000, 1})->Args({10000, 8})->Args({10000, 64}) \
+      ->Args({100000, 1})->Args({100000, 8})->Args({100000, 64})
+FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryIncremental);
+FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryBatched);
+FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryPerRow);
+FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryRebuild);
+#undef FLEXREL_MUTATE_SWEEP
 
 // Append-then-query: the insert path. The relation is reset (untimed) every
 // time it doubles so both modes amortize identical reset cadence.
-void AppendThenQuery(benchmark::State& state, bool incremental) {
+void AppendThenQuery(benchmark::State& state, MaintenanceMode mode) {
   const size_t n = static_cast<size_t>(state.range(0));
   std::vector<Tuple> rows = MakeRows(n, 5);
   std::vector<Tuple> extra = MakeRows(n, 6);
   size_t next = 0;
-  FlexibleRelation rel = RelationOf(rows, incremental);
+  FlexibleRelation rel = RelationOf(rows, mode);
   QueryCache(&rel);
   for (auto _ : state) {
     if (rel.size() >= 2 * n) {
       state.PauseTiming();
-      rel = RelationOf(rows, incremental);
+      rel = RelationOf(rows, mode);
       QueryCache(&rel);
       state.ResumeTiming();
     }
@@ -210,15 +261,42 @@ void AppendThenQuery(benchmark::State& state, bool incremental) {
 }
 
 void BM_AppendThenQueryIncremental(benchmark::State& state) {
-  AppendThenQuery(state, /*incremental=*/true);
+  AppendThenQuery(state, MaintenanceMode::kAdaptive);
 }
 void BM_AppendThenQueryRebuild(benchmark::State& state) {
-  AppendThenQuery(state, /*incremental=*/false);
+  AppendThenQuery(state, MaintenanceMode::kRebuild);
 }
 BENCHMARK(BM_AppendThenQueryIncremental)
     ->ArgNames({"rows"})->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_AppendThenQueryRebuild)
     ->ArgNames({"rows"})->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Bulk-load-then-query: the storage path's shape (ReadFlexDb stages every
+// row through one transactional batch). One timed round = InsertRows of n
+// rows into an empty cached relation plus the first query over it.
+void BM_BulkLoadThenQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Tuple> rows = MakeRows(n, 5);
+  {
+    // Checked inserts enforce set semantics; drop the rare random dups.
+    std::unordered_set<Tuple, TupleHash> seen;
+    std::erase_if(rows, [&](const Tuple& t) { return !seen.insert(t).second; });
+  }
+  for (auto _ : state) {
+    FlexibleRelation rel =
+        FlexibleRelation::Derived("bulk", DependencySet());
+    QueryCache(&rel);  // attach the cache first so the load goes through it
+    std::vector<Tuple> copy = rows;
+    if (!rel.InsertRows(std::move(copy)).ok()) {
+      state.SkipWithError("bulk load failed");
+      return;
+    }
+    QueryCache(&rel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BulkLoadThenQuery)->ArgNames({"rows"})->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace flexrel

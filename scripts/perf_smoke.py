@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI perf smoke: the engine paths must still beat their oracles.
+
+Runs bench_pli's mutate-then-query sweep and bench_join_prune's pair join
+at reduced sizes, writes the raw google-benchmark JSON next to the results
+(uploaded as a workflow artifact beside the checked-in BENCH_*.json), and
+hard-fails on any inversion:
+
+  * incremental (adaptive) mutate-then-query slower than the
+    rebuild-after-invalidate oracle at any swept mutation ratio;
+  * the batched-adaptive flush slower than the pinned per-row reference at
+    the 64-mutation burst size (the regime batching exists for);
+  * the PLI-backed pair join slower than the naive nested-loop join.
+
+Thresholds are deliberately loose (>= 1.0x, i.e. inversion only): shared CI
+runners are noisy, and the margins these assert on are 3x-200x locally.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# (benchmark binary, filter, output file). Reduced sizes: 10k rows for the
+# mutation sweep, the 10000-row arg for the join — big enough that the
+# engine's asymptotic edge dominates noise, small enough for a smoke job.
+RUNS = [
+    (
+        "bench_pli",
+        "BM_MutateThenQuery(Incremental|Batched|PerRow|Rebuild)/rows:10000/",
+        "perf_smoke_pli.json",
+    ),
+    (
+        "bench_join_prune",
+        "BM_PairJoin(Naive|Pli)/10000",
+        "perf_smoke_join.json",
+    ),
+]
+
+
+def run_bench(build_dir, out_dir, binary, bench_filter, out_name):
+    out_path = out_dir / out_name
+    cmd = [
+        str(build_dir / binary),
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_min_time=0.1",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+    with open(out_path) as f:
+        data = json.load(f)
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return {
+        b["name"]: b["real_time"] * scale[b.get("time_unit", "ns")]
+        for b in data["benchmarks"]
+    }
+
+
+def expect_faster(times, fast, slow, failures):
+    if fast not in times or slow not in times:
+        failures.append(f"missing benchmark: {fast} vs {slow}")
+        return
+    ratio = times[slow] / times[fast]
+    verdict = "OK" if ratio >= 1.0 else "INVERSION"
+    print(f"  {fast}: {times[fast] / 1e3:9.1f} us  vs  "
+          f"{slow}: {times[slow] / 1e3:9.1f} us  -> {ratio:5.2f}x  {verdict}")
+    if ratio < 1.0:
+        failures.append(f"{fast} is slower than {slow} ({ratio:.2f}x)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--out-dir", required=True, type=pathlib.Path)
+    args = parser.parse_args()
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    times = {}
+    for binary, bench_filter, out_name in RUNS:
+        times.update(
+            run_bench(args.build_dir, args.out_dir, binary, bench_filter,
+                      out_name))
+
+    failures = []
+    print("\nengine vs rebuild oracle (mutate-then-query, 10k rows):")
+    for muts in (1, 8, 64):
+        expect_faster(
+            times,
+            f"BM_MutateThenQueryIncremental/rows:10000/muts:{muts}",
+            f"BM_MutateThenQueryRebuild/rows:10000/muts:{muts}",
+            failures,
+        )
+    print("batched-adaptive vs pinned per-row (64-mutation bursts):")
+    expect_faster(
+        times,
+        "BM_MutateThenQueryBatched/rows:10000/muts:64",
+        "BM_MutateThenQueryPerRow/rows:10000/muts:64",
+        failures,
+    )
+    print("PLI pair join vs naive:")
+    expect_faster(times, "BM_PairJoinPli/10000", "BM_PairJoinNaive/10000",
+                  failures)
+
+    if failures:
+        print("\nPERF SMOKE FAILED:")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print("\nperf smoke passed: no inversions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

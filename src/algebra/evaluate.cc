@@ -200,7 +200,10 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
 
 // Equality/IN selection directly over a base scan: the answer is a value
 // index lookup on the scanned relation's attached cache — zero predicate
-// evaluations, and only the matching rows are ever read.
+// evaluations, and only the matching rows are ever read. This IndexFor is
+// a cache read, so it also flushes any mutation deltas buffered since the
+// last query (engine/pli_cache.h): the first evaluation after a burst
+// pays the adaptive batch-apply, later ones read patched structures.
 Result<FlexibleRelation> Evaluator::SelectViaIndex(const Plan& plan) {
   const FlexibleRelation* src = plan.inputs()[0]->relation();
   const Expr& formula = *plan.formula();
@@ -223,6 +226,8 @@ size_t Evaluator::DistinctOn(const FlexibleRelation& rel,
                              const AttrSet& attrs) {
   if (attrs.empty() || rel.empty()) return 1;
   if (options_.use_cache) {
+    // Cache reads flush pending mutation deltas first, so these estimates
+    // always describe the current instance.
     if (attrs.size() == 1) {
       return rel.pli_cache()->IndexFor(attrs.ids().front())->size();
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "engine/pli_cache.h"
 #include "engine/validator.h"
@@ -85,7 +87,7 @@ void FlexibleRelation::InvalidateCache() {
 void FlexibleRelation::NotifyInsert() {
   // Same fast path as InvalidateCache: no cache, no work. The row vector's
   // *address* is stable across push_back (the cache points at the member),
-  // so the attached cache survives and is patched in place.
+  // so the attached cache survives and buffers the delta.
   if (!has_pli_cache_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(pli_mu_);
   if (pli_cache_ == nullptr) return;
@@ -94,11 +96,10 @@ void FlexibleRelation::NotifyInsert() {
     has_pli_cache_.store(false, std::memory_order_release);
     return;
   }
-  pli_cache_->OnInsert(static_cast<Pli::RowId>(rows_.size() - 1),
-                       rows_.back());
+  pli_cache_->OnInsert(static_cast<Pli::RowId>(rows_.size() - 1));
 }
 
-void FlexibleRelation::NotifyUpdate(size_t index, const Tuple& old_row) {
+void FlexibleRelation::NotifyUpdate(size_t index, Tuple old_row) {
   if (!has_pli_cache_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(pli_mu_);
   if (pli_cache_ == nullptr) return;
@@ -107,7 +108,34 @@ void FlexibleRelation::NotifyUpdate(size_t index, const Tuple& old_row) {
     has_pli_cache_.store(false, std::memory_order_release);
     return;
   }
-  pli_cache_->OnUpdate(static_cast<Pli::RowId>(index), old_row, rows_[index]);
+  pli_cache_->OnUpdate(static_cast<Pli::RowId>(index), std::move(old_row));
+}
+
+void FlexibleRelation::NotifyBatch(
+    size_t first_inserted, size_t insert_count,
+    std::vector<std::pair<size_t, Tuple>> old_rows) {
+  if (insert_count == 0 && old_rows.empty()) return;
+  if (!has_pli_cache_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(pli_mu_);
+  if (pli_cache_ == nullptr) return;
+  if (!pli_options_.incremental) {
+    pli_cache_.reset();
+    has_pli_cache_.store(false, std::memory_order_release);
+    return;
+  }
+  if (insert_count > 0) {
+    pli_cache_->OnInsertBatch(static_cast<Pli::RowId>(first_inserted),
+                              insert_count);
+  }
+  if (!old_rows.empty()) {
+    std::vector<std::pair<Pli::RowId, Tuple>> updates;
+    updates.reserve(old_rows.size());
+    for (auto& [index, old_row] : old_rows) {
+      updates.emplace_back(static_cast<Pli::RowId>(index),
+                           std::move(old_row));
+    }
+    pli_cache_->OnUpdateBatch(std::move(updates));
+  }
 }
 
 FlexibleRelation FlexibleRelation::Base(
@@ -154,14 +182,10 @@ void FlexibleRelation::InsertUnchecked(Tuple t) {
   NotifyInsert();
 }
 
-Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
-                                                        AttrId attr,
-                                                        Value value,
-                                                        const Tuple& fill) {
-  if (index >= rows_.size()) {
-    return Status::OutOfRange(StrCat("row index ", index, " out of range"));
-  }
-  Tuple updated = rows_[index];
+Result<TypeChecker::TypeDelta> FlexibleRelation::PrepareUpdate(
+    const Tuple& current, AttrId attr, Value value, const Tuple& fill,
+    Tuple* out) const {
+  Tuple updated = current;
   updated.Set(attr, std::move(value));
 
   TypeChecker::TypeDelta delta;
@@ -183,10 +207,181 @@ Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
     FLEXREL_RETURN_IF_ERROR(
         checker_->Check(updated).WithContext(StrCat("update of ", name_)));
   }
+  *out = std::move(updated);
+  return delta;
+}
+
+Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
+                                                        AttrId attr,
+                                                        Value value,
+                                                        const Tuple& fill) {
+  if (index >= rows_.size()) {
+    return Status::OutOfRange(StrCat("row index ", index, " out of range"));
+  }
+  Tuple updated;
+  FLEXREL_ASSIGN_OR_RETURN(
+      TypeChecker::TypeDelta delta,
+      PrepareUpdate(rows_[index], attr, std::move(value), fill, &updated));
   Tuple previous = std::move(rows_[index]);
   rows_[index] = std::move(updated);
-  NotifyUpdate(index, previous);
+  NotifyUpdate(index, std::move(previous));
   return delta;
+}
+
+Status FlexibleRelation::ApplyBatchImpl(
+    std::vector<Mutation> batch, std::vector<TypeChecker::TypeDelta>* deltas) {
+  const size_t base = rows_.size();
+  // Stage 1: validate every op against a staged view of the instance.
+  // Nothing here touches rows_ or the attached cache, so any failure
+  // leaves both exactly as they were.
+  std::vector<Tuple> staged_inserts;
+  // Reserving for every possible insert keeps the staged tuples' addresses
+  // stable, which the pointer-keyed membership set below relies on.
+  staged_inserts.reserve(static_cast<size_t>(
+      std::count_if(batch.begin(), batch.end(),
+                    [](const Mutation& m) { return m.is_insert; })));
+  std::unordered_map<size_t, Tuple> staged_updates;  // existing-row overlays
+  auto effective = [&](size_t index) -> const Tuple& {
+    if (index >= base) return staged_inserts[index - base];
+    auto it = staged_updates.find(index);
+    return it != staged_updates.end() ? it->second : rows_[index];
+  };
+  // Set-semantics membership of the staged instance, built lazily on the
+  // first insert op (updates never duplicate-check, matching Update()).
+  // Hashed pointers into rows_ and the staged containers — all
+  // address-stable for the staging phase — so bulk loads are O(rows)
+  // without deep-copying a second instance, unlike the per-op linear scan
+  // Insert() pays.
+  struct TuplePtrHash {
+    size_t operator()(const Tuple* t) const { return t->Hash(); }
+  };
+  struct TuplePtrEq {
+    bool operator()(const Tuple* a, const Tuple* b) const { return *a == *b; }
+  };
+  std::optional<std::unordered_multiset<const Tuple*, TuplePtrHash, TuplePtrEq>>
+      instance;
+  auto ensure_instance = [&] {
+    if (instance.has_value()) return;
+    instance.emplace();
+    instance->reserve(base + staged_inserts.size());
+    for (size_t i = 0; i < base + staged_inserts.size(); ++i) {
+      instance->insert(&effective(i));
+    }
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Mutation& m = batch[i];
+    if (m.is_insert) {
+      if (checker_ != nullptr) {
+        FLEXREL_RETURN_IF_ERROR(checker_->Check(m.row).WithContext(
+            StrCat("batch op#", i, ": insert into ", name_)));
+      }
+      ensure_instance();
+      if (instance->count(&m.row) > 0) {
+        return Status::AlreadyExists(
+            StrCat("batch op#", i, ": duplicate tuple rejected by set ",
+                   "semantics of ", name_));
+      }
+      staged_inserts.push_back(std::move(m.row));
+      instance->insert(&staged_inserts.back());
+    } else {
+      UpdateSpec& u = m.update;
+      if (u.index >= base + staged_inserts.size()) {
+        return Status::OutOfRange(
+            StrCat("batch op#", i, ": row index ", u.index, " out of range"));
+      }
+      // A reference suffices: `before` is consumed by the calls below,
+      // all of which complete before the staged slot is overwritten.
+      const Tuple& before = effective(u.index);
+      Tuple after;
+      auto delta =
+          PrepareUpdate(before, u.attr, std::move(u.value), u.fill, &after);
+      if (!delta.ok()) {
+        return delta.status().WithContext(StrCat("batch op#", i));
+      }
+      if (deltas != nullptr) deltas->push_back(std::move(delta).value());
+      if (instance.has_value()) {
+        // Retire the pre-update state by value; the matching entry is (or
+        // equals) `before`'s own pointer.
+        auto it = instance->find(&before);
+        if (it != instance->end()) instance->erase(it);
+      }
+      if (u.index >= base) {
+        Tuple& slot = staged_inserts[u.index - base];
+        slot = std::move(after);
+        if (instance.has_value()) instance->insert(&slot);
+      } else {
+        Tuple& slot =
+            staged_updates.insert_or_assign(u.index, std::move(after))
+                .first->second;
+        if (instance.has_value()) instance->insert(&slot);
+      }
+    }
+  }
+  // Stage 2: commit — nothing below can fail. Append the staged inserts,
+  // swap the staged updates in, then hand the cache the whole delta as one
+  // buffered batch.
+  const size_t insert_count = staged_inserts.size();
+  rows_.reserve(base + insert_count);
+  for (Tuple& t : staged_inserts) rows_.push_back(std::move(t));
+  std::vector<std::pair<size_t, Tuple>> old_rows;
+  old_rows.reserve(staged_updates.size());
+  for (auto& [index, staged] : staged_updates) {
+    old_rows.emplace_back(index, std::move(rows_[index]));
+    rows_[index] = std::move(staged);
+  }
+  NotifyBatch(base, insert_count, std::move(old_rows));
+  return Status::OK();
+}
+
+Status FlexibleRelation::ApplyBatch(std::vector<Mutation> batch) {
+  return ApplyBatchImpl(std::move(batch), nullptr);
+}
+
+Status FlexibleRelation::InsertRows(std::vector<Tuple> rows) {
+  std::vector<Mutation> batch;
+  batch.reserve(rows.size());
+  for (Tuple& t : rows) batch.push_back(Mutation::Insert(std::move(t)));
+  return ApplyBatchImpl(std::move(batch), nullptr);
+}
+
+void FlexibleRelation::InsertRowsUnchecked(std::vector<Tuple> rows) {
+  const size_t base = rows_.size();
+  rows_.reserve(base + rows.size());
+  for (Tuple& t : rows) rows_.push_back(std::move(t));
+  NotifyBatch(base, rows_.size() - base, {});
+}
+
+Result<std::vector<TypeChecker::TypeDelta>> FlexibleRelation::UpdateRows(
+    std::vector<UpdateSpec> updates) {
+  if (checker_ == nullptr) {
+    // Checker-less (derived) relations cannot fail past the bounds check —
+    // no type deltas, no fills, no re-checks — so the whole batch
+    // validates up front and then applies in place, skipping the staging
+    // overlay. The displaced old rows feed the cache buffer directly.
+    for (size_t i = 0; i < updates.size(); ++i) {
+      if (updates[i].index >= rows_.size()) {
+        return Status::OutOfRange(StrCat("batch op#", i, ": row index ",
+                                         updates[i].index, " out of range"));
+      }
+    }
+    std::vector<std::pair<size_t, Tuple>> old_rows;
+    old_rows.reserve(updates.size());
+    for (UpdateSpec& u : updates) {
+      old_rows.emplace_back(u.index, rows_[u.index]);
+      rows_[u.index].Set(u.attr, std::move(u.value));
+    }
+    NotifyBatch(rows_.size(), 0, std::move(old_rows));
+    return std::vector<TypeChecker::TypeDelta>(updates.size());
+  }
+  std::vector<Mutation> batch;
+  batch.reserve(updates.size());
+  for (UpdateSpec& u : updates) {
+    batch.push_back(Mutation::Update(std::move(u)));
+  }
+  std::vector<TypeChecker::TypeDelta> deltas;
+  deltas.reserve(batch.size());
+  FLEXREL_RETURN_IF_ERROR(ApplyBatchImpl(std::move(batch), &deltas));
+  return deltas;
 }
 
 bool FlexibleRelation::AuditDeclaredDeps() const {

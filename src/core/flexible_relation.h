@@ -18,6 +18,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dependency_set.h"
@@ -74,6 +75,67 @@ class FlexibleRelation {
   Result<TypeChecker::TypeDelta> Update(size_t index, AttrId attr, Value value,
                                         const Tuple& fill = Tuple());
 
+  /// One attribute update of one row, as staged by the batch entry points
+  /// below; `fill` plays the same footnote-3 role as in Update().
+  struct UpdateSpec {
+    size_t index = 0;
+    AttrId attr = 0;
+    Value value;
+    Tuple fill;
+  };
+
+  /// One operation of a transactional mutation batch. Ops apply in order
+  /// against the *staged* instance: an update may target a row inserted
+  /// earlier in the same batch (indexes are into the post-batch row
+  /// vector) and observes earlier staged states, so a batch validates
+  /// exactly like the equivalent op-by-op sequence would.
+  struct Mutation {
+    static Mutation Insert(Tuple row) {
+      Mutation m;
+      m.is_insert = true;
+      m.row = std::move(row);
+      return m;
+    }
+    static Mutation Update(UpdateSpec spec) {
+      Mutation m;
+      m.update = std::move(spec);
+      return m;
+    }
+    static Mutation Update(size_t index, AttrId attr, Value value,
+                           Tuple fill = Tuple()) {
+      return Update(UpdateSpec{index, attr, std::move(value),
+                               std::move(fill)});
+    }
+
+    bool is_insert = false;
+    Tuple row;          // insert payload
+    UpdateSpec update;  // update payload
+  };
+
+  /// Transactional batch mutation: validates the WHOLE delta — type
+  /// checks, set semantics for inserts, footnote-3 fill requirements —
+  /// against a staged view before touching the instance or the attached
+  /// partition cache. On any failure the relation and cache are byte-
+  /// identical to before the call and the error names the offending op;
+  /// on success the rows mutate and the cache receives the delta as one
+  /// buffered batch (flushed adaptively on the next read, see
+  /// engine/pli_cache.h) instead of per-row patch work.
+  Status ApplyBatch(std::vector<Mutation> batch);
+
+  /// Type-checked bulk insert: ApplyBatch over pure inserts. All-or-
+  /// nothing; duplicate rows (against the instance or within the batch)
+  /// are rejected by set semantics like Insert().
+  Status InsertRows(std::vector<Tuple> rows);
+
+  /// Bulk counterpart of InsertUnchecked: appends without checks and
+  /// notifies the cache once.
+  void InsertRowsUnchecked(std::vector<Tuple> rows);
+
+  /// Transactional bulk update: ApplyBatch over pure updates, returning
+  /// one applied TypeDelta per spec (in order) like Update() does.
+  Result<std::vector<TypeChecker::TypeDelta>> UpdateRows(
+      std::vector<UpdateSpec> updates);
+
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
   const std::vector<Tuple>& rows() const { return rows_; }
@@ -96,23 +158,26 @@ class FlexibleRelation {
   /// on first use. The engine-backed evaluator (algebra/evaluate.h) reads it
   /// to resolve equality selections and to estimate join orders.
   ///
-  /// Maintenance contract: Insert/InsertUnchecked/Update keep the attached
-  /// cache alive and *patch* it — PliCache::OnInsert/OnUpdate move the
-  /// mutated row between the affected clusters of every cached partition
-  /// and value index, so the next query pays O(cluster) patch work instead
-  /// of a full O(rows) re-partition. Partition/index pointers obtained
-  /// before a mutation must still be treated as invalidated by it: they
-  /// usually observe the patched (current) instance, but when the cache
-  /// decides a partition is cheaper to rebuild than to patch it drops the
-  /// entry and a held pointer keeps the unmaintained object. Re-Get after
-  /// mutations; copy a partition to freeze it. With
-  /// pli_cache_options().incremental == false the historical behavior is
-  /// restored: every mutation drops the cache wholesale and the next call
-  /// rebuilds it from scratch (the oracle the incremental path is
-  /// soak-tested against — tests/engine_incremental_test.cc). In both modes
-  /// mutating the relation while another thread evaluates it is a data race
-  /// exactly as iterating rows() would be. Copies and moves of the relation
-  /// start cache-less.
+  /// Maintenance contract: all mutation entry points (single-row and
+  /// batch) keep the attached cache alive and report their deltas to it —
+  /// PliCache buffers them and the next read (Get/IndexFor, i.e. any
+  /// evaluator or validator access) flushes the buffer adaptively: small
+  /// bursts patch clusters row by row, larger ones are group-applied in
+  /// one sorted splice per affected structure, and burst sizes past
+  /// max(drop_threshold, rows/2) drop everything for one lazy rebuild
+  /// (engine/pli_cache.h). Partition/index pointers obtained before a
+  /// mutation must be treated as invalidated by it: until some reader
+  /// flushes they observe the pre-mutation instance, and a partition the
+  /// flush drops as cheaper-to-rebuild leaves a held pointer on the
+  /// unmaintained object. Re-Get after mutations; copy a partition to
+  /// freeze it. With pli_cache_options().incremental == false the
+  /// historical behavior is restored: every mutation drops the cache
+  /// wholesale and the next call rebuilds it from scratch (the oracle the
+  /// incremental path is soak-tested against —
+  /// tests/engine_incremental_test.cc). In both modes mutating the
+  /// relation while another thread evaluates it is a data race exactly as
+  /// iterating rows() would be. Copies and moves of the relation start
+  /// cache-less.
   std::shared_ptr<PliCache> pli_cache() const;
 
   /// Replaces the options the lazily built cache is created with (and the
@@ -125,10 +190,29 @@ class FlexibleRelation {
 
  private:
   void InvalidateCache();
-  /// Mutation fan-out to the attached cache: patch it (incremental mode) or
-  /// drop it (fallback mode). Called after rows_ has been mutated.
+  /// Mutation fan-out to the attached cache: buffer the delta (incremental
+  /// mode) or drop the cache (fallback mode). Called after rows_ has been
+  /// mutated; NotifyUpdate takes ownership of the displaced old row.
   void NotifyInsert();
-  void NotifyUpdate(size_t index, const Tuple& old_row);
+  void NotifyUpdate(size_t index, Tuple old_row);
+  /// Batch fan-out: `insert_count` rows appended starting at
+  /// `first_inserted`, plus (index, displaced old row) pairs for in-place
+  /// updates — one lock round-trip for the whole delta.
+  void NotifyBatch(size_t first_inserted, size_t insert_count,
+                   std::vector<std::pair<size_t, Tuple>> old_rows);
+
+  /// The shared validation half of Update/ApplyBatch: computes the updated
+  /// state of `current` (footnote-3 delta applied, `fill` consulted,
+  /// checker consulted) into `out` without touching the instance.
+  Result<TypeChecker::TypeDelta> PrepareUpdate(const Tuple& current,
+                                               AttrId attr, Value value,
+                                               const Tuple& fill,
+                                               Tuple* out) const;
+
+  /// ApplyBatch body; when `deltas` is non-null it receives one TypeDelta
+  /// per update op, in op order.
+  Status ApplyBatchImpl(std::vector<Mutation> batch,
+                        std::vector<TypeChecker::TypeDelta>* deltas);
 
   std::string name_;
   std::shared_ptr<const TypeChecker> checker_;  // null for derived relations

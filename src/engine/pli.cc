@@ -81,17 +81,43 @@ Pli Pli::IntersectWithProbe(const std::vector<int32_t>& probe) const {
   out.exact_defined_ = false;
   // Refine each of our clusters by the other partition's cluster ids. Rows
   // the other partition dropped (undefined or partnerless there) stay
-  // partnerless in the product and are dropped here too.
-  std::unordered_map<int32_t, Cluster> refined;
+  // partnerless in the product and are dropped here too. Refinement is
+  // three streaming passes per cluster over flat scratch arrays indexed by
+  // the (dense) probe ids — count, prefix-offset, fill — so the only
+  // allocations are the exactly-sized surviving sub-clusters; singletons
+  // and hash maps never allocate.
+  int32_t num_other = 0;
+  for (int32_t oc : probe) num_other = std::max(num_other, oc + 1);
+  std::vector<uint32_t> count(static_cast<size_t>(num_other), 0);
+  std::vector<uint32_t> offset(static_cast<size_t>(num_other), 0);
+  std::vector<int32_t> touched;
+  std::vector<RowId> arena;
   for (const Cluster& cluster : clusters_) {
-    refined.clear();
+    touched.clear();
     for (RowId row : cluster) {
       int32_t oc = probe[row];
-      if (oc != kNoCluster) refined[oc].push_back(row);
+      if (oc == kNoCluster) continue;
+      if (count[static_cast<size_t>(oc)]++ == 0) touched.push_back(oc);
     }
-    for (auto& [oc, sub] : refined) {
-      (void)oc;
-      if (sub.size() >= 2) out.clusters_.push_back(std::move(sub));
+    uint32_t total = 0;
+    for (int32_t oc : touched) {
+      offset[static_cast<size_t>(oc)] = total;
+      total += count[static_cast<size_t>(oc)];
+    }
+    arena.resize(total);  // capacity persists across clusters
+    for (RowId row : cluster) {
+      int32_t oc = probe[row];
+      if (oc == kNoCluster) continue;
+      arena[offset[static_cast<size_t>(oc)]++] = row;
+    }
+    for (int32_t oc : touched) {
+      uint32_t n = count[static_cast<size_t>(oc)];
+      uint32_t end = offset[static_cast<size_t>(oc)];
+      if (n >= 2) {
+        out.clusters_.emplace_back(arena.begin() + (end - n),
+                                   arena.begin() + end);
+      }
+      count[static_cast<size_t>(oc)] = 0;
     }
   }
   out.Canonicalize();
@@ -215,6 +241,81 @@ bool Pli::ApplyErase(RowId row, const Cluster& agreeing, bool includes_row) {
   // others == 0: the row was a stripped singleton.
   if (exact_defined_) {
     --defined_rows_;
+  } else {
+    defined_rows_ = grouped_rows_;
+  }
+  return true;
+}
+
+bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
+                     ptrdiff_t defined_delta) {
+  // Pass 1: validate and locate every removal against the current
+  // structure before mutating anything, so a refusal leaves the partition
+  // untouched.
+  std::vector<size_t> located(patches.size(), kNoIndex);
+  ptrdiff_t grouped_delta = 0;
+  for (size_t p = 0; p < patches.size(); ++p) {
+    const ClusterPatch& patch = patches[p];
+    if (patch.old_size >= 2) {
+      size_t index = FindClusterByFront(&clusters_, patch.old_front);
+      if (index == kNoIndex || clusters_[index].size() != patch.old_size) {
+        return false;
+      }
+      located[p] = index;
+      grouped_delta -= static_cast<ptrdiff_t>(patch.old_size);
+    }
+    if (patch.new_rows.size() >= 2) {
+      grouped_delta += static_cast<ptrdiff_t>(patch.new_rows.size());
+    }
+  }
+  // Pass 2: a replacement that keeps its front row keeps its canonical
+  // position too — swap it in place (the overwhelmingly common case for
+  // fat clusters, whose lowest row id rarely moves). Only patches that
+  // dissolve, appear, or change front go through the structural merge.
+  std::vector<size_t> removed;
+  std::vector<Cluster> additions;
+  for (size_t p = 0; p < patches.size(); ++p) {
+    ClusterPatch& patch = patches[p];
+    const bool has_new = patch.new_rows.size() >= 2;
+    if (located[p] != kNoIndex && has_new &&
+        patch.new_rows.front() == patch.old_front) {
+      clusters_[located[p]] = std::move(patch.new_rows);
+    } else {
+      if (located[p] != kNoIndex) removed.push_back(located[p]);
+      if (has_new) additions.push_back(std::move(patch.new_rows));
+    }
+  }
+  if (!removed.empty() || !additions.empty()) {
+    // One sorted merge of the surviving clusters with the additions —
+    // this is what makes a 64-mutation flush one splice instead of 64
+    // cluster surgeries.
+    std::sort(removed.begin(), removed.end());
+    SortByFirstRow(&additions);
+    std::vector<Cluster> merged;
+    merged.reserve(clusters_.size() + additions.size() - removed.size());
+    size_t next_removed = 0;  // index into `removed`
+    size_t next_add = 0;      // index into `additions`
+    for (size_t c = 0; c < clusters_.size(); ++c) {
+      if (next_removed < removed.size() && removed[next_removed] == c) {
+        ++next_removed;
+        continue;
+      }
+      while (next_add < additions.size() &&
+             additions[next_add].front() < clusters_[c].front()) {
+        merged.push_back(std::move(additions[next_add++]));
+      }
+      merged.push_back(std::move(clusters_[c]));
+    }
+    while (next_add < additions.size()) {
+      merged.push_back(std::move(additions[next_add++]));
+    }
+    clusters_ = std::move(merged);
+  }
+  grouped_rows_ = static_cast<size_t>(
+      static_cast<ptrdiff_t>(grouped_rows_) + grouped_delta);
+  if (exact_defined_) {
+    defined_rows_ = static_cast<size_t>(
+        static_cast<ptrdiff_t>(defined_rows_) + defined_delta);
   } else {
     defined_rows_ = grouped_rows_;
   }

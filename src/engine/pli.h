@@ -94,6 +94,29 @@ class Pli {
   /// `agreeing` (same conventions), from the partition.
   bool ApplyErase(RowId row, const Cluster& agreeing, bool includes_row);
 
+  /// One replacement in a batched group-apply: the cluster that held
+  /// `old_size` rows and was fronted by `old_front` (ignored when
+  /// old_size < 2 — a stripped value has no cluster) becomes `new_rows`
+  /// (ascending; dropped when it would be stripped). The cache derives one
+  /// patch per affected *value* from its value indexes, capturing the
+  /// cluster's pre-splice anchor and its post-splice rows.
+  struct ClusterPatch {
+    RowId old_front = 0;
+    size_t old_size = 0;
+    Cluster new_rows;
+  };
+
+  /// Batched counterpart of ApplyInsert/ApplyErase: applies every patch in
+  /// one pass — removals are validated first (front + size must match, so a
+  /// contradicted partition refuses before any mutation), then the cluster
+  /// vector is rebuilt by a single sorted merge of survivors and
+  /// replacements. `defined_delta` is the net change in rows defined on the
+  /// partition attributes (exact mode only; intersection products keep the
+  /// grouped-rows lower bound). Returns false — a true no-op — when any
+  /// removal contradicts the current cluster structure; the cache then
+  /// drops the partition for a lazy rebuild.
+  bool ApplyBatch(std::vector<ClusterPatch> patches, ptrdiff_t defined_delta);
+
   /// Row-count bookkeeping for appends: ProbeTable sizing and operator==
   /// depend on num_rows; the cache bumps every cached partition when the
   /// instance grows, whether or not the new row enters its clusters.

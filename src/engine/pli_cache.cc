@@ -18,7 +18,7 @@ const Pli::Cluster& ClusterOf(const PliCache::ValueIndex& index,
 }
 
 // One scan of the instance into a fresh value index — the single builder
-// behind both the read path (IndexFor) and the mutation hooks
+// behind both the read path (IndexFor) and the flush paths
 // (EnsureIndexLocked). No reserve: the map holds one entry per *distinct*
 // value, and typical indexed attributes (the bench's jobtype shape) have
 // few of those.
@@ -32,6 +32,12 @@ std::shared_ptr<PliCache::ValueIndex> BuildValueIndex(
   }
   return index;
 }
+
+// Once the pending buffer holds this many raw deltas, the hooks coalesce it
+// in place (first delta per row wins — exactly what the flush would keep),
+// bounding the buffer by the number of touched rows even when a mutation
+// storm runs without interleaved reads.
+constexpr size_t kPendingCompactThreshold = 4096;
 
 }  // namespace
 
@@ -62,17 +68,98 @@ void ValueIndexApplyUpdate(PliCache::ValueIndex* index, Pli::RowId row,
   ValueIndexApplyInsert(index, row, new_value);
 }
 
+std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
+    PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas,
+    bool capture) {
+  // Group the burst by value: the rows leaving and the rows joining each
+  // one. Sorting these small lists once is what lets every affected
+  // cluster be spliced in a single merge pass below.
+  std::unordered_map<Value, std::pair<Pli::Cluster, Pli::Cluster>, ValueHash>
+      moves;  // value -> (erased rows, inserted rows)
+  for (const ValueIndexDelta& d : deltas) {
+    if (d.old_value != nullptr && d.new_value != nullptr &&
+        *d.old_value == *d.new_value) {
+      continue;  // no movement on this attribute
+    }
+    if (d.old_value != nullptr) moves[*d.old_value].first.push_back(d.row);
+    if (d.new_value != nullptr) moves[*d.new_value].second.push_back(d.row);
+  }
+  std::vector<Pli::ClusterPatch> patches;
+  patches.reserve(moves.size());
+  for (auto& [value, move] : moves) {
+    auto& [erases, inserts] = move;
+    std::sort(erases.begin(), erases.end());
+    std::sort(inserts.begin(), inserts.end());
+    auto it = index->find(value);
+    Pli::ClusterPatch patch;
+    const Pli::Cluster& current =
+        it != index->end() ? it->second : kEmptyCluster;
+    if (!current.empty()) {
+      patch.old_front = current.front();
+      patch.old_size = current.size();
+    }
+    // One merge of (current \ erases) with the inserts; lists stay
+    // ascending by construction.
+    Pli::Cluster next;
+    next.reserve(current.size() + inserts.size());
+    size_t e = 0, ins = 0;
+    for (Pli::RowId r : current) {
+      if (e < erases.size() && erases[e] == r) {
+        ++e;
+        continue;
+      }
+      while (ins < inserts.size() && inserts[ins] < r) {
+        next.push_back(inserts[ins++]);
+      }
+      next.push_back(r);
+    }
+    while (ins < inserts.size()) next.push_back(inserts[ins++]);
+    // The copy into the patch is what the partition group-apply consumes;
+    // callers with no partition to patch skip it.
+    if (capture) patch.new_rows = next;
+    if (next.empty()) {
+      if (it != index->end()) index->erase(it);
+    } else if (it != index->end()) {
+      it->second = std::move(next);
+    } else {
+      index->emplace(value, std::move(next));
+    }
+    // Values stripped before and after the splice never surface in the
+    // partition; skip their no-op patches.
+    if (capture && (patch.old_size >= 2 || patch.new_rows.size() >= 2)) {
+      patches.push_back(std::move(patch));
+    }
+  }
+  return patches;
+}
+
+std::vector<Pli::ClusterPatch> ValueIndexApplyInsertBatch(
+    PliCache::ValueIndex* index,
+    const std::vector<std::pair<Pli::RowId, const Value*>>& inserts,
+    bool capture) {
+  std::vector<ValueIndexDelta> deltas;
+  deltas.reserve(inserts.size());
+  for (const auto& [row, value] : inserts) {
+    if (value == nullptr) continue;  // the row does not carry the attribute
+    deltas.push_back({row, nullptr, value});
+  }
+  return ValueIndexApplyUpdateBatch(index, deltas, capture);
+}
+
 PliCache::PliCache(const std::vector<Tuple>* rows)
     : PliCache(rows, Options()) {}
 
 PliCache::PliCache(const std::vector<Tuple>* rows, Options options)
-    : rows_(rows), options_(options) {}
+    : rows_(rows),
+      options_(options),
+      pending_compact_at_(kPendingCompactThreshold) {}
 
 std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
   std::promise<PliPtr> promise;
   std::shared_future<PliPtr> future;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    FlushPendingLocked();
     auto it = entries_.find(attrs);
     if (it != entries_.end()) {
       ++hits_;
@@ -134,6 +221,7 @@ PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
 std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    FlushPendingLocked();
     auto it = probes_.find(attr);
     if (it != probes_.end()) return it->second;
   }
@@ -148,11 +236,12 @@ std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
 std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    FlushPendingLocked();
     auto it = value_indexes_.find(attr);
     if (it != value_indexes_.end()) return it->second;
   }
   // Build outside the lock — an O(rows) scan must not stall concurrent
-  // Get()s. Only the mutation hooks (which already hold mu_ and need the
+  // Get()s. Only the flush paths (which already hold mu_ and need the
   // fresh-build signal) go through EnsureIndexLocked.
   std::shared_ptr<ValueIndex> index = BuildValueIndex(*rows_, attr);
   std::lock_guard<std::mutex> lock(mu_);
@@ -160,42 +249,70 @@ std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
   return value_indexes_.emplace(attr, std::move(index)).first->second;
 }
 
-PliCache::ValueIndex* PliCache::EnsureIndexLocked(
-    AttrId attr, std::unordered_set<AttrId>* built_fresh) {
-  auto it = value_indexes_.find(attr);
-  if (it != value_indexes_.end()) return it->second.get();
-  if (built_fresh != nullptr) built_fresh->insert(attr);
-  return value_indexes_.emplace(attr, BuildValueIndex(*rows_, attr))
-      .first->second.get();
-}
-
-bool PliCache::AgreeingRowsLocked(const AttrSet& attrs, const Tuple& proj,
-                                  Pli::RowId exclude_row, Pli::Cluster* out,
-                                  std::unordered_set<AttrId>* built_fresh) {
+PliCache::PartnerScan PliCache::AgreeingRowsLocked(const AttrSet& attrs,
+                                                   const Tuple& proj,
+                                                   Pli::RowId exclude_row,
+                                                   Pli::Cluster* out,
+                                                   size_t* scan_budget) {
   out->clear();
-  // Seed with the smallest single-attribute value cluster; every partner
-  // must appear in all of them, so the smallest bounds the scan.
-  const Pli::Cluster* seed = nullptr;
+  // The partners are exactly the k-way intersection of the attributes'
+  // value clusters: pure sorted-integer work against the indexes' current
+  // state (mid-flush the row vector is already ahead of the structures,
+  // so touching tuples here would observe not-yet-applied states).
+  std::vector<const Pli::Cluster*> lists;
+  lists.reserve(attrs.size());
   for (AttrId a : attrs) {
-    ValueIndex* index = EnsureIndexLocked(a, built_fresh);
-    auto it = index->find(*proj.Get(a));
-    if (it == index->end()) return true;  // value unseen -> no partners
-    if (seed == nullptr || it->second.size() < seed->size()) {
-      seed = &it->second;
+    auto idx_it = value_indexes_.find(a);
+    if (idx_it == value_indexes_.end()) return PartnerScan::kNoIndex;
+    auto it = idx_it->second->find(*proj.Get(a));
+    if (it == idx_it->second->end()) {
+      return PartnerScan::kOk;  // value unseen -> no partners
     }
+    lists.push_back(&it->second);
   }
-  // Patch vs rebuild: verifying a seed cluster spanning most of the
-  // instance costs more than one probe-table pass over the patched
-  // sub-partitions — tell the caller to drop and re-intersect instead.
+  std::sort(lists.begin(), lists.end(),
+            [](const Pli::Cluster* a, const Pli::Cluster* b) {
+              return a->size() < b->size();
+            });
+  const Pli::Cluster* seed = lists.front();
+  // Patch vs rebuild: a seed cluster spanning most of the instance — or a
+  // burst whose cumulative scans overdraw the budget — costs more than one
+  // probe-table pass over the patched sub-partitions; tell the caller to
+  // drop and re-intersect instead.
   if (seed->size() >
       std::max(options_.patch_scan_limit, rows_->size() / 2)) {
-    return false;
+    return PartnerScan::kTooBig;
   }
+  if (scan_budget != nullptr) {
+    if (seed->size() > *scan_budget) return PartnerScan::kTooBig;
+    *scan_budget -= seed->size();
+  }
+  out->reserve(seed->size());
   for (Pli::RowId r : *seed) {
-    if (r == exclude_row) continue;
-    if ((*rows_)[r].AgreesOn(proj, attrs)) out->push_back(r);
+    if (r != exclude_row) out->push_back(r);
   }
-  return true;
+  // Refine by each larger list: stream it when the sizes are comparable,
+  // binary-search per survivor when it dwarfs them (adaptive set
+  // intersection — fat clusters cost log, not a full scan).
+  for (size_t l = 1; l < lists.size() && !out->empty(); ++l) {
+    const Pli::Cluster& other = *lists[l];
+    size_t kept = 0;
+    if (other.size() / out->size() >= 16) {
+      for (Pli::RowId r : *out) {
+        if (std::binary_search(other.begin(), other.end(), r)) {
+          (*out)[kept++] = r;
+        }
+      }
+    } else {
+      size_t j = 0;
+      for (Pli::RowId r : *out) {
+        while (j < other.size() && other[j] < r) ++j;
+        if (j < other.size() && other[j] == r) (*out)[kept++] = r;
+      }
+    }
+    out->resize(kept);
+  }
+  return PartnerScan::kOk;
 }
 
 PliCache::EntryMap::iterator PliCache::DropEntryLocked(
@@ -205,7 +322,8 @@ PliCache::EntryMap::iterator PliCache::DropEntryLocked(
 }
 
 void PliCache::PatchEntriesLocked(
-    const std::function<PatchResult(const AttrSet&, Pli*)>& patch) {
+    const std::function<PatchResult(const AttrSet&, Pli*)>& patch,
+    size_t* patched_counter) {
   using namespace std::chrono_literals;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.future.wait_for(0s) != std::future_status::ready) {
@@ -219,7 +337,7 @@ void PliCache::PatchEntriesLocked(
         it = DropEntryLocked(it);
         break;
       case PatchResult::kPatched:
-        ++patches_;
+        ++*patched_counter;
         ++it;
         break;
       case PatchResult::kUntouched:
@@ -229,42 +347,225 @@ void PliCache::PatchEntriesLocked(
   }
 }
 
-void PliCache::OnInsert(Pli::RowId row, const Tuple& t) {
+// ---------------------------------------------------------------------------
+// Mutation hooks: append to the pending buffer, O(1) per row. All patching
+// happens at the next read's flush.
+// ---------------------------------------------------------------------------
+
+void PliCache::OnInsert(Pli::RowId row) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Cluster ids shift under patches and every memo's num_rows sizing is
-  // stale; the inverses are rebuilt on the next multi-attribute build.
-  probes_.clear();
-  std::unordered_set<AttrId> fresh;  // indexes built post-mutation this call
-  PatchEntriesLocked([&](const AttrSet& attrs, Pli* pli) -> PatchResult {
-    pli->SetNumRows(rows_->size());  // probe tables must cover the new row
-    bool ok;
-    if (attrs.empty()) {
-      // The ∅-partition holds every row in one cluster; the fast path
-      // skips materializing the all-previous-rows partner list.
-      ok = pli->ApplyInsertAllRows(row);
-    } else if (!t.DefinedOn(attrs)) {
-      return PatchResult::kPatched;  // the row stays out of scope, but the
-                                     // row count above was still patched
-    } else if (attrs.size() == 1) {
-      AttrId a = attrs.ids().front();
-      ValueIndex* index = EnsureIndexLocked(a, &fresh);
-      // A fresh index was built from the already mutated rows and so
-      // contains `row`; a pre-existing one is patched only further down.
-      ok = pli->ApplyInsert(row, ClusterOf(*index, *t.Get(a)),
-                           /*includes_row=*/fresh.count(a) > 0);
-    } else {
-      // An oversized partner scan means re-intersecting the patched
-      // sub-partitions is cheaper: fail the patch to drop the entry.
-      Pli::Cluster partners;
-      ok = AgreeingRowsLocked(attrs, t, row, &partners, &fresh) &&
-           pli->ApplyInsert(row, partners, /*includes_row=*/false);
+  pending_.push_back({row, /*is_insert=*/true, Tuple()});
+}
+
+void PliCache::OnInsertBatch(Pli::RowId first_row, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.reserve(pending_.size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    pending_.push_back(
+        {static_cast<Pli::RowId>(first_row + i), /*is_insert=*/true, Tuple()});
+  }
+}
+
+void PliCache::OnUpdate(Pli::RowId row, Tuple old_row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back({row, /*is_insert=*/false, std::move(old_row)});
+  if (pending_.size() >= pending_compact_at_) CompactPendingLocked();
+}
+
+void PliCache::OnUpdateBatch(
+    std::vector<std::pair<Pli::RowId, Tuple>> old_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.reserve(pending_.size() + old_rows.size());
+  for (auto& [row, old_row] : old_rows) {
+    pending_.push_back({row, /*is_insert=*/false, std::move(old_row)});
+  }
+  if (pending_.size() >= pending_compact_at_) CompactPendingLocked();
+}
+
+void PliCache::CompactPendingLocked() {
+  // Keep the first delta per row — an insert stays an insert, the oldest
+  // recorded old state survives — which is exactly the coalescing the
+  // flush applies anyway.
+  std::unordered_set<Pli::RowId> seen;
+  seen.reserve(pending_.size());
+  std::vector<PendingDelta> compact;
+  compact.reserve(pending_.size() / 2);
+  for (PendingDelta& d : pending_) {
+    if (seen.insert(d.row).second) compact.push_back(std::move(d));
+  }
+  pending_ = std::move(compact);
+  // Doubling schedule: when the buffer is dominated by distinct rows,
+  // compaction cannot shrink it — re-trying on every hook would go
+  // quadratic against a read-free mutation storm.
+  pending_compact_at_ =
+      std::max(kPendingCompactThreshold, pending_.size() * 2);
+}
+
+// ---------------------------------------------------------------------------
+// The flush: coalesce the buffer to net per-row deltas, then patch per row,
+// group-apply, or drop everything by the net burst size.
+// ---------------------------------------------------------------------------
+
+void PliCache::FlushPendingLocked() {
+  if (pending_.empty()) return;
+  // Coalesce to one net delta per row: the first recorded old state wins,
+  // the final state is read straight from the (fully mutated) rows. The
+  // single-delta case — the per-mutation cadence the PR 3 path served —
+  // skips the dedup machinery entirely.
+  std::vector<NetDelta> net;
+  net.reserve(pending_.size());
+  if (pending_.size() == 1) {
+    const PendingDelta& d = pending_.front();
+    net.push_back(
+        {d.row, d.is_insert, d.is_insert ? nullptr : &d.old_row, AttrSet()});
+  } else {
+    std::unordered_set<Pli::RowId> seen;
+    seen.reserve(pending_.size());
+    for (const PendingDelta& d : pending_) {
+      if (seen.insert(d.row).second) {
+        net.push_back({d.row, d.is_insert,
+                       d.is_insert ? nullptr : &d.old_row, AttrSet()});
+      }
     }
-    return ok ? PatchResult::kPatched : PatchResult::kRebuild;
+  }
+  // Diff each net delta exactly once; every later stage reads the result.
+  // Updates that net out (old state == final state) diff to ∅ and vanish —
+  // e.g. a row moved away and back between two queries, or re-valued to
+  // what it already held.
+  size_t insert_count = 0;
+  AttrSet changed;  // attributes whose partitions/indexes/probes may shift
+  for (NetDelta& d : net) {
+    const Tuple& now = (*rows_)[d.row];
+    if (d.is_insert) {
+      ++insert_count;
+      d.changed_attrs = now.attrs();
+    } else {
+      for (const auto& [attr, value] : d.old_row->fields()) {
+        const Value* nv = now.Get(attr);
+        if (nv == nullptr || *nv != value) d.changed_attrs.Insert(attr);
+      }
+      for (const auto& [attr, value] : now.fields()) {
+        (void)value;
+        if (!d.old_row->Has(attr)) d.changed_attrs.Insert(attr);
+      }
+    }
+    for (AttrId a : d.changed_attrs) changed.Insert(a);
+  }
+  std::erase_if(net, [](const NetDelta& d) {
+    return !d.is_insert && d.changed_attrs.empty();
   });
+  if (net.empty()) {
+    pending_.clear();
+    pending_compact_at_ = kPendingCompactThreshold;
+    return;
+  }
+  // Probe memos: an insert stales every memo's num_rows sizing; updates
+  // only shift the changed attributes' cluster ids.
+  if (insert_count > 0) {
+    probes_.clear();
+  } else {
+    for (AttrId a : changed) probes_.erase(a);
+  }
+  const size_t b = net.size();
+  if (b >= std::max(options_.drop_threshold, rows_->size() / 2)) {
+    DropAllLocked();
+    pending_.clear();
+    pending_compact_at_ = kPendingCompactThreshold;
+    return;
+  }
+  // Both patch paths consult value indexes for partner sets and splices;
+  // any missing one is built once and rewound to the pre-batch state.
+  EnsureFlushIndexesLocked(net, changed);
+  if (b < options_.batch_threshold) {
+    for (const NetDelta& d : net) {
+      if (d.is_insert) {
+        ReplayInsertLocked(d.row);
+      } else {
+        ReplayUpdateLocked(d.row, *d.old_row, d.changed_attrs);
+      }
+    }
+  } else {
+    BatchApplyLocked(net, changed, insert_count);
+  }
+  pending_.clear();
+  pending_compact_at_ = kPendingCompactThreshold;
+}
+
+void PliCache::EnsureFlushIndexesLocked(const std::vector<NetDelta>& net,
+                                        const AttrSet& changed) {
+  for (const auto& [attrs, entry] : entries_) {
+    (void)entry;
+    if (attrs.empty() || !attrs.Intersects(changed)) continue;
+    for (AttrId a : attrs) {
+      if (value_indexes_.count(a) > 0) continue;  // dedups repeat visits too
+      ValueIndex* index =
+          value_indexes_.emplace(a, BuildValueIndex(*rows_, a))
+              .first->second.get();
+      // The fresh index reflects the final rows; rewind the buffered burst
+      // — the deltas reversed, final state -> first recorded old state,
+      // inserts removed entirely — so it describes the instance the cached
+      // partitions still represent. One splice, no capture.
+      std::vector<ValueIndexDelta> rewind;
+      rewind.reserve(net.size());
+      for (const NetDelta& d : net) {
+        const Value* final_v = (*rows_)[d.row].Get(a);
+        const Value* old_v = d.is_insert ? nullptr : d.old_row->Get(a);
+        if (final_v == nullptr && old_v == nullptr) continue;
+        if (final_v != nullptr && old_v != nullptr && *final_v == *old_v) {
+          continue;
+        }
+        rewind.push_back({d.row, final_v, old_v});
+      }
+      ValueIndexApplyUpdateBatch(index, rewind, /*capture=*/false);
+    }
+  }
+}
+
+void PliCache::DropAllLocked() {
+  entries_.clear();
+  lru_.clear();
+  value_indexes_.clear();
+  probes_.clear();
+  ++full_drops_;
+}
+
+void PliCache::ReplayInsertLocked(Pli::RowId row) {
+  const Tuple& t = (*rows_)[row];
+  PatchEntriesLocked(
+      [&](const AttrSet& attrs, Pli* pli) -> PatchResult {
+        pli->SetNumRows(rows_->size());  // probe tables must cover the row
+        bool ok;
+        if (attrs.empty()) {
+          // The ∅-partition holds every row in one cluster; the fast path
+          // skips materializing the all-previous-rows partner list.
+          ok = pli->ApplyInsertAllRows(row);
+        } else if (!t.DefinedOn(attrs)) {
+          return PatchResult::kPatched;  // the row stays out of scope, but
+                                         // the row count above was patched
+        } else if (attrs.size() == 1) {
+          AttrId a = attrs.ids().front();
+          auto it = value_indexes_.find(a);
+          if (it == value_indexes_.end()) return PatchResult::kRebuild;
+          // The index still describes the pre-insert instance (it is
+          // patched only further down), so the cluster is pure partners.
+          ok = pli->ApplyInsert(row, ClusterOf(*it->second, *t.Get(a)),
+                                /*includes_row=*/false);
+        } else {
+          // An oversized partner scan means re-intersecting the patched
+          // sub-partitions is cheaper: fail the patch to drop the entry.
+          Pli::Cluster partners;
+          if (AgreeingRowsLocked(attrs, t, row, &partners, nullptr) !=
+              PartnerScan::kOk) {
+            return PatchResult::kRebuild;
+          }
+          ok = pli->ApplyInsert(row, partners, /*includes_row=*/false);
+        }
+        return ok ? PatchResult::kPatched : PatchResult::kRebuild;
+      },
+      &patches_);
   // Patch the value indexes last — they are the partner source above and
   // must describe the pre-insert instance while partitions are patched.
   for (auto& [attr, index] : value_indexes_) {
-    if (fresh.count(attr) > 0) continue;  // already post-mutation
     if (const Value* v = t.Get(attr)) {
       ValueIndexApplyInsert(index.get(), row, v);
       ++patches_;
@@ -272,75 +573,329 @@ void PliCache::OnInsert(Pli::RowId row, const Tuple& t) {
   }
 }
 
-void PliCache::OnUpdate(Pli::RowId row, const Tuple& old_row,
-                        const Tuple& new_row) {
-  // The changed attribute set: presence flipped or value differs. Footnote-3
-  // type changes surface here as several attributes at once.
-  AttrSet changed;
-  for (const auto& [attr, value] : old_row.fields()) {
-    const Value* now = new_row.Get(attr);
-    if (now == nullptr || *now != value) changed.Insert(attr);
-  }
-  for (const auto& [attr, value] : new_row.fields()) {
-    (void)value;
-    if (!old_row.Has(attr)) changed.Insert(attr);
-  }
+void PliCache::ReplayUpdateLocked(Pli::RowId row, const Tuple& old_row,
+                                  const AttrSet& changed) {
+  // `changed` — the attributes whose presence or value the net move flips,
+  // diffed once by the flush; footnote-3 type changes surface as several
+  // attributes at once.
+  const Tuple& new_row = (*rows_)[row];
   if (changed.empty()) return;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  // Only the changed attributes' partitions shift cluster ids; probe memos
-  // of untouched attributes stay valid (an update never changes num_rows).
-  for (AttrId a : changed) probes_.erase(a);
-  std::unordered_set<AttrId> fresh;
-  // Detach the row from the old-value clusters of pre-existing indexes, so
-  // the indexes list exactly the row's potential partners.
+  // Detach the row from the old-value clusters first, so the indexes list
+  // exactly the row's potential partners.
   for (AttrId a : changed) {
     auto it = value_indexes_.find(a);
     if (it == value_indexes_.end()) continue;
     ValueIndexApplyUpdate(it->second.get(), row, old_row.Get(a), nullptr);
   }
-  PatchEntriesLocked([&](const AttrSet& attrs, Pli* pli) -> PatchResult {
-    if (!attrs.Intersects(changed)) {
-      return PatchResult::kUntouched;  // incl. the ∅-partition
-    }
-    bool ok = true;
-    if (attrs.size() == 1) {
-      AttrId a = attrs.ids().front();
-      ValueIndex* index = EnsureIndexLocked(a, &fresh);
-      if (const Value* old_v = old_row.Get(a)) {
-        // Fresh and patched indexes both exclude `row` from the old value's
-        // cluster at this point.
-        ok = pli->ApplyErase(row, ClusterOf(*index, *old_v),
-                             /*includes_row=*/false);
-      }
-      if (ok) {
-        if (const Value* new_v = new_row.Get(a)) {
-          ok = pli->ApplyInsert(row, ClusterOf(*index, *new_v),
-                                /*includes_row=*/fresh.count(a) > 0);
+  PatchEntriesLocked(
+      [&](const AttrSet& attrs, Pli* pli) -> PatchResult {
+        if (!attrs.Intersects(changed)) {
+          return PatchResult::kUntouched;  // incl. the ∅-partition
         }
-      }
-    } else {
-      Pli::Cluster partners;
-      if (old_row.DefinedOn(attrs)) {
-        ok = AgreeingRowsLocked(attrs, old_row, row, &partners, &fresh) &&
-             pli->ApplyErase(row, partners, /*includes_row=*/false);
-      }
-      if (ok && new_row.DefinedOn(attrs)) {
-        ok = AgreeingRowsLocked(attrs, new_row, row, &partners, &fresh) &&
-             pli->ApplyInsert(row, partners, /*includes_row=*/false);
-      }
-    }
-    return ok ? PatchResult::kPatched : PatchResult::kRebuild;
-  });
-  // Attach the row under its new values in the pre-existing indexes (fresh
-  // ones already carry it).
+        bool ok = true;
+        if (attrs.size() == 1) {
+          AttrId a = attrs.ids().front();
+          auto it = value_indexes_.find(a);
+          if (it == value_indexes_.end()) return PatchResult::kRebuild;
+          ValueIndex* index = it->second.get();
+          if (const Value* old_v = old_row.Get(a)) {
+            // The index already excludes `row` from the old cluster here.
+            ok = pli->ApplyErase(row, ClusterOf(*index, *old_v),
+                                 /*includes_row=*/false);
+          }
+          if (ok) {
+            if (const Value* new_v = new_row.Get(a)) {
+              ok = pli->ApplyInsert(row, ClusterOf(*index, *new_v),
+                                    /*includes_row=*/false);
+            }
+          }
+        } else {
+          Pli::Cluster partners;
+          if (old_row.DefinedOn(attrs)) {
+            if (AgreeingRowsLocked(attrs, old_row, row, &partners,
+                                   nullptr) != PartnerScan::kOk) {
+              return PatchResult::kRebuild;
+            }
+            ok = pli->ApplyErase(row, partners, /*includes_row=*/false);
+          }
+          if (ok && new_row.DefinedOn(attrs)) {
+            if (AgreeingRowsLocked(attrs, new_row, row, &partners,
+                                   nullptr) != PartnerScan::kOk) {
+              return PatchResult::kRebuild;
+            }
+            ok = pli->ApplyInsert(row, partners, /*includes_row=*/false);
+          }
+        }
+        return ok ? PatchResult::kPatched : PatchResult::kRebuild;
+      },
+      &patches_);
+  // Attach the row under its new values last.
   for (AttrId a : changed) {
-    if (fresh.count(a) > 0) continue;
     auto it = value_indexes_.find(a);
     if (it == value_indexes_.end()) continue;
     if (const Value* new_v = new_row.Get(a)) {
       ValueIndexApplyInsert(it->second.get(), row, new_v);
       ++patches_;
+    }
+  }
+}
+
+size_t PliCache::EstimateMultiPatchScanLocked(
+    const AttrSet& attrs, const std::vector<NetDelta>& net) {
+  // Σ of the seed-cluster sizes both phases would scan (post-state seeds
+  // approximated by the pre-splice clusters — a burst barely moves them).
+  // Comparing this against the instance size is the entry's patch-vs-drop
+  // call: the re-intersection a drop defers costs one O(rows) pass.
+  auto seed_size = [&](const Tuple& proj) -> size_t {
+    size_t seed = SIZE_MAX;
+    for (AttrId a : attrs) {
+      auto idx_it = value_indexes_.find(a);
+      if (idx_it == value_indexes_.end()) return 0;
+      auto it = idx_it->second->find(*proj.Get(a));
+      if (it == idx_it->second->end()) return 0;  // unseen -> empty scan
+      seed = std::min(seed, it->second.size());
+    }
+    return seed;
+  };
+  size_t total = 0;
+  for (const NetDelta& d : net) {
+    if (!d.changed_attrs.Intersects(attrs)) continue;  // projection sits still
+    const Tuple& now = (*rows_)[d.row];
+    if (!d.is_insert && d.old_row->DefinedOn(attrs)) {
+      total += seed_size(*d.old_row);
+    }
+    if (now.DefinedOn(attrs)) total += seed_size(now);
+  }
+  return total;
+}
+
+bool PliCache::MultiAttrGroupPatchLocked(const AttrSet& attrs, Pli* pli,
+                                         const std::vector<NetDelta>& net,
+                                         bool erase, size_t* scan_budget) {
+  // The rows this phase moves: leaving rows were defined on `attrs` before
+  // the burst, joining rows are after; rows whose projection did not
+  // change sit still (they are partners, not movers).
+  std::vector<std::pair<Pli::RowId, const Tuple*>> moving;
+  std::unordered_set<Pli::RowId> moving_set;
+  for (const NetDelta& d : net) {
+    if (!d.changed_attrs.Intersects(attrs)) continue;  // projection sits still
+    const Tuple& now = (*rows_)[d.row];
+    const Tuple* proj;
+    if (erase) {
+      if (d.is_insert || !d.old_row->DefinedOn(attrs)) continue;
+      proj = d.old_row;
+    } else {
+      if (!now.DefinedOn(attrs)) continue;
+      proj = &now;
+    }
+    moving.push_back({d.row, proj});
+    moving_set.insert(d.row);
+  }
+  if (moving.empty()) return true;
+  // One ClusterPatch per affected cluster. All movers sharing a cluster
+  // compute the same full membership (partner scans are consistent within
+  // one phase), so the patch is keyed by the full cluster's front row.
+  std::unordered_map<Pli::RowId, Pli::ClusterPatch> by_front;
+  Pli::Cluster partners;
+  for (const auto& [row, proj] : moving) {
+    if (AgreeingRowsLocked(attrs, *proj, row, &partners, scan_budget) !=
+        PartnerScan::kOk) {
+      return false;
+    }
+    Pli::Cluster full = partners;  // ∪ {row}, ascending
+    full.insert(std::lower_bound(full.begin(), full.end(), row), row);
+    if (full.size() < 2) continue;  // stripped on this side: no cluster
+    auto [it, first_visit] = by_front.try_emplace(full.front());
+    Pli::ClusterPatch& patch = it->second;
+    if (first_visit) {
+      if (erase) {
+        // The partition currently holds the full pre-burst cluster; the
+        // replacement starts as that and sheds each mover below.
+        patch.old_front = full.front();
+        patch.old_size = full.size();
+        patch.new_rows = std::move(full);
+      } else {
+        // The partition (post-erase-phase) holds only the stayers; the
+        // replacement is the full post-burst cluster.
+        Pli::Cluster stayers;
+        for (Pli::RowId r : full) {
+          if (moving_set.count(r) == 0) stayers.push_back(r);
+        }
+        patch.old_size = stayers.size();
+        patch.old_front = stayers.empty() ? 0 : stayers.front();
+        patch.new_rows = std::move(full);
+      }
+    } else if (erase ? patch.old_size != full.size()
+                     : patch.new_rows.size() != full.size()) {
+      return false;  // two movers disagree about their shared cluster
+    }
+    if (erase) {
+      auto pos = std::lower_bound(patch.new_rows.begin(),
+                                  patch.new_rows.end(), row);
+      if (pos == patch.new_rows.end() || *pos != row) return false;
+      patch.new_rows.erase(pos);
+    }
+  }
+  std::vector<Pli::ClusterPatch> patches;
+  patches.reserve(by_front.size());
+  for (auto& [front, patch] : by_front) {
+    (void)front;
+    patches.push_back(std::move(patch));
+  }
+  // Cache-built multi-attribute partitions are intersection products, so
+  // defined_rows tracks grouped_rows and the delta argument is moot.
+  return pli->ApplyBatch(std::move(patches), /*defined_delta=*/0);
+}
+
+void PliCache::BatchApplyLocked(const std::vector<NetDelta>& net,
+                                const AttrSet& changed, size_t insert_count) {
+  using namespace std::chrono_literals;
+  const size_t b = net.size();
+  // Per-attribute movement lists. The Value pointers reach into rows_ and
+  // into the pending buffer's old tuples, both stable for the flush.
+  std::unordered_map<AttrId, std::vector<ValueIndexDelta>> per_attr;
+  std::vector<Pli::RowId> inserted_rows;
+  inserted_rows.reserve(insert_count);
+  for (const NetDelta& d : net) {
+    const Tuple& now = (*rows_)[d.row];
+    if (d.is_insert) {
+      inserted_rows.push_back(d.row);
+      for (const auto& [attr, value] : now.fields()) {
+        per_attr[attr].push_back({d.row, nullptr, &value});
+      }
+    } else {
+      for (AttrId a : d.changed_attrs) {
+        per_attr[a].push_back({d.row, d.old_row->Get(a), now.Get(a)});
+      }
+    }
+  }
+  std::sort(inserted_rows.begin(), inserted_rows.end());
+
+  // Classify the cached partitions. Multi-attribute entries whose cluster
+  // count the burst saturates are dropped for lazy re-intersection from
+  // the patched bases (one probe-table pass beats 2b seed scans then);
+  // sparser bursts keep the entry and group-patch it in two phases around
+  // the index splice. This is the burst-size-vs-cluster-count arm of the
+  // adaptive policy.
+  struct Work {
+    AttrSet attrs;
+    Pli* pli;
+    bool alive = true;
+    // Partner-scan allowance across both phases: one re-intersection's
+    // worth of row touches. Overdrawing it means rebuilding is cheaper.
+    size_t scan_budget = 0;
+  };
+  std::vector<Work> multi;
+  std::vector<Work> single;
+  Pli* empty_pli = nullptr;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.future.wait_for(0s) != std::future_status::ready) {
+      ++patch_rebuilds_;
+      it = DropEntryLocked(it);
+      continue;
+    }
+    Pli* pli = it->second.future.get().get();
+    if (insert_count > 0) pli->SetNumRows(rows_->size());
+    const AttrSet& attrs = it->first;
+    if (attrs.empty()) {
+      empty_pli = pli;
+    } else if (attrs.Intersects(changed)) {
+      if (attrs.size() == 1) {
+        single.push_back({attrs, pli});
+      } else if (2 * b >= pli->NumDistinct() ||
+                 EstimateMultiPatchScanLocked(attrs, net) >=
+                     rows_->size() / 2) {
+        // The burst saturates the entry's clusters, or the partner scans
+        // alone would cost as much as the re-intersection a drop defers.
+        ++patch_rebuilds_;
+        it = DropEntryLocked(it);
+        continue;
+      } else {
+        multi.push_back({attrs, pli, true, rows_->size()});
+      }
+    }
+    ++it;
+  }
+
+  std::vector<AttrSet> failed;
+  // Phase A: detach the leaving rows from the kept multi-attribute
+  // entries, partner sets scanned off the still pre-batch indexes.
+  for (Work& w : multi) {
+    if (!MultiAttrGroupPatchLocked(w.attrs, w.pli, net, /*erase=*/true,
+                                   &w.scan_budget)) {
+      w.alive = false;
+      failed.push_back(w.attrs);
+    }
+  }
+  // Splice the value indexes — every affected cluster rebuilt in one
+  // sorted merge — capturing the per-value replacements only for the
+  // attributes whose cached single-attribute partition will group-apply
+  // them (capturing copies every affected cluster; an index pinned solely
+  // for selections would pay that copy for nothing).
+  std::unordered_set<AttrId> single_attrs;
+  single_attrs.reserve(single.size());
+  for (const Work& w : single) single_attrs.insert(w.attrs.ids().front());
+  std::unordered_map<AttrId, std::vector<Pli::ClusterPatch>> cluster_patches;
+  std::unordered_map<AttrId, ptrdiff_t> defined_deltas;
+  for (auto& [attr, deltas] : per_attr) {
+    auto it = value_indexes_.find(attr);
+    if (it == value_indexes_.end()) continue;  // nothing cached consults it
+    const bool capture = single_attrs.count(attr) > 0;
+    std::vector<Pli::ClusterPatch> patches =
+        ValueIndexApplyUpdateBatch(it->second.get(), deltas, capture);
+    ++batch_applies_;
+    if (!capture) continue;
+    ptrdiff_t dd = 0;
+    for (const ValueIndexDelta& d : deltas) {
+      dd += (d.new_value != nullptr ? 1 : 0) -
+            (d.old_value != nullptr ? 1 : 0);
+    }
+    defined_deltas[attr] = dd;
+    cluster_patches[attr] = std::move(patches);
+  }
+  for (Work& w : single) {
+    AttrId a = w.attrs.ids().front();
+    auto cp = cluster_patches.find(a);
+    if (cp == cluster_patches.end() ||
+        !w.pli->ApplyBatch(std::move(cp->second), defined_deltas[a])) {
+      failed.push_back(w.attrs);
+    } else {
+      ++batch_applies_;
+    }
+  }
+  // Phase B: attach the joining rows. The scans run after the splice, so
+  // they see every row's final cluster position — the stayers anchor the
+  // cluster lookups.
+  for (Work& w : multi) {
+    if (!w.alive) continue;
+    if (!MultiAttrGroupPatchLocked(w.attrs, w.pli, net, /*erase=*/false,
+                                   &w.scan_budget)) {
+      failed.push_back(w.attrs);
+    } else {
+      ++batch_applies_;
+    }
+  }
+  // The ∅-partition: appends only (an update never moves a row out of it).
+  if (empty_pli != nullptr && !inserted_rows.empty()) {
+    bool ok = true;
+    for (Pli::RowId row : inserted_rows) {
+      if (!empty_pli->ApplyInsertAllRows(row)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ++batch_applies_;
+    } else {
+      failed.push_back(AttrSet());
+    }
+  }
+  for (const AttrSet& attrs : failed) {
+    auto it = entries_.find(attrs);
+    if (it != entries_.end()) {
+      ++patch_rebuilds_;
+      DropEntryLocked(it);
     }
   }
 }
@@ -394,6 +949,21 @@ size_t PliCache::patches() const {
 size_t PliCache::patch_rebuilds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return patch_rebuilds_;
+}
+
+size_t PliCache::batch_applies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_applies_;
+}
+
+size_t PliCache::full_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return full_drops_;
+}
+
+size_t PliCache::pending_deltas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
 }
 
 }  // namespace flexrel

@@ -10,19 +10,41 @@
 // integer-valued Intersect over already cached operands.
 //
 // Mutations: the cache is no longer bound to an immutable instance. When
-// the underlying row vector changes, the owner calls OnInsert/OnUpdate and
-// every cached partition and value index is *patched* in place — only the
-// clusters the mutated row leaves or joins are touched, so a mutation costs
-// O(cluster) integer work per cached structure instead of the O(rows)
-// rebuild that dropping the cache used to force. The unstripped value
-// indexes are the base of the scheme: they know which lone row to un-strip
-// when a value gains its second carrier, which the stripped partitions
-// alone cannot. A multi-attribute entry whose patch (seed-cluster scan +
-// verification) would cost more than re-intersecting its patched
-// sub-partitions is dropped instead and rebuilt lazily on the next Get.
-// PliCacheOptions::incremental = false disables the hooks' use by
-// FlexibleRelation, restoring the historical drop-everything behavior as
-// the cross-validation oracle.
+// the underlying row vector changes, the owner reports the change through
+// OnInsert/OnUpdate (or their batch forms), which *buffer* the delta; the
+// next read (Get/IndexFor — that includes every evaluator and validator
+// access) flushes the pending buffer with a three-way policy decided by
+// the net burst size b (PliCacheOptions::{batch_threshold,
+// drop_threshold}):
+//
+//   - b < batch_threshold: per-row patching, the PR 3 path — only the
+//     clusters the mutated row leaves or joins are touched, O(cluster)
+//     integer work per cached structure per row.
+//   - batch_threshold <= b < max(drop_threshold, rows/2): batched apply —
+//     deltas are grouped by attribute and value, each affected value-index
+//     cluster is spliced in one sorted pass
+//     (ValueIndexApplyInsertBatch/ValueIndexApplyUpdateBatch), the
+//     captured per-value cluster replacements group-apply to the
+//     single-attribute partitions (Pli::ApplyBatch), and affected
+//     multi-attribute partitions are dropped for lazy re-intersection from
+//     the batch-patched bases. A 64-mutation burst costs one splice
+//     instead of 64 cluster surgeries.
+//   - b >= max(drop_threshold, rows/2): everything (value indexes
+//     included) is dropped for lazy from-scratch rebuilds — the burst is
+//     so large that one deferred rebuild beats any patching.
+//
+// Deltas to one row coalesce in the buffer (first old state, final new
+// state), so a row updated 64 times between queries flushes as one move.
+// The unstripped value indexes are the base of the scheme: they know which
+// lone row to un-strip when a value gains its second carrier, which the
+// stripped partitions alone cannot. A multi-attribute entry whose per-row
+// patch (seed-cluster scan + verification) would cost more than
+// re-intersecting its patched sub-partitions is dropped instead and
+// rebuilt lazily on the next Get. PliCacheOptions::incremental = false
+// disables the hooks' use by FlexibleRelation, restoring the historical
+// drop-everything behavior as the cross-validation oracle;
+// batch_threshold = SIZE_MAX pins the per-row path, the reference the
+// batched one is benchmarked and soak-tested against.
 //
 // Concurrency: Get() is safe to call from many worker threads. Each cache
 // slot holds a shared_future; the first requester of a key builds the
@@ -44,6 +66,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "engine/pli.h"
@@ -53,7 +76,8 @@ namespace flexrel {
 
 /// Thread-safe partition cache over one instance. The referenced rows must
 /// outlive the cache; every mutation of the rows must be reported through
-/// OnInsert/OnUpdate (or the cache discarded) before the next read.
+/// OnInsert/OnUpdate (or the batch hooks, or the cache discarded) before
+/// the next read.
 class PliCache {
  public:
   using Options = PliCacheOptions;
@@ -65,7 +89,7 @@ class PliCache {
   PliCache& operator=(const PliCache&) = delete;
 
   /// The stripped partition by `attrs`, building (and caching) it when
-  /// absent. Never returns null.
+  /// absent. Flushes pending mutation deltas first. Never returns null.
   std::shared_ptr<const Pli> Get(const AttrSet& attrs);
 
   /// The *unstripped* value-keyed view of the single-attribute partition of
@@ -74,29 +98,38 @@ class PliCache {
   /// cluster under the Null key. Unlike the stripped partitions, singleton
   /// clusters are kept — a lone row cannot influence a dependency but very
   /// much belongs to an equality selection's answer. Built once per
-  /// attribute, pinned, and patched across mutations. Never returns null;
-  /// safe to call from many threads.
+  /// attribute, pinned, and patched across mutations. Flushes pending
+  /// deltas first. Never returns null; safe to call from many threads.
   using ValueIndex =
       std::unordered_map<Value, std::vector<Pli::RowId>, ValueHash>;
   std::shared_ptr<const ValueIndex> IndexFor(AttrId attr);
 
   // ------------------------------------------------------------------
   // Incremental maintenance hooks. FlexibleRelation calls these *after*
-  // mutating its row vector (the cache reads the post-mutation rows to
-  // locate partners). Patched structures remain shared with earlier
-  // Get/IndexFor callers — holders see the new instance, which is exactly
-  // the documented contract: do not hold partition pointers across
-  // mutations you care to distinguish.
+  // mutating its row vector. The hooks only append to the pending-delta
+  // buffer (O(1) per row — inserts record nothing but the row id, updates
+  // take ownership of the displaced old tuple); all patching is deferred
+  // to the next read. Structures handed out by earlier Get/IndexFor calls
+  // are shared — a holder may observe the pre-flush instance until some
+  // reader flushes, which is exactly the documented contract: do not hold
+  // partition pointers across mutations; re-Get after mutating.
   // ------------------------------------------------------------------
 
   /// The row at index `row` == rows().size() - 1 was just appended.
-  void OnInsert(Pli::RowId row, const Tuple& t);
+  void OnInsert(Pli::RowId row);
 
-  /// The row at index `row` changed from `old_row` to `new_row`. Attribute
-  /// additions and removals are handled, so footnote-3 type changes (an
-  /// Update whose TypeDelta adds/drops variant attributes) arrive as one
-  /// multi-attribute delta.
-  void OnUpdate(Pli::RowId row, const Tuple& old_row, const Tuple& new_row);
+  /// Rows first_row .. first_row + count - 1 were just appended.
+  void OnInsertBatch(Pli::RowId first_row, size_t count);
+
+  /// The row at index `row` changed from `old_row` to its current state in
+  /// rows(). Attribute additions and removals are handled, so footnote-3
+  /// type changes (an Update whose TypeDelta adds/drops variant
+  /// attributes) arrive as one multi-attribute delta.
+  void OnUpdate(Pli::RowId row, Tuple old_row);
+
+  /// Batch form of OnUpdate: every (row, pre-mutation state) of one
+  /// already-applied transactional batch, buffered under a single lock.
+  void OnUpdateBatch(std::vector<std::pair<Pli::RowId, Tuple>> old_rows);
 
   const std::vector<Tuple>& rows() const { return *rows_; }
   const Options& options() const { return options_; }
@@ -106,11 +139,18 @@ class PliCache {
   size_t misses() const;
   size_t evictions() const;
   size_t cached_entries() const;
-  /// Structures patched in place by the mutation hooks.
+  /// Structures patched row-by-row by a flush taking the per-row path.
   size_t patches() const;
-  /// Cached partitions dropped by a mutation hook because re-intersecting
-  /// patched sub-partitions is cheaper than patching them (rebuilt lazily).
+  /// Cached partitions dropped by a flush because re-intersecting patched
+  /// sub-partitions is cheaper than patching them (rebuilt lazily).
   size_t patch_rebuilds() const;
+  /// Structures group-applied by a flush taking the batched path.
+  size_t batch_applies() const;
+  /// Flushes that dropped every cached structure because the burst crossed
+  /// max(drop_threshold, rows/2).
+  size_t full_drops() const;
+  /// Mutation deltas currently buffered (not yet flushed by a read).
+  size_t pending_deltas() const;
 
  private:
   using PliPtr = std::shared_ptr<Pli>;
@@ -119,6 +159,27 @@ class PliCache {
     /// Position in lru_; only meaningful when evictable.
     std::list<AttrSet>::iterator lru_pos;
     bool evictable = false;
+  };
+
+  /// One buffered mutation: an append (old_row empty, the row's state is
+  /// read from rows() at flush time) or an update (old_row = the displaced
+  /// pre-mutation tuple).
+  struct PendingDelta {
+    Pli::RowId row;
+    bool is_insert;
+    Tuple old_row;
+  };
+
+  /// One coalesced mutation at flush time: the row's first recorded old
+  /// state (or "inserted"), its final state being rows()[row], and the
+  /// attributes whose value or presence the net move changes — diffed once
+  /// here, consumed by every flush stage (a no-op update diffs to ∅ and is
+  /// dropped before any patching).
+  struct NetDelta {
+    Pli::RowId row;
+    bool is_insert;
+    const Tuple* old_row;  // into pending_; null for inserts
+    AttrSet changed_attrs;
   };
 
   /// Builds the partition for `attrs` from cached sub-partitions.
@@ -135,22 +196,77 @@ class PliCache {
   /// Drops completed evictable entries beyond max_entries. Requires mu_.
   void EvictLocked();
 
-  /// The pinned value index of `attr`, building it from the current rows if
-  /// absent. When this call builds it, `attr` is added to `built_fresh`
-  /// (may be null) — a fresh index already reflects the post-mutation
-  /// instance and must not be patched again. Requires mu_.
-  ValueIndex* EnsureIndexLocked(AttrId attr,
-                                std::unordered_set<AttrId>* built_fresh);
+  /// Applies the pending-delta buffer to every cached structure, choosing
+  /// per-row replay, batched apply, or drop-everything by the net burst
+  /// size (see file comment). Requires mu_; every read path calls this
+  /// before touching entries_/value_indexes_/probes_.
+  void FlushPendingLocked();
+
+  /// Per-row replay of one net insert/update — the PR 3 patch bodies.
+  /// Requires mu_ and EnsureFlushIndexesLocked having run for this flush.
+  void ReplayInsertLocked(Pli::RowId row);
+  void ReplayUpdateLocked(Pli::RowId row, const Tuple& old_row,
+                          const AttrSet& changed);
+
+  /// Group-applies net deltas >= batch_threshold: two-phase cluster
+  /// patches for kept multi-attribute entries around one splice of the
+  /// value indexes and the single-attribute partitions. Requires mu_.
+  void BatchApplyLocked(const std::vector<NetDelta>& net,
+                        const AttrSet& changed, size_t insert_count);
+
+  /// One phase of the multi-attribute group patch: groups the net-delta
+  /// rows leaving (`erase`, old states against pre-batch indexes) or
+  /// joining (final states against post-batch indexes) the partition by
+  /// cluster and applies one ClusterPatch per affected cluster via
+  /// Pli::ApplyBatch. `scan_budget` caps the cumulative partner-scan work
+  /// across both phases at one re-intersection's worth. Returns false —
+  /// the caller drops the entry — when the budget runs out, a single seed
+  /// is oversized, or the scans contradict the clusters. Requires mu_.
+  bool MultiAttrGroupPatchLocked(const AttrSet& attrs, Pli* pli,
+                                 const std::vector<NetDelta>& net, bool erase,
+                                 size_t* scan_budget);
+
+  /// Upfront cost of group-patching a multi-attribute entry: the summed
+  /// seed-cluster sizes of both phases' partner scans, computed from
+  /// cheap index lookups before any scanning happens. Requires mu_.
+  size_t EstimateMultiPatchScanLocked(const AttrSet& attrs,
+                                      const std::vector<NetDelta>& net);
+
+  /// Builds the value index of every attribute some affected cached entry
+  /// consults but no index exists for, then *rewinds* the net deltas so
+  /// the fresh index describes the pre-batch instance — the state every
+  /// flush path patches forward from. One O(rows) scan per missing
+  /// attribute, amortized: from then on that index is patched, never
+  /// rebuilt. Requires mu_.
+  void EnsureFlushIndexesLocked(const std::vector<NetDelta>& net,
+                                const AttrSet& changed);
+
+  /// Drops every cached structure for lazy rebuilds. Requires mu_.
+  void DropAllLocked();
+
+  /// Coalesces the pending buffer in place (first delta per row wins) so a
+  /// read-free mutation storm cannot grow it past the touched-row count.
+  /// Requires mu_.
+  void CompactPendingLocked();
+
+  enum class PartnerScan {
+    kOk,       ///< `out` holds the partners
+    kTooBig,   ///< scanning the seed cluster would cost more than a rebuild
+    kNoIndex,  ///< a needed value index is absent (defensive; see Ensure...)
+  };
 
   /// Ascending rows agreeing with `proj` on `attrs`, excluding
-  /// `exclude_row`: scans the smallest value-index cluster among `attrs`
-  /// and verifies candidates against the rows. Returns false when that scan
-  /// would cost more than rebuilding the partition by intersection (the
-  /// caller drops the entry instead). Requires mu_; `proj` must be defined
-  /// on all of `attrs`.
-  bool AgreeingRowsLocked(const AttrSet& attrs, const Tuple& proj,
-                          Pli::RowId exclude_row, Pli::Cluster* out,
-                          std::unordered_set<AttrId>* built_fresh);
+  /// `exclude_row`: the k-way intersection of the attributes' value
+  /// clusters, smallest list seeding, larger ones refined by streaming
+  /// merge or per-survivor binary search (adaptive set intersection).
+  /// Pure index work, so the scan is coherent with whatever intermediate
+  /// state the indexes are in mid-flush. A non-null `scan_budget` is
+  /// decremented by the seed size and the scan refuses (kTooBig) when it
+  /// would overdraw. Requires mu_; `proj` must be defined on all of
+  /// `attrs`.
+  PartnerScan AgreeingRowsLocked(const AttrSet& attrs, const Tuple& proj,
+                                 Pli::RowId exclude_row, Pli::Cluster* out,
+                                 size_t* scan_budget);
 
   using EntryMap = std::unordered_map<AttrSet, Entry, AttrSetHash>;
 
@@ -164,13 +280,15 @@ class PliCache {
     kRebuild,    ///< contradicted or cheaper to rebuild: drop the entry
   };
 
-  /// The mutation hooks' shared walk over the cached partitions: unready
+  /// The flush paths' shared walk over the cached partitions: unready
   /// entries (a build racing the mutation — a documented data race, shed
   /// defensively) and entries whose `patch` returns kRebuild are dropped
   /// for lazy rebuilding and counted in patch_rebuilds_; kPatched counts
-  /// in patches_. Callbacks must not create entries. Requires mu_.
+  /// in `*patched_counter` (patches_ or batch_applies_). Callbacks must
+  /// not create entries. Requires mu_.
   void PatchEntriesLocked(
-      const std::function<PatchResult(const AttrSet&, Pli*)>& patch);
+      const std::function<PatchResult(const AttrSet&, Pli*)>& patch,
+      size_t* patched_counter);
 
   const std::vector<Tuple>* rows_;
   Options options_;
@@ -182,11 +300,15 @@ class PliCache {
   std::unordered_map<AttrId, std::shared_ptr<ValueIndex>>
       value_indexes_;  // pinned and patched; the selections' value -> rows view
   std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
+  std::vector<PendingDelta> pending_;  // buffered mutations, oldest first
+  size_t pending_compact_at_;  // next buffer size that triggers compaction
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
   size_t patches_ = 0;
   size_t patch_rebuilds_ = 0;
+  size_t batch_applies_ = 0;
+  size_t full_drops_ = 0;
 };
 
 /// Patch primitives for the unstripped value index, mirroring
@@ -200,6 +322,34 @@ void ValueIndexApplyInsert(PliCache::ValueIndex* index, Pli::RowId row,
                            const Value* value);
 void ValueIndexApplyUpdate(PliCache::ValueIndex* index, Pli::RowId row,
                            const Value* old_value, const Value* new_value);
+
+/// One row's movement in a batched value-index splice. Null old_value:
+/// the row gains the attribute (or was inserted); null new_value: it loses
+/// the attribute. The pointed-to values must outlive the call.
+struct ValueIndexDelta {
+  Pli::RowId row;
+  const Value* old_value;
+  const Value* new_value;
+};
+
+/// Batched counterparts, mirroring Pli::ApplyBatch: deltas are grouped by
+/// value and sorted once, then every affected value's row list is spliced
+/// in a single merge pass (instead of one binary-search surgery per row).
+/// With `capture` (the default) returns one Pli::ClusterPatch per affected
+/// value — the pre-splice cluster anchor and its post-splice rows — which
+/// Pli::ApplyBatch consumes to group-apply the same burst to the stripped
+/// partition; capture = false skips those cluster copies (and returns
+/// nothing) for callers with no partition to patch. The insert-only form
+/// mirrors the single-row ValueIndexApplyInsert (null old side); the
+/// cache's flush encodes inserts as update deltas directly, so it is a
+/// convenience for append-shaped callers and the unit tests.
+std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
+    PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas,
+    bool capture = true);
+std::vector<Pli::ClusterPatch> ValueIndexApplyInsertBatch(
+    PliCache::ValueIndex* index,
+    const std::vector<std::pair<Pli::RowId, const Value*>>& inserts,
+    bool capture = true);
 
 }  // namespace flexrel
 

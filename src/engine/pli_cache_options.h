@@ -30,6 +30,27 @@ struct PliCacheOptions {
   /// (PliCache::patch_rebuilds() counts these). Tests lower it to force
   /// the rebuild path on small instances.
   size_t patch_scan_limit = 2048;
+
+  /// Per-row-patch vs batched-apply crossover. Mutations are buffered as
+  /// pending deltas and flushed on the next read; a flush of fewer than
+  /// batch_threshold net deltas replays them row by row (the PR 3 patch
+  /// path), a larger one group-applies them: value indexes and
+  /// single-attribute partitions are spliced in one sorted pass
+  /// (ValueIndexApplyUpdateBatch / Pli::ApplyBatch) and multi-attribute
+  /// partitions are group-patched or dropped for lazy re-intersection by
+  /// a per-entry scan-cost estimate. The default sits where the splice
+  /// (≈ two copies of every affected cluster) starts beating per-row
+  /// surgery (≈ half a cluster memmove per mutation) on fat clusters.
+  /// SIZE_MAX pins the per-row path — the cross-validation reference for
+  /// the batched one.
+  size_t batch_threshold = 16;
+
+  /// Batched-apply vs drop-everything crossover: a flush of at least
+  /// max(drop_threshold, rows/2) net deltas drops every cached structure
+  /// (value indexes included) for lazy from-scratch rebuilds — at that
+  /// burst size one deferred rebuild beats any splicing, which is what the
+  /// incremental = false oracle demonstrates at high mutation ratios.
+  size_t drop_threshold = 2048;
 };
 
 }  // namespace flexrel

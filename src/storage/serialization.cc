@@ -400,12 +400,22 @@ Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
         StrCat("expected 'rows ', got '", line, "'"));
   }
   FLEXREL_ASSIGN_OR_RETURN(size_t row_count, ParseCount(line.substr(5)));
+  std::vector<Tuple> loaded_rows;
+  loaded_rows.reserve(row_count);
   for (size_t r = 0; r < row_count; ++r) {
     FLEXREL_ASSIGN_OR_RETURN(std::string row_text, next_line("row "));
     FLEXREL_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&db->catalog, row_text));
-    FLEXREL_RETURN_IF_ERROR(
-        db->relation.Insert(t).WithContext(StrCat("row ", r)));
+    loaded_rows.push_back(std::move(t));
   }
+  // Bulk-load through the transactional batch path: the whole delta is
+  // type-checked and duplicate-checked (hashed set semantics, not the
+  // per-row linear scan) before any row lands, so a bad file leaves the
+  // relation empty instead of partially loaded, and the attached cache —
+  // should a caller have touched it — sees one buffered batch. The batch
+  // error names the offending op index, which here is the row number.
+  FLEXREL_RETURN_IF_ERROR(
+      db->relation.InsertRows(std::move(loaded_rows))
+          .WithContext(StrCat("loading ", row_count, " rows")));
   // Engine-backed instance audit (ROADMAP item): the declared Σ — the
   // EAD-derived ADs plus any persisted extra dependencies — must hold over
   // the loaded instance. Per-tuple type checks on insert cannot see

@@ -283,13 +283,15 @@ TEST(EngineIncrementalSoak, OversizedSeedClustersFallBackToLazyRebuild) {
   t.Set(b, Value::Int(2));
   t.Set(catalog.Intern("uniq"), Value::Int(99));
   rel.InsertUnchecked(t);
-  EXPECT_GT(cache->patch_rebuilds(), 0u)
-      << "the oversized seed cluster must have dropped the pair entry";
 
   // The lazily re-intersected entry (built from the *patched* bases) must
   // equal a from-scratch rebuild, and patching must keep working after it.
+  // The Get is also what flushes the buffered delta (deltas are deferred to
+  // the next read), so the patch_rebuilds assertion comes after it.
   PliCache fresh(&rel.rows());
   EXPECT_EQ(*cache->Get(AttrSet{a, b}), *fresh.Get(AttrSet{a, b}));
+  EXPECT_GT(cache->patch_rebuilds(), 0u)
+      << "the oversized seed cluster must have dropped the pair entry";
   ASSERT_TRUE(rel.Update(0, b, Value::Int(7)).ok());
   PliCache fresh2(&rel.rows());
   EXPECT_EQ(*cache->Get(AttrSet{a, b}), *fresh2.Get(AttrSet{a, b}));
@@ -427,6 +429,412 @@ TEST(EngineIncrementalSoak, TypedUpdatesWithTypeChangesPatchCorrectly) {
   ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "typed final"));
   EXPECT_GT(type_changes, 0) << "soak never exercised a footnote-3 change";
   EXPECT_GT(cache->patches(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Group-apply primitives: the batched splice, pinned against rebuilds.
+// ---------------------------------------------------------------------------
+
+TEST(PliPatchTest, ApplyBatchSplicesLikeARebuild) {
+  const AttrId a = 4;
+  std::vector<Tuple> rows = RowsWithValues(a, {1, 1, 2, 2, 3});
+  Pli pli = Pli::Build(rows, a);  // clusters {0,1}, {2,3}; row 4 stripped
+
+  // One burst: row 0 re-valued 1 -> 3 (dissolves {0,1}, un-strips row 4
+  // into {0,4}) and row 2 re-valued 2 -> 1 (dissolves {2,3}, forms {1,2}).
+  PliCache::ValueIndex index;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ValueIndexApplyInsert(&index, static_cast<Pli::RowId>(i),
+                          rows[i].Get(a));
+  }
+  Value one = Value::Int(1), two = Value::Int(2), three = Value::Int(3);
+  std::vector<ValueIndexDelta> deltas = {{0, &one, &three}, {2, &two, &one}};
+  std::vector<Pli::ClusterPatch> patches =
+      ValueIndexApplyUpdateBatch(&index, deltas);
+  ASSERT_FALSE(patches.empty());
+  ASSERT_TRUE(pli.ApplyBatch(std::move(patches), /*defined_delta=*/0));
+
+  rows[0].Set(a, Value::Int(3));
+  rows[2].Set(a, Value::Int(1));
+  EXPECT_EQ(pli, Pli::Build(rows, a));
+  EXPECT_EQ(pli.defined_rows(), 5u);
+  // The spliced index must equal a from-scratch build too.
+  PliCache::ValueIndex fresh;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ValueIndexApplyInsert(&fresh, static_cast<Pli::RowId>(i), rows[i].Get(a));
+  }
+  EXPECT_EQ(index, fresh);
+}
+
+TEST(PliPatchTest, ApplyBatchHandlesInsertBursts) {
+  const AttrId a = 7;
+  std::vector<Tuple> rows = RowsWithValues(a, {5, 6, 5});
+  Pli pli = Pli::Build(rows, a);
+  PliCache::ValueIndex index;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ValueIndexApplyInsert(&index, static_cast<Pli::RowId>(i), rows[i].Get(a));
+  }
+
+  // Rows 3 and 4 appended: one joins value 6 (un-strips row 1), one a new
+  // value 9 (stays stripped).
+  for (int64_t v : {6, 9}) {
+    Tuple t;
+    t.Set(a, Value::Int(v));
+    rows.push_back(std::move(t));
+  }
+  std::vector<std::pair<Pli::RowId, const Value*>> inserts = {
+      {3, rows[3].Get(a)}, {4, rows[4].Get(a)}};
+  std::vector<Pli::ClusterPatch> patches =
+      ValueIndexApplyInsertBatch(&index, inserts);
+  pli.SetNumRows(rows.size());
+  ASSERT_TRUE(pli.ApplyBatch(std::move(patches), /*defined_delta=*/2));
+  EXPECT_EQ(pli, Pli::Build(rows, a));
+  EXPECT_EQ(pli.defined_rows(), 5u);
+  EXPECT_EQ(pli.NumDistinct(), 3u);
+}
+
+TEST(PliPatchTest, ApplyBatchRefusesContradictionsAsANoOp) {
+  const AttrId a = 2;
+  std::vector<Tuple> rows = RowsWithValues(a, {4, 4, 6, 6});
+  Pli pli = Pli::Build(rows, a);
+  const Pli before = pli;
+  // A patch claiming a three-row cluster fronted by row 0 contradicts the
+  // actual {0,1}: the whole batch must refuse without touching anything.
+  std::vector<Pli::ClusterPatch> patches;
+  patches.push_back(Pli::ClusterPatch{0, 3, {0, 1, 2}});
+  EXPECT_FALSE(pli.ApplyBatch(std::move(patches), 0));
+  EXPECT_EQ(pli, before);
+  EXPECT_EQ(pli.defined_rows(), before.defined_rows());
+  EXPECT_EQ(pli.grouped_rows(), before.grouped_rows());
+}
+
+// ---------------------------------------------------------------------------
+// Transactional batch entry points: semantics and atomicity.
+// ---------------------------------------------------------------------------
+
+TEST(BatchMutationTest, UpdatesComposeAndMayTargetBatchInsertedRows) {
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("a");
+  AttrId b = catalog.Intern("b");
+  FlexibleRelation rel = FlexibleRelation::Derived("tx", DependencySet());
+  Tuple seed;
+  seed.Set(a, Value::Int(1));
+  rel.InsertUnchecked(seed);
+
+  // Op order matters: the inserted row is addressable at index size(),
+  // and two updates to row 0 compose left to right.
+  Tuple fresh;
+  fresh.Set(a, Value::Int(2));
+  std::vector<FlexibleRelation::Mutation> batch;
+  batch.push_back(FlexibleRelation::Mutation::Insert(fresh));
+  batch.push_back(FlexibleRelation::Mutation::Update(1, b, Value::Int(10)));
+  batch.push_back(FlexibleRelation::Mutation::Update(0, a, Value::Int(3)));
+  batch.push_back(FlexibleRelation::Mutation::Update(0, b, Value::Int(4)));
+  ASSERT_TRUE(rel.ApplyBatch(std::move(batch)).ok());
+
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.row(0).Get(a)->as_int(), 3);
+  EXPECT_EQ(rel.row(0).Get(b)->as_int(), 4);
+  EXPECT_EQ(rel.row(1).Get(a)->as_int(), 2);
+  EXPECT_EQ(rel.row(1).Get(b)->as_int(), 10);
+}
+
+TEST(BatchMutationTest, FailedBatchLeavesRelationAndCacheUntouched) {
+  EmployeeConfig config;
+  config.num_variants = 3;
+  config.attrs_per_variant = 2;
+  config.rows = 60;
+  config.seed = SoakSeed(7);
+  auto ex = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(ex.ok()) << ex.status();
+  EmployeeWorkload& workload = *ex.value();
+  FlexibleRelation& rel = workload.relation;
+  Rng rng(SoakSeed(7));
+
+  // Warm the cache so a leaky batch would corrupt something observable.
+  SoakKeys keys;
+  keys.partitions.push_back(AttrSet::Of(workload.id_attr));
+  keys.partitions.push_back(AttrSet::Of(workload.jobtype_attr));
+  keys.partitions.push_back(
+      AttrSet{workload.id_attr, workload.jobtype_attr});
+  keys.indexes = {workload.id_attr, workload.jobtype_attr};
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  for (const AttrSet& k : keys.partitions) (void)cache->Get(k);
+  for (AttrId a : keys.indexes) (void)cache->IndexFor(a);
+
+  const std::vector<Tuple> rows_before = rel.rows();
+  auto expect_untouched = [&](const char* what) {
+    ASSERT_EQ(rel.rows(), rows_before) << what << " mutated the relation";
+    ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, what));
+  };
+
+  // Valid ops followed by an ill-typed insert: all-or-nothing.
+  {
+    std::vector<FlexibleRelation::Mutation> batch;
+    batch.push_back(
+        FlexibleRelation::Mutation::Insert(RandomEmployee(workload, &rng)));
+    batch.push_back(FlexibleRelation::Mutation::Update(
+        0, workload.id_attr, Value::Int(123456)));
+    Tuple mistyped = RandomEmployee(workload, &rng);
+    mistyped.Erase(workload.jobtype_attr);  // shape violation
+    batch.push_back(FlexibleRelation::Mutation::Insert(std::move(mistyped)));
+    Status s = rel.ApplyBatch(std::move(batch));
+    ASSERT_FALSE(s.ok());
+    expect_untouched("ill-typed batch");
+  }
+  // A duplicate insert *within* the batch trips set semantics.
+  {
+    Tuple t = RandomEmployee(workload, &rng);
+    std::vector<FlexibleRelation::Mutation> batch;
+    batch.push_back(FlexibleRelation::Mutation::Insert(t));
+    batch.push_back(FlexibleRelation::Mutation::Insert(t));
+    Status s = rel.ApplyBatch(std::move(batch));
+    ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+    expect_untouched("duplicate batch");
+  }
+  // An out-of-range update (even pointing just past the staged inserts).
+  {
+    std::vector<FlexibleRelation::Mutation> batch;
+    batch.push_back(
+        FlexibleRelation::Mutation::Insert(RandomEmployee(workload, &rng)));
+    batch.push_back(FlexibleRelation::Mutation::Update(
+        rel.size() + 1, workload.id_attr, Value::Int(7)));
+    Status s = rel.ApplyBatch(std::move(batch));
+    ASSERT_EQ(s.code(), StatusCode::kOutOfRange) << s;
+    expect_untouched("out-of-range batch");
+  }
+  // A jobtype flip without fill values for the new variant's attributes.
+  {
+    std::vector<FlexibleRelation::Mutation> batch;
+    size_t row = rng.Index(rel.size());
+    int variant = static_cast<int>(rng.Index(workload.jobtype_values.size()));
+    batch.push_back(FlexibleRelation::Mutation::Update(
+        row, workload.jobtype_attr, workload.jobtype_values[variant]));
+    Status s = rel.ApplyBatch(std::move(batch));
+    if (!s.ok()) {  // same variant drawn -> no type change -> ok is fine
+      ASSERT_EQ(s.code(), StatusCode::kFailedPrecondition) << s;
+      expect_untouched("fill-less type change");
+    }
+  }
+  // And after all those refusals, a valid batch still lands.
+  ASSERT_TRUE(
+      rel.InsertRows({RandomEmployee(workload, &rng)}).ok());
+  EXPECT_EQ(rel.size(), rows_before.size() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized batch soak: InsertRows/UpdateRows/ApplyBatch bursts of sizes
+// 1/8/64/512 interleaved with single-row ops and reads, every cached
+// structure checked against from-scratch rebuilds after each round. The
+// low drop_threshold makes the 512-row bursts cross the drop-everything
+// arm, so all three flush policies are exercised in one soak.
+// ---------------------------------------------------------------------------
+
+TEST(EngineIncrementalSoak, BatchBurstsMatchRebuildsAcrossAllPolicies) {
+  Rng rng(SoakSeed(5));
+  AttrCatalog catalog;
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < 6; ++i) attrs.push_back(catalog.Intern(StrCat("d", i)));
+
+  FlexibleRelation rel = FlexibleRelation::Derived("burst", DependencySet());
+  // Let the 512-bursts hit the drop arm even after coalescing shrinks them
+  // (same-row re-draws and value no-ops net out of the flush).
+  PliCacheOptions options;
+  options.drop_threshold = 128;
+  rel.SetPliCacheOptions(options);
+  for (int i = 0; i < 300; ++i) {
+    rel.InsertUnchecked(RandomSoakTuple(attrs, &rng));
+  }
+
+  SoakKeys keys;
+  for (AttrId a : attrs) keys.partitions.push_back(AttrSet::Of(a));
+  keys.partitions.push_back(AttrSet{attrs[0], attrs[1]});
+  keys.partitions.push_back(AttrSet{attrs[1], attrs[2], attrs[3]});
+  keys.partitions.push_back(AttrSet());
+  keys.indexes = {attrs[0], attrs[2], attrs[5]};
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  auto warm = [&] {
+    for (const AttrSet& k : keys.partitions) (void)cache->Get(k);
+    for (AttrId a : keys.indexes) (void)cache->IndexFor(a);
+  };
+  warm();
+
+  auto random_update_burst = [&](size_t burst) {
+    std::vector<FlexibleRelation::UpdateSpec> updates;
+    updates.reserve(burst);
+    for (size_t i = 0; i < burst; ++i) {
+      updates.push_back({rng.Index(rel.size()), attrs[rng.Index(attrs.size())],
+                         RandomSoakValue(&rng), Tuple()});
+    }
+    return updates;
+  };
+
+  const size_t kBursts[] = {1, 8, 64, 512};
+  for (int round = 0; round < 30; ++round) {
+    size_t burst = kBursts[rng.Index(4)];
+    double dice = rng.UniformDouble();
+    std::string what;
+    if (dice < 0.25) {
+      // Checked bulk insert; random tuples may collide with set semantics,
+      // in which case the whole batch must bounce atomically. Insert
+      // bursts stay small so the instance keeps its size class.
+      size_t n = std::min<size_t>(burst, 8);
+      std::vector<Tuple> rows;
+      const std::vector<Tuple> before = rel.rows();
+      for (size_t i = 0; i < n; ++i) {
+        rows.push_back(RandomSoakTuple(attrs, &rng));
+      }
+      Status s = rel.InsertRows(std::move(rows));
+      if (!s.ok()) {
+        ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+        ASSERT_EQ(rel.rows(), before) << "failed InsertRows must be a no-op";
+      }
+      what = StrCat("insert-rows(", n, s.ok() ? ",ok)" : ",dup)");
+    } else if (dice < 0.55) {
+      auto deltas = rel.UpdateRows(random_update_burst(burst));
+      ASSERT_TRUE(deltas.ok()) << deltas.status();
+      what = StrCat("update-rows(", burst, ")");
+    } else if (dice < 0.8) {
+      // Mixed transactional batch: updates interleaved with a few inserts,
+      // some updates aimed at rows the same batch inserts.
+      std::vector<FlexibleRelation::Mutation> batch;
+      size_t inserted = 0;
+      for (size_t i = 0; i < burst; ++i) {
+        if (inserted < 4 && rng.Bernoulli(0.1)) {
+          batch.push_back(FlexibleRelation::Mutation::Insert(
+              RandomSoakTuple(attrs, &rng)));
+          ++inserted;
+        } else if (inserted > 0 && rng.Bernoulli(0.2)) {
+          batch.push_back(FlexibleRelation::Mutation::Update(
+              rel.size() + rng.Index(inserted), attrs[rng.Index(attrs.size())],
+              RandomSoakValue(&rng)));
+        } else {
+          batch.push_back(FlexibleRelation::Mutation::Update(
+              rng.Index(rel.size()), attrs[rng.Index(attrs.size())],
+              RandomSoakValue(&rng)));
+        }
+      }
+      const std::vector<Tuple> before = rel.rows();
+      Status s = rel.ApplyBatch(std::move(batch));
+      if (!s.ok()) {
+        ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+        ASSERT_EQ(rel.rows(), before) << "failed ApplyBatch must be a no-op";
+      }
+      what = StrCat("apply-batch(", burst, s.ok() ? ",ok)" : ",dup)");
+    } else {
+      // Single-row ops between bursts keep the per-row path in the mix.
+      size_t row = rng.Index(rel.size());
+      auto delta = rel.Update(row, attrs[rng.Index(attrs.size())],
+                              RandomSoakValue(&rng));
+      ASSERT_TRUE(delta.ok()) << delta.status();
+      what = StrCat("single-update(row=", row, ")");
+    }
+    warm();  // reads flush the buffered burst through the adaptive policy
+    ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(
+        rel, keys, StrCat("burst round#", round, " [", what, "]")));
+  }
+  // Deterministic closing bursts so all three flush arms are exercised
+  // regardless of the draw sequence above: a single update (per-row), a
+  // mid-size burst (batched window), and an oversized one (drop).
+  ASSERT_TRUE(rel.UpdateRows(random_update_burst(1)).ok());
+  warm();
+  ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "final 1 burst"));
+  ASSERT_TRUE(rel.UpdateRows(random_update_burst(48)).ok());
+  warm();
+  ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "final 48 burst"));
+  ASSERT_TRUE(rel.UpdateRows(random_update_burst(512)).ok());
+  warm();
+  ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "final 512 burst"));
+  EXPECT_GT(cache->patches(), 0u) << "per-row path never ran";
+  EXPECT_GT(cache->batch_applies(), 0u) << "batched path never ran";
+  EXPECT_GT(cache->full_drops(), 0u) << "drop-everything path never ran";
+  EXPECT_EQ(cache->pending_deltas(), 0u);
+  EXPECT_EQ(cache.get(), rel.pli_cache().get())
+      << "batched maintenance must keep the attached cache alive";
+}
+
+// ---------------------------------------------------------------------------
+// The adaptive policy against its two pinned references: batch_threshold =
+// SIZE_MAX forces the PR 3 per-row path, incremental = false the drop-
+// everything oracle. One identical mutation stream, three relations, every
+// tracked structure equal after every burst.
+// ---------------------------------------------------------------------------
+
+TEST(EngineIncrementalSoak, AdaptivePolicyMatchesPerRowAndDropOracles) {
+  Rng rng(SoakSeed(6));
+  AttrCatalog catalog;
+  std::vector<AttrId> attrs;
+  for (int i = 0; i < 5; ++i) attrs.push_back(catalog.Intern(StrCat("e", i)));
+
+  FlexibleRelation adaptive =
+      FlexibleRelation::Derived("adaptive", DependencySet());
+  FlexibleRelation per_row =
+      FlexibleRelation::Derived("per-row", DependencySet());
+  FlexibleRelation oracle = FlexibleRelation::Derived("ora", DependencySet());
+  PliCacheOptions pinned;
+  pinned.batch_threshold = SIZE_MAX;
+  pinned.drop_threshold = SIZE_MAX;
+  per_row.SetPliCacheOptions(pinned);
+  PliCacheOptions drop_everything;
+  drop_everything.incremental = false;
+  oracle.SetPliCacheOptions(drop_everything);
+  FlexibleRelation* rels[] = {&adaptive, &per_row, &oracle};
+
+  SoakKeys keys;
+  for (AttrId a : attrs) keys.partitions.push_back(AttrSet::Of(a));
+  keys.partitions.push_back(AttrSet{attrs[0], attrs[2]});
+  keys.indexes = {attrs[1], attrs[3]};
+  auto touch = [&](FlexibleRelation* rel) {
+    std::shared_ptr<PliCache> cache = rel->pli_cache();
+    for (const AttrSet& k : keys.partitions) (void)cache->Get(k);
+    for (AttrId a : keys.indexes) (void)cache->IndexFor(a);
+  };
+
+  // Identical instances: one draw per row, applied to all three.
+  for (int i = 0; i < 150; ++i) {
+    Tuple t = RandomSoakTuple(attrs, &rng);
+    for (FlexibleRelation* rel : rels) rel->InsertUnchecked(t);
+  }
+  for (FlexibleRelation* rel : rels) touch(rel);
+
+  const size_t kBursts[] = {1, 8, 64};
+  for (int round = 0; round < 20; ++round) {
+    // The last round always runs the largest burst, so the batched arm is
+    // exercised (and the batch_applies assertions below hold) for every
+    // seed.
+    size_t burst = round == 19 ? 64 : kBursts[rng.Index(3)];
+    std::vector<FlexibleRelation::UpdateSpec> updates;
+    for (size_t i = 0; i < burst; ++i) {
+      updates.push_back({rng.Index(adaptive.size()),
+                         attrs[rng.Index(attrs.size())],
+                         RandomSoakValue(&rng), Tuple()});
+    }
+    for (FlexibleRelation* rel : rels) {
+      auto copy = updates;
+      ASSERT_TRUE(rel->UpdateRows(std::move(copy)).ok());
+      touch(rel);
+    }
+    std::shared_ptr<PliCache> lhs = adaptive.pli_cache();
+    std::shared_ptr<PliCache> mid = per_row.pli_cache();
+    std::shared_ptr<PliCache> rhs = oracle.pli_cache();
+    for (const AttrSet& k : keys.partitions) {
+      ASSERT_EQ(*lhs->Get(k), *mid->Get(k))
+          << "round#" << round << " adaptive vs per-row " << k.ToString();
+      ASSERT_EQ(*lhs->Get(k), *rhs->Get(k))
+          << "round#" << round << " adaptive vs oracle " << k.ToString();
+      ASSERT_EQ(lhs->Get(k)->defined_rows(), rhs->Get(k)->defined_rows())
+          << "round#" << round << " " << k.ToString();
+    }
+    for (AttrId a : keys.indexes) {
+      ASSERT_EQ(*lhs->IndexFor(a), *mid->IndexFor(a)) << "round#" << round;
+      ASSERT_EQ(*lhs->IndexFor(a), *rhs->IndexFor(a)) << "round#" << round;
+    }
+  }
+  // The three maintenance modes must actually have diverged in mechanism.
+  EXPECT_GT(adaptive.pli_cache()->batch_applies(), 0u);
+  EXPECT_EQ(per_row.pli_cache()->batch_applies(), 0u);
+  EXPECT_GT(per_row.pli_cache()->patches(), 0u);
+  EXPECT_EQ(oracle.pli_cache()->patches(), 0u);
 }
 
 }  // namespace
