@@ -13,7 +13,10 @@ hard-fails on any inversion:
   * the PLI-backed pair join slower than the naive nested-loop join.
 
 Thresholds are deliberately loose (>= 1.0x, i.e. inversion only): shared CI
-runners are noisy, and the margins these assert on are 3x-200x locally.
+runners are noisy, and the margins these assert on are 3x-200x locally. On
+top of that, each benchmark runs three repetitions and the comparison uses
+the medians, so a single noisy-neighbor spike cannot invert a ratio and
+fail an unrelated PR.
 """
 
 import argparse
@@ -45,6 +48,7 @@ def run_bench(build_dir, out_dir, binary, bench_filter, out_name):
         str(build_dir / binary),
         f"--benchmark_filter={bench_filter}",
         "--benchmark_min_time=0.1",
+        "--benchmark_repetitions=3",
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
     ]
@@ -53,9 +57,13 @@ def run_bench(build_dir, out_dir, binary, bench_filter, out_name):
     with open(out_path) as f:
         data = json.load(f)
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    # Compare the median across repetitions: a single noisy-neighbor spike
+    # on a shared runner then cannot invert a healthy ratio. run_name is
+    # the undecorated benchmark name the aggregate was computed for.
     return {
-        b["name"]: b["real_time"] * scale[b.get("time_unit", "ns")]
+        b["run_name"]: b["real_time"] * scale[b.get("time_unit", "ns")]
         for b in data["benchmarks"]
+        if b.get("aggregate_name") == "median"
     }
 
 

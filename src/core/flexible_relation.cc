@@ -300,10 +300,18 @@ Status FlexibleRelation::ApplyBatchImpl(
       }
       if (deltas != nullptr) deltas->push_back(std::move(delta).value());
       if (instance.has_value()) {
-        // Retire the pre-update state by value; the matching entry is (or
-        // equals) `before`'s own pointer.
-        auto it = instance->find(&before);
-        if (it != instance->end()) instance->erase(it);
+        // Retire the pre-update state by pointer identity. Value-equal
+        // duplicates are legal mid-batch (updates skip the dup check), so
+        // find() could pick a twin and leave `before`'s own pointer in the
+        // set while its slot is overwritten below — a live hash key
+        // mutating under the container.
+        auto [lo, hi] = instance->equal_range(&before);
+        for (auto it = lo; it != hi; ++it) {
+          if (*it == &before) {
+            instance->erase(it);
+            break;
+          }
+        }
       }
       if (u.index >= base) {
         Tuple& slot = staged_inserts[u.index - base];

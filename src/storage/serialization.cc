@@ -1,5 +1,6 @@
 #include "storage/serialization.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -401,7 +402,12 @@ Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
   }
   FLEXREL_ASSIGN_OR_RETURN(size_t row_count, ParseCount(line.substr(5)));
   std::vector<Tuple> loaded_rows;
-  loaded_rows.reserve(row_count);
+  // The header's count is untrusted input: cap the up-front reserve so a
+  // corrupt 'rows N' line cannot force a giant allocation (which would
+  // throw past the Status-based error handling). Real row counts above
+  // the cap just grow geometrically as lines actually parse.
+  constexpr size_t kMaxReserveRows = 1u << 16;
+  loaded_rows.reserve(std::min(row_count, kMaxReserveRows));
   for (size_t r = 0; r < row_count; ++r) {
     FLEXREL_ASSIGN_OR_RETURN(std::string row_text, next_line("row "));
     FLEXREL_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&db->catalog, row_text));

@@ -539,6 +539,76 @@ TEST(BatchMutationTest, UpdatesComposeAndMayTargetBatchInsertedRows) {
   EXPECT_EQ(rel.row(1).Get(b)->as_int(), 10);
 }
 
+TEST(BatchMutationTest, DuplicateCheckSurvivesValueEqualTwinsMidBatch) {
+  // Mid-batch the staged instance legally holds value-equal twins —
+  // updates never duplicate-check. When one twin then moves on to a new
+  // value, the staged membership set must retire *that* row's entry, not
+  // whichever value-equal entry find() lands on: erasing the wrong twin
+  // left the set's survivor pointing at the slot about to be overwritten
+  // in place (a live hash key mutating), after which a later duplicate
+  // insert slipped through. Which twin find() prefers depends on the
+  // stdlib's equal-group ordering, so both orders are exercised: one
+  // scenario where the wrong twin is an older pre-existing row, one
+  // where it is a newer staged entry.
+  AttrCatalog catalog;
+  AttrId a = catalog.Intern("a");
+  auto seeded = [&](std::initializer_list<int> values) {
+    FlexibleRelation rel =
+        FlexibleRelation::Derived("twins", DependencySet());
+    for (int v : values) {
+      Tuple t;
+      t.Set(a, Value::Int(v));
+      rel.InsertUnchecked(t);
+    }
+    return rel;
+  };
+  Tuple nine, two;
+  nine.Set(a, Value::Int(9));
+  two.Set(a, Value::Int(2));
+
+  // Twin is the pre-existing row 1: row 0 passes through (a:2) — a dup of
+  // row 1 — then moves on, and the final insert must still see row 1.
+  {
+    FlexibleRelation rel = seeded({1, 2});
+    std::vector<FlexibleRelation::Mutation> batch;
+    batch.push_back(FlexibleRelation::Mutation::Insert(nine));
+    batch.push_back(FlexibleRelation::Mutation::Update(0, a, Value::Int(2)));
+    batch.push_back(FlexibleRelation::Mutation::Update(0, a, Value::Int(5)));
+    batch.push_back(FlexibleRelation::Mutation::Insert(two));
+    Status s = rel.ApplyBatch(std::move(batch));
+    ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+    ASSERT_EQ(rel.size(), 2u);
+    EXPECT_EQ(rel.row(0).Get(a)->as_int(), 1);
+  }
+  // Twin is the newer staged overlay of row 0: the batch-inserted row 1
+  // passes through (a:2), moves on, and the final insert must still see
+  // row 0's staged (a:2).
+  {
+    FlexibleRelation rel = seeded({1});
+    std::vector<FlexibleRelation::Mutation> batch;
+    batch.push_back(FlexibleRelation::Mutation::Insert(two));
+    batch.push_back(FlexibleRelation::Mutation::Update(0, a, Value::Int(2)));
+    batch.push_back(FlexibleRelation::Mutation::Update(1, a, Value::Int(5)));
+    batch.push_back(FlexibleRelation::Mutation::Insert(two));
+    Status s = rel.ApplyBatch(std::move(batch));
+    ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
+    ASSERT_EQ(rel.size(), 1u);
+    EXPECT_EQ(rel.row(0).Get(a)->as_int(), 1);
+  }
+  // The same prefix without the duplicating insert commits cleanly — the
+  // erase-by-identity must not spuriously reject valid inserts either.
+  {
+    FlexibleRelation rel = seeded({1, 2});
+    std::vector<FlexibleRelation::Mutation> batch;
+    batch.push_back(FlexibleRelation::Mutation::Insert(nine));
+    batch.push_back(FlexibleRelation::Mutation::Update(0, a, Value::Int(2)));
+    batch.push_back(FlexibleRelation::Mutation::Update(0, a, Value::Int(5)));
+    ASSERT_TRUE(rel.ApplyBatch(std::move(batch)).ok());
+    ASSERT_EQ(rel.size(), 3u);
+    EXPECT_EQ(rel.row(0).Get(a)->as_int(), 5);
+  }
+}
+
 TEST(BatchMutationTest, FailedBatchLeavesRelationAndCacheUntouched) {
   EmployeeConfig config;
   config.num_variants = 3;
