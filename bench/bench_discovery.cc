@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/discovery.h"
+#include "engine/parallel_discovery.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -69,6 +70,35 @@ void BM_DiscoveryBruteForceLhs3(benchmark::State& state) {
   RunDiscovery(state, /*use_engine=*/false, /*max_lhs=*/3);
 }
 BENCHMARK(BM_DiscoveryBruteForceLhs3)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// The engine against itself across cluster-storage modes: CSR arena vs the
+// vector-of-vectors reference, same lattice, same cache policy. Isolates
+// what the memory layout alone buys discovery's intersection sweeps.
+void RunEngineDiscoveryStorage(benchmark::State& state, bool reference) {
+  std::vector<Tuple> rows = MakeRows(static_cast<size_t>(state.range(0)), 9);
+  AttrSet universe = UniverseOf(rows);
+  EngineDiscoveryOptions options;
+  options.max_lhs_size = 3;
+  options.reference_storage = reference;
+  for (auto _ : state) {
+    DependencySet deps = EngineDiscoverDependencies(rows, universe, options);
+    benchmark::DoNotOptimize(deps);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_DiscoveryArenaStorage(benchmark::State& state) {
+  RunEngineDiscoveryStorage(state, /*reference=*/false);
+}
+BENCHMARK(BM_DiscoveryArenaStorage)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiscoveryReferenceStorage(benchmark::State& state) {
+  RunEngineDiscoveryStorage(state, /*reference=*/true);
+}
+BENCHMARK(BM_DiscoveryReferenceStorage)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

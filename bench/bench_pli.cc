@@ -61,24 +61,33 @@ void BM_PliBuildPairDirect(benchmark::State& state) {
 }
 BENCHMARK(BM_PliBuildPairDirect)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_PliIntersect(benchmark::State& state) {
-  // What the engine does instead: integer-valued refinement of cached
-  // single-attribute partitions.
+// Integer-valued refinement of cached single-attribute partitions, per
+// cluster-storage mode: the CSR arena (default) against the historical
+// vector-of-vectors reference it replaced.
+void PliIntersectBench(benchmark::State& state, Pli::Storage storage) {
   std::vector<Tuple> rows = MakeRows(static_cast<size_t>(state.range(0)), 5);
-  Pli a = Pli::Build(rows, AttrId{1});
-  Pli b = Pli::Build(rows, AttrId{2});
+  Pli a = Pli::Build(rows, AttrId{1}, storage);
+  Pli b = Pli::Build(rows, AttrId{2}, storage);
+  PliProbe probe = b.BuildProbe();  // amortized by the cache's probe memo
   for (auto _ : state) {
-    Pli product = a.Intersect(b);
+    Pli product = a.IntersectWithProbe(probe);
     benchmark::DoNotOptimize(product);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
 }
+void BM_PliIntersect(benchmark::State& state) {
+  PliIntersectBench(state, Pli::Storage::kArena);
+}
+void BM_PliIntersectReference(benchmark::State& state) {
+  PliIntersectBench(state, Pli::Storage::kVectors);
+}
 BENCHMARK(BM_PliIntersect)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_PliIntersectReference)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// A full |X| = 2 lattice level through a cold cache: every pair partition
+// assembled out of pinned single-attribute partitions.
 void BM_PliCacheLevelSweep(benchmark::State& state) {
-  // A full |X| = 2 lattice level through a cold cache: every pair partition
-  // assembled out of pinned single-attribute partitions.
   std::vector<Tuple> rows = MakeRows(static_cast<size_t>(state.range(0)), 5);
   AttrSet universe;
   for (const Tuple& t : rows) universe = universe.Union(t.attrs());
@@ -95,6 +104,64 @@ void BM_PliCacheLevelSweep(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_PliCacheLevelSweep)->Arg(1000)->Arg(10000);
+
+// Dense categorical rows: every attribute present on every row, values in
+// [0, spread) — the regime where every lattice-level product carries
+// hundreds of clusters and the vector-of-vectors layout pays one heap
+// allocation per cluster per intersection.
+std::vector<Tuple> MakeDenseRows(size_t n, AttrId num_attrs, int64_t spread,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    for (AttrId a = 0; a < num_attrs; ++a) {
+      t.Set(a, Value::Int(rng.UniformInt(0, spread - 1)));
+    }
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+// The discovery-shaped intersection sweep, warm: single-attribute
+// partitions and their probes are built once (in real discovery they are
+// pinned and amortized over every lattice level) and each iteration
+// assembles the full |X| = 2 and |X| = 3 candidate levels by probe-based
+// refinement over a dense categorical instance — the allocation-bound work
+// the CSR arena exists to accelerate, isolated from the
+// storage-independent single-attribute hash builds.
+void PliLevelSweepBench(benchmark::State& state, Pli::Storage storage) {
+  std::vector<Tuple> rows =
+      MakeDenseRows(static_cast<size_t>(state.range(0)), 8, 10, 5);
+  std::vector<Pli> singles;
+  std::vector<PliProbe> probes;
+  for (AttrId id = 0; id < 8; ++id) {
+    singles.push_back(Pli::Build(rows, id, storage));
+    probes.push_back(singles.back().BuildProbe());
+  }
+  for (auto _ : state) {
+    for (size_t i = 0; i < singles.size(); ++i) {
+      for (size_t j = i + 1; j < singles.size(); ++j) {
+        Pli pair = singles[i].IntersectWithProbe(probes[j]);
+        for (size_t k = j + 1; k < singles.size(); ++k) {
+          benchmark::DoNotOptimize(pair.IntersectWithProbe(probes[k]));
+        }
+        benchmark::DoNotOptimize(pair);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+void BM_PliLevelSweep(benchmark::State& state) {
+  PliLevelSweepBench(state, Pli::Storage::kArena);
+}
+void BM_PliLevelSweepReference(benchmark::State& state) {
+  PliLevelSweepBench(state, Pli::Storage::kVectors);
+}
+BENCHMARK(BM_PliLevelSweep)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_PliLevelSweepReference)->Arg(1000)->Arg(10000);
 
 // ---------------------------------------------------------------------------
 // Mutate-then-query: the workload incremental maintenance exists for. Each
@@ -125,9 +192,11 @@ enum class MaintenanceMode {
 };
 
 FlexibleRelation RelationOf(const std::vector<Tuple>& rows,
-                            MaintenanceMode mode) {
+                            MaintenanceMode mode,
+                            bool arena_storage = true) {
   FlexibleRelation rel = FlexibleRelation::Derived("bench", DependencySet());
   PliCacheOptions options;
+  options.arena_storage = arena_storage;
   if (mode == MaintenanceMode::kPinnedPerRow) {
     options.batch_threshold = SIZE_MAX;
     options.drop_threshold = SIZE_MAX;
@@ -150,7 +219,7 @@ void QueryCache(FlexibleRelation* rel) {
 }
 
 void MutateThenQuery(benchmark::State& state, MaintenanceMode mode,
-                     bool staged_batches) {
+                     bool staged_batches, bool arena_storage = true) {
   const size_t n = static_cast<size_t>(state.range(0));
   const int mutations = static_cast<int>(state.range(1));
   std::vector<Tuple> rows = MakeRows(n, 5);
@@ -164,7 +233,7 @@ void MutateThenQuery(benchmark::State& state, MaintenanceMode mode,
       }
     }
   }
-  FlexibleRelation rel = RelationOf(rows, mode);
+  FlexibleRelation rel = RelationOf(rows, mode, arena_storage);
   QueryCache(&rel);  // attach and warm the cache
   Rng rng(99);
   std::vector<FlexibleRelation::UpdateSpec> burst;
@@ -209,6 +278,18 @@ void MutateThenQuery(benchmark::State& state, MaintenanceMode mode,
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           mutations);
+  // One coherent maintenance-counter snapshot per run: how the flush
+  // policy actually split the work (and how often probes were patched in
+  // place instead of rebuilt).
+  const PliCache::StatsSnapshot stats = rel.pli_cache()->Stats();
+  state.counters["patches"] = static_cast<double>(stats.patches);
+  state.counters["batch_applies"] = static_cast<double>(stats.batch_applies);
+  state.counters["patch_rebuilds"] =
+      static_cast<double>(stats.patch_rebuilds);
+  state.counters["full_drops"] = static_cast<double>(stats.full_drops);
+  state.counters["probe_patches"] = static_cast<double>(stats.probe_patches);
+  state.counters["probe_rebuilds"] =
+      static_cast<double>(stats.probe_rebuilds);
 }
 
 void BM_MutateThenQueryIncremental(benchmark::State& state) {
@@ -217,6 +298,12 @@ void BM_MutateThenQueryIncremental(benchmark::State& state) {
 }
 void BM_MutateThenQueryBatched(benchmark::State& state) {
   MutateThenQuery(state, MaintenanceMode::kAdaptive, /*staged_batches=*/true);
+}
+// The same staged bursts over vector-of-vectors clusters: the storage
+// reference the arena must beat (perf_smoke hard-fails an inversion).
+void BM_MutateThenQueryBatchedReference(benchmark::State& state) {
+  MutateThenQuery(state, MaintenanceMode::kAdaptive, /*staged_batches=*/true,
+                  /*arena_storage=*/false);
 }
 void BM_MutateThenQueryPerRow(benchmark::State& state) {
   MutateThenQuery(state, MaintenanceMode::kPinnedPerRow,
@@ -234,9 +321,70 @@ void BM_MutateThenQueryRebuild(benchmark::State& state) {
       ->Args({100000, 1})->Args({100000, 8})->Args({100000, 64})
 FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryIncremental);
 FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryBatched);
+FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryBatchedReference);
 FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryPerRow);
 FLEXREL_MUTATE_SWEEP(BM_MutateThenQueryRebuild);
 #undef FLEXREL_MUTATE_SWEEP
+
+// The engine-side cost of one batched flush: a 64-update burst staged
+// straight into the cache's delta buffer (OnUpdateBatch) and flushed by the
+// next read — the value-index splices, the group-applies, the probe
+// patches, and the multi-attribute re-intersections, isolated from the
+// transactional validation FlexibleRelation layers above them
+// (BM_MutateThenQueryBatched measures the full round). The dense instance
+// keeps pair/triple partitions cluster-rich, so the burst saturates them
+// and every read pays the re-intersections the arena accelerates. Arena vs
+// the vector-of-vectors reference; perf_smoke hard-fails an inversion.
+void CacheBatchedFlushBench(benchmark::State& state, bool arena) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int mutations = static_cast<int>(state.range(1));
+  std::vector<Tuple> rows = MakeDenseRows(n, 8, 10, 5);
+  PliCacheOptions options;
+  options.arena_storage = arena;
+  PliCache cache(&rows, options);
+  auto query = [&cache] {
+    benchmark::DoNotOptimize(cache.IndexFor(0));
+    benchmark::DoNotOptimize(cache.Get(AttrSet::Of(0)));
+    benchmark::DoNotOptimize(cache.Get(AttrSet{0, 1}));
+    benchmark::DoNotOptimize(cache.Get(AttrSet{0, 2}));
+    benchmark::DoNotOptimize(cache.Get(AttrSet{1, 2}));
+    benchmark::DoNotOptimize(cache.Get(AttrSet{0, 1, 2}));
+    benchmark::DoNotOptimize(cache.Get(AttrSet{1, 2, 3}));
+  };
+  query();
+  Rng rng(99);
+  std::vector<std::pair<Pli::RowId, Tuple>> burst;
+  burst.reserve(static_cast<size_t>(mutations));
+  for (auto _ : state) {
+    burst.clear();
+    for (int m = 0; m < mutations; ++m) {
+      const size_t row = rng.Index(rows.size());
+      burst.emplace_back(static_cast<Pli::RowId>(row), rows[row]);
+      rows[row].Set(static_cast<AttrId>(rng.Index(3)),
+                    Value::Int(rng.UniformInt(0, 9)));
+    }
+    cache.OnUpdateBatch(std::move(burst));
+    burst = {};
+    query();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          mutations);
+  const PliCache::StatsSnapshot stats = cache.Stats();
+  state.counters["batch_applies"] = static_cast<double>(stats.batch_applies);
+  state.counters["probe_patches"] = static_cast<double>(stats.probe_patches);
+  state.counters["probe_rebuilds"] =
+      static_cast<double>(stats.probe_rebuilds);
+}
+void BM_CacheBatchedFlush(benchmark::State& state) {
+  CacheBatchedFlushBench(state, /*arena=*/true);
+}
+void BM_CacheBatchedFlushReference(benchmark::State& state) {
+  CacheBatchedFlushBench(state, /*arena=*/false);
+}
+BENCHMARK(BM_CacheBatchedFlush)
+    ->ArgNames({"rows", "muts"})->Args({10000, 64});
+BENCHMARK(BM_CacheBatchedFlushReference)
+    ->ArgNames({"rows", "muts"})->Args({10000, 64});
 
 // Append-then-query: the insert path. The relation is reset (untimed) every
 // time it doubles so both modes amortize identical reset cadence.

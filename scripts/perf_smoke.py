@@ -10,6 +10,9 @@ hard-fails on any inversion:
     rebuild-after-invalidate oracle at any swept mutation ratio;
   * the batched-adaptive flush slower than the pinned per-row reference at
     the 64-mutation burst size (the regime batching exists for);
+  * the CSR-arena cluster storage losing to the vector-of-vectors
+    reference, on either the discovery-shaped level sweep or the
+    64-mutation batched flush (PliCacheOptions::arena_storage);
   * the PLI-backed pair join slower than the naive nested-loop join.
 
 Thresholds are deliberately loose (>= 1.0x, i.e. inversion only): shared CI
@@ -31,7 +34,9 @@ import sys
 RUNS = [
     (
         "bench_pli",
-        "BM_MutateThenQuery(Incremental|Batched|PerRow|Rebuild)/rows:10000/",
+        "BM_MutateThenQuery(Incremental|Batched|BatchedReference|PerRow"
+        "|Rebuild)/rows:10000/|BM_PliLevelSweep(Reference)?/10000"
+        "|BM_CacheBatchedFlush(Reference)?/",
         "perf_smoke_pli.json",
     ),
     (
@@ -106,6 +111,25 @@ def main():
         times,
         "BM_MutateThenQueryBatched/rows:10000/muts:64",
         "BM_MutateThenQueryPerRow/rows:10000/muts:64",
+        failures,
+    )
+    print("CSR arena vs vector-of-vectors reference storage:")
+    expect_faster(
+        times,
+        "BM_PliLevelSweep/10000",
+        "BM_PliLevelSweepReference/10000",
+        failures,
+    )
+    expect_faster(
+        times,
+        "BM_CacheBatchedFlush/rows:10000/muts:64",
+        "BM_CacheBatchedFlushReference/rows:10000/muts:64",
+        failures,
+    )
+    expect_faster(
+        times,
+        "BM_MutateThenQueryBatched/rows:10000/muts:64",
+        "BM_MutateThenQueryBatchedReference/rows:10000/muts:64",
         failures,
     )
     print("PLI pair join vs naive:")

@@ -29,22 +29,40 @@ bool IsIndexableSelect(const Expr& formula) {
 
 std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
                                      const Expr& formula) {
-  std::vector<Pli::RowId> matched;
+  // Borrow the matching values' clusters from the index — each is an
+  // ascending row list, and distinct values own pairwise disjoint rows.
+  std::vector<const std::vector<Pli::RowId>*> lists;
   auto add_value = [&](const Value& v) {
     // Comparing a null (or comparing against one) yields Unknown under the
     // Kleene semantics, never True — so the Null cluster stays out.
     if (v.is_null()) return;
     auto it = index.find(v);
-    if (it == index.end()) return;
-    matched.insert(matched.end(), it->second.begin(), it->second.end());
+    if (it != index.end()) lists.push_back(&it->second);
   };
   if (formula.kind() == ExprKind::kCompare) {
     add_value(formula.literal());
   } else {
     for (const Value& v : formula.values()) add_value(v);
   }
-  // Distinct values own disjoint clusters; sorting restores scan order.
-  std::sort(matched.begin(), matched.end());
+  if (lists.empty()) return {};
+  // Merge the sorted disjoint lists back into scan order — the equality
+  // case is a plain copy, IN lists fold in pairwise with exact-size
+  // allocations (no concat-then-sort).
+  std::vector<Pli::RowId> matched(lists.front()->begin(),
+                                  lists.front()->end());
+  if (lists.size() > 1) {
+    size_t total = 0;
+    for (const auto* list : lists) total += list->size();
+    matched.reserve(total);
+    std::vector<Pli::RowId> merged;
+    merged.reserve(total);
+    for (size_t l = 1; l < lists.size(); ++l) {
+      merged.clear();
+      std::merge(matched.begin(), matched.end(), lists[l]->begin(),
+                 lists[l]->end(), std::back_inserter(merged));
+      matched.swap(merged);
+    }
+  }
   return matched;
 }
 

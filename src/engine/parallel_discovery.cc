@@ -12,6 +12,15 @@ namespace flexrel {
 
 namespace {
 
+// Translates the discovery knobs into partition-cache options (LRU bound +
+// cluster-storage pin) for the rows-based entry points.
+PliCache::Options CacheOptionsOf(const EngineDiscoveryOptions& options) {
+  PliCache::Options out;
+  out.max_entries = options.cache_max_entries;
+  out.arena_storage = !options.reference_storage;
+  return out;
+}
+
 size_t ResolveThreads(size_t requested, size_t work_items) {
   size_t n = requested != 0 ? requested : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
@@ -155,7 +164,7 @@ std::vector<FuncDep> EngineDiscoverFuncDeps(
 std::vector<AttrDep> EngineDiscoverAttrDeps(
     const std::vector<Tuple>& rows, const AttrSet& universe,
     const EngineDiscoveryOptions& options) {
-  PliCache cache(&rows, PliCache::Options{options.cache_max_entries});
+  PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
   return EngineDiscoverAttrDeps(&validator, universe, options);
 }
@@ -163,7 +172,7 @@ std::vector<AttrDep> EngineDiscoverAttrDeps(
 std::vector<FuncDep> EngineDiscoverFuncDeps(
     const std::vector<Tuple>& rows, const AttrSet& universe,
     const EngineDiscoveryOptions& options) {
-  PliCache cache(&rows, PliCache::Options{options.cache_max_entries});
+  PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
   return EngineDiscoverFuncDeps(&validator, universe, options);
 }
@@ -186,7 +195,7 @@ DependencySet EngineDiscoverDependencies(const std::vector<Tuple>& rows,
                                          const EngineDiscoveryOptions& options) {
   // One cache serves both passes: the FD pass leaves every candidate
   // partition warm for the AD pass.
-  PliCache cache(&rows, PliCache::Options{options.cache_max_entries});
+  PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
   return EngineDiscoverDependencies(&validator, universe, options);
 }

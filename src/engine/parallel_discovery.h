@@ -31,6 +31,10 @@ struct EngineDiscoveryOptions {
   size_t num_threads = 0;
   /// LRU bound of the partition cache (multi-attribute entries).
   size_t cache_max_entries = 1024;
+  /// Pin the partition cache to the historical vector-of-vectors cluster
+  /// storage instead of the CSR arena (PliCacheOptions::arena_storage) —
+  /// the reference mode bench_discovery compares the arena against.
+  bool reference_storage = false;
 };
 
 /// The single point translating core's DiscoveryOptions into engine knobs —

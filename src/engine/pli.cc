@@ -1,9 +1,11 @@
 #include "engine/pli.h"
 
 #include <algorithm>
+#include <ostream>
 #include <unordered_map>
 
 #include "relational/value.h"
+#include "util/string_util.h"
 
 namespace flexrel {
 
@@ -18,118 +20,12 @@ void SortByFirstRow(std::vector<Pli::Cluster>* clusters) {
             });
 }
 
-}  // namespace
-
-void Pli::Canonicalize() {
-  SortByFirstRow(&clusters_);
-  grouped_rows_ = 0;
-  for (const Cluster& c : clusters_) grouped_rows_ += c.size();
-}
-
-Pli Pli::Build(const std::vector<Tuple>& rows, AttrId attr) {
-  Pli out;
-  out.num_rows_ = rows.size();
-  std::unordered_map<Value, Cluster, ValueHash> groups;
-  groups.reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (const Value* v = rows[i].Get(attr)) {
-      groups[*v].push_back(static_cast<RowId>(i));
-      ++out.defined_rows_;
-    }
-  }
-  for (auto& [value, cluster] : groups) {
-    (void)value;
-    if (cluster.size() >= 2) out.clusters_.push_back(std::move(cluster));
-  }
-  out.Canonicalize();
-  return out;
-}
-
-Pli Pli::Build(const std::vector<Tuple>& rows, const AttrSet& attrs) {
-  Pli out;
-  out.num_rows_ = rows.size();
-  std::unordered_map<Tuple, Cluster, TupleHash> groups;
-  groups.reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (!rows[i].DefinedOn(attrs)) continue;
-    groups[rows[i].Project(attrs)].push_back(static_cast<RowId>(i));
-    ++out.defined_rows_;
-  }
-  for (auto& [key, cluster] : groups) {
-    (void)key;
-    if (cluster.size() >= 2) out.clusters_.push_back(std::move(cluster));
-  }
-  out.Canonicalize();
-  return out;
-}
-
-std::vector<int32_t> Pli::ProbeTable() const {
-  std::vector<int32_t> probe(num_rows_, kNoCluster);
-  for (size_t c = 0; c < clusters_.size(); ++c) {
-    for (RowId row : clusters_[c]) probe[row] = static_cast<int32_t>(c);
-  }
-  return probe;
-}
-
-Pli Pli::Intersect(const Pli& other) const {
-  return IntersectWithProbe(other.ProbeTable());
-}
-
-Pli Pli::IntersectWithProbe(const std::vector<int32_t>& probe) const {
-  Pli out;
-  out.num_rows_ = num_rows_;
-  out.exact_defined_ = false;
-  // Refine each of our clusters by the other partition's cluster ids. Rows
-  // the other partition dropped (undefined or partnerless there) stay
-  // partnerless in the product and are dropped here too. Refinement is
-  // three streaming passes per cluster over flat scratch arrays indexed by
-  // the (dense) probe ids — count, prefix-offset, fill — so the only
-  // allocations are the exactly-sized surviving sub-clusters; singletons
-  // and hash maps never allocate.
-  int32_t num_other = 0;
-  for (int32_t oc : probe) num_other = std::max(num_other, oc + 1);
-  std::vector<uint32_t> count(static_cast<size_t>(num_other), 0);
-  std::vector<uint32_t> offset(static_cast<size_t>(num_other), 0);
-  std::vector<int32_t> touched;
-  std::vector<RowId> arena;
-  for (const Cluster& cluster : clusters_) {
-    touched.clear();
-    for (RowId row : cluster) {
-      int32_t oc = probe[row];
-      if (oc == kNoCluster) continue;
-      if (count[static_cast<size_t>(oc)]++ == 0) touched.push_back(oc);
-    }
-    uint32_t total = 0;
-    for (int32_t oc : touched) {
-      offset[static_cast<size_t>(oc)] = total;
-      total += count[static_cast<size_t>(oc)];
-    }
-    arena.resize(total);  // capacity persists across clusters
-    for (RowId row : cluster) {
-      int32_t oc = probe[row];
-      if (oc == kNoCluster) continue;
-      arena[offset[static_cast<size_t>(oc)]++] = row;
-    }
-    for (int32_t oc : touched) {
-      uint32_t n = count[static_cast<size_t>(oc)];
-      uint32_t end = offset[static_cast<size_t>(oc)];
-      if (n >= 2) {
-        out.clusters_.emplace_back(arena.begin() + (end - n),
-                                   arena.begin() + end);
-      }
-      count[static_cast<size_t>(oc)] = 0;
-    }
-  }
-  out.Canonicalize();
-  // Stripped singletons of the operands are unrecoverable here, so the
-  // defined-row count degrades to the grouped-row lower bound.
-  out.defined_rows_ = out.grouped_rows_;
-  return out;
-}
-
-namespace {
-
 constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+// ---------------------------------------------------------------------------
+// kVectors helpers — the historical per-cluster-vector surgery, kept intact
+// as the reference mode's machinery.
+// ---------------------------------------------------------------------------
 
 // The canonical-order insertion point for a cluster fronted by `front`:
 // the single comparator behind every by-front search, so the canonical key
@@ -169,6 +65,292 @@ Pli::RowId PartnerFront(const Pli::Cluster& agreeing, Pli::RowId row,
 
 }  // namespace
 
+std::ostream& operator<<(std::ostream& os, Pli::ClusterView view) {
+  os << "{";
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << view[i];
+  }
+  return os << "}";
+}
+
+// ---------------------------------------------------------------------------
+// Arena primitives: binary search over cluster fronts and canonical-order
+// repositioning by rotation — the flat counterparts of the kVectors helpers.
+// ---------------------------------------------------------------------------
+
+size_t Pli::ArenaLowerBoundByFront(RowId front) const {
+  size_t lo = 0, hi = num_clusters();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (arena_[offsets_[mid]] < front) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t Pli::ArenaFindClusterByFront(RowId front) const {
+  size_t idx = ArenaLowerBoundByFront(front);
+  if (idx == num_clusters() || arena_[offsets_[idx]] != front) return kNoIndex;
+  return idx;
+}
+
+void Pli::ArenaRepositionCluster(size_t index, size_t target) {
+  const uint32_t m = offsets_[index + 1] - offsets_[index];
+  if (target < index) {
+    // Rotate the moved cluster in front of clusters target..index-1, then
+    // shift their offsets right by its size (descending, so each read of
+    // offsets_[j-1] precedes its overwrite).
+    std::rotate(arena_.begin() + offsets_[target],
+                arena_.begin() + offsets_[index],
+                arena_.begin() + offsets_[index + 1]);
+    for (size_t j = index; j > target; --j) offsets_[j] = offsets_[j - 1] + m;
+  } else if (target > index) {
+    std::rotate(arena_.begin() + offsets_[index],
+                arena_.begin() + offsets_[index + 1],
+                arena_.begin() + offsets_[target + 1]);
+    for (size_t j = index; j <= target; ++j) offsets_[j] = offsets_[j + 1] - m;
+  }
+}
+
+void Pli::ArenaMaybeReposition(size_t index) {
+  const RowId front = arena_[offsets_[index]];
+  if (index > 0 && arena_[offsets_[index - 1]] > front) {
+    ArenaRepositionCluster(index, ArenaLowerBoundByFront(front));
+  } else if (index + 1 < num_clusters() &&
+             arena_[offsets_[index + 1]] < front) {
+    // First cluster after `index` whose front exceeds ours; we slot in just
+    // before it.
+    size_t lo = index + 1, hi = num_clusters();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (arena_[offsets_[mid]] < front) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    ArenaRepositionCluster(index, lo - 1);
+  }
+}
+
+void Pli::AdoptClusters(std::vector<Cluster> clusters) {
+  SortByFirstRow(&clusters);
+  grouped_rows_ = 0;
+  for (const Cluster& c : clusters) grouped_rows_ += c.size();
+  if (storage_ == Storage::kVectors) {
+    vclusters_ = std::move(clusters);
+    return;
+  }
+  offsets_.clear();
+  offsets_.reserve(clusters.size() + 1);
+  offsets_.push_back(0);
+  arena_.clear();
+  arena_.reserve(grouped_rows_);
+  for (const Cluster& c : clusters) {
+    arena_.insert(arena_.end(), c.begin(), c.end());
+    offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+  }
+}
+
+Pli Pli::Build(const std::vector<Tuple>& rows, AttrId attr, Storage storage) {
+  Pli out;
+  out.storage_ = storage;
+  out.num_rows_ = rows.size();
+  std::unordered_map<Value, Cluster, ValueHash> groups;
+  groups.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (const Value* v = rows[i].Get(attr)) {
+      groups[*v].push_back(static_cast<RowId>(i));
+      ++out.defined_rows_;
+    }
+  }
+  std::vector<Cluster> clusters;
+  for (auto& [value, cluster] : groups) {
+    (void)value;
+    if (cluster.size() >= 2) clusters.push_back(std::move(cluster));
+  }
+  out.AdoptClusters(std::move(clusters));
+  return out;
+}
+
+Pli Pli::Build(const std::vector<Tuple>& rows, const AttrSet& attrs,
+               Storage storage) {
+  Pli out;
+  out.storage_ = storage;
+  out.num_rows_ = rows.size();
+  std::unordered_map<Tuple, Cluster, TupleHash> groups;
+  groups.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].DefinedOn(attrs)) continue;
+    groups[rows[i].Project(attrs)].push_back(static_cast<RowId>(i));
+    ++out.defined_rows_;
+  }
+  std::vector<Cluster> clusters;
+  for (auto& [key, cluster] : groups) {
+    (void)key;
+    if (cluster.size() >= 2) clusters.push_back(std::move(cluster));
+  }
+  out.AdoptClusters(std::move(clusters));
+  return out;
+}
+
+PliProbe Pli::BuildProbe() const {
+  PliProbe probe;
+  probe.labels.assign(num_rows_, kNoCluster);
+  const size_t n = num_clusters();
+  probe.label_bound = static_cast<int32_t>(n);
+  for (size_t c = 0; c < n; ++c) {
+    for (RowId row : cluster(c)) probe.labels[row] = static_cast<int32_t>(c);
+  }
+  return probe;
+}
+
+Pli Pli::Intersect(const Pli& other) const {
+  return IntersectWithProbe(other.BuildProbe());
+}
+
+Pli Pli::IntersectWithProbe(const PliProbe& probe,
+                            IntersectScratch* scratch) const {
+  if (storage_ == Storage::kVectors) return IntersectVectors(probe);
+  if (scratch == nullptr) {
+    // Per-thread fallback: every discovery worker and evaluator thread gets
+    // steady-state zero-allocation intersections without plumbing a scratch
+    // through the call chain.
+    static thread_local IntersectScratch tls_scratch;
+    scratch = &tls_scratch;
+  }
+  return IntersectArena(probe, scratch);
+}
+
+Pli Pli::IntersectArena(const PliProbe& probe, IntersectScratch* s) const {
+  Pli out;
+  out.storage_ = Storage::kArena;
+  out.num_rows_ = num_rows_;
+  out.exact_defined_ = false;
+  // Refine each of our clusters by the other partition's cluster labels.
+  // Rows the other partition dropped (undefined or partnerless there) stay
+  // partnerless in the product and are dropped here too. Refinement is
+  // three streaming passes per cluster over the scratch's flat count /
+  // offset arrays indexed by label — count, prefix-offset, fill — emitting
+  // surviving sub-clusters into the scratch arena with a (front, begin,
+  // size) descriptor each. Sub-cluster fronts interleave across parent
+  // clusters, so canonical order is restored by sorting the descriptors
+  // and gathering once into the exact-size output arena — the only
+  // allocations of the whole product.
+  const size_t bound = static_cast<size_t>(probe.label_bound);
+  if (s->count.size() < bound) s->count.resize(bound, 0);  // stays all-zero
+  if (s->offset.size() < bound) s->offset.resize(bound);
+  s->touched.clear();
+  s->emitted.clear();
+  s->descs.clear();
+  for (size_t c = 0; c < num_clusters(); ++c) {
+    const ClusterView cluster = this->cluster(c);
+    s->touched.clear();
+    for (RowId row : cluster) {
+      int32_t oc = probe.labels[row];
+      if (oc == kNoCluster) continue;
+      if (s->count[static_cast<size_t>(oc)]++ == 0) s->touched.push_back(oc);
+    }
+    const uint32_t base = static_cast<uint32_t>(s->emitted.size());
+    uint32_t total = 0;
+    for (int32_t oc : s->touched) {
+      s->offset[static_cast<size_t>(oc)] = total;
+      total += s->count[static_cast<size_t>(oc)];
+    }
+    s->emitted.resize(base + total);  // capacity persists across calls
+    for (RowId row : cluster) {
+      int32_t oc = probe.labels[row];
+      if (oc == kNoCluster) continue;
+      s->emitted[base + s->offset[static_cast<size_t>(oc)]++] = row;
+    }
+    for (int32_t oc : s->touched) {
+      uint32_t n = s->count[static_cast<size_t>(oc)];
+      uint32_t end = base + s->offset[static_cast<size_t>(oc)];
+      if (n >= 2) {
+        s->descs.push_back({s->emitted[end - n], end - n, n});
+      }
+      s->count[static_cast<size_t>(oc)] = 0;
+    }
+  }
+  std::sort(s->descs.begin(), s->descs.end(),
+            [](const IntersectScratch::Desc& a,
+               const IntersectScratch::Desc& b) { return a.front < b.front; });
+  uint32_t total = 0;
+  for (const IntersectScratch::Desc& d : s->descs) total += d.size;
+  out.arena_.resize(total);
+  out.offsets_.reserve(s->descs.size() + 1);
+  out.offsets_.push_back(0);
+  RowId* dst = out.arena_.data();
+  for (const IntersectScratch::Desc& d : s->descs) {
+    std::copy(s->emitted.begin() + d.begin,
+              s->emitted.begin() + d.begin + d.size, dst);
+    dst += d.size;
+    out.offsets_.push_back(static_cast<uint32_t>(dst - out.arena_.data()));
+  }
+  out.grouped_rows_ = total;
+  // Stripped singletons of the operands are unrecoverable here, so the
+  // defined-row count degrades to the grouped-row lower bound.
+  out.defined_rows_ = out.grouped_rows_;
+  return out;
+}
+
+Pli Pli::IntersectVectors(const PliProbe& probe) const {
+  // The pre-arena reference body: per-call scratch, one exactly-sized heap
+  // vector per surviving sub-cluster, canonical order restored by sorting
+  // the cluster vectors. Kept verbatim so the reference mode benchmarks the
+  // historical allocation behavior, not a half-migrated one.
+  Pli out;
+  out.storage_ = Storage::kVectors;
+  out.num_rows_ = num_rows_;
+  out.exact_defined_ = false;
+  std::vector<uint32_t> count(static_cast<size_t>(probe.label_bound), 0);
+  std::vector<uint32_t> offset(static_cast<size_t>(probe.label_bound), 0);
+  std::vector<int32_t> touched;
+  std::vector<RowId> arena;
+  std::vector<Cluster> result;
+  for (size_t c = 0; c < num_clusters(); ++c) {
+    const ClusterView cluster = this->cluster(c);
+    touched.clear();
+    for (RowId row : cluster) {
+      int32_t oc = probe.labels[row];
+      if (oc == kNoCluster) continue;
+      if (count[static_cast<size_t>(oc)]++ == 0) touched.push_back(oc);
+    }
+    uint32_t total = 0;
+    for (int32_t oc : touched) {
+      offset[static_cast<size_t>(oc)] = total;
+      total += count[static_cast<size_t>(oc)];
+    }
+    arena.resize(total);  // capacity persists across clusters
+    for (RowId row : cluster) {
+      int32_t oc = probe.labels[row];
+      if (oc == kNoCluster) continue;
+      arena[offset[static_cast<size_t>(oc)]++] = row;
+    }
+    for (int32_t oc : touched) {
+      uint32_t n = count[static_cast<size_t>(oc)];
+      uint32_t end = offset[static_cast<size_t>(oc)];
+      if (n >= 2) {
+        result.emplace_back(arena.begin() + (end - n), arena.begin() + end);
+      }
+      count[static_cast<size_t>(oc)] = 0;
+    }
+  }
+  out.AdoptClusters(std::move(result));
+  out.defined_rows_ = out.grouped_rows_;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-row patch primitives. Validation precedes every mutation, so a false
+// return is a true no-op and a caller may keep using the partition (though
+// PliCache drops refused entries anyway).
+// ---------------------------------------------------------------------------
+
 bool Pli::ApplyInsert(RowId row, const Cluster& agreeing, bool includes_row) {
   const size_t others = agreeing.size() - (includes_row ? 1 : 0);
   return ApplyInsertCore(
@@ -181,29 +363,51 @@ bool Pli::ApplyInsertAllRows(RowId row) {
   return ApplyInsertCore(row, /*others=*/row, /*partner_front=*/0);
 }
 
-// Validation precedes every mutation in the patch bodies below: a false
-// return is a true no-op, so a caller may keep using the partition (though
-// PliCache drops refused entries anyway).
 bool Pli::ApplyInsertCore(RowId row, size_t others, RowId partner_front) {
   if (others == 1) {
     // Un-strip the lone partner: a fresh two-row cluster appears.
-    Cluster fresh = {std::min(partner_front, row),
-                     std::max(partner_front, row)};
-    auto it = LowerBoundByFront(&clusters_, fresh.front());
-    if (it != clusters_.end() && it->front() == fresh.front()) return false;
-    clusters_.insert(it, std::move(fresh));
+    const RowId lo = std::min(partner_front, row);
+    const RowId hi = std::max(partner_front, row);
+    if (storage_ == Storage::kArena) {
+      if (offsets_.empty()) offsets_.push_back(0);
+      size_t idx = ArenaLowerBoundByFront(lo);
+      if (idx < num_clusters() && arena_[offsets_[idx]] == lo) return false;
+      const uint32_t pos = offsets_[idx];
+      arena_.insert(arena_.begin() + pos, {lo, hi});
+      offsets_.insert(offsets_.begin() + static_cast<ptrdiff_t>(idx), pos);
+      for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] += 2;
+    } else {
+      Cluster fresh = {lo, hi};
+      auto it = LowerBoundByFront(&vclusters_, lo);
+      if (it != vclusters_.end() && it->front() == lo) return false;
+      vclusters_.insert(it, std::move(fresh));
+    }
     grouped_rows_ += 2;
   } else if (others >= 2) {
     // The partners already form a cluster; `row` joins it.
-    size_t index = FindClusterByFront(&clusters_, partner_front);
-    if (index == kNoIndex) return false;
-    Cluster& cluster = clusters_[index];
-    if (cluster.size() != others) return false;
-    auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
-    if (pos != cluster.end() && *pos == row) return false;
-    cluster.insert(pos, row);
-    ++grouped_rows_;
-    if (row < partner_front) RepositionCluster(&clusters_, index);
+    if (storage_ == Storage::kArena) {
+      size_t idx = ArenaFindClusterByFront(partner_front);
+      if (idx == kNoIndex) return false;
+      auto first = arena_.begin() + offsets_[idx];
+      auto last = arena_.begin() + offsets_[idx + 1];
+      if (static_cast<size_t>(last - first) != others) return false;
+      auto pos = std::lower_bound(first, last, row);
+      if (pos != last && *pos == row) return false;
+      arena_.insert(pos, row);
+      for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] += 1;
+      ++grouped_rows_;
+      if (row < partner_front) ArenaMaybeReposition(idx);
+    } else {
+      size_t index = FindClusterByFront(&vclusters_, partner_front);
+      if (index == kNoIndex) return false;
+      Cluster& cluster = vclusters_[index];
+      if (cluster.size() != others) return false;
+      auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
+      if (pos != cluster.end() && *pos == row) return false;
+      cluster.insert(pos, row);
+      ++grouped_rows_;
+      if (row < partner_front) RepositionCluster(&vclusters_, index);
+    }
   }
   // others == 0: partnerless — the stripped partition records nothing, and
   // intersection products do not even count the row as defined.
@@ -220,22 +424,44 @@ bool Pli::ApplyErase(RowId row, const Cluster& agreeing, bool includes_row) {
   if (others > 0) {
     RowId partner_front = PartnerFront(agreeing, row, includes_row);
     RowId front = std::min(partner_front, row);
-    size_t index = FindClusterByFront(&clusters_, front);
-    if (index == kNoIndex) return false;
-    Cluster& cluster = clusters_[index];
-    if (cluster.size() != others + 1) return false;
-    if (others == 1) {
-      // The partner drops back to a stripped singleton; the cluster
-      // dissolves.
-      if (cluster.back() != std::max(partner_front, row)) return false;
-      clusters_.erase(clusters_.begin() + static_cast<ptrdiff_t>(index));
-      grouped_rows_ -= 2;
+    if (storage_ == Storage::kArena) {
+      size_t idx = ArenaFindClusterByFront(front);
+      if (idx == kNoIndex) return false;
+      auto first = arena_.begin() + offsets_[idx];
+      auto last = arena_.begin() + offsets_[idx + 1];
+      if (static_cast<size_t>(last - first) != others + 1) return false;
+      if (others == 1) {
+        // The partner drops back to a stripped singleton; the cluster
+        // dissolves.
+        if (*(last - 1) != std::max(partner_front, row)) return false;
+        arena_.erase(first, last);
+        offsets_.erase(offsets_.begin() + static_cast<ptrdiff_t>(idx));
+        for (size_t j = idx; j < offsets_.size(); ++j) offsets_[j] -= 2;
+        grouped_rows_ -= 2;
+      } else {
+        auto pos = std::lower_bound(first, last, row);
+        if (pos == last || *pos != row) return false;
+        arena_.erase(pos);
+        for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] -= 1;
+        --grouped_rows_;
+        if (row == front) ArenaMaybeReposition(idx);
+      }
     } else {
-      auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
-      if (pos == cluster.end() || *pos != row) return false;
-      cluster.erase(pos);
-      --grouped_rows_;
-      if (row == front) RepositionCluster(&clusters_, index);
+      size_t index = FindClusterByFront(&vclusters_, front);
+      if (index == kNoIndex) return false;
+      Cluster& cluster = vclusters_[index];
+      if (cluster.size() != others + 1) return false;
+      if (others == 1) {
+        if (cluster.back() != std::max(partner_front, row)) return false;
+        vclusters_.erase(vclusters_.begin() + static_cast<ptrdiff_t>(index));
+        grouped_rows_ -= 2;
+      } else {
+        auto pos = std::lower_bound(cluster.begin(), cluster.end(), row);
+        if (pos == cluster.end() || *pos != row) return false;
+        cluster.erase(pos);
+        --grouped_rows_;
+        if (row == front) RepositionCluster(&vclusters_, index);
+      }
     }
   }
   // others == 0: the row was a stripped singleton.
@@ -247,8 +473,27 @@ bool Pli::ApplyErase(RowId row, const Cluster& agreeing, bool includes_row) {
   return true;
 }
 
+std::vector<Pli::ClusterPatchView> Pli::MakePatchViews(
+    const std::vector<ClusterPatch>& patches) {
+  std::vector<ClusterPatchView> views;
+  views.reserve(patches.size());
+  for (const ClusterPatch& p : patches) {
+    views.push_back({p.old_front, p.old_size,
+                     p.new_rows.empty() ? nullptr : p.new_rows.data(),
+                     static_cast<uint32_t>(p.new_rows.size())});
+  }
+  return views;
+}
+
 bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
                      ptrdiff_t defined_delta) {
+  if (storage_ == Storage::kArena) {
+    // The arena lands replacement rows by copy either way, so the owning
+    // overload is just the borrowing one with views over its own patches —
+    // one body to maintain. Only the kVectors path below keeps the owning
+    // form, for its move-into-slot semantics.
+    return ApplyBatch(MakePatchViews(patches), defined_delta);
+  }
   // Pass 1: validate and locate every removal against the current
   // structure before mutating anything, so a refusal leaves the partition
   // untouched.
@@ -257,8 +502,8 @@ bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
   for (size_t p = 0; p < patches.size(); ++p) {
     const ClusterPatch& patch = patches[p];
     if (patch.old_size >= 2) {
-      size_t index = FindClusterByFront(&clusters_, patch.old_front);
-      if (index == kNoIndex || clusters_[index].size() != patch.old_size) {
+      size_t index = FindClusterByFront(&vclusters_, patch.old_front);
+      if (index == kNoIndex || cluster(index).size() != patch.old_size) {
         return false;
       }
       located[p] = index;
@@ -269,8 +514,8 @@ bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
     }
   }
   // Pass 2: a replacement that keeps its front row keeps its canonical
-  // position too — swap it in place (the overwhelmingly common case for
-  // fat clusters, whose lowest row id rarely moves). Only patches that
+  // position too — move it into its slot (the overwhelmingly common case
+  // for fat clusters, whose lowest row id rarely moves). Only patches that
   // dissolve, appear, or change front go through the structural merge.
   std::vector<size_t> removed;
   std::vector<Cluster> additions;
@@ -279,7 +524,7 @@ bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
     const bool has_new = patch.new_rows.size() >= 2;
     if (located[p] != kNoIndex && has_new &&
         patch.new_rows.front() == patch.old_front) {
-      clusters_[located[p]] = std::move(patch.new_rows);
+      vclusters_[located[p]] = std::move(patch.new_rows);
     } else {
       if (located[p] != kNoIndex) removed.push_back(located[p]);
       if (has_new) additions.push_back(std::move(patch.new_rows));
@@ -292,24 +537,24 @@ bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
     std::sort(removed.begin(), removed.end());
     SortByFirstRow(&additions);
     std::vector<Cluster> merged;
-    merged.reserve(clusters_.size() + additions.size() - removed.size());
+    merged.reserve(vclusters_.size() + additions.size() - removed.size());
     size_t next_removed = 0;  // index into `removed`
     size_t next_add = 0;      // index into `additions`
-    for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (size_t c = 0; c < vclusters_.size(); ++c) {
       if (next_removed < removed.size() && removed[next_removed] == c) {
         ++next_removed;
         continue;
       }
       while (next_add < additions.size() &&
-             additions[next_add].front() < clusters_[c].front()) {
+             additions[next_add].front() < vclusters_[c].front()) {
         merged.push_back(std::move(additions[next_add++]));
       }
-      merged.push_back(std::move(clusters_[c]));
+      merged.push_back(std::move(vclusters_[c]));
     }
     while (next_add < additions.size()) {
       merged.push_back(std::move(additions[next_add++]));
     }
-    clusters_ = std::move(merged);
+    vclusters_ = std::move(merged);
   }
   grouped_rows_ = static_cast<size_t>(
       static_cast<ptrdiff_t>(grouped_rows_) + grouped_delta);
@@ -322,10 +567,208 @@ bool Pli::ApplyBatch(std::vector<ClusterPatch> patches,
   return true;
 }
 
+bool Pli::ApplyBatch(std::vector<ClusterPatchView> patches,
+                     ptrdiff_t defined_delta) {
+  // Mirrors the owning-rows overload above — validate-all-removals first,
+  // in-place swap for size-preserving front-keeping replacements, one
+  // sorted compaction pass for the rest — but the replacement rows are
+  // borrowed spans, so each lands in storage with exactly one copy.
+  std::vector<size_t> located(patches.size(), kNoIndex);
+  ptrdiff_t grouped_delta = 0;
+  for (size_t p = 0; p < patches.size(); ++p) {
+    const ClusterPatchView& patch = patches[p];
+    if (patch.old_size >= 2) {
+      size_t index = storage_ == Storage::kArena
+                         ? ArenaFindClusterByFront(patch.old_front)
+                         : FindClusterByFront(&vclusters_, patch.old_front);
+      if (index == kNoIndex || cluster(index).size() != patch.old_size) {
+        return false;
+      }
+      located[p] = index;
+      grouped_delta -= static_cast<ptrdiff_t>(patch.old_size);
+    }
+    if (patch.new_size >= 2) {
+      grouped_delta += static_cast<ptrdiff_t>(patch.new_size);
+    }
+  }
+  std::vector<size_t> removed;
+  std::vector<ClusterPatchView> additions;
+  for (size_t p = 0; p < patches.size(); ++p) {
+    const ClusterPatchView& patch = patches[p];
+    const bool has_new = patch.new_size >= 2;
+    const bool keeps_front = located[p] != kNoIndex && has_new &&
+                             patch.new_rows[0] == patch.old_front;
+    if (keeps_front && patch.new_size == patch.old_size) {
+      RowId* dst = storage_ == Storage::kArena
+                       ? arena_.data() + offsets_[located[p]]
+                       : vclusters_[located[p]].data();
+      std::copy(patch.new_rows, patch.new_rows + patch.new_size, dst);
+    } else {
+      if (located[p] != kNoIndex) removed.push_back(located[p]);
+      if (has_new) additions.push_back(patch);
+    }
+  }
+  if (!removed.empty() || !additions.empty()) {
+    std::sort(removed.begin(), removed.end());
+    std::sort(additions.begin(), additions.end(),
+              [](const ClusterPatchView& a, const ClusterPatchView& b) {
+                return a.new_rows[0] < b.new_rows[0];
+              });
+    size_t add_rows = 0;
+    for (const ClusterPatchView& a : additions) add_rows += a.new_size;
+    size_t removed_rows = 0;
+    for (size_t r : removed) removed_rows += cluster(r).size();
+    if (storage_ == Storage::kArena) {
+      std::vector<RowId> merged_arena;
+      std::vector<uint32_t> merged_offsets;
+      merged_arena.reserve(arena_.size() + add_rows - removed_rows);
+      merged_offsets.reserve(offsets_.size() + additions.size() -
+                             removed.size());
+      merged_offsets.push_back(0);
+      auto append = [&](const RowId* begin, const RowId* end) {
+        merged_arena.insert(merged_arena.end(), begin, end);
+        merged_offsets.push_back(static_cast<uint32_t>(merged_arena.size()));
+      };
+      size_t next_removed = 0;
+      size_t next_add = 0;
+      for (size_t c = 0; c < num_clusters(); ++c) {
+        if (next_removed < removed.size() && removed[next_removed] == c) {
+          ++next_removed;
+          continue;
+        }
+        const ClusterView view = cluster(c);
+        while (next_add < additions.size() &&
+               additions[next_add].new_rows[0] < view.front()) {
+          const ClusterPatchView& a = additions[next_add++];
+          append(a.new_rows, a.new_rows + a.new_size);
+        }
+        append(view.begin(), view.end());
+      }
+      while (next_add < additions.size()) {
+        const ClusterPatchView& a = additions[next_add++];
+        append(a.new_rows, a.new_rows + a.new_size);
+      }
+      arena_ = std::move(merged_arena);
+      offsets_ = std::move(merged_offsets);
+    } else {
+      std::vector<Cluster> merged;
+      merged.reserve(vclusters_.size() + additions.size() - removed.size());
+      size_t next_removed = 0;
+      size_t next_add = 0;
+      for (size_t c = 0; c < vclusters_.size(); ++c) {
+        if (next_removed < removed.size() && removed[next_removed] == c) {
+          ++next_removed;
+          continue;
+        }
+        while (next_add < additions.size() &&
+               additions[next_add].new_rows[0] < vclusters_[c].front()) {
+          const ClusterPatchView& a = additions[next_add++];
+          merged.emplace_back(a.new_rows, a.new_rows + a.new_size);
+        }
+        merged.push_back(std::move(vclusters_[c]));
+      }
+      while (next_add < additions.size()) {
+        const ClusterPatchView& a = additions[next_add++];
+        merged.emplace_back(a.new_rows, a.new_rows + a.new_size);
+      }
+      vclusters_ = std::move(merged);
+    }
+  }
+  grouped_rows_ = static_cast<size_t>(
+      static_cast<ptrdiff_t>(grouped_rows_) + grouped_delta);
+  if (exact_defined_) {
+    defined_rows_ = static_cast<size_t>(
+        static_cast<ptrdiff_t>(defined_rows_) + defined_delta);
+  } else {
+    defined_rows_ = grouped_rows_;
+  }
+  return true;
+}
+
+bool Pli::operator==(const Pli& other) const {
+  if (num_rows_ != other.num_rows_) return false;
+  const size_t n = num_clusters();
+  if (n != other.num_clusters()) return false;
+  if (storage_ == Storage::kArena && other.storage_ == Storage::kArena &&
+      !offsets_.empty() && !other.offsets_.empty()) {
+    return offsets_ == other.offsets_ && arena_ == other.arena_;
+  }
+  for (size_t c = 0; c < n; ++c) {
+    if (!(cluster(c) == other.cluster(c))) return false;
+  }
+  return true;
+}
+
 size_t Pli::MemoryBytes() const {
-  size_t bytes = sizeof(Pli) + clusters_.capacity() * sizeof(Cluster);
-  for (const Cluster& c : clusters_) bytes += c.capacity() * sizeof(RowId);
+  size_t bytes = sizeof(Pli);
+  if (storage_ == Storage::kArena) {
+    bytes += arena_.capacity() * sizeof(RowId) +
+             offsets_.capacity() * sizeof(uint32_t);
+  } else {
+    bytes += vclusters_.capacity() * sizeof(Cluster);
+    for (const Cluster& c : vclusters_) bytes += c.capacity() * sizeof(RowId);
+  }
   return bytes;
+}
+
+bool Pli::CheckInvariants(std::string* error) const {
+  auto fail = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  const size_t n = num_clusters();
+  if (storage_ == Storage::kArena) {
+    if (!offsets_.empty() && offsets_.front() != 0) {
+      return fail("arena offsets must start at 0");
+    }
+    for (size_t c = 0; c < n; ++c) {
+      if (offsets_[c + 1] < offsets_[c] + 2) {
+        return fail(StrCat("offsets not monotone with >=2-row clusters at ",
+                           c, ": ", offsets_[c], " -> ", offsets_[c + 1]));
+      }
+    }
+    if (!offsets_.empty() && offsets_.back() != arena_.size()) {
+      return fail(StrCat("arena size ", arena_.size(),
+                         " != last offset ", offsets_.back()));
+    }
+    if (!vclusters_.empty()) return fail("arena mode carries vector clusters");
+  } else if (!arena_.empty() || !offsets_.empty()) {
+    return fail("vector mode carries arena storage");
+  }
+  size_t grouped = 0;
+  RowId prev_front = 0;
+  for (size_t c = 0; c < n; ++c) {
+    const ClusterView view = cluster(c);
+    if (view.size() < 2) return fail(StrCat("stripped cluster at ", c));
+    if (c > 0 && view.front() <= prev_front) {
+      return fail(StrCat("cluster fronts not ascending at ", c));
+    }
+    prev_front = view.front();
+    for (size_t i = 0; i < view.size(); ++i) {
+      if (view[i] >= num_rows_) {
+        return fail(StrCat("row ", view[i], " out of range"));
+      }
+      if (i > 0 && view[i] <= view[i - 1]) {
+        return fail(StrCat("rows not ascending in cluster ", c));
+      }
+    }
+    grouped += view.size();
+  }
+  if (grouped != grouped_rows_) {
+    return fail(StrCat("grouped_rows ", grouped_rows_, " != actual ",
+                       grouped));
+  }
+  if (exact_defined_) {
+    if (defined_rows_ < grouped_rows_ || defined_rows_ > num_rows_) {
+      return fail(StrCat("defined_rows ", defined_rows_,
+                         " inconsistent with grouped ", grouped_rows_,
+                         " / num_rows ", num_rows_));
+    }
+  } else if (defined_rows_ != grouped_rows_) {
+    return fail(StrCat("product defined_rows ", defined_rows_,
+                       " != grouped_rows ", grouped_rows_));
+  }
+  return true;
 }
 
 }  // namespace flexrel

@@ -17,11 +17,21 @@
 // Intersecting two cached partitions costs O(rows in clusters) integer
 // work — no value hashing, no tuple projection — which is what makes
 // level-wise dependency discovery scale (see pli_cache.h).
+//
+// Storage: clusters live in a CSR-style arena — one contiguous rows array
+// plus a monotone offsets array — so intersections, validator scans, and
+// batched splices stream over one allocation instead of chasing one heap
+// vector per cluster (the layout mature PLI engines converge on). The
+// historical vector-of-vectors representation is kept reachable as
+// Storage::kVectors, the reference mode the arena is benchmarked and
+// soak-tested against (PliCacheOptions::arena_storage pins a whole cache).
 
 #ifndef FLEXREL_ENGINE_PLI_H_
 #define FLEXREL_ENGINE_PLI_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "relational/attribute.h"
@@ -29,40 +39,150 @@
 
 namespace flexrel {
 
+/// Inverse view of a partition: row index -> cluster *label*, kNoCluster
+/// (see Pli::kNoCluster) for stripped or undefined rows. Labels of a fresh
+/// Pli::BuildProbe are the canonical cluster indices; incremental probe
+/// maintenance (pli_cache.h) keeps labels *stable* instead of canonical, so
+/// after patches they are merely distinct per cluster and < label_bound.
+/// Intersection only needs distinctness and the bound (it sizes its scratch
+/// arrays by label_bound), which is what makes probes patchable in O(delta)
+/// instead of rebuilt in O(rows).
+struct PliProbe {
+  std::vector<int32_t> labels;
+  int32_t label_bound = 0;  ///< every label is in [0, label_bound)
+};
+
 /// A stripped partition: clusters of row indices, each cluster the rows
 /// agreeing on the partition's attribute set, singleton clusters removed.
 /// Canonical form — rows ascending within a cluster, clusters ordered by
-/// their first row — so equal partitions compare equal.
+/// their first row — so equal partitions compare equal (across storage
+/// modes too).
 class Pli {
  public:
   using RowId = uint32_t;
   using Cluster = std::vector<RowId>;
 
-  /// Marker for rows outside every cluster in ProbeTable().
+  /// Cluster storage layout. kArena is the default everywhere; kVectors is
+  /// the pre-arena representation, kept as the cross-validated performance
+  /// and correctness reference.
+  enum class Storage : uint8_t { kArena, kVectors };
+
+  /// Marker for rows outside every cluster in PliProbe::labels.
   static constexpr int32_t kNoCluster = -1;
+
+  /// A borrowed, read-only span over one cluster's ascending row ids.
+  /// Valid until the owning Pli is mutated or destroyed — exactly the
+  /// lifetime of the reference the vector-of-vectors accessor used to hand
+  /// out.
+  class ClusterView {
+   public:
+    using value_type = RowId;
+    using const_iterator = const RowId*;
+
+    ClusterView() = default;
+    ClusterView(const RowId* data, size_t size) : data_(data), size_(size) {}
+
+    const RowId* begin() const { return data_; }
+    const RowId* end() const { return data_ + size_; }
+    RowId front() const { return data_[0]; }
+    RowId back() const { return data_[size_ - 1]; }
+    RowId operator[](size_t i) const { return data_[i]; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    friend bool operator==(ClusterView a, ClusterView b) {
+      return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+    }
+    friend bool operator==(ClusterView a, const Cluster& b) {
+      return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+    }
+    friend bool operator==(const Cluster& a, ClusterView b) { return b == a; }
+
+   private:
+    const RowId* data_ = nullptr;
+    size_t size_ = 0;
+  };
+
+  /// Random-access range of ClusterViews in canonical order, storage
+  /// agnostic — what `for (Pli::ClusterView c : pli.clusters())` iterates.
+  class ClusterRange {
+   public:
+    class iterator {
+     public:
+      using value_type = ClusterView;
+      using difference_type = ptrdiff_t;
+      iterator(const Pli* pli, size_t i) : pli_(pli), i_(i) {}
+      ClusterView operator*() const { return pli_->cluster(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+      bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+     private:
+      const Pli* pli_;
+      size_t i_;
+    };
+
+    explicit ClusterRange(const Pli* pli) : pli_(pli) {}
+    iterator begin() const { return iterator(pli_, 0); }
+    iterator end() const { return iterator(pli_, pli_->num_clusters()); }
+    ClusterView operator[](size_t i) const { return pli_->cluster(i); }
+    size_t size() const { return pli_->num_clusters(); }
+    bool empty() const { return pli_->num_clusters() == 0; }
+
+   private:
+    const Pli* pli_;
+  };
+
+  /// Reusable scratch for IntersectWithProbe: the flat count/offset/touched
+  /// arrays plus the emission buffer. Capacity persists across calls, so a
+  /// caller that intersects in a loop (the cache's level sweeps, discovery)
+  /// does zero heap allocations in steady state beyond the exact-size
+  /// output. Passing nullptr falls back to a thread-local instance, which
+  /// gives every worker thread the same reuse for free.
+  struct IntersectScratch {
+    std::vector<uint32_t> count;
+    std::vector<uint32_t> offset;
+    std::vector<int32_t> touched;
+    std::vector<RowId> emitted;
+    struct Desc {
+      RowId front;
+      uint32_t begin;
+      uint32_t size;
+    };
+    std::vector<Desc> descs;
+  };
 
   Pli() = default;
 
   /// Partition by a single attribute: clusters rows carrying `attr` by its
   /// value. The workhorse base case — higher partitions come from
   /// Intersect.
-  static Pli Build(const std::vector<Tuple>& rows, AttrId attr);
+  static Pli Build(const std::vector<Tuple>& rows, AttrId attr,
+                   Storage storage = Storage::kArena);
 
   /// Partition by an arbitrary attribute set, built directly by hashing
   /// X-projections. Reference implementation for tests and one-off callers;
   /// the cache assembles the same partition out of single-attribute PLIs.
-  static Pli Build(const std::vector<Tuple>& rows, const AttrSet& attrs);
+  static Pli Build(const std::vector<Tuple>& rows, const AttrSet& attrs,
+                   Storage storage = Storage::kArena);
 
   /// The product partition: clusters of `this` refined by the clusters of
   /// `other`. Equals Build(rows, X ∪ Y) when the operands are the
-  /// partitions by X and Y over the same instance.
+  /// partitions by X and Y over the same instance. The product inherits
+  /// this operand's storage mode.
   Pli Intersect(const Pli& other) const;
 
-  /// Intersect against a precomputed probe table (other.ProbeTable()) —
-  /// lets a caller that intersects many partitions against the same operand
-  /// (the cache's single-attribute base partitions) skip the O(num_rows)
-  /// rebuild per call.
-  Pli IntersectWithProbe(const std::vector<int32_t>& probe) const;
+  /// Intersect against a precomputed probe (other.BuildProbe(), or the
+  /// cache's incrementally maintained one) — lets a caller that intersects
+  /// many partitions against the same operand skip the O(num_rows) rebuild
+  /// per call. Arena mode refines through `scratch` (thread-local default)
+  /// and allocates only the exact-size output; kVectors keeps the historic
+  /// per-call behavior as the benchmark reference.
+  Pli IntersectWithProbe(const PliProbe& probe,
+                         IntersectScratch* scratch = nullptr) const;
 
   // ------------------------------------------------------------------
   // Incremental maintenance primitives (driven by PliCache's
@@ -106,18 +226,45 @@ class Pli {
     Cluster new_rows;
   };
 
+  /// Zero-copy variant: the replacement rows are borrowed (a span into the
+  /// already-spliced value-index cluster) instead of copied. The pointed-to
+  /// rows must stay valid until ApplyBatch returns — the cache consumes a
+  /// splice's views before the next splice can touch them. This is the
+  /// arena fast path: one copy straight from the index into the arena,
+  /// instead of index -> patch -> arena.
+  struct ClusterPatchView {
+    RowId old_front = 0;
+    size_t old_size = 0;
+    const RowId* new_rows = nullptr;  ///< null iff new_size == 0
+    uint32_t new_size = 0;
+  };
+
+  /// Views over owning patches — the one place the span-extraction (and
+  /// its null-iff-empty convention) lives. The patches must outlive the
+  /// returned views.
+  static std::vector<ClusterPatchView> MakePatchViews(
+      const std::vector<ClusterPatch>& patches);
+
   /// Batched counterpart of ApplyInsert/ApplyErase: applies every patch in
   /// one pass — removals are validated first (front + size must match, so a
-  /// contradicted partition refuses before any mutation), then the cluster
-  /// vector is rebuilt by a single sorted merge of survivors and
-  /// replacements. `defined_delta` is the net change in rows defined on the
-  /// partition attributes (exact mode only; intersection products keep the
+  /// contradicted partition refuses before any mutation), then
+  /// size-preserving front-keeping replacements are swapped in place and
+  /// everything structural (dissolved, appeared, resized, or re-fronted
+  /// clusters) lands in a single sorted compaction pass over the arena.
+  /// `defined_delta` is the net change in rows defined on the partition
+  /// attributes (exact mode only; intersection products keep the
   /// grouped-rows lower bound). Returns false — a true no-op — when any
   /// removal contradicts the current cluster structure; the cache then
   /// drops the partition for a lazy rebuild.
   bool ApplyBatch(std::vector<ClusterPatch> patches, ptrdiff_t defined_delta);
 
-  /// Row-count bookkeeping for appends: ProbeTable sizing and operator==
+  /// The borrowed-rows counterpart (same semantics, same refusal contract):
+  /// replacements are copied exactly once, from the views into this
+  /// partition's storage.
+  bool ApplyBatch(std::vector<ClusterPatchView> patches,
+                  ptrdiff_t defined_delta);
+
+  /// Row-count bookkeeping for appends: BuildProbe sizing and operator==
   /// depend on num_rows; the cache bumps every cached partition when the
   /// instance grows, whether or not the new row enters its clusters.
   void SetNumRows(size_t num_rows) { num_rows_ = num_rows; }
@@ -127,8 +274,23 @@ class Pli {
   /// preserve the mode.
   bool exact_defined() const { return exact_defined_; }
 
-  const std::vector<Cluster>& clusters() const { return clusters_; }
-  size_t num_clusters() const { return clusters_.size(); }
+  Storage storage() const { return storage_; }
+
+  /// The i-th cluster in canonical order, as a borrowed span.
+  ClusterView cluster(size_t i) const {
+    if (storage_ == Storage::kArena) {
+      return ClusterView(arena_.data() + offsets_[i],
+                         offsets_[i + 1] - offsets_[i]);
+    }
+    return ClusterView(vclusters_[i].data(), vclusters_[i].size());
+  }
+
+  ClusterRange clusters() const { return ClusterRange(this); }
+  size_t num_clusters() const {
+    return storage_ == Storage::kArena
+               ? (offsets_.empty() ? 0 : offsets_.size() - 1)
+               : vclusters_.size();
+  }
 
   /// Number of rows of the underlying instance (cluster ids index into it).
   size_t num_rows() const { return num_rows_; }
@@ -148,37 +310,62 @@ class Pli {
   /// evaluator's join-order estimates consume (exact after Build, a lower
   /// bound after Intersect — see defined_rows()).
   size_t NumDistinct() const {
-    return clusters_.size() + (defined_rows_ - grouped_rows_);
+    return num_clusters() + (defined_rows_ - grouped_rows_);
   }
 
-  bool empty() const { return clusters_.empty(); }
+  bool empty() const { return num_clusters() == 0; }
 
-  /// Inverse mapping: row index -> cluster index, kNoCluster for stripped
-  /// or undefined rows. O(num_rows).
-  std::vector<int32_t> ProbeTable() const;
+  /// Inverse mapping with canonical labels (label == cluster index,
+  /// label_bound == num_clusters). O(num_rows).
+  PliProbe BuildProbe() const;
 
   /// Approximate heap footprint — reported by bench_pli and the input to a
   /// future byte-budgeted cache eviction policy (the cache currently bounds
   /// entry count only; see ROADMAP).
   size_t MemoryBytes() const;
 
-  bool operator==(const Pli& other) const {
-    return num_rows_ == other.num_rows_ && clusters_ == other.clusters_;
-  }
+  /// Structural self-check for tests and debugging: monotone arena offsets
+  /// (every cluster >= 2 rows), arena size == grouped_rows, rows strictly
+  /// ascending within clusters and < num_rows, canonical cluster order,
+  /// and defined_rows consistent with grouped_rows for the storage's
+  /// defined mode. On failure fills `error` (when non-null) and returns
+  /// false.
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+  bool operator==(const Pli& other) const;
   bool operator!=(const Pli& other) const { return !(*this == other); }
 
  private:
-  void Canonicalize();
+  /// Takes ownership of freshly built clusters (any order, each >= 2 rows,
+  /// rows ascending), canonicalizes, and stores them in `storage_` layout.
+  void AdoptClusters(std::vector<Cluster> clusters);
+
   /// Shared patch body: `others` partners, their cluster fronted by
   /// `partner_front` (ignored when others == 0).
   bool ApplyInsertCore(RowId row, size_t others, RowId partner_front);
 
-  std::vector<Cluster> clusters_;
+  /// The two storage-specific refinement bodies behind IntersectWithProbe.
+  Pli IntersectArena(const PliProbe& probe, IntersectScratch* scratch) const;
+  Pli IntersectVectors(const PliProbe& probe) const;
+
+  // Arena primitives (storage_ == kArena; see pli.cc).
+  size_t ArenaLowerBoundByFront(RowId front) const;
+  size_t ArenaFindClusterByFront(RowId front) const;
+  void ArenaRepositionCluster(size_t index, size_t target);
+  void ArenaMaybeReposition(size_t index);
+
+  Storage storage_ = Storage::kArena;
+  std::vector<RowId> arena_;       // kArena: concatenated cluster rows
+  std::vector<uint32_t> offsets_;  // kArena: num_clusters + 1 monotone marks
+  std::vector<Cluster> vclusters_;  // kVectors: the historical layout
   size_t num_rows_ = 0;
   size_t grouped_rows_ = 0;
   size_t defined_rows_ = 0;
   bool exact_defined_ = true;  // false for intersection products
 };
+
+/// gtest-friendly printer for cluster views.
+std::ostream& operator<<(std::ostream& os, Pli::ClusterView view);
 
 }  // namespace flexrel
 

@@ -68,12 +68,19 @@ void ValueIndexApplyUpdate(PliCache::ValueIndex* index, Pli::RowId row,
   ValueIndexApplyInsert(index, row, new_value);
 }
 
-std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
-    PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas,
-    bool capture) {
-  // Group the burst by value: the rows leaving and the rows joining each
-  // one. Sorting these small lists once is what lets every affected
-  // cluster be spliced in a single merge pass below.
+namespace {
+
+// The one splice body behind every batched value-index application. Groups
+// the burst by value (the rows leaving and joining each one — sorting these
+// small lists once is what lets every affected cluster be spliced in a
+// single merge pass), rebuilds each affected cluster by one merge of
+// (current \ erases) with the inserts, and reports every affected value to
+// `capture(old_front, old_size, stored)` — `stored` pointing at the
+// cluster now living in the index, or null when the value emptied out.
+template <typename CaptureFn>
+void SpliceValueIndex(PliCache::ValueIndex* index,
+                      const std::vector<ValueIndexDelta>& deltas,
+                      CaptureFn&& capture) {
   std::unordered_map<Value, std::pair<Pli::Cluster, Pli::Cluster>, ValueHash>
       moves;  // value -> (erased rows, inserted rows)
   for (const ValueIndexDelta& d : deltas) {
@@ -84,22 +91,15 @@ std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
     if (d.old_value != nullptr) moves[*d.old_value].first.push_back(d.row);
     if (d.new_value != nullptr) moves[*d.new_value].second.push_back(d.row);
   }
-  std::vector<Pli::ClusterPatch> patches;
-  patches.reserve(moves.size());
   for (auto& [value, move] : moves) {
     auto& [erases, inserts] = move;
     std::sort(erases.begin(), erases.end());
     std::sort(inserts.begin(), inserts.end());
     auto it = index->find(value);
-    Pli::ClusterPatch patch;
     const Pli::Cluster& current =
         it != index->end() ? it->second : kEmptyCluster;
-    if (!current.empty()) {
-      patch.old_front = current.front();
-      patch.old_size = current.size();
-    }
-    // One merge of (current \ erases) with the inserts; lists stay
-    // ascending by construction.
+    const Pli::RowId old_front = current.empty() ? 0 : current.front();
+    const size_t old_size = current.size();
     Pli::Cluster next;
     next.reserve(current.size() + inserts.size());
     size_t e = 0, ins = 0;
@@ -114,23 +114,57 @@ std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
       next.push_back(r);
     }
     while (ins < inserts.size()) next.push_back(inserts[ins++]);
-    // The copy into the patch is what the partition group-apply consumes;
-    // callers with no partition to patch skip it.
-    if (capture) patch.new_rows = next;
+    const Pli::Cluster* stored = nullptr;
     if (next.empty()) {
       if (it != index->end()) index->erase(it);
     } else if (it != index->end()) {
       it->second = std::move(next);
+      stored = &it->second;
     } else {
-      index->emplace(value, std::move(next));
+      stored = &index->emplace(value, std::move(next)).first->second;
     }
-    // Values stripped before and after the splice never surface in the
-    // partition; skip their no-op patches.
-    if (capture && (patch.old_size >= 2 || patch.new_rows.size() >= 2)) {
-      patches.push_back(std::move(patch));
-    }
+    capture(old_front, old_size, stored);
   }
+}
+
+}  // namespace
+
+std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
+    PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas,
+    bool capture) {
+  std::vector<Pli::ClusterPatch> patches;
+  SpliceValueIndex(
+      index, deltas,
+      [&](Pli::RowId old_front, size_t old_size, const Pli::Cluster* stored) {
+        // Values stripped before and after the splice never surface in the
+        // partition; skip their no-op patches. The copy into the patch is
+        // what the partition group-apply consumes; callers with no
+        // partition to patch skip it.
+        if (!capture) return;
+        const size_t new_size = stored == nullptr ? 0 : stored->size();
+        if (old_size < 2 && new_size < 2) return;
+        Pli::ClusterPatch patch;
+        patch.old_front = old_front;
+        patch.old_size = old_size;
+        if (stored != nullptr) patch.new_rows = *stored;
+        patches.push_back(std::move(patch));
+      });
   return patches;
+}
+
+std::vector<Pli::ClusterPatchView> ValueIndexApplyUpdateBatchViews(
+    PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas) {
+  std::vector<Pli::ClusterPatchView> views;
+  SpliceValueIndex(
+      index, deltas,
+      [&](Pli::RowId old_front, size_t old_size, const Pli::Cluster* stored) {
+        const size_t new_size = stored == nullptr ? 0 : stored->size();
+        if (old_size < 2 && new_size < 2) return;
+        views.push_back({old_front, old_size,
+                         stored == nullptr ? nullptr : stored->data(),
+                         static_cast<uint32_t>(new_size)});
+      });
+  return views;
 }
 
 std::vector<Pli::ClusterPatch> ValueIndexApplyInsertBatch(
@@ -204,21 +238,23 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
 
 PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
   if (attrs.size() <= 1) {
-    Pli built = attrs.empty() ? Pli::Build(*rows_, attrs)
-                              : Pli::Build(*rows_, attrs.ids().front());
+    Pli built =
+        attrs.empty()
+            ? Pli::Build(*rows_, attrs, PartitionStorage())
+            : Pli::Build(*rows_, attrs.ids().front(), PartitionStorage());
     return std::make_shared<Pli>(std::move(built));
   }
   // X = prefix ∪ {last}: intersect the cached prefix partition (the more
   // refined operand, hence the outer one) with the last attribute's,
-  // through that attribute's memoized probe table.
+  // through that attribute's memoized (and incrementally maintained) probe.
   AttrId last = attrs.ids().back();
   AttrSet prefix = attrs.Minus(AttrSet::Of(last));
   std::shared_ptr<const Pli> left = Get(prefix);
-  std::shared_ptr<const std::vector<int32_t>> probe = ProbeFor(last);
+  std::shared_ptr<const PliProbe> probe = ProbeFor(last);
   return std::make_shared<Pli>(left->IntersectWithProbe(*probe));
 }
 
-std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
+std::shared_ptr<const PliProbe> PliCache::ProbeFor(AttrId attr) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     FlushPendingLocked();
@@ -226,11 +262,112 @@ std::shared_ptr<const std::vector<int32_t>> PliCache::ProbeFor(AttrId attr) {
     if (it != probes_.end()) return it->second;
   }
   std::shared_ptr<const Pli> pli = Get(AttrSet::Of(attr));
-  auto probe =
-      std::make_shared<const std::vector<int32_t>>(pli->ProbeTable());
+  auto probe = std::make_shared<PliProbe>(pli->BuildProbe());
   std::lock_guard<std::mutex> lock(mu_);
   // Racing builders compute identical tables; first insert wins.
   return probes_.emplace(attr, std::move(probe)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental probe maintenance: O(delta) label patches in lockstep with the
+// cluster patches, instead of the old memo-drop + O(rows) rebuild per flush.
+// ---------------------------------------------------------------------------
+
+void PliCache::DropProbeLocked(AttrId attr) {
+  if (probes_.erase(attr) > 0) ++probe_rebuilds_;
+}
+
+void PliCache::MaybeRetireBloatedProbeLocked(AttrId attr, const Pli& pli) {
+  auto it = probes_.find(attr);
+  if (it == probes_.end()) return;
+  if (static_cast<size_t>(it->second->label_bound) >
+      2 * pli.num_clusters() + 64) {
+    DropProbeLocked(attr);
+  }
+}
+
+void PliCache::ProbePatchInsertLocked(AttrId attr, Pli::RowId row,
+                                      const Pli::Cluster& partners) {
+  auto it = probes_.find(attr);
+  if (it == probes_.end()) return;
+  PliProbe* probe = it->second.get();
+  if (partners.empty()) {
+    probe->labels[row] = Pli::kNoCluster;  // stays stripped
+  } else if (partners.size() == 1) {
+    // Un-strip: the fresh two-row cluster takes a fresh stable label. A
+    // partner already carrying one contradicts the memo.
+    if (probe->labels[partners.front()] != Pli::kNoCluster) {
+      DropProbeLocked(attr);
+      return;
+    }
+    const int32_t label = probe->label_bound++;
+    probe->labels[partners.front()] = label;
+    probe->labels[row] = label;
+  } else {
+    const int32_t label = probe->labels[partners.front()];
+    if (label == Pli::kNoCluster) {  // contradicts the memo; rebuild lazily
+      DropProbeLocked(attr);
+      return;
+    }
+    probe->labels[row] = label;
+  }
+  ++probe_patches_;
+}
+
+void PliCache::ProbePatchEraseLocked(AttrId attr, Pli::RowId row,
+                                     const Pli::Cluster& partners) {
+  auto it = probes_.find(attr);
+  if (it == probes_.end()) return;
+  PliProbe* probe = it->second.get();
+  probe->labels[row] = Pli::kNoCluster;
+  if (partners.size() == 1) {
+    // The cluster dissolves; its label is simply retired.
+    probe->labels[partners.front()] = Pli::kNoCluster;
+  }
+  ++probe_patches_;
+}
+
+void PliCache::ProbePatchBatchLocked(
+    AttrId attr, const std::vector<ValueIndexDelta>& deltas,
+    const std::vector<Pli::ClusterPatchView>& patches) {
+  auto it = probes_.find(attr);
+  if (it == probes_.end()) return;
+  PliProbe* probe = it->second.get();
+  // Pre-read every replaced cluster's label off its pre-splice front: the
+  // movers' labels are cleared next, and a front may itself be a mover.
+  std::vector<int32_t> labels(patches.size(), Pli::kNoCluster);
+  for (size_t p = 0; p < patches.size(); ++p) {
+    if (patches[p].old_size >= 2) {
+      labels[p] = probe->labels[patches[p].old_front];
+      if (labels[p] == Pli::kNoCluster) {  // contradicts the memo
+        DropProbeLocked(attr);
+        return;
+      }
+    }
+  }
+  for (const ValueIndexDelta& d : deltas) {
+    if (d.old_value != nullptr && d.new_value != nullptr &&
+        *d.old_value == *d.new_value) {
+      continue;  // no movement on this attribute
+    }
+    probe->labels[d.row] = Pli::kNoCluster;
+  }
+  for (size_t p = 0; p < patches.size(); ++p) {
+    const Pli::ClusterPatchView& patch = patches[p];
+    if (patch.new_size >= 2) {
+      const int32_t label = labels[p] != Pli::kNoCluster
+                                ? labels[p]
+                                : probe->label_bound++;
+      // O(cluster) writes — the same rows the splice itself just touched;
+      // stayers get their own label rewritten, which is idempotent.
+      for (uint32_t i = 0; i < patch.new_size; ++i) {
+        probe->labels[patch.new_rows[i]] = label;
+      }
+    } else if (patch.new_size == 1) {
+      probe->labels[patch.new_rows[0]] = Pli::kNoCluster;  // re-stripped
+    }
+  }
+  ++probe_patches_;
 }
 
 std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
@@ -317,6 +454,9 @@ PliCache::PartnerScan PliCache::AgreeingRowsLocked(const AttrSet& attrs,
 
 PliCache::EntryMap::iterator PliCache::DropEntryLocked(
     EntryMap::iterator it) {
+  // A probe mirrors its single-attribute partition; dropping the partition
+  // for a lazy rebuild leaves the memo describing nothing — retire it too.
+  if (it->first.size() == 1) DropProbeLocked(it->first.ids().front());
   if (it->second.evictable) lru_.erase(it->second.lru_pos);
   return entries_.erase(it);
 }
@@ -459,19 +599,21 @@ void PliCache::FlushPendingLocked() {
     pending_compact_at_ = kPendingCompactThreshold;
     return;
   }
-  // Probe memos: an insert stales every memo's num_rows sizing; updates
-  // only shift the changed attributes' cluster ids.
-  if (insert_count > 0) {
-    probes_.clear();
-  } else {
-    for (AttrId a : changed) probes_.erase(a);
-  }
   const size_t b = net.size();
   if (b >= std::max(options_.drop_threshold, rows_->size() / 2)) {
     DropAllLocked();
     pending_.clear();
     pending_compact_at_ = kPendingCompactThreshold;
     return;
+  }
+  // Probe memos are patched in place by both flush arms below (in lockstep
+  // with the cluster patches, via the ProbePatch*Locked helpers); inserts
+  // only need the label arrays grown — new rows start clusterless.
+  if (insert_count > 0) {
+    for (auto& [attr, probe] : probes_) {
+      (void)attr;
+      probe->labels.resize(rows_->size(), Pli::kNoCluster);
+    }
   }
   // Both patch paths consult value indexes for partner sets and splices;
   // any missing one is built once and rewound to the pre-batch state.
@@ -548,8 +690,12 @@ void PliCache::ReplayInsertLocked(Pli::RowId row) {
           if (it == value_indexes_.end()) return PatchResult::kRebuild;
           // The index still describes the pre-insert instance (it is
           // patched only further down), so the cluster is pure partners.
-          ok = pli->ApplyInsert(row, ClusterOf(*it->second, *t.Get(a)),
-                                /*includes_row=*/false);
+          const Pli::Cluster& partners = ClusterOf(*it->second, *t.Get(a));
+          ok = pli->ApplyInsert(row, partners, /*includes_row=*/false);
+          if (ok) {
+            ProbePatchInsertLocked(a, row, partners);
+            MaybeRetireBloatedProbeLocked(a, *pli);
+          }
         } else {
           // An oversized partner scan means re-intersecting the patched
           // sub-partitions is cheaper: fail the patch to drop the entry.
@@ -601,15 +747,18 @@ void PliCache::ReplayUpdateLocked(Pli::RowId row, const Tuple& old_row,
           ValueIndex* index = it->second.get();
           if (const Value* old_v = old_row.Get(a)) {
             // The index already excludes `row` from the old cluster here.
-            ok = pli->ApplyErase(row, ClusterOf(*index, *old_v),
-                                 /*includes_row=*/false);
+            const Pli::Cluster& partners = ClusterOf(*index, *old_v);
+            ok = pli->ApplyErase(row, partners, /*includes_row=*/false);
+            if (ok) ProbePatchEraseLocked(a, row, partners);
           }
           if (ok) {
             if (const Value* new_v = new_row.Get(a)) {
-              ok = pli->ApplyInsert(row, ClusterOf(*index, *new_v),
-                                    /*includes_row=*/false);
+              const Pli::Cluster& partners = ClusterOf(*index, *new_v);
+              ok = pli->ApplyInsert(row, partners, /*includes_row=*/false);
+              if (ok) ProbePatchInsertLocked(a, row, partners);
             }
           }
+          if (ok) MaybeRetireBloatedProbeLocked(a, *pli);
         } else {
           Pli::Cluster partners;
           if (old_row.DefinedOn(attrs)) {
@@ -831,37 +980,68 @@ void PliCache::BatchApplyLocked(const std::vector<NetDelta>& net,
   // Splice the value indexes — every affected cluster rebuilt in one
   // sorted merge — capturing the per-value replacements only for the
   // attributes whose cached single-attribute partition will group-apply
-  // them (capturing copies every affected cluster; an index pinned solely
-  // for selections would pay that copy for nothing).
+  // them (an index pinned solely for selections pays no capture at all).
+  // Arena-backed partitions take the zero-copy route: the splice hands out
+  // borrowed views into the spliced clusters and ApplyBatch copies each
+  // replacement straight into the arena. The vector-of-vectors reference
+  // keeps the historical owning-patch path. Either way the captured
+  // replacements drive the probe's label patch — one pass over exactly the
+  // rows the splice moved.
   std::unordered_set<AttrId> single_attrs;
   single_attrs.reserve(single.size());
   for (const Work& w : single) single_attrs.insert(w.attrs.ids().front());
+  const bool arena = options_.arena_storage;
   std::unordered_map<AttrId, std::vector<Pli::ClusterPatch>> cluster_patches;
+  std::unordered_map<AttrId, std::vector<Pli::ClusterPatchView>>
+      cluster_patch_views;
   std::unordered_map<AttrId, ptrdiff_t> defined_deltas;
   for (auto& [attr, deltas] : per_attr) {
     auto it = value_indexes_.find(attr);
     if (it == value_indexes_.end()) continue;  // nothing cached consults it
-    const bool capture = single_attrs.count(attr) > 0;
-    std::vector<Pli::ClusterPatch> patches =
-        ValueIndexApplyUpdateBatch(it->second.get(), deltas, capture);
-    ++batch_applies_;
-    if (!capture) continue;
+    if (single_attrs.count(attr) == 0) {
+      ValueIndexApplyUpdateBatch(it->second.get(), deltas,
+                                 /*capture=*/false);
+      ++batch_applies_;
+      continue;
+    }
+    if (arena) {
+      std::vector<Pli::ClusterPatchView> views =
+          ValueIndexApplyUpdateBatchViews(it->second.get(), deltas);
+      ++batch_applies_;
+      ProbePatchBatchLocked(attr, deltas, views);
+      cluster_patch_views[attr] = std::move(views);
+    } else {
+      std::vector<Pli::ClusterPatch> patches =
+          ValueIndexApplyUpdateBatch(it->second.get(), deltas,
+                                     /*capture=*/true);
+      ++batch_applies_;
+      ProbePatchBatchLocked(attr, deltas, Pli::MakePatchViews(patches));
+      cluster_patches[attr] = std::move(patches);
+    }
     ptrdiff_t dd = 0;
     for (const ValueIndexDelta& d : deltas) {
       dd += (d.new_value != nullptr ? 1 : 0) -
             (d.old_value != nullptr ? 1 : 0);
     }
     defined_deltas[attr] = dd;
-    cluster_patches[attr] = std::move(patches);
   }
   for (Work& w : single) {
     AttrId a = w.attrs.ids().front();
-    auto cp = cluster_patches.find(a);
-    if (cp == cluster_patches.end() ||
-        !w.pli->ApplyBatch(std::move(cp->second), defined_deltas[a])) {
+    bool applied = false;
+    if (arena) {
+      auto cp = cluster_patch_views.find(a);
+      applied = cp != cluster_patch_views.end() &&
+                w.pli->ApplyBatch(std::move(cp->second), defined_deltas[a]);
+    } else {
+      auto cp = cluster_patches.find(a);
+      applied = cp != cluster_patches.end() &&
+                w.pli->ApplyBatch(std::move(cp->second), defined_deltas[a]);
+    }
+    if (!applied) {
       failed.push_back(w.attrs);
     } else {
       ++batch_applies_;
+      MaybeRetireBloatedProbeLocked(a, *w.pli);
     }
   }
   // Phase B: attach the joining rows. The scans run after the splice, so
@@ -921,49 +1101,21 @@ void PliCache::EvictLocked() {
   }
 }
 
-size_t PliCache::hits() const {
+PliCache::StatsSnapshot PliCache::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-size_t PliCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
-}
-
-size_t PliCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return evictions_;
-}
-
-size_t PliCache::cached_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
-
-size_t PliCache::patches() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return patches_;
-}
-
-size_t PliCache::patch_rebuilds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return patch_rebuilds_;
-}
-
-size_t PliCache::batch_applies() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return batch_applies_;
-}
-
-size_t PliCache::full_drops() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return full_drops_;
-}
-
-size_t PliCache::pending_deltas() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pending_.size();
+  StatsSnapshot s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.cached_entries = entries_.size();
+  s.patches = patches_;
+  s.patch_rebuilds = patch_rebuilds_;
+  s.batch_applies = batch_applies_;
+  s.full_drops = full_drops_;
+  s.probe_patches = probe_patches_;
+  s.probe_rebuilds = probe_rebuilds_;
+  s.pending_deltas = pending_.size();
+  return s;
 }
 
 }  // namespace flexrel

@@ -37,7 +37,12 @@
 // state), so a row updated 64 times between queries flushes as one move.
 // The unstripped value indexes are the base of the scheme: they know which
 // lone row to un-strip when a value gains its second carrier, which the
-// stripped partitions alone cannot. A multi-attribute entry whose per-row
+// stripped partitions alone cannot. Probe tables (row -> cluster label,
+// ProbeFor) used to be memo-dropped by any flush touching their attribute
+// and rebuilt O(rows); they are now first-class incrementally maintained
+// structures, label arrays patched in O(delta) alongside the cluster
+// patches on both flush arms, so multi-attribute lazy re-intersections
+// stop paying a probe rebuild per flush. A multi-attribute entry whose per-row
 // patch (seed-cluster scan + verification) would cost more than
 // re-intersecting its patched sub-partitions is dropped instead and
 // rebuilt lazily on the next Get. PliCacheOptions::incremental = false
@@ -74,6 +79,8 @@
 
 namespace flexrel {
 
+struct ValueIndexDelta;
+
 /// Thread-safe partition cache over one instance. The referenced rows must
 /// outlive the cache; every mutation of the rows must be reported through
 /// OnInsert/OnUpdate (or the batch hooks, or the cache discarded) before
@@ -91,6 +98,21 @@ class PliCache {
   /// The stripped partition by `attrs`, building (and caching) it when
   /// absent. Flushes pending mutation deltas first. Never returns null.
   std::shared_ptr<const Pli> Get(const AttrSet& attrs);
+
+  /// The memoized probe (row -> cluster label, see PliProbe) of the
+  /// single-attribute partition of `attr` — shared by every intersection
+  /// whose right operand is that partition, i.e. every multi-attribute
+  /// build whose key ends in `attr`. Probes are *incrementally maintained*:
+  /// the flush patches the label array alongside the cluster patches
+  /// (labels stay stable rather than canonical), so a flush no longer costs
+  /// an O(rows) probe rebuild per touched attribute. A probe is dropped for
+  /// a lazy rebuild only when its partition is (entry dropped), when a
+  /// patch contradicts it, or when churn has bloated the label bound past
+  /// twice the cluster count (probe_rebuilds in Stats()). Flushes pending
+  /// deltas first; never returns null. The pointee is patched in place
+  /// under the same external-synchronization contract as Get results: do
+  /// not hold it across mutations.
+  std::shared_ptr<const PliProbe> ProbeFor(AttrId attr);
 
   /// The *unstripped* value-keyed view of the single-attribute partition of
   /// `attr`: value -> ascending row ids carrying exactly that value. Rows
@@ -134,23 +156,33 @@ class PliCache {
   const std::vector<Tuple>& rows() const { return *rows_; }
   const Options& options() const { return options_; }
 
-  /// Statistics for tests and benchmarks.
-  size_t hits() const;
-  size_t misses() const;
-  size_t evictions() const;
-  size_t cached_entries() const;
-  /// Structures patched row-by-row by a flush taking the per-row path.
-  size_t patches() const;
-  /// Cached partitions dropped by a flush because re-intersecting patched
-  /// sub-partitions is cheaper than patching them (rebuilt lazily).
-  size_t patch_rebuilds() const;
-  /// Structures group-applied by a flush taking the batched path.
-  size_t batch_applies() const;
-  /// Flushes that dropped every cached structure because the burst crossed
-  /// max(drop_threshold, rows/2).
-  size_t full_drops() const;
-  /// Mutation deltas currently buffered (not yet flushed by a read).
-  size_t pending_deltas() const;
+  /// One coherent snapshot of every cache statistic, taken under a single
+  /// lock — the ad-hoc per-counter accessors this replaces could tear
+  /// across a concurrent flush. Tests assert on it; bench_pli prints it.
+  struct StatsSnapshot {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t cached_entries = 0;
+    /// Structures patched row-by-row by a flush taking the per-row path.
+    size_t patches = 0;
+    /// Cached partitions dropped by a flush because re-intersecting patched
+    /// sub-partitions is cheaper than patching them (rebuilt lazily).
+    size_t patch_rebuilds = 0;
+    /// Structures group-applied by a flush taking the batched path.
+    size_t batch_applies = 0;
+    /// Flushes that dropped every cached structure because the burst
+    /// crossed max(drop_threshold, rows/2).
+    size_t full_drops = 0;
+    /// Memoized probe tables patched in place by a flush (either path).
+    size_t probe_patches = 0;
+    /// Memoized probe tables dropped for a lazy O(rows) rebuild (partition
+    /// dropped, patch contradicted, or label bound bloated).
+    size_t probe_rebuilds = 0;
+    /// Mutation deltas currently buffered (not yet flushed by a read).
+    size_t pending_deltas = 0;
+  };
+  StatsSnapshot Stats() const;
 
  private:
   using PliPtr = std::shared_ptr<Pli>;
@@ -185,13 +217,11 @@ class PliCache {
   /// Builds the partition for `attrs` from cached sub-partitions.
   PliPtr BuildFor(const AttrSet& attrs);
 
-  /// Memoized probe table of the single-attribute partition of `attr` —
-  /// shared by every intersection whose right operand is that partition.
-  /// Inserts drop all memos (their num_rows sizing is stale); updates drop
-  /// only the changed attributes' (other partitions' cluster ids are
-  /// untouched). Dropped memos are rebuilt on the next multi-attribute
-  /// build that needs them.
-  std::shared_ptr<const std::vector<int32_t>> ProbeFor(AttrId attr);
+  /// The storage mode every partition of this cache is built with.
+  Pli::Storage PartitionStorage() const {
+    return options_.arena_storage ? Pli::Storage::kArena
+                                  : Pli::Storage::kVectors;
+  }
 
   /// Drops completed evictable entries beyond max_entries. Requires mu_.
   void EvictLocked();
@@ -270,9 +300,50 @@ class PliCache {
 
   using EntryMap = std::unordered_map<AttrSet, Entry, AttrSetHash>;
 
-  /// Drops entry `it` (and its LRU slot), returning the next iterator.
-  /// Requires mu_.
+  /// Drops entry `it` (and its LRU slot — and, for single-attribute keys,
+  /// the memoized probe mirroring the dropped partition), returning the
+  /// next iterator. Requires mu_.
   EntryMap::iterator DropEntryLocked(EntryMap::iterator it);
+
+  // ------------------------------------------------------------------
+  // Incremental probe maintenance. Invariant: a memoized probe for `attr`
+  // exists only while the (pinned) single-attribute entry for `attr` does,
+  // and describes exactly the state that partition's clusters do at every
+  // point of a flush. Labels are stable: a fresh two-row cluster takes
+  // label_bound++, a dissolved cluster's label is simply retired, so a
+  // patch costs O(delta) instead of the O(rows) rebuild the memo-drop
+  // scheme paid per flush. All require mu_.
+  // ------------------------------------------------------------------
+
+  /// Patches `attr`'s probe (if memoized) for `row` joining the cluster
+  /// currently holding `partners` (ascending, excluding `row`, pre-insert
+  /// state — the same list handed to Pli::ApplyInsert). Drops the probe on
+  /// contradiction.
+  void ProbePatchInsertLocked(AttrId attr, Pli::RowId row,
+                              const Pli::Cluster& partners);
+
+  /// The reverse: `row` leaves the cluster that `partners` (excluding it)
+  /// remain in — the post-detach list handed to Pli::ApplyErase.
+  void ProbePatchEraseLocked(AttrId attr, Pli::RowId row,
+                             const Pli::Cluster& partners);
+
+  /// Group-patches `attr`'s probe from one batched splice: `deltas` are the
+  /// attribute's movers (cleared first), `patches` the captured per-value
+  /// cluster replacements as borrowed views (labels pre-read from the
+  /// pre-splice fronts, so call this *after* the value-index splice but
+  /// before anything consumes the views).
+  void ProbePatchBatchLocked(AttrId attr,
+                             const std::vector<ValueIndexDelta>& deltas,
+                             const std::vector<Pli::ClusterPatchView>& patches);
+
+  /// Drops `attr`'s probe memo for a lazy rebuild, counting it in
+  /// probe_rebuilds_ (no-op when none is memoized).
+  void DropProbeLocked(AttrId attr);
+
+  /// Caps label-space churn: once stable labels outnumber live clusters
+  /// 2:1 (plus slack), intersection scratch arrays pay for dead labels and
+  /// the probe is cheaper to rebuild densely. Requires the probe to exist.
+  void MaybeRetireBloatedProbeLocked(AttrId attr, const Pli& pli);
 
   enum class PatchResult {
     kPatched,    ///< the partition was modified in place
@@ -295,8 +366,8 @@ class PliCache {
 
   mutable std::mutex mu_;
   EntryMap entries_;
-  std::unordered_map<AttrId, std::shared_ptr<const std::vector<int32_t>>>
-      probes_;  // memoized probe tables, dropped wholesale on mutation
+  std::unordered_map<AttrId, std::shared_ptr<PliProbe>>
+      probes_;  // memoized probes, patched in place alongside the clusters
   std::unordered_map<AttrId, std::shared_ptr<ValueIndex>>
       value_indexes_;  // pinned and patched; the selections' value -> rows view
   std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
@@ -309,6 +380,8 @@ class PliCache {
   size_t patch_rebuilds_ = 0;
   size_t batch_applies_ = 0;
   size_t full_drops_ = 0;
+  size_t probe_patches_ = 0;
+  size_t probe_rebuilds_ = 0;
 };
 
 /// Patch primitives for the unstripped value index, mirroring
@@ -346,6 +419,15 @@ struct ValueIndexDelta {
 std::vector<Pli::ClusterPatch> ValueIndexApplyUpdateBatch(
     PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas,
     bool capture = true);
+
+/// Zero-copy capture: the same splice, but the returned patches *borrow*
+/// their replacement rows as spans into the just-spliced index clusters
+/// (Pli::ClusterPatchView) instead of copying them. Valid until the index
+/// is next modified; the arena flush consumes them immediately, landing
+/// each replacement in the partition with exactly one copy
+/// (index -> arena) instead of two (index -> patch -> storage).
+std::vector<Pli::ClusterPatchView> ValueIndexApplyUpdateBatchViews(
+    PliCache::ValueIndex* index, const std::vector<ValueIndexDelta>& deltas);
 std::vector<Pli::ClusterPatch> ValueIndexApplyInsertBatch(
     PliCache::ValueIndex* index,
     const std::vector<std::pair<Pli::RowId, const Value*>>& inserts,

@@ -51,6 +51,16 @@ struct PliCacheOptions {
   /// burst size one deferred rebuild beats any splicing, which is what the
   /// incremental = false oracle demonstrates at high mutation ratios.
   size_t drop_threshold = 2048;
+
+  /// Cluster storage of every partition the cache builds: the CSR arena
+  /// (one contiguous rows array plus monotone offsets per partition —
+  /// Pli::Storage::kArena, the default) or, when false, the historical
+  /// vector-of-vectors layout (Pli::Storage::kVectors) — kept reachable as
+  /// the reference mode the arena is benchmarked (bench_pli,
+  /// scripts/perf_smoke.py) and soak-tested (engine_incremental_test)
+  /// against. Intersection products inherit the mode, so pinning it here
+  /// pins the whole cache.
+  bool arena_storage = true;
 };
 
 }  // namespace flexrel

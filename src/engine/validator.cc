@@ -16,7 +16,7 @@ struct ClusterPresence {
   AttrSet seen_any;
 };
 
-ClusterPresence ScanClusterPresence(const Pli::Cluster& cluster,
+ClusterPresence ScanClusterPresence(Pli::ClusterView cluster,
                                     const std::vector<AttrSet>& row_attrs) {
   ClusterPresence out;
   out.present = row_attrs[cluster.front()];
@@ -41,7 +41,7 @@ std::vector<AttrSet> ComputeRowAttrs(const std::vector<Tuple>& rows) {
 AttrSet PartitionAdRhs(const Pli& pli, const std::vector<AttrSet>& row_attrs,
                        const AttrSet& lhs, const AttrSet& universe) {
   AttrSet rhs = universe;
-  for (const Pli::Cluster& cluster : pli.clusters()) {
+  for (Pli::ClusterView cluster : pli.clusters()) {
     ClusterPresence scan = ScanClusterPresence(cluster, row_attrs);
     // Attributes some but not all cluster members carry break the
     // existence pattern.
@@ -54,7 +54,7 @@ AttrSet PartitionAdRhs(const Pli& pli, const std::vector<AttrSet>& row_attrs,
 AttrSet PartitionFdRhs(const Pli& pli, const std::vector<Tuple>& rows,
                        const AttrSet& lhs, const AttrSet& universe) {
   AttrSet rhs = universe;
-  for (const Pli::Cluster& cluster : pli.clusters()) {
+  for (Pli::ClusterView cluster : pli.clusters()) {
     const Tuple& ref = rows[cluster.front()];
     AttrSet agreeing = ref.attrs();
     for (size_t i = 1; i < cluster.size() && !agreeing.empty(); ++i) {
@@ -137,7 +137,7 @@ Result<ExplicitAD> MineExplicitAd(PliCache* cache, const AttrSet& determinant,
   }
   AttrSet y = determined.Minus(determinant);
   std::shared_ptr<const Pli> pli = cache->Get(determinant);
-  std::vector<int32_t> probe = pli->ProbeTable();
+  PliProbe probe = pli->BuildProbe();
 
   // Clusters: members must agree on presence within Y (otherwise no EAD
   // with this determinant exists over the instance).
@@ -150,7 +150,7 @@ Result<ExplicitAD> MineExplicitAd(PliCache* cache, const AttrSet& determinant,
         StrCat("mining ", determinant.ToString(),
                " exceeds the variant budget of ", max_variants));
   };
-  for (const Pli::Cluster& cluster : pli->clusters()) {
+  for (Pli::ClusterView cluster : pli->clusters()) {
     ClusterPresence scan = ScanClusterPresence(cluster, *row_attrs);
     if (scan.seen_any.Minus(scan.present).Intersects(y)) {
       return Status::InvalidArgument(
@@ -168,7 +168,7 @@ Result<ExplicitAD> MineExplicitAd(PliCache* cache, const AttrSet& determinant,
   }
   for (size_t i = 0; i < rows.size(); ++i) {
     if (rows[i].DefinedOn(determinant)) {
-      if (probe[i] != Pli::kNoCluster) continue;  // handled as a cluster
+      if (probe.labels[i] != Pli::kNoCluster) continue;  // handled as a cluster
       // Partnerless row: its value defines a variant of its own.
       AttrSet then = (*row_attrs)[i].Intersect(y);
       if (then.empty()) continue;

@@ -18,6 +18,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/pli_cache.h"
@@ -150,8 +152,38 @@ struct SoakKeys {
   std::vector<AttrId> indexes;
 };
 
+// A patched probe must describe the same clustering as a from-scratch
+// rebuild's — up to relabeling: incremental maintenance keeps labels
+// *stable* (a fresh cluster takes a fresh label), the rebuild's are
+// canonical indices, so equivalence is a label bijection with identical
+// kNoCluster rows.
+void VerifyProbeEquivalent(const PliProbe& patched, const Pli& fresh_pli,
+                           const std::string& context) {
+  PliProbe fresh = fresh_pli.BuildProbe();
+  ASSERT_EQ(patched.labels.size(), fresh.labels.size()) << context;
+  std::unordered_map<int32_t, int32_t> patched_to_fresh;
+  std::unordered_map<int32_t, int32_t> fresh_to_patched;
+  for (size_t i = 0; i < fresh.labels.size(); ++i) {
+    const int32_t p = patched.labels[i];
+    const int32_t f = fresh.labels[i];
+    ASSERT_EQ(p == Pli::kNoCluster, f == Pli::kNoCluster)
+        << context << " probe membership of row " << i << " diverged";
+    if (f == Pli::kNoCluster) continue;
+    ASSERT_GE(p, 0) << context;
+    ASSERT_LT(p, patched.label_bound)
+        << context << " label of row " << i << " breaks the bound";
+    auto [pf, _1] = patched_to_fresh.try_emplace(p, f);
+    ASSERT_EQ(pf->second, f)
+        << context << " patched label " << p << " spans two clusters";
+    auto [fp, _2] = fresh_to_patched.try_emplace(f, p);
+    ASSERT_EQ(fp->second, p)
+        << context << " cluster " << f << " carries two patched labels";
+  }
+}
+
 // Asserts every tracked structure of `rel`'s attached cache equals a
-// from-scratch rebuild over the current rows.
+// from-scratch rebuild over the current rows — clusters, counters, arena
+// invariants, value indexes, and the incrementally patched probes.
 void VerifyAgainstRebuild(const FlexibleRelation& rel, const SoakKeys& keys,
                           const std::string& context) {
   std::shared_ptr<PliCache> cache = rel.pli_cache();
@@ -167,6 +199,19 @@ void VerifyAgainstRebuild(const FlexibleRelation& rel, const SoakKeys& keys,
         << context << " grouped_rows of " << attrs.ToString();
     EXPECT_EQ(patched->NumDistinct(), fresh->NumDistinct())
         << context << " NumDistinct of " << attrs.ToString();
+    std::string err;
+    ASSERT_TRUE(patched->CheckInvariants(&err))
+        << context << " partition " << attrs.ToString() << ": " << err;
+    // Single-attribute partitions carry an incrementally maintained probe;
+    // ProbeFor both exercises the patch path (the memo persists across
+    // flushes from the first call on) and must match a rebuild.
+    if (attrs.size() == 1) {
+      std::shared_ptr<const PliProbe> probe =
+          cache->ProbeFor(attrs.ids().front());
+      ASSERT_NO_FATAL_FAILURE(VerifyProbeEquivalent(
+          *probe, *fresh,
+          StrCat(context, " probe of ", attrs.ToString())));
+    }
   }
   for (AttrId attr : keys.indexes) {
     ASSERT_EQ(*cache->IndexFor(attr), *rebuild.IndexFor(attr))
@@ -247,7 +292,7 @@ TEST(EngineIncrementalSoak, DerivedRelationPatchesMatchRebuilds) {
         rel, keys, StrCat("op#", op, " [", what, "]")));
   }
   // The soak must have exercised the patch path, not silently rebuilt.
-  EXPECT_GT(cache->patches(), 0u);
+  EXPECT_GT(cache->Stats().patches, 0u);
   EXPECT_EQ(cache.get(), rel.pli_cache().get())
       << "incremental mode must keep the attached cache alive";
 }
@@ -276,7 +321,7 @@ TEST(EngineIncrementalSoak, OversizedSeedClustersFallBackToLazyRebuild) {
   }
   std::shared_ptr<PliCache> cache = rel.pli_cache();
   (void)cache->Get(AttrSet{a, b});
-  ASSERT_EQ(cache->patch_rebuilds(), 0u);
+  ASSERT_EQ(cache->Stats().patch_rebuilds, 0u);
 
   Tuple t;
   t.Set(a, Value::Int(1));
@@ -290,7 +335,7 @@ TEST(EngineIncrementalSoak, OversizedSeedClustersFallBackToLazyRebuild) {
   // the next read), so the patch_rebuilds assertion comes after it.
   PliCache fresh(&rel.rows());
   EXPECT_EQ(*cache->Get(AttrSet{a, b}), *fresh.Get(AttrSet{a, b}));
-  EXPECT_GT(cache->patch_rebuilds(), 0u)
+  EXPECT_GT(cache->Stats().patch_rebuilds, 0u)
       << "the oversized seed cluster must have dropped the pair entry";
   ASSERT_TRUE(rel.Update(0, b, Value::Int(7)).ok());
   PliCache fresh2(&rel.rows());
@@ -357,8 +402,8 @@ TEST(EngineIncrementalSoak, IncrementalModeMatchesDropEverythingOracle) {
     }
   }
   // The two modes must have taken the two *different* maintenance paths.
-  EXPECT_GT(incremental.pli_cache()->patches(), 0u);
-  EXPECT_EQ(oracle.pli_cache()->patches(), 0u);
+  EXPECT_GT(incremental.pli_cache()->Stats().patches, 0u);
+  EXPECT_EQ(oracle.pli_cache()->Stats().patches, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -428,7 +473,7 @@ TEST(EngineIncrementalSoak, TypedUpdatesWithTypeChangesPatchCorrectly) {
   }
   ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "typed final"));
   EXPECT_GT(type_changes, 0) << "soak never exercised a footnote-3 change";
-  EXPECT_GT(cache->patches(), 0u);
+  EXPECT_GT(cache->Stats().patches, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +536,59 @@ TEST(PliPatchTest, ApplyBatchHandlesInsertBursts) {
   EXPECT_EQ(pli, Pli::Build(rows, a));
   EXPECT_EQ(pli.defined_rows(), 5u);
   EXPECT_EQ(pli.NumDistinct(), 3u);
+}
+
+TEST(PliPatchTest, ViewBasedBatchSpliceMatchesTheOwningOne) {
+  // The zero-copy capture (ValueIndexApplyUpdateBatchViews +
+  // ApplyBatch(ClusterPatchView)) must leave index and partition in exactly
+  // the state the owning-patch pipeline produces — in both storage modes.
+  const AttrId a = 6;
+  for (Pli::Storage storage :
+       {Pli::Storage::kArena, Pli::Storage::kVectors}) {
+    std::vector<Tuple> rows = RowsWithValues(a, {1, 1, 2, 2, 3, 2, 1});
+    Pli pli = Pli::Build(rows, a, storage);
+    PliCache::ValueIndex index;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ValueIndexApplyInsert(&index, static_cast<Pli::RowId>(i),
+                            rows[i].Get(a));
+    }
+    // Burst: row 0 1->3 (un-strips row 4), row 3 2->1, row 5 2->9 (fresh
+    // stripped value), so clusters dissolve, shrink, grow, and appear.
+    Value one = Value::Int(1), two = Value::Int(2), three = Value::Int(3),
+          nine = Value::Int(9);
+    std::vector<ValueIndexDelta> deltas = {
+        {0, &one, &three}, {3, &two, &one}, {5, &two, &nine}};
+    std::vector<Pli::ClusterPatchView> views =
+        ValueIndexApplyUpdateBatchViews(&index, deltas);
+    ASSERT_FALSE(views.empty());
+    ASSERT_TRUE(pli.ApplyBatch(std::move(views), /*defined_delta=*/0));
+
+    rows[0].Set(a, Value::Int(3));
+    rows[3].Set(a, Value::Int(1));
+    rows[5].Set(a, Value::Int(9));
+    EXPECT_EQ(pli, Pli::Build(rows, a));
+    std::string err;
+    EXPECT_TRUE(pli.CheckInvariants(&err)) << err;
+    PliCache::ValueIndex fresh;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ValueIndexApplyInsert(&fresh, static_cast<Pli::RowId>(i),
+                            rows[i].Get(a));
+    }
+    EXPECT_EQ(index, fresh);
+  }
+}
+
+TEST(PliPatchTest, ViewBasedBatchRefusesContradictionsAsANoOp) {
+  const AttrId a = 2;
+  std::vector<Tuple> rows = RowsWithValues(a, {4, 4, 6, 6});
+  Pli pli = Pli::Build(rows, a);
+  const Pli before = pli;
+  const Pli::RowId bogus[] = {0, 1, 2};
+  std::vector<Pli::ClusterPatchView> views;
+  views.push_back({0, 3, bogus, 3});  // cluster {0,1} is size 2, not 3
+  EXPECT_FALSE(pli.ApplyBatch(std::move(views), 0));
+  EXPECT_EQ(pli, before);
+  EXPECT_EQ(pli.grouped_rows(), before.grouped_rows());
 }
 
 TEST(PliPatchTest, ApplyBatchRefusesContradictionsAsANoOp) {
@@ -815,19 +913,22 @@ TEST(EngineIncrementalSoak, BatchBurstsMatchRebuildsAcrossAllPolicies) {
   ASSERT_TRUE(rel.UpdateRows(random_update_burst(512)).ok());
   warm();
   ASSERT_NO_FATAL_FAILURE(VerifyAgainstRebuild(rel, keys, "final 512 burst"));
-  EXPECT_GT(cache->patches(), 0u) << "per-row path never ran";
-  EXPECT_GT(cache->batch_applies(), 0u) << "batched path never ran";
-  EXPECT_GT(cache->full_drops(), 0u) << "drop-everything path never ran";
-  EXPECT_EQ(cache->pending_deltas(), 0u);
+  EXPECT_GT(cache->Stats().patches, 0u) << "per-row path never ran";
+  EXPECT_GT(cache->Stats().batch_applies, 0u) << "batched path never ran";
+  EXPECT_GT(cache->Stats().full_drops, 0u) << "drop-everything path never ran";
+  EXPECT_EQ(cache->Stats().pending_deltas, 0u);
   EXPECT_EQ(cache.get(), rel.pli_cache().get())
       << "batched maintenance must keep the attached cache alive";
 }
 
 // ---------------------------------------------------------------------------
-// The adaptive policy against its two pinned references: batch_threshold =
-// SIZE_MAX forces the PR 3 per-row path, incremental = false the drop-
-// everything oracle. One identical mutation stream, three relations, every
-// tracked structure equal after every burst.
+// The adaptive policy against its three pinned references: batch_threshold
+// = SIZE_MAX forces the PR 3 per-row path, incremental = false the drop-
+// everything oracle, and arena_storage = false runs the same adaptive
+// policy over the historical vector-of-vectors clusters — so every flush
+// arm is asserted structurally equal arena-vs-reference. One identical
+// mutation stream, four relations, every tracked structure equal after
+// every burst.
 // ---------------------------------------------------------------------------
 
 TEST(EngineIncrementalSoak, AdaptivePolicyMatchesPerRowAndDropOracles) {
@@ -838,9 +939,19 @@ TEST(EngineIncrementalSoak, AdaptivePolicyMatchesPerRowAndDropOracles) {
 
   FlexibleRelation adaptive =
       FlexibleRelation::Derived("adaptive", DependencySet());
+  FlexibleRelation reference =
+      FlexibleRelation::Derived("reference", DependencySet());
   FlexibleRelation per_row =
       FlexibleRelation::Derived("per-row", DependencySet());
   FlexibleRelation oracle = FlexibleRelation::Derived("ora", DependencySet());
+  // A low drop threshold lets the closing 512-burst cross the drop arm on
+  // a 150-row instance (rows/2 = 75 would otherwise dominate).
+  PliCacheOptions adaptive_options;
+  adaptive_options.drop_threshold = 128;
+  adaptive.SetPliCacheOptions(adaptive_options);
+  PliCacheOptions reference_options = adaptive_options;
+  reference_options.arena_storage = false;
+  reference.SetPliCacheOptions(reference_options);
   PliCacheOptions pinned;
   pinned.batch_threshold = SIZE_MAX;
   pinned.drop_threshold = SIZE_MAX;
@@ -848,7 +959,7 @@ TEST(EngineIncrementalSoak, AdaptivePolicyMatchesPerRowAndDropOracles) {
   PliCacheOptions drop_everything;
   drop_everything.incremental = false;
   oracle.SetPliCacheOptions(drop_everything);
-  FlexibleRelation* rels[] = {&adaptive, &per_row, &oracle};
+  FlexibleRelation* rels[] = {&adaptive, &reference, &per_row, &oracle};
 
   SoakKeys keys;
   for (AttrId a : attrs) keys.partitions.push_back(AttrSet::Of(a));
@@ -867,12 +978,33 @@ TEST(EngineIncrementalSoak, AdaptivePolicyMatchesPerRowAndDropOracles) {
   }
   for (FlexibleRelation* rel : rels) touch(rel);
 
-  const size_t kBursts[] = {1, 8, 64};
-  for (int round = 0; round < 20; ++round) {
-    // The last round always runs the largest burst, so the batched arm is
-    // exercised (and the batch_applies assertions below hold) for every
-    // seed.
-    size_t burst = round == 19 ? 64 : kBursts[rng.Index(3)];
+  auto assert_all_equal = [&](const std::string& context) {
+    std::shared_ptr<PliCache> lhs = adaptive.pli_cache();
+    std::shared_ptr<PliCache> ref = reference.pli_cache();
+    std::shared_ptr<PliCache> mid = per_row.pli_cache();
+    std::shared_ptr<PliCache> rhs = oracle.pli_cache();
+    for (const AttrSet& k : keys.partitions) {
+      ASSERT_EQ(*lhs->Get(k), *ref->Get(k))
+          << context << " arena vs reference storage " << k.ToString();
+      ASSERT_EQ(*lhs->Get(k), *mid->Get(k))
+          << context << " adaptive vs per-row " << k.ToString();
+      ASSERT_EQ(*lhs->Get(k), *rhs->Get(k))
+          << context << " adaptive vs oracle " << k.ToString();
+      ASSERT_EQ(lhs->Get(k)->defined_rows(), rhs->Get(k)->defined_rows())
+          << context << " " << k.ToString();
+      ASSERT_EQ(lhs->Get(k)->storage(), Pli::Storage::kArena) << context;
+      ASSERT_EQ(ref->Get(k)->storage(), Pli::Storage::kVectors) << context;
+      std::string err;
+      ASSERT_TRUE(lhs->Get(k)->CheckInvariants(&err)) << context << err;
+      ASSERT_TRUE(ref->Get(k)->CheckInvariants(&err)) << context << err;
+    }
+    for (AttrId a : keys.indexes) {
+      ASSERT_EQ(*lhs->IndexFor(a), *ref->IndexFor(a)) << context;
+      ASSERT_EQ(*lhs->IndexFor(a), *mid->IndexFor(a)) << context;
+      ASSERT_EQ(*lhs->IndexFor(a), *rhs->IndexFor(a)) << context;
+    }
+  };
+  auto run_burst = [&](size_t burst, const std::string& context) {
     std::vector<FlexibleRelation::UpdateSpec> updates;
     for (size_t i = 0; i < burst; ++i) {
       updates.push_back({rng.Index(adaptive.size()),
@@ -884,27 +1016,35 @@ TEST(EngineIncrementalSoak, AdaptivePolicyMatchesPerRowAndDropOracles) {
       ASSERT_TRUE(rel->UpdateRows(std::move(copy)).ok());
       touch(rel);
     }
-    std::shared_ptr<PliCache> lhs = adaptive.pli_cache();
-    std::shared_ptr<PliCache> mid = per_row.pli_cache();
-    std::shared_ptr<PliCache> rhs = oracle.pli_cache();
-    for (const AttrSet& k : keys.partitions) {
-      ASSERT_EQ(*lhs->Get(k), *mid->Get(k))
-          << "round#" << round << " adaptive vs per-row " << k.ToString();
-      ASSERT_EQ(*lhs->Get(k), *rhs->Get(k))
-          << "round#" << round << " adaptive vs oracle " << k.ToString();
-      ASSERT_EQ(lhs->Get(k)->defined_rows(), rhs->Get(k)->defined_rows())
-          << "round#" << round << " " << k.ToString();
-    }
-    for (AttrId a : keys.indexes) {
-      ASSERT_EQ(*lhs->IndexFor(a), *mid->IndexFor(a)) << "round#" << round;
-      ASSERT_EQ(*lhs->IndexFor(a), *rhs->IndexFor(a)) << "round#" << round;
-    }
+    ASSERT_NO_FATAL_FAILURE(assert_all_equal(context));
+  };
+
+  const size_t kBursts[] = {1, 8, 64};
+  for (int round = 0; round < 20; ++round) {
+    // The last round always runs the largest random burst, so the batched
+    // arm is exercised (and the batch_applies assertions below hold) for
+    // every seed.
+    size_t burst = round == 19 ? 64 : kBursts[rng.Index(3)];
+    ASSERT_NO_FATAL_FAILURE(run_burst(burst, StrCat("round#", round)));
   }
-  // The three maintenance modes must actually have diverged in mechanism.
-  EXPECT_GT(adaptive.pli_cache()->batch_applies(), 0u);
-  EXPECT_EQ(per_row.pli_cache()->batch_applies(), 0u);
-  EXPECT_GT(per_row.pli_cache()->patches(), 0u);
-  EXPECT_EQ(oracle.pli_cache()->patches(), 0u);
+  // Deterministic closing bursts pin the arena-vs-reference equality on
+  // each of the three flush arms regardless of the draws above: a single
+  // update (per-row), a mid-size burst (batched window), and one crossing
+  // the lowered drop threshold (drop-everything).
+  ASSERT_NO_FATAL_FAILURE(run_burst(1, "closing per-row burst"));
+  ASSERT_NO_FATAL_FAILURE(run_burst(64, "closing batched burst"));
+  ASSERT_NO_FATAL_FAILURE(run_burst(512, "closing drop burst"));
+  // The maintenance modes must actually have diverged in mechanism — and
+  // the reference-storage twin must have walked the same arms as the
+  // arena.
+  EXPECT_GT(adaptive.pli_cache()->Stats().batch_applies, 0u);
+  EXPECT_GT(adaptive.pli_cache()->Stats().full_drops, 0u);
+  EXPECT_GT(reference.pli_cache()->Stats().batch_applies, 0u);
+  EXPECT_GT(reference.pli_cache()->Stats().full_drops, 0u);
+  EXPECT_GT(reference.pli_cache()->Stats().patches, 0u);
+  EXPECT_EQ(per_row.pli_cache()->Stats().batch_applies, 0u);
+  EXPECT_GT(per_row.pli_cache()->Stats().patches, 0u);
+  EXPECT_EQ(oracle.pli_cache()->Stats().patches, 0u);
 }
 
 }  // namespace

@@ -88,13 +88,14 @@ TEST(PliTest, ProbeTableInvertsClusters) {
   Rng rng(3);
   std::vector<Tuple> rows = RandomRows(&rng, 50, 3, 0.7, 4);
   Pli pli = Pli::Build(rows, AttrId{1});
-  std::vector<int32_t> probe = pli.ProbeTable();
-  ASSERT_EQ(probe.size(), rows.size());
+  PliProbe probe = pli.BuildProbe();
+  ASSERT_EQ(probe.labels.size(), rows.size());
+  EXPECT_EQ(probe.label_bound, static_cast<int32_t>(pli.num_clusters()));
   size_t in_clusters = 0;
-  for (size_t i = 0; i < probe.size(); ++i) {
-    if (probe[i] == Pli::kNoCluster) continue;
+  for (size_t i = 0; i < probe.labels.size(); ++i) {
+    if (probe.labels[i] == Pli::kNoCluster) continue;
     ++in_clusters;
-    const Pli::Cluster& c = pli.clusters()[probe[i]];
+    Pli::ClusterView c = pli.clusters()[static_cast<size_t>(probe.labels[i])];
     EXPECT_NE(std::find(c.begin(), c.end(), static_cast<uint32_t>(i)),
               c.end());
   }
@@ -126,6 +127,61 @@ TEST(PliTest, IntersectionEqualsDirectBuild) {
   }
 }
 
+TEST(PliStorageTest, ArenaAndReferenceBuildsAreStructurallyEqual) {
+  // The CSR arena and the historical vector-of-vectors layout must be two
+  // representations of one partition: operator== crosses storage modes.
+  for (uint64_t seed = 40; seed < 46; ++seed) {
+    Rng rng(seed);
+    std::vector<Tuple> rows = RandomRows(&rng, 90, 4, 0.7, 3, 0.1);
+    for (AttrId a = 0; a < 4; ++a) {
+      Pli arena = Pli::Build(rows, a, Pli::Storage::kArena);
+      Pli reference = Pli::Build(rows, a, Pli::Storage::kVectors);
+      ASSERT_EQ(arena.storage(), Pli::Storage::kArena);
+      ASSERT_EQ(reference.storage(), Pli::Storage::kVectors);
+      EXPECT_EQ(arena, reference) << "seed=" << seed << " attr=" << a;
+      EXPECT_EQ(reference, arena) << "symmetry";
+      EXPECT_EQ(arena.defined_rows(), reference.defined_rows());
+      EXPECT_EQ(arena.NumDistinct(), reference.NumDistinct());
+      std::string err;
+      EXPECT_TRUE(arena.CheckInvariants(&err)) << err;
+      EXPECT_TRUE(reference.CheckInvariants(&err)) << err;
+    }
+    // Products inherit their left operand's storage and stay equal across
+    // mode combinations (including mixed-operand intersections).
+    Pli a0 = Pli::Build(rows, AttrId{0});
+    Pli a1v = Pli::Build(rows, AttrId{1}, Pli::Storage::kVectors);
+    Pli v0 = Pli::Build(rows, AttrId{0}, Pli::Storage::kVectors);
+    Pli arena_product = a0.Intersect(a1v);
+    Pli vector_product = v0.Intersect(a1v);
+    ASSERT_EQ(arena_product.storage(), Pli::Storage::kArena);
+    ASSERT_EQ(vector_product.storage(), Pli::Storage::kVectors);
+    EXPECT_EQ(arena_product, vector_product) << "seed=" << seed;
+    EXPECT_EQ(arena_product, Pli::Build(rows, AttrSet{0, 1}));
+    std::string err;
+    EXPECT_TRUE(arena_product.CheckInvariants(&err)) << err;
+    EXPECT_TRUE(vector_product.CheckInvariants(&err)) << err;
+  }
+}
+
+TEST(PliStorageTest, ScratchReuseDoesNotLeakStateAcrossIntersections) {
+  // One scratch instance threaded through many differently-shaped products
+  // must yield the same partitions as fresh per-call scratch.
+  Rng rng(77);
+  std::vector<Tuple> rows = RandomRows(&rng, 120, 5, 0.8, 3, 0.05);
+  Pli::IntersectScratch scratch;
+  for (AttrId a = 0; a < 5; ++a) {
+    Pli pa = Pli::Build(rows, a);
+    for (AttrId b = 0; b < 5; ++b) {
+      if (a == b) continue;
+      PliProbe probe = Pli::Build(rows, b).BuildProbe();
+      Pli with_scratch = pa.IntersectWithProbe(probe, &scratch);
+      Pli fresh = pa.IntersectWithProbe(probe);
+      EXPECT_EQ(with_scratch, fresh) << "a=" << a << " b=" << b;
+      EXPECT_EQ(with_scratch, Pli::Build(rows, AttrSet{a, b}));
+    }
+  }
+}
+
 TEST(PliCacheTest, CachedPartitionsMatchDirectBuilds) {
   Rng rng(17);
   std::vector<Tuple> rows = RandomRows(&rng, 120, 5, 0.8, 3);
@@ -138,7 +194,7 @@ TEST(PliCacheTest, CachedPartitionsMatchDirectBuilds) {
       }
     }
   }
-  EXPECT_GT(cache.hits(), 0u);  // shared prefixes must be reused
+  EXPECT_GT(cache.Stats().hits, 0u);  // shared prefixes must be reused
 }
 
 TEST(PliCacheTest, RepeatLookupsHitTheCache) {
@@ -147,10 +203,10 @@ TEST(PliCacheTest, RepeatLookupsHitTheCache) {
   PliCache cache(&rows);
   AttrSet x{0, 2};
   std::shared_ptr<const Pli> first = cache.Get(x);
-  size_t misses_after_first = cache.misses();
+  size_t misses_after_first = cache.Stats().misses;
   std::shared_ptr<const Pli> second = cache.Get(x);
   EXPECT_EQ(first.get(), second.get());
-  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_EQ(cache.Stats().misses, misses_after_first);
 }
 
 TEST(PliCacheTest, LruBoundEvictsMultiAttributeEntries) {
@@ -162,9 +218,9 @@ TEST(PliCacheTest, LruBoundEvictsMultiAttributeEntries) {
   for (AttrId a = 0; a < 6; ++a) {
     for (AttrId b = a + 1; b < 6; ++b) cache.Get(AttrSet{a, b});
   }
-  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.Stats().evictions, 0u);
   // 6 pinned singletons + at most max_entries evictable pairs.
-  EXPECT_LE(cache.cached_entries(), 6u + options.max_entries);
+  EXPECT_LE(cache.Stats().cached_entries, 6u + options.max_entries);
   // Evicted partitions rebuild correctly.
   EXPECT_EQ(*cache.Get(AttrSet{0, 1}), Pli::Build(rows, AttrSet{0, 1}));
 }
