@@ -1,0 +1,56 @@
+// Shared benchmark main: google benchmark's stock main plus the telemetry
+// plumbing the perf harness needs. Linked into every bench/* binary instead
+// of benchmark::benchmark_main.
+//
+// Extra flag (consumed before benchmark::Initialize, which rejects flags it
+// does not know):
+//
+//   --metrics_json=PATH   enable the engine telemetry plane for the run and
+//                         write Registry::Global().ToJson() to PATH after
+//                         the benchmarks finish. This is the unified stats
+//                         channel scripts/perf_smoke.py ingests; without the
+//                         flag telemetry stays disabled and the binary
+//                         behaves exactly like a benchmark_main build.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "telemetry/telemetry.h"
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kFlag[] = "--metrics_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      metrics_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  if (!metrics_path.empty()) flexrel::telemetry::Enable();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!metrics_path.empty()) {
+    const std::string json = flexrel::telemetry::Registry::Global().ToJson();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s for the metrics dump\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -278,18 +278,9 @@ void MutateThenQuery(benchmark::State& state, MaintenanceMode mode,
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           mutations);
-  // One coherent maintenance-counter snapshot per run: how the flush
-  // policy actually split the work (and how often probes were patched in
-  // place instead of rebuilt).
-  const PliCache::StatsSnapshot stats = rel.pli_cache()->Stats();
-  state.counters["patches"] = static_cast<double>(stats.patches);
-  state.counters["batch_applies"] = static_cast<double>(stats.batch_applies);
-  state.counters["patch_rebuilds"] =
-      static_cast<double>(stats.patch_rebuilds);
-  state.counters["full_drops"] = static_cast<double>(stats.full_drops);
-  state.counters["probe_patches"] = static_cast<double>(stats.probe_patches);
-  state.counters["probe_rebuilds"] =
-      static_cast<double>(stats.probe_rebuilds);
+  // Maintenance counters (flush-arm split, probe patches vs. rebuilds) are
+  // reported through the telemetry plane: run with --metrics_json=PATH and
+  // read engine.pli_cache.* from the dump (the channel perf_smoke ingests).
 }
 
 void BM_MutateThenQueryIncremental(benchmark::State& state) {
@@ -369,11 +360,8 @@ void CacheBatchedFlushBench(benchmark::State& state, bool arena) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           mutations);
-  const PliCache::StatsSnapshot stats = cache.Stats();
-  state.counters["batch_applies"] = static_cast<double>(stats.batch_applies);
-  state.counters["probe_patches"] = static_cast<double>(stats.probe_patches);
-  state.counters["probe_rebuilds"] =
-      static_cast<double>(stats.probe_rebuilds);
+  // Flush/probe maintenance counters live in the telemetry dump
+  // (--metrics_json=PATH, engine.pli_cache.* names).
 }
 void BM_CacheBatchedFlush(benchmark::State& state) {
   CacheBatchedFlushBench(state, /*arena=*/true);

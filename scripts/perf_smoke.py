@@ -15,11 +15,27 @@ hard-fails on any inversion:
     64-mutation batched flush (PliCacheOptions::arena_storage);
   * the PLI-backed pair join slower than the naive nested-loop join.
 
-Thresholds are deliberately loose (>= 1.0x, i.e. inversion only): shared CI
-runners are noisy, and the margins these assert on are 3x-200x locally. On
-top of that, each benchmark runs three repetitions and the comparison uses
-the medians, so a single noisy-neighbor spike cannot invert a ratio and
-fail an unrelated PR.
+Each run also enables the engine telemetry plane (--metrics_json=PATH, see
+src/telemetry/) and writes the per-binary metrics dump into the out dir
+(uploaded with the rest of the artifacts). The dump is then validated for
+counter inversions — identities the instrumentation guarantees by
+construction and work-ratio bounds the engine exists to provide:
+
+  * engine.pli_cache.hits + misses == lookups (every Get takes one arm);
+  * the per-arm flush counters (flush.per_row + flush.batched +
+    flush.dropped) sum to engine.pli_cache.flushes, and flushes > 0 —
+    the sweep actually exercised the adaptive policy;
+  * eval.join.hash_probes stays >= 100x below
+    eval.join.hash_pair_candidates (the naive pair count for the same
+    joins): the hashed path must probe orders fewer pairs than |L|x|R|.
+
+Counter checks are exact or ratio-based on deterministic counts, so they
+are immune to runner noise. Timing thresholds stay deliberately loose
+(>= 1.0x, i.e. inversion only): shared CI runners are noisy, and the
+margins these assert on are 3x-200x locally. On top of that, each
+benchmark runs three repetitions and the comparison uses the medians, so a
+single noisy-neighbor spike cannot invert a ratio and fail an unrelated
+PR.
 """
 
 import argparse
@@ -28,9 +44,10 @@ import pathlib
 import subprocess
 import sys
 
-# (benchmark binary, filter, output file). Reduced sizes: 10k rows for the
-# mutation sweep, the 10000-row arg for the join — big enough that the
-# engine's asymptotic edge dominates noise, small enough for a smoke job.
+# (benchmark binary, filter, output file, metrics file). Reduced sizes: 10k
+# rows for the mutation sweep, the 10000-row arg for the join — big enough
+# that the engine's asymptotic edge dominates noise, small enough for a
+# smoke job.
 RUNS = [
     (
         "bench_pli",
@@ -38,16 +55,19 @@ RUNS = [
         "|Rebuild)/rows:10000/|BM_PliLevelSweep(Reference)?/10000"
         "|BM_CacheBatchedFlush(Reference)?/",
         "perf_smoke_pli.json",
+        "perf_smoke_pli_metrics.json",
     ),
     (
         "bench_join_prune",
         "BM_PairJoin(Naive|Pli)/10000",
         "perf_smoke_join.json",
+        "perf_smoke_join_metrics.json",
     ),
 ]
 
 
-def run_bench(build_dir, out_dir, binary, bench_filter, out_name):
+def run_bench(build_dir, out_dir, binary, bench_filter, out_name,
+              metrics_name):
     out_path = out_dir / out_name
     cmd = [
         str(build_dir / binary),
@@ -56,6 +76,7 @@ def run_bench(build_dir, out_dir, binary, bench_filter, out_name):
         "--benchmark_repetitions=3",
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
+        f"--metrics_json={out_dir / metrics_name}",
     ]
     print("+", " ".join(cmd), flush=True)
     subprocess.run(cmd, check=True)
@@ -84,6 +105,56 @@ def expect_faster(times, fast, slow, failures):
         failures.append(f"{fast} is slower than {slow} ({ratio:.2f}x)")
 
 
+def load_counters(out_dir, metrics_name, failures):
+    path = out_dir / metrics_name
+    if not path.is_file():
+        failures.append(f"missing telemetry dump: {path}")
+        return {}
+    with open(path) as f:
+        return json.load(f).get("counters", {})
+
+
+def check_metric_invariants(out_dir, failures):
+    """Counter inversions the telemetry dump must not show (exact
+    identities plus work-ratio bounds; all counts are deterministic)."""
+    print("\ntelemetry counter invariants:")
+
+    pli = load_counters(out_dir, RUNS[0][3], failures)
+    lookups = pli.get("engine.pli_cache.lookups", 0)
+    hits = pli.get("engine.pli_cache.hits", 0)
+    misses = pli.get("engine.pli_cache.misses", 0)
+    ok = lookups > 0 and hits + misses == lookups
+    print(f"  pli_cache hits+misses == lookups: {hits} + {misses} "
+          f"== {lookups}  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"pli_cache accounting: hits({hits}) + misses({misses}) "
+            f"!= lookups({lookups}), or no lookups recorded")
+
+    flushes = pli.get("engine.pli_cache.flushes", 0)
+    arms = (pli.get("engine.pli_cache.flush.per_row", 0) +
+            pli.get("engine.pli_cache.flush.batched", 0) +
+            pli.get("engine.pli_cache.flush.dropped", 0))
+    ok = flushes > 0 and arms == flushes
+    print(f"  pli_cache per-arm flushes sum to total: {arms} "
+          f"== {flushes}  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"pli_cache flush arms: per_row+batched+dropped({arms}) "
+            f"!= flushes({flushes}), or no flushes recorded")
+
+    join = load_counters(out_dir, RUNS[1][3], failures)
+    probes = join.get("eval.join.hash_probes", 0)
+    pairs = join.get("eval.join.hash_pair_candidates", 0)
+    ok = pairs > 0 and probes * 100 <= pairs
+    print(f"  hash-join probes 100x below naive pairs: {probes} * 100 "
+          f"<= {pairs}  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"hash-join work bound: probes({probes}) not 100x below "
+            f"naive pair candidates({pairs})")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--build-dir", required=True, type=pathlib.Path)
@@ -92,10 +163,10 @@ def main():
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
     times = {}
-    for binary, bench_filter, out_name in RUNS:
+    for binary, bench_filter, out_name, metrics_name in RUNS:
         times.update(
             run_bench(args.build_dir, args.out_dir, binary, bench_filter,
-                      out_name))
+                      out_name, metrics_name))
 
     failures = []
     print("\nengine vs rebuild oracle (mutate-then-query, 10k rows):")
@@ -135,6 +206,8 @@ def main():
     print("PLI pair join vs naive:")
     expect_faster(times, "BM_PairJoinPli/10000", "BM_PairJoinNaive/10000",
                   failures)
+
+    check_metric_invariants(args.out_dir, failures)
 
     if failures:
         print("\nPERF SMOKE FAILED:")

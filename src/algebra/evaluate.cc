@@ -1,6 +1,7 @@
 #include "algebra/evaluate.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 #include "algebra/ad_propagation.h"
 #include "engine/pli.h"
 #include "engine/pli_cache.h"
+#include "telemetry/telemetry.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -94,9 +96,14 @@ class Evaluator {
   Evaluator(const EvalOptions& options, EvalStats* stats)
       : options_(options), stats_(stats) {}
 
-  Result<FlexibleRelation> Eval(const PlanPtr& plan);
+  /// `node`, when non-null, receives the EXPLAIN attribution for this
+  /// subtree (op label, timing, row counts, join order).
+  Result<FlexibleRelation> Eval(const PlanPtr& plan,
+                                ExplainNode* node = nullptr);
 
  private:
+  Result<FlexibleRelation> EvalNode(const PlanPtr& plan, ExplainNode* node);
+
   // Joins a tuple pair stream; `final_output` routes the result-size counter
   // to tuples_emitted (the operator's real output) vs intermediate_tuples
   // (a multiway join's internal accumulations).
@@ -110,20 +117,63 @@ class Evaluator {
                                       const FlexibleRelation& right,
                                       bool final_output);
 
-  Result<FlexibleRelation> SelectViaIndex(const Plan& plan);
-  Result<FlexibleRelation> EvalMultiwayOrdered(const Plan& plan);
+  Result<FlexibleRelation> SelectViaIndex(const Plan& plan,
+                                          ExplainNode* node);
+  Result<FlexibleRelation> EvalMultiwayOrdered(const Plan& plan,
+                                               ExplainNode* node);
 
   // PLI-derived count of distinct `attrs`-projections in `rel` (clusters
   // plus partnerless defined rows). Feeds the join-order estimates only, so
   // the multi-attribute lower bound from intersection products is fine.
   size_t DistinctOn(const FlexibleRelation& rel, const AttrSet& attrs);
 
+  // One child slot per plan input, appended in evaluation order. Each
+  // returned pointer is only used for the duration of that child's Eval, so
+  // later appends may reallocate freely.
+  static ExplainNode* Child(ExplainNode* node) {
+    if (node == nullptr) return nullptr;
+    return &node->children.emplace_back();
+  }
+
+  // Every EvalStats field is bumped through exactly one of these helpers,
+  // which mirror each increment into the telemetry registry — the registry
+  // aggregates cannot drift from the per-operator sums because they are the
+  // same additions (engine_eval_test asserts the equality).
+  void CountScanned(size_t n) {
+    if (stats_ != nullptr) stats_->tuples_scanned += n;
+    FLEXREL_TELEMETRY_COUNT("eval.tuples_scanned", n);
+  }
+  void CountEmitted(size_t n) {
+    if (stats_ != nullptr) stats_->tuples_emitted += n;
+    FLEXREL_TELEMETRY_COUNT("eval.tuples_emitted", n);
+  }
+  void CountIntermediate(size_t n) {
+    if (stats_ != nullptr) stats_->intermediate_tuples += n;
+    FLEXREL_TELEMETRY_COUNT("eval.intermediate_tuples", n);
+  }
+  void CountPredicateEvals(size_t n) {
+    if (stats_ != nullptr) stats_->predicate_evals += n;
+    FLEXREL_TELEMETRY_COUNT("eval.predicate_evals", n);
+  }
+  // The naive and engine join paths run inside the same binaries, so their
+  // probe counts stay separate in the registry: the perf_smoke invariant
+  // compares the hashed join's probes against its own naive pair count
+  // (hash_pair_candidates), not against a different benchmark's counter.
+  void CountNestedProbes(size_t n) {
+    if (stats_ != nullptr) stats_->join_probes += n;
+    FLEXREL_TELEMETRY_COUNT("eval.join.nested_probes", n);
+  }
+  void CountHashProbes(size_t n, size_t pair_candidates) {
+    if (stats_ != nullptr) stats_->join_probes += n;
+    FLEXREL_TELEMETRY_COUNT("eval.join.hash_probes", n);
+    FLEXREL_TELEMETRY_COUNT("eval.join.hash_pair_candidates",
+                            pair_candidates);
+  }
   void CountJoinOutput(size_t rows, bool final_output) {
-    if (stats_ == nullptr) return;
     if (final_output) {
-      stats_->tuples_emitted += rows;
+      CountEmitted(rows);
     } else {
-      stats_->intermediate_tuples += rows;
+      CountIntermediate(rows);
     }
   }
 
@@ -143,15 +193,17 @@ Result<FlexibleRelation> Evaluator::JoinNested(const FlexibleRelation& left,
                                                bool final_output) {
   FlexibleRelation out = FlexibleRelation::Derived("join", DependencySet());
   std::vector<Tuple> rows;
+  size_t probes = 0;  // flushed once per join, not per pair
   for (const Tuple& a : left.rows()) {
     for (const Tuple& b : right.rows()) {
-      if (stats_ != nullptr) ++stats_->join_probes;
+      ++probes;
       Tuple merged;
       if (TryJoin(a, b, &merged)) {
         rows.push_back(std::move(merged));
       }
     }
   }
+  CountNestedProbes(probes);
   Dedup(&rows);
   CountJoinOutput(rows.size(), final_output);
   for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
@@ -188,6 +240,7 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
   }
 
   std::vector<Tuple> rows;
+  size_t probes = 0;
   for (const Tuple& a : probe.rows()) {
     const AttrSet a_attrs = a.attrs();
     for (auto& [signature, group] : groups) {
@@ -201,7 +254,7 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
       auto bucket = index_it->second.find(a.Project(key));
       if (bucket == index_it->second.end()) continue;
       for (const Tuple* b : bucket->second) {
-        if (stats_ != nullptr) ++stats_->join_probes;
+        ++probes;
         Tuple merged;
         // Agreement on the shared attributes is guaranteed by the bucket,
         // so the merge cannot fail; TryJoin stays as a cheap invariant.
@@ -209,6 +262,7 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
       }
     }
   }
+  CountHashProbes(probes, build.size() * probe.size());
   Dedup(&rows);
   CountJoinOutput(rows.size(), final_output);
   FlexibleRelation out = FlexibleRelation::Derived("join", DependencySet());
@@ -222,21 +276,22 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
 // a cache read, so it also flushes any mutation deltas buffered since the
 // last query (engine/pli_cache.h): the first evaluation after a burst
 // pays the adaptive batch-apply, later ones read patched structures.
-Result<FlexibleRelation> Evaluator::SelectViaIndex(const Plan& plan) {
+Result<FlexibleRelation> Evaluator::SelectViaIndex(const Plan& plan,
+                                                   ExplainNode* node) {
   const FlexibleRelation* src = plan.inputs()[0]->relation();
   const Expr& formula = *plan.formula();
   // Matches come back in scan order, so the output is row-for-row identical
   // to the naive path's.
   std::vector<Pli::RowId> matched =
       IndexMatches(*src->pli_cache()->IndexFor(formula.attr()), formula);
+  FLEXREL_TELEMETRY_COUNT("eval.index_hits", 1);
+  if (node != nullptr) node->index_hit = true;
 
   FlexibleRelation out = FlexibleRelation::Derived(
       StrCat("sel(", src->name(), ")"), PropagateSelect(src->deps()));
   for (Pli::RowId row : matched) out.InsertUnchecked(src->row(row));
-  if (stats_ != nullptr) {
-    stats_->tuples_scanned += matched.size();
-    stats_->tuples_emitted += matched.size();
-  }
+  CountScanned(matched.size());
+  CountEmitted(matched.size());
   return out;
 }
 
@@ -261,11 +316,12 @@ size_t Evaluator::DistinctOn(const FlexibleRelation& rel,
 // join over heterogeneous tuples is commutative and associative (a
 // combination of one tuple per leg survives iff all its pairwise overlaps
 // agree, independent of fold order), so any order is result-preserving.
-Result<FlexibleRelation> Evaluator::EvalMultiwayOrdered(const Plan& plan) {
+Result<FlexibleRelation> Evaluator::EvalMultiwayOrdered(const Plan& plan,
+                                                        ExplainNode* node) {
   std::vector<FlexibleRelation> legs;
   legs.reserve(plan.inputs().size());
   for (const PlanPtr& in : plan.inputs()) {
-    FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation leg, Eval(in));
+    FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation leg, Eval(in, Child(node)));
     legs.push_back(std::move(leg));
   }
 
@@ -275,6 +331,12 @@ Result<FlexibleRelation> Evaluator::EvalMultiwayOrdered(const Plan& plan) {
     if (legs[i].size() < legs[first].size()) first = i;
   }
   used[first] = true;
+  if (node != nullptr) {
+    // The seed leg: its "estimate" is the size that made it the smallest.
+    node->join_steps.push_back({first, legs[first].name(),
+                                static_cast<double>(legs[first].size()),
+                                legs[first].size()});
+  }
   FlexibleRelation acc = std::move(legs[first]);
 
   for (size_t step = 1; step < legs.size(); ++step) {
@@ -297,27 +359,52 @@ Result<FlexibleRelation> Evaluator::EvalMultiwayOrdered(const Plan& plan) {
       }
     }
     used[best] = true;
+    std::string best_name = node != nullptr ? legs[best].name() : "";
     FLEXREL_ASSIGN_OR_RETURN(
         acc, JoinPair(acc, legs[best], /*final_output=*/step + 1 ==
                                            legs.size()));
+    if (node != nullptr) {
+      // est is the cost that picked this leg; actual is what the fold
+      // really produced — the estimated-vs-actual pair per leg.
+      node->join_steps.push_back(
+          {best, std::move(best_name), best_cost, acc.size()});
+    }
   }
   return acc;
 }
 
-Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
-  EvalStats* stats = stats_;
+Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan,
+                                         ExplainNode* node) {
+  // The timed wrapper around the operator dispatch: EXPLAIN nodes always
+  // get timing and actual rows; with telemetry on, every operator's
+  // duration also lands in the shared histogram.
+  if (node == nullptr && !telemetry::Enabled()) {
+    return EvalNode(plan, nullptr);
+  }
+  const uint64_t t0 = telemetry::NowNs();
+  Result<FlexibleRelation> result = EvalNode(plan, node);
+  const uint64_t dur_ns = telemetry::NowNs() - t0;
+  FLEXREL_TELEMETRY_HIST("eval.operator_ns", dur_ns);
+  if (node != nullptr) {
+    node->elapsed_ms = static_cast<double>(dur_ns) / 1e6;
+    if (result.ok()) node->actual_rows = result.value().size();
+  }
+  return result;
+}
+
+Result<FlexibleRelation> Evaluator::EvalNode(const PlanPtr& plan,
+                                             ExplainNode* node) {
   switch (plan->kind()) {
     case PlanKind::kScan: {
       const FlexibleRelation* src = plan->relation();
       if (src == nullptr) {
         return Status::FailedPrecondition("scan over null relation");
       }
+      if (node != nullptr) node->op = StrCat("scan(", src->name(), ")");
       FlexibleRelation out = FlexibleRelation::Derived(src->name(), src->deps());
       for (const Tuple& t : src->rows()) out.InsertUnchecked(t);
-      if (stats != nullptr) {
-        stats->tuples_scanned += src->size();
-        stats->tuples_emitted += src->size();
-      }
+      CountScanned(src->size());
+      CountEmitted(src->size());
       return out;
     }
     case PlanKind::kSelect: {
@@ -325,22 +412,29 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
           plan->inputs()[0]->kind() == PlanKind::kScan &&
           plan->inputs()[0]->relation() != nullptr &&
           IsIndexableSelect(*plan->formula())) {
-        return SelectViaIndex(*plan);
+        if (node != nullptr) node->op = "select[index]";
+        return SelectViaIndex(*plan, node);
       }
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(plan->inputs()[0]));
+      if (node != nullptr) node->op = "select";
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                               Eval(plan->inputs()[0], Child(node)));
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("sel(", in.name(), ")"), PropagateSelect(in.deps()));
+      size_t emitted = 0;
       for (const Tuple& t : in.rows()) {
-        if (stats != nullptr) ++stats->predicate_evals;
         if (plan->formula()->Accepts(t)) {
           out.InsertUnchecked(t);
-          if (stats != nullptr) ++stats->tuples_emitted;
+          ++emitted;
         }
       }
+      CountPredicateEvals(in.size());
+      CountEmitted(emitted);
       return out;
     }
     case PlanKind::kProject: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(plan->inputs()[0]));
+      if (node != nullptr) node->op = "project";
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                               Eval(plan->inputs()[0], Child(node)));
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("proj(", in.name(), ")"),
           PropagateProject(in.deps(), plan->attrs()));
@@ -348,13 +442,16 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
       rows.reserve(in.size());
       for (const Tuple& t : in.rows()) rows.push_back(t.Project(plan->attrs()));
       Dedup(&rows);
-      if (stats != nullptr) stats->tuples_emitted += rows.size();
+      CountEmitted(rows.size());
       for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
       return out;
     }
     case PlanKind::kProduct: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l, Eval(plan->inputs()[0]));
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r, Eval(plan->inputs()[1]));
+      if (node != nullptr) node->op = "product";
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
+                               Eval(plan->inputs()[0], Child(node)));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
+                               Eval(plan->inputs()[1], Child(node)));
       if (l.ActiveAttrs().Intersects(r.ActiveAttrs())) {
         return Status::InvalidArgument(
             "cartesian product requires attribute-disjoint inputs");
@@ -362,6 +459,7 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("prod(", l.name(), ",", r.name(), ")"),
           PropagateProduct(l.deps(), r.deps()));
+      size_t emitted = 0;
       for (const Tuple& a : l.rows()) {
         for (const Tuple& b : r.rows()) {
           Tuple merged = a;
@@ -369,13 +467,18 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
             merged.Set(attr, value);
           }
           out.InsertUnchecked(std::move(merged));
-          if (stats != nullptr) ++stats->tuples_emitted;
+          ++emitted;
         }
       }
+      CountEmitted(emitted);
       return out;
     }
     case PlanKind::kUnion:
     case PlanKind::kOuterUnion: {
+      if (node != nullptr) {
+        node->op =
+            plan->kind() == PlanKind::kUnion ? "union" : "outer_union";
+      }
       // Rule (6) pattern: every input is an extension by one common tag
       // attribute with pairwise distinct values. Then dependencies survive
       // with the tag folded into their LHS; otherwise rule (4) applies and
@@ -406,7 +509,8 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
       std::vector<DependencySet> input_deps;
       std::vector<Tuple> rows;
       for (const PlanPtr& in_plan : plan->inputs()) {
-        FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(in_plan));
+        FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                                 Eval(in_plan, Child(node)));
         input_deps.push_back(in.deps());
         for (const Tuple& t : in.rows()) rows.push_back(t);
       }
@@ -414,27 +518,34 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
           tagged ? PropagateTaggedUnion(input_deps, tag) : PropagateUnion();
       FlexibleRelation out = FlexibleRelation::Derived("union", deps);
       Dedup(&rows);
-      if (stats != nullptr) stats->tuples_emitted += rows.size();
+      CountEmitted(rows.size());
       for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
       return out;
     }
     case PlanKind::kDifference: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l, Eval(plan->inputs()[0]));
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r, Eval(plan->inputs()[1]));
+      if (node != nullptr) node->op = "difference";
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
+                               Eval(plan->inputs()[0], Child(node)));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
+                               Eval(plan->inputs()[1], Child(node)));
       FlexibleRelation out = FlexibleRelation::Derived(
           StrCat("diff(", l.name(), ")"), PropagateDifference(l.deps()));
       std::unordered_set<Tuple, TupleHash> right_rows(r.rows().begin(),
                                                       r.rows().end());
+      size_t emitted = 0;
       for (const Tuple& t : l.rows()) {
         if (right_rows.find(t) == right_rows.end()) {
           out.InsertUnchecked(t);
-          if (stats != nullptr) ++stats->tuples_emitted;
+          ++emitted;
         }
       }
+      CountEmitted(emitted);
       return out;
     }
     case PlanKind::kExtend: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in, Eval(plan->inputs()[0]));
+      if (node != nullptr) node->op = "extend";
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation in,
+                               Eval(plan->inputs()[0], Child(node)));
       AttrId tag = plan->extend_attr();
       if (in.ActiveAttrs().Contains(tag)) {
         return Status::InvalidArgument(
@@ -446,26 +557,38 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
         Tuple extended = t;
         extended.Set(tag, plan->extend_value());
         out.InsertUnchecked(std::move(extended));
-        if (stats != nullptr) ++stats->tuples_emitted;
       }
+      CountEmitted(in.size());
       return out;
     }
     case PlanKind::kNaturalJoin: {
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l, Eval(plan->inputs()[0]));
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r, Eval(plan->inputs()[1]));
+      if (node != nullptr) {
+        node->op = options_.use_engine ? "natural_join[hash]"
+                                       : "natural_join[nested]";
+      }
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation l,
+                               Eval(plan->inputs()[0], Child(node)));
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation r,
+                               Eval(plan->inputs()[1], Child(node)));
       return JoinPair(l, r, /*final_output=*/true);
     }
     case PlanKind::kEmpty:
+      if (node != nullptr) node->op = "empty";
       return FlexibleRelation::Derived("empty", DependencySet());
     case PlanKind::kMultiwayJoin: {
       if (plan->inputs().empty()) {
         return Status::InvalidArgument("multiway join over zero inputs");
       }
-      if (options_.use_engine) return EvalMultiwayOrdered(*plan);
-      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation acc, Eval(plan->inputs()[0]));
+      if (options_.use_engine) {
+        if (node != nullptr) node->op = "multiway_join[ordered]";
+        return EvalMultiwayOrdered(*plan, node);
+      }
+      if (node != nullptr) node->op = "multiway_join[sequential]";
+      FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation acc,
+                               Eval(plan->inputs()[0], Child(node)));
       for (size_t i = 1; i < plan->inputs().size(); ++i) {
         FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation next,
-                                 Eval(plan->inputs()[i]));
+                                 Eval(plan->inputs()[i], Child(node)));
         FLEXREL_ASSIGN_OR_RETURN(
             acc, JoinPair(acc, next,
                           /*final_output=*/i + 1 == plan->inputs().size()));
@@ -476,7 +599,52 @@ Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan) {
   return Status::Internal("unknown plan kind");
 }
 
+// Indented one-line-per-operator rendering; multiway joins list their fold
+// order (leg name, estimate, actual) on a dedicated line below the node.
+void RenderExplain(const ExplainNode& node, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  out->append(node.op.empty() ? "?" : node.op);
+  out->append(" rows=");
+  out->append(std::to_string(node.actual_rows));
+  if (node.index_hit) out->append(" index=hit");
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " time=%.3fms", node.elapsed_ms);
+  out->append(buf);
+  out->push_back('\n');
+  if (!node.join_steps.empty()) {
+    out->append(2 * depth + 2, ' ');
+    out->append("order:");
+    for (size_t i = 0; i < node.join_steps.size(); ++i) {
+      const ExplainJoinStep& s = node.join_steps[i];
+      if (i > 0) out->append(" ->");
+      std::snprintf(buf, sizeof(buf), " est=%.1f actual=%zu", s.est_rows,
+                    s.actual_rows);
+      out->append(" leg");
+      out->append(std::to_string(s.leg));
+      out->push_back('(');
+      out->append(s.leg_name);
+      out->push_back(')');
+      out->append(buf);
+    }
+    out->push_back('\n');
+  }
+  for (const ExplainNode& child : node.children) {
+    RenderExplain(child, depth + 1, out);
+  }
+}
+
 }  // namespace
+
+std::string ExplainReport::ToString() const {
+  std::string out;
+  RenderExplain(root, 0, &out);
+  out.append(StrCat("stats: scanned=", stats.tuples_scanned,
+                    " emitted=", stats.tuples_emitted,
+                    " intermediate=", stats.intermediate_tuples,
+                    " predicate_evals=", stats.predicate_evals,
+                    " join_probes=", stats.join_probes, "\n"));
+  return out;
+}
 
 Result<FlexibleRelation> Evaluate(const PlanPtr& plan, EvalStats* stats) {
   return Evaluate(plan, EvalOptions(), stats);
@@ -487,6 +655,16 @@ Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
                                   EvalStats* stats) {
   Evaluator evaluator(options, stats);
   return evaluator.Eval(plan);
+}
+
+Result<ExplainReport> Explain(const PlanPtr& plan,
+                              const EvalOptions& options) {
+  ExplainReport report;
+  Evaluator evaluator(options, &report.stats);
+  FLEXREL_ASSIGN_OR_RETURN(FlexibleRelation result,
+                           evaluator.Eval(plan, &report.root));
+  (void)result;  // the report carries the attribution; rows are discarded
+  return report;
 }
 
 }  // namespace flexrel

@@ -24,6 +24,7 @@
 #ifndef FLEXREL_ALGEBRA_EVALUATE_H_
 #define FLEXREL_ALGEBRA_EVALUATE_H_
 
+#include <string>
 #include <vector>
 
 #include "algebra/plan.h"
@@ -83,6 +84,53 @@ Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
 Result<FlexibleRelation> Evaluate(const PlanPtr& plan,
                                   const EvalOptions& options,
                                   EvalStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// EXPLAIN: the same evaluation, with per-operator attribution folded into a
+// report — chosen join order, index hits, estimated vs. actual rows.
+// ---------------------------------------------------------------------------
+
+/// One fold step of an estimate-ordered multiway join: which leg the greedy
+/// order picked, the cost estimate that picked it, and the rows the fold
+/// actually produced. The first step is the seed leg (its estimate is its
+/// own size); the last step's output is the join's final result.
+struct ExplainJoinStep {
+  size_t leg = 0;         ///< index of the chosen leg among the plan inputs
+  std::string leg_name;   ///< the leg relation's name at choice time
+  double est_rows = 0;    ///< estimated rows when the order chose this leg
+  size_t actual_rows = 0; ///< rows the accumulator held after this step
+};
+
+/// One evaluated operator. `actual_rows` is the operator's materialized
+/// output; `elapsed_ms` covers the operator including its children (the tree
+/// is strict, so a parent's time is a superset of its children's).
+struct ExplainNode {
+  std::string op;          ///< operator label, e.g. "select[index]", "scan(R)"
+  size_t actual_rows = 0;
+  double elapsed_ms = 0;
+  bool index_hit = false;  ///< answered via a value-index lookup
+  std::vector<ExplainJoinStep> join_steps;  ///< multiway joins only
+  std::vector<ExplainNode> children;        ///< one per plan input, in order
+};
+
+/// The full report: the operator tree plus the run's work counters. The
+/// intermediate rows of every multiway join's non-final steps sum to
+/// `stats.intermediate_tuples` — the drift-proofing identity
+/// engine_eval_test asserts.
+struct ExplainReport {
+  ExplainNode root;
+  EvalStats stats;
+
+  /// Indented human-readable rendering (one line per operator; multiway
+  /// joins list their fold order with est/actual per leg).
+  std::string ToString() const;
+};
+
+/// Evaluates `plan` and returns the attributed operator tree instead of the
+/// relation. Runs the real evaluator — the report describes exactly the
+/// work Evaluate() with the same options would do.
+Result<ExplainReport> Explain(const PlanPtr& plan,
+                              const EvalOptions& options = {});
 
 }  // namespace flexrel
 

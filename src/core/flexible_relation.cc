@@ -7,6 +7,7 @@
 
 #include "engine/pli_cache.h"
 #include "engine/validator.h"
+#include "telemetry/telemetry.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -230,6 +231,13 @@ Result<TypeChecker::TypeDelta> FlexibleRelation::Update(size_t index,
 
 Status FlexibleRelation::ApplyBatchImpl(
     std::vector<Mutation> batch, std::vector<TypeChecker::TypeDelta>* deltas) {
+  telemetry::ScopedSpan batch_span("relation.apply_batch");
+  FLEXREL_TELEMETRY_LATENCY(batch_timer, "core.relation.batch_ns");
+  FLEXREL_TELEMETRY_COUNT("core.relation.batches", 1);
+  FLEXREL_TELEMETRY_COUNT("core.relation.batch_ops", batch.size());
+  if (batch_span.active()) {
+    batch_span.SetDetail("ops=" + std::to_string(batch.size()));
+  }
   const size_t base = rows_.size();
   // Stage 1: validate every op against a staged view of the instance.
   // Nothing here touches rows_ or the attached cache, so any failure
@@ -353,6 +361,9 @@ Status FlexibleRelation::InsertRows(std::vector<Tuple> rows) {
 }
 
 void FlexibleRelation::InsertRowsUnchecked(std::vector<Tuple> rows) {
+  FLEXREL_TELEMETRY_LATENCY(batch_timer, "core.relation.batch_ns");
+  FLEXREL_TELEMETRY_COUNT("core.relation.batches", 1);
+  FLEXREL_TELEMETRY_COUNT("core.relation.batch_ops", rows.size());
   const size_t base = rows_.size();
   rows_.reserve(base + rows.size());
   for (Tuple& t : rows) rows_.push_back(std::move(t));
@@ -372,6 +383,9 @@ Result<std::vector<TypeChecker::TypeDelta>> FlexibleRelation::UpdateRows(
                                          updates[i].index, " out of range"));
       }
     }
+    FLEXREL_TELEMETRY_LATENCY(batch_timer, "core.relation.batch_ns");
+    FLEXREL_TELEMETRY_COUNT("core.relation.batches", 1);
+    FLEXREL_TELEMETRY_COUNT("core.relation.batch_ops", updates.size());
     std::vector<std::pair<size_t, Tuple>> old_rows;
     old_rows.reserve(updates.size());
     for (UpdateSpec& u : updates) {

@@ -183,6 +183,17 @@ class FlexibleRelation {
   /// mutating the relation while another thread evaluates it is a data
   /// race exactly as iterating rows() would be. Copies and moves of the
   /// relation start cache-less.
+  ///
+  /// Telemetry contract: the batch mutation paths carry telemetry
+  /// instrumentation (core.relation.* counters and the
+  /// "relation.apply_batch" span, src/telemetry/telemetry.h), and it is
+  /// mutation-hook-safe — the counters are relaxed atomics and the span
+  /// ring takes only the registry's own mutex, while the cache fan-out
+  /// (NotifyBatch) only appends to the pending-delta buffer under the
+  /// cache's pli_mu_. The two lock domains never nest the other way, so
+  /// instrumented mutations introduce no lock inversion, and enabling or
+  /// disabling telemetry mid-run cannot change which hooks fire or the
+  /// relation/cache state they produce.
   std::shared_ptr<PliCache> pli_cache() const;
 
   /// Replaces the options the lazily built cache is created with (and the

@@ -4,9 +4,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/closure.h"
+#include "telemetry/telemetry.h"
 
 namespace flexrel {
 
@@ -80,6 +82,9 @@ std::vector<Dep> LevelWise(const AttrSet& universe,
   std::vector<Dep> out;
   DependencySet found;
   for (size_t k = 1; k <= options.max_lhs_size && k <= universe.size(); ++k) {
+    telemetry::ScopedSpan level_span("discovery.level");
+    const bool traced = telemetry::Enabled();
+    const uint64_t level_start = traced ? telemetry::NowNs() : 0;
     std::vector<AttrSet> candidates = LatticeLevel(universe, k);
     std::vector<AttrSet> rhss(candidates.size());
     size_t threads = ResolveThreads(options.num_threads, candidates.size());
@@ -87,14 +92,52 @@ std::vector<Dep> LevelWise(const AttrSet& universe,
         num_rows * candidates.size() < kMinWorkForAutoThreads) {
       threads = 1;
     }
-    ParallelFor(candidates.size(), threads,
-                [&](size_t i) { rhss[i] = maximal_rhs(candidates[i]); });
+    // Σ of per-candidate validation time across workers; against the
+    // level's wall time and worker count it yields utilization — how much
+    // of the fan-out the shared-counter pull actually kept busy.
+    std::atomic<uint64_t> busy_ns{0};
+    ParallelFor(candidates.size(), threads, [&](size_t i) {
+      if (traced) {
+        const uint64_t t0 = telemetry::NowNs();
+        rhss[i] = maximal_rhs(candidates[i]);
+        busy_ns.fetch_add(telemetry::NowNs() - t0,
+                          std::memory_order_relaxed);
+      } else {
+        rhss[i] = maximal_rhs(candidates[i]);
+      }
+    });
+    size_t pruned_count = 0;
+    size_t emitted_count = 0;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (rhss[i].empty()) continue;
       Dep candidate{std::move(candidates[i]), std::move(rhss[i])};
-      if (options.minimal_only && pruned(found, candidate)) continue;
+      if (options.minimal_only && pruned(found, candidate)) {
+        ++pruned_count;
+        continue;
+      }
+      ++emitted_count;
       out.push_back(candidate);
       emit(&found, std::move(candidate));
+    }
+    FLEXREL_TELEMETRY_COUNT("engine.discovery.levels", 1);
+    FLEXREL_TELEMETRY_COUNT("engine.discovery.candidates", candidates.size());
+    FLEXREL_TELEMETRY_COUNT("engine.discovery.pruned", pruned_count);
+    FLEXREL_TELEMETRY_COUNT("engine.discovery.emitted", emitted_count);
+    if (traced) {
+      const uint64_t wall = telemetry::NowNs() - level_start;
+      const uint64_t util_pct =
+          wall == 0 ? 0
+                    : busy_ns.load(std::memory_order_relaxed) * 100 /
+                          (wall * threads);
+      FLEXREL_TELEMETRY_GAUGE_SET("engine.discovery.worker_utilization_pct",
+                                  util_pct);
+      level_span.SetDetail(
+          "k=" + std::to_string(k) +
+          " candidates=" + std::to_string(candidates.size()) +
+          " pruned=" + std::to_string(pruned_count) +
+          " emitted=" + std::to_string(emitted_count) +
+          " threads=" + std::to_string(threads) +
+          " util_pct=" + std::to_string(util_pct));
     }
   }
   return out;

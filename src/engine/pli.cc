@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "relational/value.h"
+#include "telemetry/telemetry.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -215,6 +216,8 @@ Pli Pli::Intersect(const Pli& other) const {
 
 Pli Pli::IntersectWithProbe(const PliProbe& probe,
                             IntersectScratch* scratch) const {
+  FLEXREL_TELEMETRY_COUNT("engine.pli.intersections", 1);
+  FLEXREL_TELEMETRY_LATENCY(intersect_timer, "engine.pli.intersect_ns");
   if (storage_ == Storage::kVectors) return IntersectVectors(probe);
   if (scratch == nullptr) {
     // Per-thread fallback: every discovery worker and evaluator thread gets
@@ -223,7 +226,17 @@ Pli Pli::IntersectWithProbe(const PliProbe& probe,
     static thread_local IntersectScratch tls_scratch;
     scratch = &tls_scratch;
   }
-  return IntersectArena(probe, scratch);
+  Pli out = IntersectArena(probe, scratch);
+  // High-watermark of the per-thread scratch footprint — the steady-state
+  // memory an intersection-heavy worker pins.
+  FLEXREL_TELEMETRY_GAUGE_MAX(
+      "engine.pli.intersect_scratch_bytes",
+      scratch->count.capacity() * sizeof(uint32_t) +
+          scratch->offset.capacity() * sizeof(uint32_t) +
+          scratch->touched.capacity() * sizeof(int32_t) +
+          scratch->emitted.capacity() * sizeof(RowId) +
+          scratch->descs.capacity() * sizeof(IntersectScratch::Desc));
+  return out;
 }
 
 Pli Pli::IntersectArena(const PliProbe& probe, IntersectScratch* s) const {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
+
+#include "telemetry/telemetry.h"
 
 namespace flexrel {
 
@@ -189,6 +192,11 @@ PliCache::PliCache(const std::vector<Tuple>* rows, Options options)
       pending_compact_at_(kPendingCompactThreshold) {}
 
 std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
+  // Nested lookups (BuildFor's prefix recursion, ProbeFor) each count —
+  // every Get() bumps exactly one of hits/misses, so the telemetry
+  // identity hits + misses == lookups holds at any quiescent point.
+  FLEXREL_TELEMETRY_COUNT("engine.pli_cache.lookups", 1);
+  FLEXREL_TELEMETRY_LATENCY(get_timer, "engine.pli_cache.get_ns");
   std::promise<PliPtr> promise;
   std::shared_future<PliPtr> future;
   {
@@ -197,6 +205,7 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
     auto it = entries_.find(attrs);
     if (it != entries_.end()) {
       ++hits_;
+      FLEXREL_TELEMETRY_COUNT("engine.pli_cache.hits", 1);
       if (it->second.evictable) {
         lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       }
@@ -207,6 +216,7 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
       return pending.get();
     }
     ++misses_;
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.misses", 1);
     Entry entry;
     entry.future = future = promise.get_future().share();
     entry.evictable = attrs.size() > 1;
@@ -548,6 +558,8 @@ void PliCache::CompactPendingLocked() {
 
 void PliCache::FlushPendingLocked() {
   if (pending_.empty()) return;
+  telemetry::ScopedSpan flush_span("pli_cache.flush");
+  FLEXREL_TELEMETRY_LATENCY(flush_timer, "engine.pli_cache.flush_ns");
   // Coalesce to one net delta per row: the first recorded old state wins,
   // the final state is read straight from the (fully mutated) rows. The
   // single-delta case — the per-mutation cadence the PR 3 path served —
@@ -595,12 +607,24 @@ void PliCache::FlushPendingLocked() {
     return !d.is_insert && d.changed_attrs.empty();
   });
   if (net.empty()) {
+    if (flush_span.active()) flush_span.SetDetail("arm=noop b=0");
     pending_.clear();
     pending_compact_at_ = kPendingCompactThreshold;
     return;
   }
+  // One flush == one arm taken, so per_row + batched + dropped == flushes.
+  // The span detail carries the net burst size and the estimate the arm
+  // decision compared it against.
   const size_t b = net.size();
-  if (b >= std::max(options_.drop_threshold, rows_->size() / 2)) {
+  FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flushes", 1);
+  FLEXREL_TELEMETRY_HIST("engine.pli_cache.flush.burst", b);
+  const size_t drop_at = std::max(options_.drop_threshold, rows_->size() / 2);
+  if (b >= drop_at) {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.dropped", 1);
+    if (flush_span.active()) {
+      flush_span.SetDetail("arm=drop b=" + std::to_string(b) +
+                           " est=drop_at:" + std::to_string(drop_at));
+    }
     DropAllLocked();
     pending_.clear();
     pending_compact_at_ = kPendingCompactThreshold;
@@ -619,6 +643,12 @@ void PliCache::FlushPendingLocked() {
   // any missing one is built once and rewound to the pre-batch state.
   EnsureFlushIndexesLocked(net, changed);
   if (b < options_.batch_threshold) {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.per_row", 1);
+    if (flush_span.active()) {
+      flush_span.SetDetail(
+          "arm=per_row b=" + std::to_string(b) +
+          " est=batch_at:" + std::to_string(options_.batch_threshold));
+    }
     for (const NetDelta& d : net) {
       if (d.is_insert) {
         ReplayInsertLocked(d.row);
@@ -627,6 +657,13 @@ void PliCache::FlushPendingLocked() {
       }
     }
   } else {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.batched", 1);
+    if (flush_span.active()) {
+      flush_span.SetDetail(
+          "arm=batched b=" + std::to_string(b) +
+          " est=batch_at:" + std::to_string(options_.batch_threshold) +
+          " drop_at:" + std::to_string(drop_at));
+    }
     BatchApplyLocked(net, changed, insert_count);
   }
   pending_.clear();
@@ -1094,6 +1131,7 @@ void PliCache::EvictLocked() {
       entries_.erase(entry);
       lru_.erase(std::next(it).base());
       ++evictions_;
+      FLEXREL_TELEMETRY_COUNT("engine.pli_cache.evictions", 1);
       erased = true;
       break;
     }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "util/string_util.h"
 
 namespace flexrel {
@@ -77,6 +78,8 @@ DependencyValidator::DependencyValidator(PliCache* cache)
     : cache_(cache), row_attrs_(ComputeRowAttrs(cache->rows())) {}
 
 bool DependencyValidator::ValidatesAd(const AttrDep& ad) {
+  FLEXREL_TELEMETRY_COUNT("engine.validator.ad_checks", 1);
+  FLEXREL_TELEMETRY_LATENCY(check_timer, "engine.validator.check_ns");
   AttrSet target = ad.rhs.Minus(ad.lhs);
   if (target.empty()) return true;  // trivial (reflexivity)
   std::shared_ptr<const Pli> pli = cache_->Get(ad.lhs);
@@ -85,6 +88,8 @@ bool DependencyValidator::ValidatesAd(const AttrDep& ad) {
 }
 
 bool DependencyValidator::ValidatesFd(const FuncDep& fd) {
+  FLEXREL_TELEMETRY_COUNT("engine.validator.fd_checks", 1);
+  FLEXREL_TELEMETRY_LATENCY(check_timer, "engine.validator.check_ns");
   AttrSet target = fd.rhs.Minus(fd.lhs);
   if (target.empty()) return true;
   std::shared_ptr<const Pli> pli = cache_->Get(fd.lhs);
@@ -104,12 +109,16 @@ bool DependencyValidator::ValidatesAll(const DependencySet& sigma) {
 
 AttrSet DependencyValidator::MaximalAdRhs(const AttrSet& lhs,
                                           const AttrSet& universe) {
+  FLEXREL_TELEMETRY_COUNT("engine.validator.maximal_rhs", 1);
+  FLEXREL_TELEMETRY_LATENCY(rhs_timer, "engine.validator.maximal_rhs_ns");
   std::shared_ptr<const Pli> pli = cache_->Get(lhs);
   return PartitionAdRhs(*pli, row_attrs_, lhs, universe);
 }
 
 AttrSet DependencyValidator::MaximalFdRhs(const AttrSet& lhs,
                                           const AttrSet& universe) {
+  FLEXREL_TELEMETRY_COUNT("engine.validator.maximal_rhs", 1);
+  FLEXREL_TELEMETRY_LATENCY(rhs_timer, "engine.validator.maximal_rhs_ns");
   std::shared_ptr<const Pli> pli = cache_->Get(lhs);
   return PartitionFdRhs(*pli, cache_->rows(), lhs, universe);
 }

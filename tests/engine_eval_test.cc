@@ -18,6 +18,7 @@
 #include "algebra/evaluate.h"
 #include "decomposition/decomposition.h"
 #include "optimizer/plan_rewrite.h"
+#include "telemetry/telemetry.h"
 #include "test_seed.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -536,6 +537,145 @@ TEST(EngineEvalIndexTest, InsertAndUpdateKeepTheAttachedCacheCoherent) {
   auto third = Evaluate(plan);
   ASSERT_TRUE(third.ok());
   EXPECT_EQ(third.value().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN: the attributed operator tree, and the drift-proofing identity
+// between the report's join steps and the EvalStats aggregation.
+// ---------------------------------------------------------------------------
+
+struct ThreeLegSetup {
+  FlexibleRelation r1 = FlexibleRelation::Derived("r1", DependencySet());
+  FlexibleRelation r2 = FlexibleRelation::Derived("r2", DependencySet());
+  FlexibleRelation r3 = FlexibleRelation::Derived("r3", DependencySet());
+};
+
+// r1(k) and r2(k, p) with k in {0,1,2}; r3(k, q) with the single row k=1 —
+// the engine order must seed from r3 and the join yields exactly one row.
+ThreeLegSetup MakeThreeLegJoin(AttrCatalog* catalog) {
+  ThreeLegSetup s;
+  AttrId k = catalog->Intern("k");
+  AttrId p = catalog->Intern("p");
+  AttrId q = catalog->Intern("q");
+  for (int i = 0; i < 3; ++i) {
+    Tuple a;
+    a.Set(k, Value::Int(i));
+    s.r1.InsertUnchecked(a);
+    Tuple b;
+    b.Set(k, Value::Int(i));
+    b.Set(p, Value::Int(i * 10));
+    s.r2.InsertUnchecked(b);
+  }
+  Tuple c;
+  c.Set(k, Value::Int(1));
+  c.Set(q, Value::Int(99));
+  s.r3.InsertUnchecked(c);
+  return s;
+}
+
+TEST(EngineExplainTest, ThreeLegJoinReportsOrderWithEstimatesAndActuals) {
+  AttrCatalog catalog;
+  ThreeLegSetup s = MakeThreeLegJoin(&catalog);
+  PlanPtr plan = Plan::MultiwayJoin(
+      {Plan::Scan(&s.r1), Plan::Scan(&s.r2), Plan::Scan(&s.r3)});
+
+  auto report = Explain(plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const ExplainNode& root = report.value().root;
+  EXPECT_EQ(root.op, "multiway_join[ordered]");
+  ASSERT_EQ(root.children.size(), 3u);  // one attributed subtree per leg
+
+  // One step per leg: the seed (the smallest leg, r3) plus two folds, each
+  // naming the chosen leg with the estimate that picked it and the rows
+  // the fold actually produced.
+  ASSERT_EQ(root.join_steps.size(), 3u);
+  EXPECT_EQ(root.join_steps[0].leg_name, "r3");
+  EXPECT_EQ(root.join_steps[0].actual_rows, 1u);
+  EXPECT_EQ(root.join_steps[0].est_rows, 1.0);  // the seed's own size
+  for (const ExplainJoinStep& step : root.join_steps) {
+    EXPECT_FALSE(step.leg_name.empty());
+    EXPECT_GT(step.est_rows, 0.0);
+  }
+
+  // The report describes exactly the work Evaluate() does: the final step
+  // and the root both land on the evaluated result size.
+  auto evaluated = Evaluate(plan);
+  ASSERT_TRUE(evaluated.ok());
+  EXPECT_EQ(root.join_steps.back().actual_rows, evaluated.value().size());
+  EXPECT_EQ(root.actual_rows, evaluated.value().size());
+
+  // Drift-proofing identity: the non-final fold steps (everything between
+  // the seed and the last fold) sum to the run's intermediate tuples.
+  size_t intermediates = 0;
+  for (size_t i = 1; i + 1 < root.join_steps.size(); ++i) {
+    intermediates += root.join_steps[i].actual_rows;
+  }
+  EXPECT_EQ(intermediates, report.value().stats.intermediate_tuples);
+
+  // The rendering names the chosen order with est/actual per leg.
+  const std::string text = report.value().ToString();
+  EXPECT_NE(text.find("multiway_join[ordered]"), std::string::npos) << text;
+  EXPECT_NE(text.find("order: leg2(r3) est=1.0 actual=1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("est="), std::string::npos);
+  EXPECT_NE(text.find("actual="), std::string::npos);
+  EXPECT_NE(text.find("stats: scanned="), std::string::npos);
+}
+
+TEST(EngineExplainTest, IndexedSelectIsAttributed) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok()) << ex.status();
+  PlanPtr plan =
+      Plan::Select(Plan::Scan(&ex.value()->relation),
+                   Expr::Eq(ex.value()->jobtype, Value::Str("secretary")));
+  auto report = Explain(plan);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().root.op, "select[index]");
+  EXPECT_TRUE(report.value().root.index_hit);
+  EXPECT_EQ(report.value().root.actual_rows, 1u);
+  // The indexed path never evaluates its scan input — the value index
+  // answers directly — so the report truthfully has no scan child.
+  EXPECT_TRUE(report.value().root.children.empty());
+}
+
+// Satellite fix: the registry aggregates are incremented by the same
+// single-point helpers that bump EvalStats, so the two channels cannot
+// drift. Asserted per field, plus the probe split (nested + hashed ==
+// join_probes).
+TEST(EngineExplainTest, TelemetryAggregatesMatchEvalStats) {
+  AttrCatalog catalog;
+  ThreeLegSetup s = MakeThreeLegJoin(&catalog);
+  // A non-indexable selection on top keeps predicate_evals non-zero even
+  // on the engine path; the multiway join below it covers scans, folds,
+  // and intermediates.
+  PlanPtr plan = Plan::Select(
+      Plan::MultiwayJoin(
+          {Plan::Scan(&s.r1), Plan::Scan(&s.r2), Plan::Scan(&s.r3)}),
+      Expr::Compare(catalog.Intern("p"), CmpOp::kGe, Value::Int(0)));
+
+  telemetry::Enable();
+  telemetry::Registry::Global().Reset();
+  EvalStats stats;
+  auto out = Evaluate(plan, EvalOptions(), &stats);
+  auto& registry = telemetry::Registry::Global();
+  const uint64_t scanned = registry.CounterValue("eval.tuples_scanned");
+  const uint64_t emitted = registry.CounterValue("eval.tuples_emitted");
+  const uint64_t mid = registry.CounterValue("eval.intermediate_tuples");
+  const uint64_t preds = registry.CounterValue("eval.predicate_evals");
+  const uint64_t probes =
+      registry.CounterValue("eval.join.nested_probes") +
+      registry.CounterValue("eval.join.hash_probes");
+  telemetry::Disable();
+  registry.Reset();
+
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(stats.predicate_evals, 0u);
+  EXPECT_GT(stats.intermediate_tuples, 0u);
+  EXPECT_EQ(scanned, stats.tuples_scanned);
+  EXPECT_EQ(emitted, stats.tuples_emitted);
+  EXPECT_EQ(mid, stats.intermediate_tuples);
+  EXPECT_EQ(preds, stats.predicate_evals);
+  EXPECT_EQ(probes, stats.join_probes);
 }
 
 TEST(EngineEvalIndexTest, CopiesAndMovesStartCacheLess) {

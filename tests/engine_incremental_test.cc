@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "engine/pli_cache.h"
+#include "telemetry/telemetry.h"
 #include "test_seed.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -799,6 +800,12 @@ TEST(BatchMutationTest, FailedBatchLeavesRelationAndCacheUntouched) {
 // ---------------------------------------------------------------------------
 
 TEST(EngineIncrementalSoak, BatchBurstsMatchRebuildsAcrossAllPolicies) {
+  // The soak doubles as the telemetry accounting check: with the plane on,
+  // the engine.pli_cache.* counters must balance exactly at the end —
+  // every Get takes exactly one hit-or-miss arm, and every counted flush
+  // exactly one per_row/batched/dropped arm.
+  telemetry::Enable();
+  telemetry::Registry::Global().Reset();
   Rng rng(SoakSeed(5));
   AttrCatalog catalog;
   std::vector<AttrId> attrs;
@@ -919,6 +926,32 @@ TEST(EngineIncrementalSoak, BatchBurstsMatchRebuildsAcrossAllPolicies) {
   EXPECT_EQ(cache->Stats().pending_deltas, 0u);
   EXPECT_EQ(cache.get(), rel.pli_cache().get())
       << "batched maintenance must keep the attached cache alive";
+
+  // Telemetry accounting invariants over the whole soak (every cache in
+  // the test shares the process-global registry, so these hold across the
+  // soak cache and the rebuild oracles alike).
+  auto& registry = telemetry::Registry::Global();
+  const uint64_t lookups =
+      registry.CounterValue("engine.pli_cache.lookups");
+  const uint64_t hits = registry.CounterValue("engine.pli_cache.hits");
+  const uint64_t misses = registry.CounterValue("engine.pli_cache.misses");
+  EXPECT_GT(lookups, 0u);
+  EXPECT_EQ(hits + misses, lookups);
+  const uint64_t flushes =
+      registry.CounterValue("engine.pli_cache.flushes");
+  const uint64_t per_row =
+      registry.CounterValue("engine.pli_cache.flush.per_row");
+  const uint64_t batched =
+      registry.CounterValue("engine.pli_cache.flush.batched");
+  const uint64_t dropped =
+      registry.CounterValue("engine.pli_cache.flush.dropped");
+  EXPECT_GT(flushes, 0u);
+  EXPECT_GT(per_row, 0u);
+  EXPECT_GT(batched, 0u);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(per_row + batched + dropped, flushes);
+  telemetry::Disable();
+  registry.Reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,187 @@
+// Registry unit tests: exact concurrent counting, histogram bucket edges,
+// snapshot consistency under racing writers, span-ring bounding, and the
+// reset-in-place pointer-stability contract the instrumentation macros
+// depend on.
+
+#include "telemetry/telemetry.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace flexrel {
+namespace telemetry {
+namespace {
+
+// Telemetry state is process-global; every test starts from an enabled,
+// zeroed registry and leaves the plane disabled (values retained) so test
+// order cannot leak state.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Enable();
+    Registry::Global().Reset();
+  }
+  void TearDown() override {
+    Disable();
+    Registry::Global().Reset();
+  }
+};
+
+TEST_F(TelemetryTest, ConcurrentIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Counter* counter = Registry::Global().GetCounter("test.concurrent");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Add(1);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(CounterValue("test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(TelemetryTest, GetReturnsSameMetricForSameName) {
+  EXPECT_EQ(Registry::Global().GetCounter("test.same"),
+            Registry::Global().GetCounter("test.same"));
+  EXPECT_NE(Registry::Global().GetCounter("test.same"),
+            Registry::Global().GetCounter("test.other"));
+  // Kinds are separate namespaces: a histogram may share a counter's name.
+  EXPECT_NE(static_cast<void*>(Registry::Global().GetCounter("test.same")),
+            static_cast<void*>(Registry::Global().GetHistogram("test.same")));
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdges) {
+  // Bucket 0 is [0, 1]; bucket i >= 1 is (2^(i-1), 2^i].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  for (size_t i = 2; i + 1 < Histogram::kNumBuckets; ++i) {
+    const uint64_t edge = uint64_t{1} << i;
+    EXPECT_EQ(Histogram::BucketIndex(edge), i) << "at edge 2^" << i;
+    EXPECT_EQ(Histogram::BucketIndex(edge + 1), i + 1)
+        << "just past edge 2^" << i;
+    EXPECT_EQ(Histogram::BucketUpperEdge(i), edge);
+  }
+  // The final bucket absorbs everything beyond the last finite edge.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperEdge(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+
+  Histogram* hist = Registry::Global().GetHistogram("test.edges");
+  hist->Record(0);
+  hist->Record(1);
+  hist->Record(2);
+  hist->Record(1024);
+  Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1027u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1024 == 2^10
+}
+
+TEST_F(TelemetryTest, HistogramSnapshotConsistentUnderWriters) {
+  Histogram* hist = Registry::Global().GetHistogram("test.snap");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([hist, &stop] {
+      uint64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist->Record(v);
+        v = v * 5 + 1;  // scatter across buckets
+      }
+    });
+  }
+  // Under racing writers every snapshot must satisfy count == Σ buckets —
+  // the count is derived from the same bucket loads, not kept separately.
+  for (int i = 0; i < 1000; ++i) {
+    Histogram::Snapshot snap = hist->Snap();
+    uint64_t total = 0;
+    for (uint64_t b : snap.buckets) total += b;
+    ASSERT_EQ(snap.count, total);
+  }
+  stop.store(true);
+  for (std::thread& th : writers) th.join();
+}
+
+TEST_F(TelemetryTest, SpanRingIsBoundedAndReportsDrops) {
+  Registry::Global().SetTraceCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("test.span");
+    span.SetDetail("i=" + std::to_string(i));
+  }
+  EXPECT_EQ(Registry::Global().spans_recorded(), 10u);
+  const std::string json = Registry::Global().ToJson();
+  EXPECT_NE(json.find("\"spans_dropped\": 6"), std::string::npos) << json;
+  // The ring keeps the newest records: span 9 survives, span 0 does not.
+  EXPECT_NE(json.find("i=9"), std::string::npos);
+  EXPECT_EQ(json.find("i=0"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SpanDepthTracksNesting) {
+  Registry::Global().SetTraceCapacity(16);
+  {
+    ScopedSpan outer("test.outer");
+    ScopedSpan inner("test.inner");
+  }
+  const std::string json = Registry::Global().ToJson();
+  // The inner span closes first at depth 1, the outer at depth 0.
+  EXPECT_NE(json.find("\"name\": \"test.inner\", \"detail\": \"\", "),
+            std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\": 0"), std::string::npos) << json;
+}
+
+TEST_F(TelemetryTest, DisabledSitesAreInert) {
+  Disable();
+  FLEXREL_TELEMETRY_COUNT("test.disabled", 1);
+  ScopedSpan span("test.disabled_span");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(CounterValue("test.disabled"), 0u);
+  EXPECT_EQ(Registry::Global().spans_recorded(), 0u);
+}
+
+TEST_F(TelemetryTest, ResetZeroesInPlaceAndKeepsPointersValid) {
+  Counter* counter = Registry::Global().GetCounter("test.reset");
+  Histogram* hist = Registry::Global().GetHistogram("test.reset");
+  counter->Add(7);
+  hist->Record(100);
+  Registry::Global().Reset();
+  // The same pointers remain usable (the macro sites cache them in
+  // function-local statics and never re-resolve).
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(hist->Snap().count, 0u);
+  counter->Add(3);
+  EXPECT_EQ(CounterValue("test.reset"), 3u);
+  EXPECT_EQ(Registry::Global().GetCounter("test.reset"), counter);
+}
+
+TEST_F(TelemetryTest, JsonDumpEscapesAndSortsNames) {
+  Registry::Global().GetCounter("test.b")->Add(2);
+  Registry::Global().GetCounter("test.a")->Add(1);
+  {
+    ScopedSpan span("test.escape");
+    span.SetDetail("quote=\" backslash=\\ newline=\n");
+  }
+  const std::string json = Registry::Global().ToJson();
+  EXPECT_LT(json.find("\"test.a\": 1"), json.find("\"test.b\": 2"));
+  EXPECT_NE(json.find("quote=\\\" backslash=\\\\ newline=\\n"),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace flexrel
