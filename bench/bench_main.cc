@@ -27,6 +27,23 @@ int main(int argc, char** argv) {
     constexpr char kFlag[] = "--metrics_json=";
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
       metrics_path = argv[i] + sizeof(kFlag) - 1;
+      if (metrics_path.empty()) {
+        std::fprintf(stderr,
+                     "%s: --metrics_json requires a path "
+                     "(usage: --metrics_json=PATH)\n",
+                     argv[0]);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 2) == 0 &&
+               argv[i][sizeof(kFlag) - 2] == '\0') {
+      // A bare --metrics_json used to fall through to google benchmark,
+      // which rejects it — or worse, a later positional PATH was silently
+      // ignored and the run produced no metrics dump. Fail fast instead.
+      std::fprintf(stderr,
+                   "%s: --metrics_json requires a path "
+                   "(usage: --metrics_json=PATH)\n",
+                   argv[0]);
+      return 1;
     } else {
       argv[kept++] = argv[i];
     }

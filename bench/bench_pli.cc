@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "engine/pli_cache.h"
@@ -197,6 +200,13 @@ FlexibleRelation RelationOf(const std::vector<Tuple>& rows,
   FlexibleRelation rel = FlexibleRelation::Derived("bench", DependencySet());
   PliCacheOptions options;
   options.arena_storage = arena_storage;
+  // Locked in-place mode: these benches compare the flush-policy arms
+  // (coalescing + patch/batch/drop choice), which only exists in its pure
+  // form with lazy read-side flushing — COW mode flushes (and pays a
+  // structure clone + snapshot publish) on every mutation hook, drowning
+  // the policy costs in publication costs for single-row streams. The COW
+  // publication axis is measured by BM_SnapshotReadStorm* instead.
+  options.cow_reads = false;
   if (mode == MaintenanceMode::kPinnedPerRow) {
     options.batch_threshold = SIZE_MAX;
     options.drop_threshold = SIZE_MAX;
@@ -332,6 +342,9 @@ void CacheBatchedFlushBench(benchmark::State& state, bool arena) {
   std::vector<Tuple> rows = MakeDenseRows(n, 8, 10, 5);
   PliCacheOptions options;
   options.arena_storage = arena;
+  // Locked mode isolates the flush work itself; COW publication costs are
+  // BM_SnapshotReadStorm*'s axis (see RelationOf).
+  options.cow_reads = false;
   PliCache cache(&rows, options);
   auto query = [&cache] {
     benchmark::DoNotOptimize(cache.IndexFor(0));
@@ -433,6 +446,163 @@ void BM_BulkLoadThenQuery(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_BulkLoadThenQuery)->ArgNames({"rows"})->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// Append storm into one fat cluster of a wide arena partition. Pre-slack,
+// EVERY ApplyInsert into cluster 0 shifted the arena's entire suffix (all
+// trailing clusters) one slot right — O(suffix) per append, no exceptions.
+// With per-cluster slack headroom the shift is confined to the cluster; the
+// suffix moves only on the amortized slot doublings. The timed storm is the
+// steady state the doubling buys — appends landing in open slack — and its
+// ns/append must stay flat as `clusters` (the suffix) grows; the capacity
+// ramp (the doublings themselves) runs untimed, as does partition cloning.
+// ---------------------------------------------------------------------------
+
+void BM_AppendStormFatPartition(benchmark::State& state) {
+  const size_t clusters = static_cast<size_t>(state.range(0));
+  const AttrId attr = 0;
+  std::vector<Tuple> rows;
+  rows.reserve(2 * clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    for (int j = 0; j < 2; ++j) {
+      Tuple t;
+      t.Set(attr, Value::Int(static_cast<int64_t>(c)));
+      rows.push_back(std::move(t));
+    }
+  }
+  const Pli base = Pli::Build(rows, attr);
+  constexpr int kWarm = 66;   // grows slot 0 to capacity 128 (untimed ramp)
+  constexpr int kStorm = 48;  // timed appends, all landing in open slack
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pli pli = base;
+    pli.SetNumRows(2 * clusters + kWarm + kStorm);
+    Pli::Cluster partners = {0, 1};
+    partners.reserve(2 + kWarm + kStorm);
+    for (int k = 0; k < kWarm; ++k) {
+      const Pli::RowId row = static_cast<Pli::RowId>(2 * clusters + k);
+      if (!pli.ApplyInsert(row, partners, /*includes_row=*/false)) {
+        state.SkipWithError("warm-up append refused");
+        return;
+      }
+      partners.push_back(row);
+    }
+    state.ResumeTiming();
+    for (int k = kWarm; k < kWarm + kStorm; ++k) {
+      const Pli::RowId row = static_cast<Pli::RowId>(2 * clusters + k);
+      benchmark::DoNotOptimize(
+          pli.ApplyInsert(row, partners, /*includes_row=*/false));
+      partners.push_back(row);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kStorm);
+}
+BENCHMARK(BM_AppendStormFatPartition)
+    ->ArgNames({"clusters"})->Arg(256)->Arg(4096)->Arg(65536);
+
+// ---------------------------------------------------------------------------
+// Readers × writers: snapshot-read throughput under live write traffic.
+// The benchmark threads are the readers (google benchmark's ->Threads());
+// `writers` (arg 0) background threads hammer row updates through the
+// mutation hooks for the whole measurement. COW mode reads resolve against
+// the published snapshot without any lock. The locked baseline's readers
+// must additionally serialize against the writers with the external mutex
+// — that is its documented contract (in-place flushes read and patch live
+// structures, so reads concurrent with mutations are a data race), and
+// exactly the cost the snapshot plane removes. With writers = 0 both modes
+// read without external locking. scripts/perf_smoke.py sweeps this and
+// hard-fails if COW under one writer ever loses to the locked baseline.
+// ---------------------------------------------------------------------------
+
+void SnapshotReadStorm(benchmark::State& state, bool cow) {
+  static FlexibleRelation* rel = nullptr;
+  static std::shared_ptr<PliCache> cache;
+  static std::vector<Value> jobtypes;
+  static std::vector<std::thread> writer_threads;
+  static std::atomic<bool> stop{false};
+  static std::mutex write_mu;
+  const int writers = static_cast<int>(state.range(0));
+  if (state.thread_index() == 0) {
+    std::vector<Tuple> rows = MakeRows(10000, 5);
+    jobtypes.clear();
+    {
+      std::unordered_set<std::string> seen;
+      for (const Tuple& t : rows) {
+        if (const Value* v = t.Get(kJobtype)) {
+          if (seen.insert(v->as_string()).second) jobtypes.push_back(*v);
+        }
+      }
+    }
+    PliCacheOptions options;
+    options.cow_reads = cow;
+    rel = new FlexibleRelation(
+        FlexibleRelation::Derived("storm", DependencySet()));
+    rel->SetPliCacheOptions(options);
+    rel->InsertRowsUnchecked(std::move(rows));
+    cache = rel->pli_cache();
+    // Warm every key the readers touch: reader misses rebuild from the row
+    // vector, which is the write side's territory.
+    (void)cache->Get(AttrSet::Of(kJobtype));
+    (void)cache->Get(AttrSet::Of(kCommon));
+    (void)cache->Get(AttrSet{kJobtype, kCommon});
+    (void)cache->IndexFor(kJobtype);
+    (void)cache->IndexFor(kCommon);
+    stop.store(false, std::memory_order_release);
+    for (int w = 0; w < writers; ++w) {
+      writer_threads.emplace_back([w] {
+        Rng rng(1234 + static_cast<uint64_t>(w));
+        while (!stop.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> lock(write_mu);
+          const size_t row = rng.Index(rel->size());
+          if (rng.Bernoulli(0.5)) {
+            (void)rel->Update(row, kJobtype,
+                              jobtypes[rng.Index(jobtypes.size())]);
+          } else {
+            (void)rel->Update(row, kCommon,
+                              Value::Int(rng.UniformInt(0, 50)));
+          }
+        }
+      });
+    }
+  }
+  const bool serialize_reads = !cow && writers > 0;
+  for (auto _ : state) {
+    if (serialize_reads) {
+      std::lock_guard<std::mutex> lock(write_mu);
+      benchmark::DoNotOptimize(cache->Get(AttrSet::Of(kJobtype)));
+      benchmark::DoNotOptimize(cache->Get(AttrSet{kJobtype, kCommon}));
+      benchmark::DoNotOptimize(cache->IndexFor(kCommon));
+    } else {
+      benchmark::DoNotOptimize(cache->Get(AttrSet::Of(kJobtype)));
+      benchmark::DoNotOptimize(cache->Get(AttrSet{kJobtype, kCommon}));
+      benchmark::DoNotOptimize(cache->IndexFor(kCommon));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : writer_threads) t.join();
+    writer_threads.clear();
+    cache.reset();
+    delete rel;
+    rel = nullptr;
+  }
+}
+void BM_SnapshotReadStorm(benchmark::State& state) {
+  SnapshotReadStorm(state, /*cow=*/true);
+}
+void BM_SnapshotReadStormLocked(benchmark::State& state) {
+  SnapshotReadStorm(state, /*cow=*/false);
+}
+#define FLEXREL_READ_STORM_SWEEP(bench)                 \
+  BENCHMARK(bench)                                      \
+      ->ArgNames({"writers"})                           \
+      ->Arg(0)->Arg(1)->Arg(4)                          \
+      ->Threads(1)->Threads(4)->Threads(8)              \
+      ->UseRealTime()
+FLEXREL_READ_STORM_SWEEP(BM_SnapshotReadStorm);
+FLEXREL_READ_STORM_SWEEP(BM_SnapshotReadStormLocked);
+#undef FLEXREL_READ_STORM_SWEEP
 
 }  // namespace
 }  // namespace flexrel

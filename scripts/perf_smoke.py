@@ -13,7 +13,11 @@ hard-fails on any inversion:
   * the CSR-arena cluster storage losing to the vector-of-vectors
     reference, on either the discovery-shaped level sweep or the
     64-mutation batched flush (PliCacheOptions::arena_storage);
-  * the PLI-backed pair join slower than the naive nested-loop join.
+  * the PLI-backed pair join slower than the naive nested-loop join;
+  * the lock-free COW snapshot read path (PliCacheOptions::cow_reads)
+    losing to the locked in-place baseline under one concurrent writer,
+    at any point of the 1/4/8-reader sweep (the 0- and 4-writer cells run
+    for the artifact record).
 
 Each run also enables the engine telemetry plane (--metrics_json=PATH, see
 src/telemetry/) and writes the per-binary metrics dump into the out dir
@@ -27,7 +31,14 @@ construction and work-ratio bounds the engine exists to provide:
     the sweep actually exercised the adaptive policy;
   * eval.join.hash_probes stays >= 100x below
     eval.join.hash_pair_candidates (the naive pair count for the same
-    joins): the hashed path must probe orders fewer pairs than |L|x|R|.
+    joins): the hashed path must probe orders fewer pairs than |L|x|R|;
+  * in the COW read-storm dump (cow_reads=true only): every flush swapped
+    in a snapshot (engine.pli_cache.publishes == flushes, > 0) and no
+    reader ever waited on the cache mutex
+    (engine.pli_cache.reader_lock_waits == 0) — the lock-free read-path
+    guarantee as a counter, not a timing;
+  * in the locked read-storm dump (cow_reads=false): no publishes, and
+    reader_lock_waits > 0 (the baseline really took the locked path).
 
 Counter checks are exact or ratio-based on deterministic counts, so they
 are immune to runner noise. Timing thresholds stay deliberately loose
@@ -62,6 +73,22 @@ RUNS = [
         "BM_PairJoin(Naive|Pli)/10000",
         "perf_smoke_join.json",
         "perf_smoke_join_metrics.json",
+    ),
+    # The readers x writers sweep runs each cache mode as its own binary
+    # invocation so each telemetry dump is single-mode and the per-mode
+    # counter identities stay exact (one shared dump would mix the locked
+    # variant's flushes into the COW publishes == flushes identity).
+    (
+        "bench_pli",
+        "BM_SnapshotReadStorm/writers:",
+        "perf_smoke_read_storm_cow.json",
+        "perf_smoke_read_storm_cow_metrics.json",
+    ),
+    (
+        "bench_pli",
+        "BM_SnapshotReadStormLocked/writers:",
+        "perf_smoke_read_storm_locked.json",
+        "perf_smoke_read_storm_locked_metrics.json",
     ),
 ]
 
@@ -143,6 +170,38 @@ def check_metric_invariants(out_dir, failures):
             f"pli_cache flush arms: per_row+batched+dropped({arms}) "
             f"!= flushes({flushes}), or no flushes recorded")
 
+    cow = load_counters(out_dir, RUNS[2][3], failures)
+    publishes = cow.get("engine.pli_cache.publishes", 0)
+    cow_flushes = cow.get("engine.pli_cache.flushes", 0)
+    ok = publishes > 0 and publishes == cow_flushes
+    print(f"  COW read-storm publishes == flushes: {publishes} "
+          f"== {cow_flushes}  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"COW snapshot accounting: publishes({publishes}) != "
+            f"flushes({cow_flushes}), or no publishes recorded")
+
+    waits = cow.get("engine.pli_cache.reader_lock_waits", 0)
+    ok = waits == 0
+    print(f"  COW read-storm reader_lock_waits == 0: {waits}"
+          f"  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"COW read path took the cache mutex {waits} time(s); the "
+            f"snapshot read path must never wait on a lock")
+
+    locked = load_counters(out_dir, RUNS[3][3], failures)
+    locked_pub = locked.get("engine.pli_cache.publishes", 0)
+    locked_waits = locked.get("engine.pli_cache.reader_lock_waits", 0)
+    ok = locked_pub == 0 and locked_waits > 0
+    print(f"  locked read-storm publishes == 0 and lock_waits > 0: "
+          f"{locked_pub}, {locked_waits}  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"locked-mode baseline: publishes({locked_pub}) should be 0 "
+            f"and reader_lock_waits({locked_waits}) > 0 — the oracle is "
+            f"not exercising the locked path")
+
     join = load_counters(out_dir, RUNS[1][3], failures)
     probes = join.get("eval.join.hash_probes", 0)
     pairs = join.get("eval.join.hash_pair_candidates", 0)
@@ -206,6 +265,15 @@ def main():
     print("PLI pair join vs naive:")
     expect_faster(times, "BM_PairJoinPli/10000", "BM_PairJoinNaive/10000",
                   failures)
+    print("lock-free COW snapshot reads vs locked baseline (1 writer):")
+    for threads in (1, 4, 8):
+        expect_faster(
+            times,
+            f"BM_SnapshotReadStorm/writers:1/real_time/threads:{threads}",
+            f"BM_SnapshotReadStormLocked/writers:1/real_time"
+            f"/threads:{threads}",
+            failures,
+        )
 
     check_metric_invariants(args.out_dir, failures)
 

@@ -272,10 +272,12 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
 
 // Equality/IN selection directly over a base scan: the answer is a value
 // index lookup on the scanned relation's attached cache — zero predicate
-// evaluations, and only the matching rows are ever read. This IndexFor is
-// a cache read, so it also flushes any mutation deltas buffered since the
-// last query (engine/pli_cache.h): the first evaluation after a burst
-// pays the adaptive batch-apply, later ones read patched structures.
+// evaluations, and only the matching rows are ever read. Freshness is the
+// cache's contract either way (engine/README.md "Concurrency"): in COW
+// mode mutation hooks flushed and published before this read, which
+// resolves lock-free against the current snapshot; in locked mode this
+// IndexFor flushes any deltas buffered since the last query, so the first
+// evaluation after a burst pays the adaptive batch-apply.
 Result<FlexibleRelation> Evaluator::SelectViaIndex(const Plan& plan,
                                                    ExplainNode* node) {
   const FlexibleRelation* src = plan.inputs()[0]->relation();
@@ -299,8 +301,10 @@ size_t Evaluator::DistinctOn(const FlexibleRelation& rel,
                              const AttrSet& attrs) {
   if (attrs.empty() || rel.empty()) return 1;
   if (options_.use_cache) {
-    // Cache reads flush pending mutation deltas first, so these estimates
-    // always describe the current instance.
+    // These estimates always describe the current instance: cache reads
+    // see every prior mutation (COW mode publishes on the mutation hook,
+    // locked mode flushes here), and each one-call read is internally
+    // coherent — it resolves against a single snapshot.
     if (attrs.size() == 1) {
       return rel.pli_cache()->IndexFor(attrs.ids().front())->size();
     }

@@ -179,10 +179,20 @@ class FlexibleRelation {
   /// restored: every mutation drops the cache wholesale and the next call
   /// rebuilds it from scratch (the oracle the incremental path is
   /// soak-tested against — tests/engine_incremental_test.cc, which also
-  /// runs a reference-storage twin through every flush arm). In both modes
-  /// mutating the relation while another thread evaluates it is a data
-  /// race exactly as iterating rows() would be. Copies and moves of the
-  /// relation start cache-less.
+  /// runs a reference-storage twin through every flush arm).
+  ///
+  /// Concurrency (engine/README.md "Concurrency" for the full rules): in
+  /// the default COW mode (pli_cache_options().cow_reads) cache reads the
+  /// published snapshot can answer are lock-free and safe concurrently
+  /// with mutations — mutation hooks clone, patch, and publish before
+  /// returning, and a held structure stays frozen at its epoch (re-Get to
+  /// see newer epochs; stale is the worst case, torn never). What remains
+  /// a data race is touching the row storage while a mutator runs: a cold
+  /// cache miss rebuilds from rows() on the locked population path, and
+  /// iterating rows() directly races exactly as before. In locked mode
+  /// (cow_reads = false) there is no snapshot, so any concurrent
+  /// evaluation must serialize with mutators externally. Copies and moves
+  /// of the relation start cache-less.
   ///
   /// Telemetry contract: the batch mutation paths carry telemetry
   /// instrumentation (core.relation.* counters and the

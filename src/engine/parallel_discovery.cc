@@ -237,7 +237,9 @@ DependencySet EngineDiscoverDependencies(const std::vector<Tuple>& rows,
                                          const AttrSet& universe,
                                          const EngineDiscoveryOptions& options) {
   // One cache serves both passes: the FD pass leaves every candidate
-  // partition warm for the AD pass.
+  // partition warm for the AD pass. The worker pool shares it — warm
+  // candidate reads are lock-free snapshot hits under the default COW
+  // mode, and cold builds serialize only on the writers-side lock.
   PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
   return EngineDiscoverDependencies(&validator, universe, options);

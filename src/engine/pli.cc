@@ -100,20 +100,29 @@ size_t Pli::ArenaFindClusterByFront(RowId front) const {
 }
 
 void Pli::ArenaRepositionCluster(size_t index, size_t target) {
+  // Rotates the whole storage slot — live rows plus trailing slack — so the
+  // cluster keeps its headroom across the move, and rotates the matching
+  // sizes_ entry alongside. m is the slot capacity, not the live size.
   const uint32_t m = offsets_[index + 1] - offsets_[index];
   if (target < index) {
-    // Rotate the moved cluster in front of clusters target..index-1, then
-    // shift their offsets right by its size (descending, so each read of
+    // Rotate the moved slot in front of slots target..index-1, then shift
+    // their boundaries right by its capacity (descending, so each read of
     // offsets_[j-1] precedes its overwrite).
     std::rotate(arena_.begin() + offsets_[target],
                 arena_.begin() + offsets_[index],
                 arena_.begin() + offsets_[index + 1]);
     for (size_t j = index; j > target; --j) offsets_[j] = offsets_[j - 1] + m;
+    std::rotate(sizes_.begin() + static_cast<ptrdiff_t>(target),
+                sizes_.begin() + static_cast<ptrdiff_t>(index),
+                sizes_.begin() + static_cast<ptrdiff_t>(index + 1));
   } else if (target > index) {
     std::rotate(arena_.begin() + offsets_[index],
                 arena_.begin() + offsets_[index + 1],
                 arena_.begin() + offsets_[target + 1]);
     for (size_t j = index; j <= target; ++j) offsets_[j] = offsets_[j + 1] - m;
+    std::rotate(sizes_.begin() + static_cast<ptrdiff_t>(index),
+                sizes_.begin() + static_cast<ptrdiff_t>(index + 1),
+                sizes_.begin() + static_cast<ptrdiff_t>(target + 1));
   }
 }
 
@@ -149,11 +158,14 @@ void Pli::AdoptClusters(std::vector<Cluster> clusters) {
   offsets_.clear();
   offsets_.reserve(clusters.size() + 1);
   offsets_.push_back(0);
+  sizes_.clear();
+  sizes_.reserve(clusters.size());
   arena_.clear();
   arena_.reserve(grouped_rows_);
   for (const Cluster& c : clusters) {
     arena_.insert(arena_.end(), c.begin(), c.end());
     offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+    sizes_.push_back(static_cast<uint32_t>(c.size()));
   }
 }
 
@@ -204,6 +216,7 @@ PliProbe Pli::BuildProbe() const {
   probe.labels.assign(num_rows_, kNoCluster);
   const size_t n = num_clusters();
   probe.label_bound = static_cast<int32_t>(n);
+  probe.label_baseline = probe.label_bound;
   for (size_t c = 0; c < n; ++c) {
     for (RowId row : cluster(c)) probe.labels[row] = static_cast<int32_t>(c);
   }
@@ -297,12 +310,14 @@ Pli Pli::IntersectArena(const PliProbe& probe, IntersectScratch* s) const {
   out.arena_.resize(total);
   out.offsets_.reserve(s->descs.size() + 1);
   out.offsets_.push_back(0);
+  out.sizes_.reserve(s->descs.size());
   RowId* dst = out.arena_.data();
   for (const IntersectScratch::Desc& d : s->descs) {
     std::copy(s->emitted.begin() + d.begin,
               s->emitted.begin() + d.begin + d.size, dst);
     dst += d.size;
     out.offsets_.push_back(static_cast<uint32_t>(dst - out.arena_.data()));
+    out.sizes_.push_back(d.size);
   }
   out.grouped_rows_ = total;
   // Stripped singletons of the operands are unrecoverable here, so the
@@ -389,6 +404,7 @@ bool Pli::ApplyInsertCore(RowId row, size_t others, RowId partner_front) {
       arena_.insert(arena_.begin() + pos, {lo, hi});
       offsets_.insert(offsets_.begin() + static_cast<ptrdiff_t>(idx), pos);
       for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] += 2;
+      sizes_.insert(sizes_.begin() + static_cast<ptrdiff_t>(idx), 2);
     } else {
       Cluster fresh = {lo, hi};
       auto it = LowerBoundByFront(&vclusters_, lo);
@@ -401,13 +417,30 @@ bool Pli::ApplyInsertCore(RowId row, size_t others, RowId partner_front) {
     if (storage_ == Storage::kArena) {
       size_t idx = ArenaFindClusterByFront(partner_front);
       if (idx == kNoIndex) return false;
-      auto first = arena_.begin() + offsets_[idx];
-      auto last = arena_.begin() + offsets_[idx + 1];
-      if (static_cast<size_t>(last - first) != others) return false;
-      auto pos = std::lower_bound(first, last, row);
-      if (pos != last && *pos == row) return false;
-      arena_.insert(pos, row);
-      for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] += 1;
+      if (sizes_[idx] != others) return false;
+      const size_t rank = static_cast<size_t>(
+          std::lower_bound(arena_.begin() + offsets_[idx],
+                           arena_.begin() + offsets_[idx] + sizes_[idx], row) -
+          (arena_.begin() + offsets_[idx]));
+      if (rank < sizes_[idx] && arena_[offsets_[idx] + rank] == row) {
+        return false;
+      }
+      if (sizes_[idx] == offsets_[idx + 1] - offsets_[idx]) {
+        // Slot full: grow it by its own capacity (amortized doubling), so
+        // the O(arena-suffix) memmove happens O(log growth) times per
+        // cluster instead of once per appended row. The new headroom is
+        // dead slack until rows land in it; batched splices compact it
+        // away.
+        const uint32_t grow = offsets_[idx + 1] - offsets_[idx];
+        arena_.insert(arena_.begin() + offsets_[idx + 1], grow, RowId{0});
+        for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] += grow;
+      }
+      // Shift only this cluster's suffix into the slot's slack — O(cluster).
+      auto pos = arena_.begin() + offsets_[idx] + rank;
+      std::move_backward(pos, arena_.begin() + offsets_[idx] + sizes_[idx],
+                         arena_.begin() + offsets_[idx] + sizes_[idx] + 1);
+      *pos = row;
+      ++sizes_[idx];
       ++grouped_rows_;
       if (row < partner_front) ArenaMaybeReposition(idx);
     } else {
@@ -441,21 +474,41 @@ bool Pli::ApplyErase(RowId row, const Cluster& agreeing, bool includes_row) {
       size_t idx = ArenaFindClusterByFront(front);
       if (idx == kNoIndex) return false;
       auto first = arena_.begin() + offsets_[idx];
-      auto last = arena_.begin() + offsets_[idx + 1];
-      if (static_cast<size_t>(last - first) != others + 1) return false;
+      auto last = first + sizes_[idx];
+      if (static_cast<size_t>(sizes_[idx]) != others + 1) return false;
       if (others == 1) {
         // The partner drops back to a stripped singleton; the cluster
-        // dissolves.
+        // dissolves. The dead slot is absorbed as the neighbor's trailing
+        // slack instead of memmoving the arena suffix closed; batched
+        // splices compact it away.
         if (*(last - 1) != std::max(partner_front, row)) return false;
-        arena_.erase(first, last);
-        offsets_.erase(offsets_.begin() + static_cast<ptrdiff_t>(idx));
-        for (size_t j = idx; j < offsets_.size(); ++j) offsets_[j] -= 2;
+        if (num_clusters() == 1) {
+          arena_.clear();
+          offsets_.clear();
+          sizes_.clear();
+        } else if (idx > 0) {
+          // Merge the dead slot into the previous cluster's slack by
+          // dropping its start boundary.
+          offsets_.erase(offsets_.begin() + static_cast<ptrdiff_t>(idx));
+          sizes_.erase(sizes_.begin() + static_cast<ptrdiff_t>(idx));
+        } else {
+          // First cluster: slide the next cluster's live rows down to the
+          // arena start (a slot's rows must sit at its boundary), then
+          // drop the boundary between them — O(next cluster), not
+          // O(arena).
+          std::move(arena_.begin() + offsets_[1],
+                    arena_.begin() + offsets_[1] + sizes_[1], arena_.begin());
+          offsets_.erase(offsets_.begin() + 1);
+          sizes_.erase(sizes_.begin());
+        }
         grouped_rows_ -= 2;
       } else {
         auto pos = std::lower_bound(first, last, row);
         if (pos == last || *pos != row) return false;
-        arena_.erase(pos);
-        for (size_t j = idx + 1; j < offsets_.size(); ++j) offsets_[j] -= 1;
+        // Close the gap within the slot only; the freed cell becomes
+        // trailing slack.
+        std::move(pos + 1, last, pos);
+        --sizes_[idx];
         --grouped_rows_;
         if (row == front) ArenaMaybeReposition(idx);
       }
@@ -632,15 +685,21 @@ bool Pli::ApplyBatch(std::vector<ClusterPatchView> patches,
     size_t removed_rows = 0;
     for (size_t r : removed) removed_rows += cluster(r).size();
     if (storage_ == Storage::kArena) {
+      // The merge rebuilds the arena tight (slot capacity == live size for
+      // every cluster), so a batched flush doubles as the compaction point
+      // for the slack the per-row patch primitives accumulate.
       std::vector<RowId> merged_arena;
       std::vector<uint32_t> merged_offsets;
-      merged_arena.reserve(arena_.size() + add_rows - removed_rows);
+      std::vector<uint32_t> merged_sizes;
+      merged_arena.reserve(grouped_rows_ + add_rows - removed_rows);
       merged_offsets.reserve(offsets_.size() + additions.size() -
                              removed.size());
+      merged_sizes.reserve(sizes_.size() + additions.size() - removed.size());
       merged_offsets.push_back(0);
       auto append = [&](const RowId* begin, const RowId* end) {
         merged_arena.insert(merged_arena.end(), begin, end);
         merged_offsets.push_back(static_cast<uint32_t>(merged_arena.size()));
+        merged_sizes.push_back(static_cast<uint32_t>(end - begin));
       };
       size_t next_removed = 0;
       size_t next_add = 0;
@@ -663,6 +722,7 @@ bool Pli::ApplyBatch(std::vector<ClusterPatchView> patches,
       }
       arena_ = std::move(merged_arena);
       offsets_ = std::move(merged_offsets);
+      sizes_ = std::move(merged_sizes);
     } else {
       std::vector<Cluster> merged;
       merged.reserve(vclusters_.size() + additions.size() - removed.size());
@@ -699,13 +759,12 @@ bool Pli::ApplyBatch(std::vector<ClusterPatchView> patches,
 }
 
 bool Pli::operator==(const Pli& other) const {
+  // Cluster-wise comparison: equality is over the partition's live rows,
+  // never the storage layout, so two arenas with different slack (or an
+  // arena and a vector twin) compare by content.
   if (num_rows_ != other.num_rows_) return false;
   const size_t n = num_clusters();
   if (n != other.num_clusters()) return false;
-  if (storage_ == Storage::kArena && other.storage_ == Storage::kArena &&
-      !offsets_.empty() && !other.offsets_.empty()) {
-    return offsets_ == other.offsets_ && arena_ == other.arena_;
-  }
   for (size_t c = 0; c < n; ++c) {
     if (!(cluster(c) == other.cluster(c))) return false;
   }
@@ -716,7 +775,8 @@ size_t Pli::MemoryBytes() const {
   size_t bytes = sizeof(Pli);
   if (storage_ == Storage::kArena) {
     bytes += arena_.capacity() * sizeof(RowId) +
-             offsets_.capacity() * sizeof(uint32_t);
+             offsets_.capacity() * sizeof(uint32_t) +
+             sizes_.capacity() * sizeof(uint32_t);
   } else {
     bytes += vclusters_.capacity() * sizeof(Cluster);
     for (const Cluster& c : vclusters_) bytes += c.capacity() * sizeof(RowId);
@@ -734,18 +794,28 @@ bool Pli::CheckInvariants(std::string* error) const {
     if (!offsets_.empty() && offsets_.front() != 0) {
       return fail("arena offsets must start at 0");
     }
+    if (sizes_.size() != n) {
+      return fail(StrCat("arena sizes count ", sizes_.size(),
+                         " != num_clusters ", n));
+    }
     for (size_t c = 0; c < n; ++c) {
       if (offsets_[c + 1] < offsets_[c] + 2) {
-        return fail(StrCat("offsets not monotone with >=2-row clusters at ",
+        return fail(StrCat("slot boundaries not monotone with >=2-capacity "
+                           "slots at ",
                            c, ": ", offsets_[c], " -> ", offsets_[c + 1]));
+      }
+      if (sizes_[c] > offsets_[c + 1] - offsets_[c]) {
+        return fail(StrCat("cluster ", c, " live size ", sizes_[c],
+                           " exceeds slot capacity ",
+                           offsets_[c + 1] - offsets_[c]));
       }
     }
     if (!offsets_.empty() && offsets_.back() != arena_.size()) {
       return fail(StrCat("arena size ", arena_.size(),
-                         " != last offset ", offsets_.back()));
+                         " != last slot boundary ", offsets_.back()));
     }
     if (!vclusters_.empty()) return fail("arena mode carries vector clusters");
-  } else if (!arena_.empty() || !offsets_.empty()) {
+  } else if (!arena_.empty() || !offsets_.empty() || !sizes_.empty()) {
     return fail("vector mode carries arena storage");
   }
   size_t grouped = 0;

@@ -22,7 +22,12 @@
 // plus a monotone offsets array — so intersections, validator scans, and
 // batched splices stream over one allocation instead of chasing one heap
 // vector per cluster (the layout mature PLI engines converge on). The
-// historical vector-of-vectors representation is kept reachable as
+// arena is *slack-aware*: offsets_ marks per-cluster storage slots
+// (capacities), sizes_ the live row count inside each slot, so a per-row
+// insert shifts rows only within its own cluster's slot instead of
+// memmoving the whole arena suffix; a full slot grows by amortized
+// doubling, and batched splices rebuild the arena tight (compaction).
+// The historical vector-of-vectors representation is kept reachable as
 // Storage::kVectors, the reference mode the arena is benchmarked and
 // soak-tested against (PliCacheOptions::arena_storage pins a whole cache).
 
@@ -50,6 +55,11 @@ namespace flexrel {
 struct PliProbe {
   std::vector<int32_t> labels;
   int32_t label_bound = 0;  ///< every label is in [0, label_bound)
+  /// label_bound at (re)build time — the dense baseline the cache's bloat
+  /// check measures churn-driven growth against, so a probe that merely
+  /// *looks* sparse (clusters dissolved under it) is not re-dropped right
+  /// after a rebuild (PliCache::MaybeRetireBloatedProbeLocked).
+  int32_t label_baseline = 0;
 };
 
 /// A stripped partition: clusters of row indices, each cluster the rows
@@ -276,11 +286,12 @@ class Pli {
 
   Storage storage() const { return storage_; }
 
-  /// The i-th cluster in canonical order, as a borrowed span.
+  /// The i-th cluster in canonical order, as a borrowed span. Live rows
+  /// sit at the front of the cluster's arena slot; trailing slack (if any)
+  /// is never exposed.
   ClusterView cluster(size_t i) const {
     if (storage_ == Storage::kArena) {
-      return ClusterView(arena_.data() + offsets_[i],
-                         offsets_[i + 1] - offsets_[i]);
+      return ClusterView(arena_.data() + offsets_[i], sizes_[i]);
     }
     return ClusterView(vclusters_[i].data(), vclusters_[i].size());
   }
@@ -315,6 +326,15 @@ class Pli {
 
   bool empty() const { return num_clusters() == 0; }
 
+  /// Arena slots not currently holding a live row (dead headroom from
+  /// per-cluster slack growth and dissolved clusters). Always 0 right
+  /// after a build or a batched splice — ApplyBatch rebuilds tight — and
+  /// bounded between them by the amortized-doubling growth policy. 0 in
+  /// kVectors mode. Exposed for tests and the memory accounting bench.
+  size_t ArenaSlackRows() const {
+    return storage_ == Storage::kArena ? arena_.size() - grouped_rows_ : 0;
+  }
+
   /// Inverse mapping with canonical labels (label == cluster index,
   /// label_bound == num_clusters). O(num_rows).
   PliProbe BuildProbe() const;
@@ -324,12 +344,12 @@ class Pli {
   /// entry count only; see ROADMAP).
   size_t MemoryBytes() const;
 
-  /// Structural self-check for tests and debugging: monotone arena offsets
-  /// (every cluster >= 2 rows), arena size == grouped_rows, rows strictly
-  /// ascending within clusters and < num_rows, canonical cluster order,
-  /// and defined_rows consistent with grouped_rows for the storage's
-  /// defined mode. On failure fills `error` (when non-null) and returns
-  /// false.
+  /// Structural self-check for tests and debugging: monotone arena slot
+  /// boundaries with every slot's live size in [2, capacity], arena size
+  /// == last boundary, rows strictly ascending within clusters and
+  /// < num_rows, canonical cluster order, and defined_rows consistent with
+  /// grouped_rows for the storage's defined mode. On failure fills `error`
+  /// (when non-null) and returns false.
   bool CheckInvariants(std::string* error = nullptr) const;
 
   bool operator==(const Pli& other) const;
@@ -355,8 +375,11 @@ class Pli {
   void ArenaMaybeReposition(size_t index);
 
   Storage storage_ = Storage::kArena;
-  std::vector<RowId> arena_;       // kArena: concatenated cluster rows
-  std::vector<uint32_t> offsets_;  // kArena: num_clusters + 1 monotone marks
+  std::vector<RowId> arena_;       // kArena: cluster slots (rows + slack)
+  std::vector<uint32_t> offsets_;  // kArena: num_clusters + 1 monotone slot
+                                   // boundaries; slot i capacity is
+                                   // offsets_[i+1] - offsets_[i]
+  std::vector<uint32_t> sizes_;    // kArena: live rows in slot i (<= cap)
   std::vector<Cluster> vclusters_;  // kVectors: the historical layout
   size_t num_rows_ = 0;
   size_t grouped_rows_ = 0;

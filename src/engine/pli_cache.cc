@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "telemetry/telemetry.h"
@@ -41,6 +42,14 @@ std::shared_ptr<PliCache::ValueIndex> BuildValueIndex(
 // bounding the buffer by the number of touched rows even when a mutation
 // storm runs without interleaved reads.
 constexpr size_t kPendingCompactThreshold = 4096;
+
+// An already-fulfilled slot: what a COW clone (and nothing else) installs —
+// the original future's builder protocol already ran to completion.
+std::shared_future<std::shared_ptr<Pli>> ReadyFuture(std::shared_ptr<Pli> p) {
+  std::promise<std::shared_ptr<Pli>> promise;
+  promise.set_value(std::move(p));
+  return promise.get_future().share();
+}
 
 }  // namespace
 
@@ -197,6 +206,28 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
   // identity hits + misses == lookups holds at any quiescent point.
   FLEXREL_TELEMETRY_COUNT("engine.pli_cache.lookups", 1);
   FLEXREL_TELEMETRY_LATENCY(get_timer, "engine.pli_cache.get_ns");
+  if (options_.cow_reads) {
+    // The snapshot read path: one slot pin, no mutex, no flush (COW
+    // hooks flush eagerly, so the snapshot is always current). A miss
+    // falls through to the locked path below — that is cache *population*
+    // (write-side work), not a reader lock wait.
+    std::shared_ptr<const Pli> hit =
+        WithSnapshot([&](const Snapshot* snap) -> std::shared_ptr<const Pli> {
+          if (snap == nullptr) return nullptr;
+          auto it = snap->plis.find(attrs);
+          return it == snap->plis.end() ? nullptr : it->second;
+        });
+    if (hit != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      FLEXREL_TELEMETRY_COUNT("engine.pli_cache.hits", 1);
+      return hit;
+    }
+  } else {
+    // Locked-mode reads take mu_ by design; the counter existing (and
+    // staying 0 in COW mode) is the regression tripwire for the lock-free
+    // read-path guarantee.
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.reader_lock_waits", 1);
+  }
   std::promise<PliPtr> promise;
   std::shared_future<PliPtr> future;
   {
@@ -232,6 +263,12 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
   try {
     PliPtr pli = BuildFor(attrs);
     promise.set_value(std::move(pli));
+    if (options_.cow_reads) {
+      // Fold the fresh entry into the published table so every later read
+      // resolves it lock-free.
+      std::lock_guard<std::mutex> lock(mu_);
+      PublishLocked(/*flush_publish=*/false);
+    }
   } catch (...) {
     // Un-poison the slot before publishing the failure: requesters already
     // waiting see this exception, but the next Get() rebuilds instead of
@@ -265,6 +302,17 @@ PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
 }
 
 std::shared_ptr<const PliProbe> PliCache::ProbeFor(AttrId attr) {
+  if (options_.cow_reads) {
+    std::shared_ptr<const PliProbe> hit = WithSnapshot(
+        [&](const Snapshot* snap) -> std::shared_ptr<const PliProbe> {
+          if (snap == nullptr) return nullptr;
+          auto it = snap->probes.find(attr);
+          return it == snap->probes.end() ? nullptr : it->second;
+        });
+    if (hit != nullptr) return hit;
+  } else {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.reader_lock_waits", 1);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     FlushPendingLocked();
@@ -275,7 +323,10 @@ std::shared_ptr<const PliProbe> PliCache::ProbeFor(AttrId attr) {
   auto probe = std::make_shared<PliProbe>(pli->BuildProbe());
   std::lock_guard<std::mutex> lock(mu_);
   // Racing builders compute identical tables; first insert wins.
-  return probes_.emplace(attr, std::move(probe)).first->second;
+  std::shared_ptr<const PliProbe> memo =
+      probes_.emplace(attr, std::move(probe)).first->second;
+  if (options_.cow_reads) PublishLocked(/*flush_publish=*/false);
+  return memo;
 }
 
 // ---------------------------------------------------------------------------
@@ -290,10 +341,21 @@ void PliCache::DropProbeLocked(AttrId attr) {
 void PliCache::MaybeRetireBloatedProbeLocked(AttrId attr, const Pli& pli) {
   auto it = probes_.find(attr);
   if (it == probes_.end()) return;
-  if (static_cast<size_t>(it->second->label_bound) >
-      2 * pli.num_clusters() + 64) {
-    DropProbeLocked(attr);
+  const PliProbe& probe = *it->second;
+  // Density check: the label space sizes every IntersectWithProbe scratch
+  // allocation, so once it dwarfs the live clusters the memo is worth an
+  // O(rows) dense rebuild.
+  if (static_cast<size_t>(probe.label_bound) <= 2 * pli.num_clusters() + 64) {
+    return;
   }
+  // Hysteresis: mass stripping dissolves clusters *under* the bound (labels
+  // retire, the bound doesn't shrink), so even a freshly rebuilt probe can
+  // sit past the density check the moment the cluster count moves — and
+  // without a baseline, every flush would re-trip it and pay the rebuild
+  // again. A rebuild resets the baseline (BuildProbe); re-drop only after
+  // the bound has bloated again from that reset baseline.
+  if (probe.label_bound <= 2 * probe.label_baseline + 64) return;
+  DropProbeLocked(attr);
 }
 
 void PliCache::ProbePatchInsertLocked(AttrId attr, Pli::RowId row,
@@ -381,6 +443,17 @@ void PliCache::ProbePatchBatchLocked(
 }
 
 std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
+  if (options_.cow_reads) {
+    std::shared_ptr<const ValueIndex> hit = WithSnapshot(
+        [&](const Snapshot* snap) -> std::shared_ptr<const ValueIndex> {
+          if (snap == nullptr) return nullptr;
+          auto it = snap->indexes.find(attr);
+          return it == snap->indexes.end() ? nullptr : it->second;
+        });
+    if (hit != nullptr) return hit;
+  } else {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.reader_lock_waits", 1);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     FlushPendingLocked();
@@ -393,7 +466,10 @@ std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
   std::shared_ptr<ValueIndex> index = BuildValueIndex(*rows_, attr);
   std::lock_guard<std::mutex> lock(mu_);
   // Racing builders compute identical indexes; first insert wins.
-  return value_indexes_.emplace(attr, std::move(index)).first->second;
+  std::shared_ptr<const ValueIndex> memo =
+      value_indexes_.emplace(attr, std::move(index)).first->second;
+  if (options_.cow_reads) PublishLocked(/*flush_publish=*/false);
+  return memo;
 }
 
 PliCache::PartnerScan PliCache::AgreeingRowsLocked(const AttrSet& attrs,
@@ -498,13 +574,18 @@ void PliCache::PatchEntriesLocked(
 }
 
 // ---------------------------------------------------------------------------
-// Mutation hooks: append to the pending buffer, O(1) per row. All patching
-// happens at the next read's flush.
+// Mutation hooks: append to the pending buffer, O(1) per row. In locked
+// mode all patching is deferred to the next read's flush; in COW mode the
+// hook flushes (and publishes) eagerly under the same lock hold, so the
+// published snapshot is always current and readers never flush — the
+// ordering contract is: mutate rows, hook buffers + patches successor
+// copies + swaps the snapshot, release mu_, readers see the new epoch.
 // ---------------------------------------------------------------------------
 
 void PliCache::OnInsert(Pli::RowId row) {
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back({row, /*is_insert=*/true, Tuple()});
+  if (options_.cow_reads) FlushPendingLocked();
 }
 
 void PliCache::OnInsertBatch(Pli::RowId first_row, size_t count) {
@@ -514,12 +595,17 @@ void PliCache::OnInsertBatch(Pli::RowId first_row, size_t count) {
     pending_.push_back(
         {static_cast<Pli::RowId>(first_row + i), /*is_insert=*/true, Tuple()});
   }
+  if (options_.cow_reads) FlushPendingLocked();
 }
 
 void PliCache::OnUpdate(Pli::RowId row, Tuple old_row) {
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back({row, /*is_insert=*/false, std::move(old_row)});
-  if (pending_.size() >= pending_compact_at_) CompactPendingLocked();
+  if (options_.cow_reads) {
+    FlushPendingLocked();
+  } else if (pending_.size() >= pending_compact_at_) {
+    CompactPendingLocked();
+  }
 }
 
 void PliCache::OnUpdateBatch(
@@ -529,7 +615,11 @@ void PliCache::OnUpdateBatch(
   for (auto& [row, old_row] : old_rows) {
     pending_.push_back({row, /*is_insert=*/false, std::move(old_row)});
   }
-  if (pending_.size() >= pending_compact_at_) CompactPendingLocked();
+  if (options_.cow_reads) {
+    FlushPendingLocked();
+  } else if (pending_.size() >= pending_compact_at_) {
+    CompactPendingLocked();
+  }
 }
 
 void PliCache::CompactPendingLocked() {
@@ -616,6 +706,7 @@ void PliCache::FlushPendingLocked() {
   // The span detail carries the net burst size and the estimate the arm
   // decision compared it against.
   const size_t b = net.size();
+  ++flushes_;
   FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flushes", 1);
   FLEXREL_TELEMETRY_HIST("engine.pli_cache.flush.burst", b);
   const size_t drop_at = std::max(options_.drop_threshold, rows_->size() / 2);
@@ -628,8 +719,16 @@ void PliCache::FlushPendingLocked() {
     DropAllLocked();
     pending_.clear();
     pending_compact_at_ = kPendingCompactThreshold;
+    // Dropping mutates no structure, so nothing needs cloning — but the
+    // published table must stop resolving the dropped keys.
+    if (options_.cow_reads) PublishLocked(/*flush_publish=*/true);
     return;
   }
+  // COW: everything the patch arms below will touch is replaced by a
+  // same-content successor first, so the live epoch's structures stay
+  // frozen for their readers and the swap at the end is the only point
+  // new state becomes visible.
+  if (options_.cow_reads) CloneForCowLocked(changed, insert_count > 0);
   // Probe memos are patched in place by both flush arms below (in lockstep
   // with the cluster patches, via the ProbePatch*Locked helpers); inserts
   // only need the label arrays grown — new rows start clusterless.
@@ -668,6 +767,64 @@ void PliCache::FlushPendingLocked() {
   }
   pending_.clear();
   pending_compact_at_ = kPendingCompactThreshold;
+  if (options_.cow_reads) PublishLocked(/*flush_publish=*/true);
+}
+
+void PliCache::CloneForCowLocked(const AttrSet& changed, bool has_inserts) {
+  using namespace std::chrono_literals;
+  for (auto& [attrs, entry] : entries_) {
+    // Updates leave entries outside `changed` untouched; inserts patch the
+    // row-count bookkeeping of every entry. Unready slots are skipped —
+    // the flush arms drop them anyway, never patch them.
+    if (!has_inserts && !attrs.Intersects(changed)) continue;
+    if (entry.future.wait_for(0s) != std::future_status::ready) continue;
+    entry.future = ReadyFuture(std::make_shared<Pli>(*entry.future.get()));
+  }
+  for (auto& [attr, probe] : probes_) {
+    if (!has_inserts && !changed.Contains(attr)) continue;
+    probe = std::make_shared<PliProbe>(*probe);
+  }
+  for (auto& [attr, index] : value_indexes_) {
+    if (!changed.Contains(attr)) continue;
+    index = std::make_shared<ValueIndex>(*index);
+  }
+}
+
+void PliCache::PublishLocked(bool flush_publish) {
+  using namespace std::chrono_literals;
+  auto snap = std::make_shared<Snapshot>();
+  snap->plis.reserve(entries_.size());
+  for (const auto& [attrs, entry] : entries_) {
+    // In-flight builds join the table on their own post-build refresh.
+    if (entry.future.wait_for(0s) != std::future_status::ready) continue;
+    snap->plis.emplace(attrs, entry.future.get());
+  }
+  snap->probes.reserve(probes_.size());
+  for (const auto& [attr, probe] : probes_) snap->probes.emplace(attr, probe);
+  snap->indexes.reserve(value_indexes_.size());
+  for (const auto& [attr, index] : value_indexes_) {
+    snap->indexes.emplace(attr, index);
+  }
+  snap->epoch = ++epoch_;
+  if (flush_publish) {
+    ++publishes_;
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.publishes", 1);
+  } else {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.snapshot_refreshes", 1);
+  }
+  FLEXREL_TELEMETRY_GAUGE_SET("engine.pli_cache.epoch", epoch_);
+  // Writer side of the two-slot protocol (see snapshot_slots_ in the
+  // header): rebuild the spare slot once its reader pins drain, then flip
+  // the index. mu_ serializes publishers, so the relaxed self-load of
+  // snapshot_cur_ is exact.
+  const uint32_t spare = snapshot_cur_.load(std::memory_order_relaxed) ^ 1u;
+  SnapshotSlot& slot = snapshot_slots_[spare];
+  while (!slot.Drained()) {
+    // Pins cover a shared_ptr copy only — this drain is a few cycles.
+    std::this_thread::yield();
+  }
+  slot.snap = std::move(snap);
+  snapshot_cur_.store(spare);
 }
 
 void PliCache::EnsureFlushIndexesLocked(const std::vector<NetDelta>& net,
@@ -1142,7 +1299,7 @@ void PliCache::EvictLocked() {
 PliCache::StatsSnapshot PliCache::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   StatsSnapshot s;
-  s.hits = hits_;
+  s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_;
   s.evictions = evictions_;
   s.cached_entries = entries_.size();
@@ -1153,6 +1310,9 @@ PliCache::StatsSnapshot PliCache::Stats() const {
   s.probe_patches = probe_patches_;
   s.probe_rebuilds = probe_rebuilds_;
   s.pending_deltas = pending_.size();
+  s.flushes = flushes_;
+  s.publishes = publishes_;
+  s.epoch = epoch_;
   return s;
 }
 

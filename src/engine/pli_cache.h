@@ -51,19 +51,33 @@
 // batch_threshold = SIZE_MAX pins the per-row path, the reference the
 // batched one is benchmarked and soak-tested against.
 //
-// Concurrency: Get() is safe to call from many worker threads. Each cache
-// slot holds a shared_future; the first requester of a key builds the
-// partition outside the lock and fulfils the promise, later requesters
-// block on the future instead of duplicating the work. Eviction is LRU over
-// completed multi-attribute entries only — single-attribute partitions are
-// the base of every product and stay resident. Mutation hooks must be
-// externally synchronized against readers (mutating a relation while
-// another thread evaluates it is a data race on the row vector regardless
-// of the cache).
+// Concurrency: Get/IndexFor/ProbeFor are safe to call from many worker
+// threads. In the default copy-on-write mode (PliCacheOptions::cow_reads)
+// reads are *lock-free under write traffic*: an immutable Snapshot table
+// (partitions + probes + value indexes, shared_ptr'd) is published with
+// one atomic swap per flush, readers resolve cached structures with a
+// single acquire-load and never touch mu_, and a flush patches successor
+// copies off to the side before swapping — the structures a reader holds
+// are frozen at the epoch it loaded them. mu_ shrinks to a writers-only
+// flush/publish (and cache-population) lock. With cow_reads = false the
+// historical locked in-place mode applies: every read takes mu_, flushes
+// the pending buffer, and may observe in-place patches. Either way, each
+// cache slot holds a shared_future; the first requester of a key builds
+// the partition outside the lock and fulfils the promise, later
+// requesters block on the future instead of duplicating the work.
+// Eviction is LRU over completed multi-attribute entries only —
+// single-attribute partitions are the base of every product and stay
+// resident (in COW mode lock-free hits skip the LRU touch, so eviction
+// order degrades toward build order). Concurrent mutation still requires
+// the *row vector* itself to be externally synchronized against readers
+// that project tuples; the cache's own structures need no reader-side
+// synchronization in COW mode. See src/engine/README.md, "Concurrency".
 
 #ifndef FLEXREL_ENGINE_PLI_CACHE_H_
 #define FLEXREL_ENGINE_PLI_CACHE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <list>
@@ -180,9 +194,27 @@ class PliCache {
     /// dropped, patch contradicted, or label bound bloated).
     size_t probe_rebuilds = 0;
     /// Mutation deltas currently buffered (not yet flushed by a read).
+    /// Always 0 at rest in COW mode, whose hooks flush eagerly.
     size_t pending_deltas = 0;
+    /// Flushes that took any arm (per_row + batched + dropped).
+    size_t flushes = 0;
+    /// COW snapshot swaps driven by a flush. Identity: publishes == flushes
+    /// in COW mode, 0 in locked mode (build-driven snapshot refreshes are
+    /// counted separately, in telemetry only).
+    size_t publishes = 0;
+    /// Monotone snapshot version: bumps on every swap (flush publishes and
+    /// build refreshes alike). 0 while nothing was ever published.
+    uint64_t epoch = 0;
   };
   StatsSnapshot Stats() const;
+
+  /// Epoch of the currently published snapshot — 0 before the first
+  /// publish, monotone afterwards. Lock-free (one slot pin), so readers
+  /// (and the concurrency soaks) can bracket a multi-structure read: equal
+  /// epochs before and after guarantee every structure came from that one
+  /// snapshot (a thread's observed epochs never go backwards). Always 0 in
+  /// locked mode, which never publishes.
+  uint64_t SnapshotEpoch() const;
 
  private:
   using PliPtr = std::shared_ptr<Pli>;
@@ -214,8 +246,35 @@ class PliCache {
     AttrSet changed_attrs;
   };
 
+  /// One published epoch: an immutable table of every completed cached
+  /// structure at publish time. Readers resolve against these maps under
+  /// a slot pin (see WithSnapshot) without taking mu_; the shared_ptrs
+  /// they copy out keep a superseded epoch's structures alive for exactly
+  /// as long as some reader still holds them. Never mutated after
+  /// publication.
+  struct Snapshot {
+    std::unordered_map<AttrSet, std::shared_ptr<const Pli>, AttrSetHash> plis;
+    std::unordered_map<AttrId, std::shared_ptr<const PliProbe>> probes;
+    std::unordered_map<AttrId, std::shared_ptr<const ValueIndex>> indexes;
+    uint64_t epoch = 0;
+  };
+
   /// Builds the partition for `attrs` from cached sub-partitions.
   PliPtr BuildFor(const AttrSet& attrs);
+
+  /// Rebuilds the snapshot table from the live maps and swaps it in with
+  /// one release-store. `flush_publish` distinguishes the flush-driven
+  /// swaps (the publishes == flushes identity) from build-driven refreshes
+  /// (a miss adding a fresh entry). Requires mu_; COW mode only.
+  void PublishLocked(bool flush_publish);
+
+  /// Replaces every cached structure the imminent flush will patch with a
+  /// same-content successor copy, so the patch mutates only objects no
+  /// published snapshot (and no earlier reader) can reference. `changed`
+  /// scopes the copies to affected attributes; inserts touch every entry
+  /// (row-count bookkeeping) and every probe (label arrays grow).
+  /// Requires mu_; COW mode only.
+  void CloneForCowLocked(const AttrSet& changed, bool has_inserts);
 
   /// The storage mode every partition of this cache is built with.
   Pli::Storage PartitionStorage() const {
@@ -364,6 +423,90 @@ class PliCache {
   const std::vector<Tuple>* rows_;
   Options options_;
 
+  /// Double-buffered snapshot publication (left-right pattern). We roll
+  /// this by hand instead of using std::atomic<std::shared_ptr<...>>
+  /// because libstdc++ 12's _Sp_atomic releases its embedded spin lock in
+  /// load() with a relaxed RMW, so the reader's plain _M_ptr read carries
+  /// no release edge to the next store()'s plain write — a formal data
+  /// race TSan rightly reports. Here every edge is an explicit
+  /// acquire/release atomic the model (and TSan) fully orders.
+  ///
+  /// Protocol: readers pin a slot (readers++ on the slot the current index
+  /// names, then re-check the index — a flip in between means the pin may
+  /// have landed on the slot the writer is rebuilding, so unpin and
+  /// retry), copy the shared_ptr, unpin. The single writer (under mu_)
+  /// overwrites only the spare slot, and only after its pin count drains
+  /// to zero; the store of snapshot_cur_ then publishes the new snapshot.
+  /// Readers pin for a shared_ptr copy only, so the writer's drain wait is
+  /// bounded and tiny.
+  ///
+  /// The index and pin-count operations are seq_cst on purpose: with only
+  /// acquire/release, the reader's re-check load may legally re-read the
+  /// STALE index value (plain coherence never forces a load forward), and
+  /// a double flip (A: 0→1, B: rebuilding slot 0 after a drain that missed
+  /// the pin) would let the re-check pass against a slot mid-rebuild. The
+  /// single seq_cst total order forbids exactly that: a drain that missed
+  /// the pin orders the earlier flip before the re-check, so the re-check
+  /// reads either that flip (mismatch → retry) or a later flip of the same
+  /// slot (whose release edge makes the rebuilt snap visible). On x86 the
+  /// upgrade is free — seq_cst loads are plain movs, RMWs lock-prefixed
+  /// either way.
+  /// The pin count is striped across cachelines (readers pick a stripe by
+  /// thread) so concurrent pins don't ping-pong one counter line; the
+  /// writer drains every stripe. The seq_cst argument holds per stripe.
+  struct SnapshotSlot {
+    static constexpr size_t kPinStripes = 8;
+    struct alignas(64) PinStripe {
+      std::atomic<uint64_t> pins{0};
+    };
+    std::shared_ptr<const Snapshot> snap;
+    PinStripe stripes[kPinStripes];
+
+    std::atomic<uint64_t>& PinsForThisThread() {
+      static std::atomic<size_t> next_stripe{0};
+      thread_local const size_t stripe =
+          next_stripe.fetch_add(1, std::memory_order_relaxed) % kPinStripes;
+      return stripes[stripe].pins;
+    }
+    bool Drained() const {
+      for (const PinStripe& s : stripes) {
+        if (s.pins.load() != 0) return false;
+      }
+      return true;
+    }
+  };
+  mutable SnapshotSlot snapshot_slots_[2];
+  alignas(64) std::atomic<uint32_t> snapshot_cur_{0};
+
+  /// The lock-free reader side of the protocol above: runs `fn` against
+  /// the current snapshot (null until the first publish — readers fall
+  /// through to the locked population path on a snapshot miss) while the
+  /// slot is pinned, and returns fn's result. The raw pointer is valid
+  /// for exactly the pinned extent; fn copies out the shared_ptr of the
+  /// one structure it resolves, never the whole snapshot — taking
+  /// ownership of the snapshot itself would put every reader's
+  /// fetch_add/fetch_sub on one control-block cacheline, which is the
+  /// contention this protocol exists to avoid. Never touches mu_.
+  template <typename Fn>
+  auto WithSnapshot(Fn&& fn) const {
+    for (;;) {
+      const uint32_t idx = snapshot_cur_.load();
+      std::atomic<uint64_t>& pins =
+          snapshot_slots_[idx].PinsForThisThread();
+      pins.fetch_add(1);
+      if (snapshot_cur_.load() == idx) {
+        auto out = fn(snapshot_slots_[idx].snap.get());
+        pins.fetch_sub(1);
+        return out;
+      }
+      // Raced with a flip: the writer may already be rebuilding this
+      // slot. Drop the pin and re-resolve the current index.
+      pins.fetch_sub(1);
+    }
+  }
+
+  /// Writers-only in COW mode (flush/publish and cache population); the
+  /// read path of every locked-mode call as well.
   mutable std::mutex mu_;
   EntryMap entries_;
   std::unordered_map<AttrId, std::shared_ptr<PliProbe>>
@@ -373,7 +516,7 @@ class PliCache {
   std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
   std::vector<PendingDelta> pending_;  // buffered mutations, oldest first
   size_t pending_compact_at_;  // next buffer size that triggers compaction
-  size_t hits_ = 0;
+  std::atomic<size_t> hits_{0};  // atomic: bumped on the lock-free hit path
   size_t misses_ = 0;
   size_t evictions_ = 0;
   size_t patches_ = 0;
@@ -382,7 +525,17 @@ class PliCache {
   size_t full_drops_ = 0;
   size_t probe_patches_ = 0;
   size_t probe_rebuilds_ = 0;
+  size_t flushes_ = 0;
+  size_t publishes_ = 0;
+  uint64_t epoch_ = 0;
 };
+
+// Out of line so WithSnapshot's deduced return type is settled first.
+inline uint64_t PliCache::SnapshotEpoch() const {
+  return WithSnapshot([](const Snapshot* snap) {
+    return snap == nullptr ? uint64_t{0} : snap->epoch;
+  });
+}
 
 /// Patch primitives for the unstripped value index, mirroring
 /// Pli::ApplyInsert/ApplyErase: `ValueIndexApplyInsert` registers an

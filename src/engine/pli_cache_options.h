@@ -52,6 +52,28 @@ struct PliCacheOptions {
   /// incremental = false oracle demonstrates at high mutation ratios.
   size_t drop_threshold = 2048;
 
+  /// Epoch-style copy-on-write snapshot publication (the default): every
+  /// flush patches successor copies of the affected partitions, probes,
+  /// and value indexes off to the side and publishes them with one atomic
+  /// swap of an immutable snapshot table, so Get/IndexFor/ProbeFor serve
+  /// cached structures with a single acquire-load and zero mutex
+  /// acquisitions (telemetry: engine.pli_cache.reader_lock_waits stays 0).
+  /// Mutation hooks flush eagerly under the writers-only lock — one
+  /// publish per flush — so reads stay fresh without ever flushing.
+  /// False pins the historical locked in-place mode: reads take the cache
+  /// lock, flush lazily, and patch live structures — kept as the
+  /// cross-validation oracle (and as the mode that coalesces read-free
+  /// mutation storms across hook calls, which eager COW flushing gives
+  /// up). The tradeoff is write amplification: a COW flush clones every
+  /// structure it patches, so a single-row mutation stream pays
+  /// O(cache footprint) per row where locked mode coalesces the stream
+  /// into one adaptive flush at the next read. Concurrent serving wants
+  /// the default; a single-threaded mutate-heavy pipeline should pin
+  /// locked mode (bench_pli's mutate-then-query sweep does, and
+  /// BM_SnapshotReadStorm* measures the COW side). See the "Concurrency"
+  /// section of src/engine/README.md.
+  bool cow_reads = true;
+
   /// Cluster storage of every partition the cache builds: the CSR arena
   /// (one contiguous rows array plus monotone offsets per partition —
   /// Pli::Storage::kArena, the default) or, when false, the historical

@@ -345,6 +345,70 @@ TEST(EngineIncrementalSoak, OversizedSeedClustersFallBackToLazyRebuild) {
 }
 
 // ---------------------------------------------------------------------------
+// Probe bloat hysteresis: sparse-but-fresh memos survive strip churn.
+// ---------------------------------------------------------------------------
+
+TEST(EngineIncrementalSoak, ProbeBloatCheckHasHysteresisAcrossStripChurn) {
+  AttrCatalog catalog;
+  const AttrId a = catalog.Intern("h");
+  const AttrId uniq = catalog.Intern("uniq");
+  FlexibleRelation rel = FlexibleRelation::Derived("hyst", DependencySet());
+  constexpr int kClusters = 120;
+  for (int i = 0; i < kClusters; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      Tuple t;
+      t.Set(a, Value::Int(i));
+      t.Set(uniq, Value::Int(i * 2 + j));
+      rel.InsertUnchecked(t);
+    }
+  }
+  std::shared_ptr<PliCache> cache = rel.pli_cache();
+  (void)cache->IndexFor(a);
+  ASSERT_EQ(cache->Get(AttrSet::Of(a))->num_clusters(),
+            static_cast<size_t>(kClusters));
+  (void)cache->ProbeFor(a);  // bound = baseline = 120
+  const size_t rebuilds0 = cache->Stats().probe_rebuilds;
+
+  constexpr int kChurn = 110;
+  auto strip = [&] {  // move one carrier of each cluster to a unique value
+    for (int i = 0; i < kChurn; ++i) {
+      ASSERT_TRUE(rel.Update(2 * i, a, Value::Int(10000 + i)).ok());
+    }
+  };
+  auto unstrip = [&] {  // move it back: re-forms the cluster, fresh label
+    for (int i = 0; i < kChurn; ++i) {
+      ASSERT_TRUE(rel.Update(2 * i, a, Value::Int(i)).ok());
+    }
+  };
+
+  // Mass strip: clusters 120 -> 10 while the label bound stays 120. The
+  // pre-hysteresis check (bound > 2*clusters + 64 alone) tripped here the
+  // moment clusters fell below 28 — and again on every later churn cycle,
+  // an O(rows) probe rebuild each — even though the bound never grew; the
+  // probe is merely sparse, clusters having dissolved under it.
+  ASSERT_NO_FATAL_FAILURE(strip());
+  EXPECT_EQ(cache->Stats().probe_rebuilds, rebuilds0)
+      << "a merely-sparse probe was dropped right after its dense build";
+  ASSERT_NO_FATAL_FAILURE(unstrip());  // 110 fresh labels: bound = 230
+  ASSERT_NO_FATAL_FAILURE(strip());    // sparse again; 230 <= 2*120 + 64
+  EXPECT_EQ(cache->Stats().probe_rebuilds, rebuilds0)
+      << "re-dropped before the bound bloated from the rebuild baseline";
+  // Only genuine label growth re-trips the check: the second un-strip
+  // pushes the bound past 2*baseline + 64 = 304 and the memo retires for
+  // one dense rebuild.
+  ASSERT_NO_FATAL_FAILURE(unstrip());
+  EXPECT_EQ(cache->Stats().probe_rebuilds, rebuilds0 + 1)
+      << "a genuinely bloated bound must still retire the memo";
+
+  std::shared_ptr<const PliProbe> probe = cache->ProbeFor(a);
+  Pli fresh = Pli::Build(rel.rows(), a);
+  ASSERT_NO_FATAL_FAILURE(VerifyProbeEquivalent(*probe, fresh, "post-churn"));
+  EXPECT_EQ(probe->label_bound, probe->label_baseline)
+      << "a rebuild must reset the hysteresis baseline";
+  EXPECT_EQ(probe->label_bound, static_cast<int32_t>(fresh.num_clusters()));
+}
+
+// ---------------------------------------------------------------------------
 // The same soak, incremental vs the drop-everything oracle, side by side.
 // ---------------------------------------------------------------------------
 
