@@ -101,5 +101,75 @@ void BM_DiscoveryReferenceStorage(benchmark::State& state) {
 BENCHMARK(BM_DiscoveryReferenceStorage)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
+// The wide planted-FD shape hybrid discovery exists for: many attributes,
+// small skewed domains (fat clusters, so every exact validation does real
+// partition work), a handful of FDs planted by construction, and mild
+// attribute absence outside the plants so the AD pass sees presence
+// disagreement. Level-wise validates all C(n,2)+n candidates; hybrid's
+// sampled evidence falsifies almost all of them for free.
+std::vector<Tuple> MakeWidePlanted(AttrId num_attrs, size_t num_rows,
+                                   AttrSet* universe) {
+  constexpr int64_t kDomain = 6;
+  constexpr size_t kPlanted = 4;
+  Rng rng(17);
+  *universe = AttrSet();
+  for (AttrId a = 0; a < num_attrs; ++a) universe->Insert(a);
+  std::vector<Tuple> rows;
+  rows.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    Tuple t;
+    for (AttrId a = 0; a < num_attrs; ++a) {
+      if (rng.Bernoulli(0.15)) continue;
+      // Nested draw skews toward 0: a few huge clusters, a thinner tail.
+      t.Set(a, Value::Int(rng.UniformInt(0, rng.UniformInt(0, kDomain - 1))));
+    }
+    // Plant p holds over the rows that carry its whole LHS; rows missing
+    // part of the LHS fall out of the partition, so the FD (and the
+    // variant-presence AD on the same determinant) still holds exactly.
+    for (size_t p = 0; p < kPlanted; ++p) {
+      AttrId base = static_cast<AttrId>(3 * p);
+      const Value* v0 = t.Get(base);
+      const Value* v1 = t.Get(base + 1);
+      if (v0 != nullptr && v1 != nullptr) {
+        t.Set(base + 2,
+              Value::Int((v0->as_int() * 7 + v1->as_int() * 13) % kDomain));
+      }
+    }
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+void RunWidePlantedDiscovery(benchmark::State& state,
+                             DiscoveryStrategy strategy) {
+  AttrSet universe;
+  std::vector<Tuple> rows =
+      MakeWidePlanted(static_cast<AttrId>(state.range(0)), 2048, &universe);
+  EngineDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.strategy = strategy;
+  for (auto _ : state) {
+    DependencySet deps = EngineDiscoverDependencies(rows, universe, options);
+    benchmark::DoNotOptimize(deps);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+}
+
+void BM_DiscoveryHybrid(benchmark::State& state) {
+  RunWidePlantedDiscovery(state, DiscoveryStrategy::kHybrid);
+}
+BENCHMARK(BM_DiscoveryHybrid)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Level-wise on the identical wide instance (arena storage, the engine
+// default) — the exact-validation baseline the hybrid gate in
+// scripts/perf_smoke.py measures against.
+void BM_DiscoveryArenaStorageWide(benchmark::State& state) {
+  RunWidePlantedDiscovery(state, DiscoveryStrategy::kLevelWise);
+}
+BENCHMARK(BM_DiscoveryArenaStorageWide)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace flexrel

@@ -14,6 +14,9 @@ hard-fails on any inversion:
     reference, on either the discovery-shaped level sweep or the
     64-mutation batched flush (PliCacheOptions::arena_storage);
   * the PLI-backed pair join slower than the naive nested-loop join;
+  * hybrid (sample-then-validate) discovery losing to exact level-wise
+    validation on the wide 64-attribute planted-FD instance — the shape
+    hybrid exists for (engine/hybrid_discovery.h);
   * the lock-free COW snapshot read path (PliCacheOptions::cow_reads)
     losing to the locked in-place baseline under one concurrent writer,
     at any point of the 1/4/8-reader sweep (the 0- and 4-writer cells run
@@ -38,7 +41,13 @@ construction and work-ratio bounds the engine exists to provide:
     (engine.pli_cache.reader_lock_waits == 0) — the lock-free read-path
     guarantee as a counter, not a timing;
   * in the locked read-storm dump (cow_reads=false): no publishes, and
-    reader_lock_waits > 0 (the baseline really took the locked path).
+    reader_lock_waits > 0 (the baseline really took the locked path);
+  * in the hybrid discovery dump: sampling actually ran
+    (engine.discovery.sampled_pairs > 0), every lattice candidate took
+    exactly one arm (frontier_validations + evidence_skips == candidates),
+    and the exact scans hybrid performed stay below the candidate count
+    the level-wise dump shows for the same lattice — the "validate less
+    than exhaustive" contract as counters, not timings.
 
 Counter checks are exact or ratio-based on deterministic counts, so they
 are immune to runner noise. Timing thresholds stay deliberately loose
@@ -89,6 +98,22 @@ RUNS = [
         "BM_SnapshotReadStormLocked/writers:",
         "perf_smoke_read_storm_locked.json",
         "perf_smoke_read_storm_locked_metrics.json",
+    ),
+    # Hybrid and exact level-wise discovery run as separate invocations so
+    # each telemetry dump is single-strategy and the frontier identities
+    # stay exact (a mixed dump would fold the level-wise walk's candidate
+    # count into the hybrid arm accounting).
+    (
+        "bench_discovery",
+        "BM_DiscoveryHybrid/",
+        "perf_smoke_discovery_hybrid.json",
+        "perf_smoke_discovery_hybrid_metrics.json",
+    ),
+    (
+        "bench_discovery",
+        "BM_DiscoveryArenaStorageWide/",
+        "perf_smoke_discovery_levelwise.json",
+        "perf_smoke_discovery_levelwise_metrics.json",
     ),
 ]
 
@@ -202,6 +227,40 @@ def check_metric_invariants(out_dir, failures):
             f"and reader_lock_waits({locked_waits}) > 0 — the oracle is "
             f"not exercising the locked path")
 
+    hybrid = load_counters(out_dir, RUNS[4][3], failures)
+    sampled = hybrid.get("engine.discovery.sampled_pairs", 0)
+    ok = sampled > 0
+    print(f"  hybrid discovery sampled_pairs > 0: {sampled}"
+          f"  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            "hybrid discovery never sampled a pair; the sample-then-"
+            "validate loop is not running its sampling arm")
+
+    candidates = hybrid.get("engine.discovery.candidates", 0)
+    validated = hybrid.get("engine.discovery.frontier_validations", 0)
+    skipped = hybrid.get("engine.discovery.evidence_skips", 0)
+    ok = candidates > 0 and validated + skipped == candidates
+    print(f"  hybrid validations + evidence skips == candidates: "
+          f"{validated} + {skipped} == {candidates}"
+          f"  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"hybrid frontier accounting: validations({validated}) + "
+            f"skips({skipped}) != candidates({candidates}), or no "
+            f"candidates recorded")
+
+    levelwise = load_counters(out_dir, RUNS[5][3], failures)
+    lw_candidates = levelwise.get("engine.discovery.candidates", 0)
+    ok = lw_candidates > 0 and validated <= lw_candidates
+    print(f"  hybrid exact scans <= level-wise candidate count: "
+          f"{validated} <= {lw_candidates}  {'OK' if ok else 'VIOLATED'}")
+    if not ok:
+        failures.append(
+            f"hybrid performed {validated} exact scans but the level-wise "
+            f"walk of the same lattice only has {lw_candidates} candidates "
+            f"— evidence skipping is not reducing validation work")
+
     join = load_counters(out_dir, RUNS[1][3], failures)
     probes = join.get("eval.join.hash_probes", 0)
     pairs = join.get("eval.join.hash_pair_candidates", 0)
@@ -265,6 +324,14 @@ def main():
     print("PLI pair join vs naive:")
     expect_faster(times, "BM_PairJoinPli/10000", "BM_PairJoinNaive/10000",
                   failures)
+    print("hybrid sample-then-validate vs exact level-wise discovery "
+          "(64-attr planted-FD instance):")
+    expect_faster(
+        times,
+        "BM_DiscoveryHybrid/64",
+        "BM_DiscoveryArenaStorageWide/64",
+        failures,
+    )
     print("lock-free COW snapshot reads vs locked baseline (1 writer):")
     for threads in (1, 4, 8):
         expect_faster(

@@ -1,0 +1,49 @@
+// Shared plumbing of the two lattice traversals (parallel_discovery.cc's
+// level-wise walk and hybrid_discovery.cc's sample-then-validate loop):
+// the worker pool, the thread-count policy, the option translation into
+// cache knobs, and the per-run telemetry reset. Internal to src/engine/ —
+// consumers use parallel_discovery.h, which dispatches on
+// EngineDiscoveryOptions::strategy.
+
+#ifndef FLEXREL_ENGINE_DISCOVERY_INTERNAL_H_
+#define FLEXREL_ENGINE_DISCOVERY_INTERNAL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "engine/parallel_discovery.h"
+#include "engine/pli_cache.h"
+
+namespace flexrel {
+namespace discovery_internal {
+
+// Translates the discovery knobs into partition-cache options (LRU bound +
+// cluster-storage pin) for the rows-based entry points.
+PliCache::Options CacheOptionsOf(const EngineDiscoveryOptions& options);
+
+// Worker count for `work_items` independent tasks: the requested count, or
+// hardware concurrency when 0, never more workers than items.
+size_t ResolveThreads(size_t requested, size_t work_items);
+
+// Runs fn(0..n-1) across `num_threads` workers pulling from a shared
+// counter; the calling thread participates. The first exception a worker
+// hits is captured and rethrown on the calling thread after the join.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+// Below this many row-candidate pairs per level, thread spawn/join costs
+// more than the partition work it would parallelise; auto mode stays
+// sequential (an explicit num_threads is honoured regardless).
+constexpr size_t kMinWorkForAutoThreads = size_t{1} << 15;
+
+// Zeroes the per-run discovery gauges (worker utilization, sampling hit
+// rate). Gauges are last-write-wins and survive across runs in one
+// process, so a run that never reaches the write site — fewer levels, a
+// disabled stage — would otherwise dump the previous run's value as its
+// own. Every discovery entry point calls this first.
+void ResetDiscoveryRunGauges();
+
+}  // namespace discovery_internal
+}  // namespace flexrel
+
+#endif  // FLEXREL_ENGINE_DISCOVERY_INTERNAL_H_

@@ -8,11 +8,13 @@
 #include <thread>
 
 #include "core/closure.h"
+#include "engine/discovery_internal.h"
+#include "engine/hybrid_discovery.h"
 #include "telemetry/telemetry.h"
 
 namespace flexrel {
 
-namespace {
+namespace discovery_internal {
 
 // Translates the discovery knobs into partition-cache options (LRU bound +
 // cluster-storage pin) for the rows-based entry points.
@@ -66,10 +68,24 @@ void ParallelFor(size_t n, size_t num_threads,
   if (error) std::rethrow_exception(error);
 }
 
-// Below this many row-candidate pairs per level, thread spawn/join costs
-// more than the partition work it would parallelise; auto mode stays
-// sequential (an explicit num_threads is honoured regardless).
-constexpr size_t kMinWorkForAutoThreads = size_t{1} << 15;
+void ResetDiscoveryRunGauges() {
+  if (!telemetry::Enabled()) return;
+  // Last-write-wins gauges survive across runs; without the reset, a run
+  // that never reaches the write site (fewer levels, no sampling stage)
+  // dumps the previous run's watermark as its own.
+  telemetry::Registry& registry = telemetry::Registry::Global();
+  registry.GetGauge("engine.discovery.worker_utilization_pct")->Reset();
+  registry.GetGauge("engine.discovery.sample_hit_rate_pct")->Reset();
+}
+
+}  // namespace discovery_internal
+
+namespace {
+
+using discovery_internal::CacheOptionsOf;
+using discovery_internal::kMinWorkForAutoThreads;
+using discovery_internal::ParallelFor;
+using discovery_internal::ResolveThreads;
 
 // Shared traversal: per level, fan the maximal-RHS computations out, then
 // prune and emit sequentially in enumeration order (pruning consults the
@@ -79,6 +95,7 @@ std::vector<Dep> LevelWise(const AttrSet& universe,
                            const EngineDiscoveryOptions& options,
                            size_t num_rows, const RhsFn& maximal_rhs,
                            const PrunedFn& pruned, const EmitFn& emit) {
+  discovery_internal::ResetDiscoveryRunGauges();
   std::vector<Dep> out;
   DependencySet found;
   for (size_t k = 1; k <= options.max_lhs_size && k <= universe.size(); ++k) {
@@ -150,6 +167,7 @@ EngineDiscoveryOptions ToEngineOptions(const DiscoveryOptions& options) {
   out.max_lhs_size = options.max_lhs_size;
   out.minimal_only = options.minimal_only;
   out.num_threads = options.num_threads;
+  out.strategy = options.strategy;
   return out;
 }
 
@@ -179,6 +197,9 @@ std::vector<AttrSet> LatticeLevel(const AttrSet& universe, size_t k) {
 std::vector<AttrDep> EngineDiscoverAttrDeps(
     DependencyValidator* validator, const AttrSet& universe,
     const EngineDiscoveryOptions& options) {
+  if (options.strategy == DiscoveryStrategy::kHybrid) {
+    return HybridDiscoverAttrDeps(validator, universe, options);
+  }
   return LevelWise<AttrDep>(
       universe, options, validator->row_attrs().size(),
       [&](const AttrSet& lhs) {
@@ -193,6 +214,9 @@ std::vector<AttrDep> EngineDiscoverAttrDeps(
 std::vector<FuncDep> EngineDiscoverFuncDeps(
     DependencyValidator* validator, const AttrSet& universe,
     const EngineDiscoveryOptions& options) {
+  if (options.strategy == DiscoveryStrategy::kHybrid) {
+    return HybridDiscoverFuncDeps(validator, universe, options);
+  }
   return LevelWise<FuncDep>(
       universe, options, validator->row_attrs().size(),
       [&](const AttrSet& lhs) {

@@ -10,6 +10,7 @@
 
 #include "core/closure.h"
 #include "core/discovery.h"
+#include "engine_test_util.h"
 #include "optimizer/guard_analysis.h"
 #include "util/rng.h"
 #include "workload/generator.h"
@@ -18,28 +19,8 @@
 namespace flexrel {
 namespace {
 
-std::vector<Tuple> RandomInstance(Rng* rng, size_t n, AttrId num_attrs,
-                                  double density, int64_t spread) {
-  std::vector<Tuple> rows;
-  for (size_t i = 0; i < n; ++i) {
-    Tuple t;
-    for (AttrId a = 0; a < num_attrs; ++a) {
-      if (rng->Bernoulli(density)) {
-        t.Set(a, Value::Int(rng->UniformInt(0, spread)));
-      }
-    }
-    rows.push_back(std::move(t));
-  }
-  std::sort(rows.begin(), rows.end());
-  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-  return rows;
-}
-
-AttrSet FullUniverse(size_t n) {
-  AttrSet u;
-  for (size_t i = 0; i < n; ++i) u.Insert(static_cast<AttrId>(i));
-  return u;
-}
+using testutil::FullUniverse;
+using testutil::RandomInstance;
 
 // Engine and brute force must return *identical* result vectors — same
 // dependencies, same order — under every option combination.

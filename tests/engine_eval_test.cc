@@ -17,6 +17,7 @@
 
 #include "algebra/evaluate.h"
 #include "decomposition/decomposition.h"
+#include "engine_test_util.h"
 #include "optimizer/plan_rewrite.h"
 #include "telemetry/telemetry.h"
 #include "test_seed.h"
@@ -27,6 +28,9 @@
 
 namespace flexrel {
 namespace {
+
+using testutil::ApplyRandomEmployeeMutation;
+using testutil::SoakEmployeeConfig;
 
 EvalOptions NaiveOptions() {
   EvalOptions options;
@@ -177,12 +181,7 @@ PlanPtr RandomPlan(const PlanPool& pool, Rng* rng, int depth) {
 TEST(EngineEvalCrossValidation, RandomPlansAgreeWithNaiveOracle) {
   size_t instances = 0;
   for (uint64_t seed = 1; seed <= 30; ++seed) {
-    EmployeeConfig config;
-    config.num_variants = 2 + seed % 3;
-    config.attrs_per_variant = 2;
-    config.rows = 40;
-    config.seed = seed;
-    auto w = MakeEmployeeWorkload(config);
+    auto w = MakeEmployeeWorkload(SoakEmployeeConfig(seed, 40));
     ASSERT_TRUE(w.ok()) << w.status();
 
     auto parts = TranslateVertical(w.value()->relation, w.value()->eads[0],
@@ -247,12 +246,7 @@ TEST(EngineEvalCrossValidation, RandomPlansAgreeAcrossCachePatches) {
   uint64_t base = TestSeedBase(97, "eval-mutation");
   for (uint64_t i = 1; i <= 10; ++i) {
     uint64_t seed = base + i;
-    EmployeeConfig config;
-    config.num_variants = 2 + seed % 3;
-    config.attrs_per_variant = 2;
-    config.rows = 30;
-    config.seed = seed;
-    auto w = MakeEmployeeWorkload(config);
+    auto w = MakeEmployeeWorkload(SoakEmployeeConfig(seed, 30));
     ASSERT_TRUE(w.ok()) << w.status();
     EmployeeWorkload& workload = *w.value();
 
@@ -292,26 +286,19 @@ TEST(EngineEvalCrossValidation, RandomPlansAgreeAcrossCachePatches) {
                       StrCat("seed=", seed, " round=", round, " plan=", p));
       }
       for (int m = 0; m < 6; ++m) {
-        if (rng.Bernoulli(0.5)) {
-          Status s = workload.relation.Insert(RandomEmployee(workload, &rng));
-          if (!s.ok()) {
-            ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
-          }
+        // The typed side of each step is the shared employee mutation (a
+        // checked insert, or a jobtype flip — the footnote-3 type change
+        // landing in the cache as one multi-attribute delta); the derived
+        // relation gets a matching unchecked mutation alongside.
+        const int kind = rng.Bernoulli(0.5) ? 0 : 1;
+        auto outcome = ApplyRandomEmployeeMutation(&workload, &rng, kind);
+        ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+        if (kind == 0) {
           Tuple t;
           t.Set(PickAttr(pool, &rng), PickValue(pool, &rng));
           t.Set(PickAttr(pool, &rng), PickValue(pool, &rng));
           derived.InsertUnchecked(std::move(t));
         } else {
-          // Typed update flipping the jobtype: a footnote-3 type change
-          // lands in the cache as one multi-attribute delta.
-          size_t row = rng.Index(workload.relation.size());
-          int variant =
-              static_cast<int>(rng.Index(workload.jobtype_values.size()));
-          Tuple fill = RandomEmployee(workload, &rng, variant);
-          auto delta =
-              workload.relation.Update(row, workload.jobtype_attr,
-                                       workload.jobtype_values[variant], fill);
-          ASSERT_TRUE(delta.ok()) << delta.status();
           size_t drow = rng.Index(derived.size());
           ASSERT_TRUE(derived
                           .Update(drow, PickAttr(pool, &rng),

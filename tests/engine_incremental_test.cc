@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "engine/pli_cache.h"
+#include "engine_test_util.h"
 #include "telemetry/telemetry.h"
 #include "test_seed.h"
 #include "util/rng.h"
@@ -31,6 +32,11 @@
 
 namespace flexrel {
 namespace {
+
+using testutil::ApplyRandomEmployeeMutation;
+using testutil::RandomSoakTuple;
+using testutil::RandomSoakValue;
+using testutil::SoakEmployeeConfig;
 
 uint64_t SoakSeed(uint64_t salt) {
   return TestSeed(0xF1E37A11DEADBEEFull, salt, "soak");
@@ -218,27 +224,6 @@ void VerifyAgainstRebuild(const FlexibleRelation& rel, const SoakKeys& keys,
     ASSERT_EQ(*cache->IndexFor(attr), *rebuild.IndexFor(attr))
         << context << " value index of attr " << attr << " diverged";
   }
-}
-
-Value RandomSoakValue(Rng* rng) {
-  switch (rng->UniformInt(0, 3)) {
-    case 0:
-      return Value::Int(rng->UniformInt(0, 4));  // few values -> fat clusters
-    case 1:
-      return Value::Str(StrCat("s", rng->UniformInt(0, 2)));
-    case 2:
-      return Value::Null();  // explicit null: clusters under the Null key
-    default:
-      return Value::Int(rng->UniformInt(0, 1000));  // mostly-unique tail
-  }
-}
-
-Tuple RandomSoakTuple(const std::vector<AttrId>& attrs, Rng* rng) {
-  Tuple t;
-  for (AttrId a : attrs) {
-    if (rng->Bernoulli(0.75)) t.Set(a, RandomSoakValue(rng));
-  }
-  return t;
 }
 
 TEST(EngineIncrementalSoak, DerivedRelationPatchesMatchRebuilds) {
@@ -477,12 +462,7 @@ TEST(EngineIncrementalSoak, IncrementalModeMatchesDropEverythingOracle) {
 
 TEST(EngineIncrementalSoak, TypedUpdatesWithTypeChangesPatchCorrectly) {
   uint64_t seed = SoakSeed(3);
-  EmployeeConfig config;
-  config.num_variants = 3;
-  config.attrs_per_variant = 2;
-  config.rows = 80;
-  config.seed = seed;
-  auto w = MakeEmployeeWorkload(config);
+  auto w = MakeEmployeeWorkload(SoakEmployeeConfig(seed, 80, 3));
   ASSERT_TRUE(w.ok()) << w.status();
   EmployeeWorkload& workload = *w.value();
   FlexibleRelation& rel = workload.relation;
@@ -510,27 +490,11 @@ TEST(EngineIncrementalSoak, TypedUpdatesWithTypeChangesPatchCorrectly) {
 
   int type_changes = 0;
   for (int op = 0; op < 150; ++op) {
-    if (rng.Bernoulli(0.5)) {
-      // Checked insert of a fresh random employee (rarely a duplicate).
-      Status s = rel.Insert(RandomEmployee(workload, &rng));
-      if (!s.ok()) {
-        ASSERT_EQ(s.code(), StatusCode::kAlreadyExists) << s;
-      }
-    } else {
-      // Flip a row's jobtype: the TypeChecker's delta removes the old
-      // variant's attributes and pulls the new variant's from `fill`, so
-      // OnUpdate sees a genuine multi-attribute presence change.
-      size_t row = rng.Index(rel.size());
-      int variant =
-          static_cast<int>(rng.Index(workload.jobtype_values.size()));
-      Tuple fill = RandomEmployee(workload, &rng, variant);
-      auto delta = rel.Update(row, workload.jobtype_attr,
-                              workload.jobtype_values[variant], fill);
-      ASSERT_TRUE(delta.ok()) << delta.status();
-      if (!delta.value().to_add.empty() || !delta.value().to_remove.empty()) {
-        ++type_changes;
-      }
-    }
+    // A checked insert or a jobtype flip (the footnote-3 type change whose
+    // delta is a genuine multi-attribute presence change for OnUpdate).
+    auto outcome = ApplyRandomEmployeeMutation(&workload, &rng);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+    if (outcome.type_changed) ++type_changes;
     if (op % 5 == 4) {
       ASSERT_NO_FATAL_FAILURE(
           VerifyAgainstRebuild(rel, keys, StrCat("typed op#", op)));
@@ -773,12 +737,7 @@ TEST(BatchMutationTest, DuplicateCheckSurvivesValueEqualTwinsMidBatch) {
 }
 
 TEST(BatchMutationTest, FailedBatchLeavesRelationAndCacheUntouched) {
-  EmployeeConfig config;
-  config.num_variants = 3;
-  config.attrs_per_variant = 2;
-  config.rows = 60;
-  config.seed = SoakSeed(7);
-  auto ex = MakeEmployeeWorkload(config);
+  auto ex = MakeEmployeeWorkload(SoakEmployeeConfig(SoakSeed(7), 60, 3));
   ASSERT_TRUE(ex.ok()) << ex.status();
   EmployeeWorkload& workload = *ex.value();
   FlexibleRelation& rel = workload.relation;
