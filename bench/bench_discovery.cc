@@ -141,13 +141,15 @@ std::vector<Tuple> MakeWidePlanted(AttrId num_attrs, size_t num_rows,
 }
 
 void RunWidePlantedDiscovery(benchmark::State& state,
-                             DiscoveryStrategy strategy) {
+                             DiscoveryStrategy strategy,
+                             bool use_codes = true) {
   AttrSet universe;
   std::vector<Tuple> rows =
       MakeWidePlanted(static_cast<AttrId>(state.range(0)), 2048, &universe);
   EngineDiscoveryOptions options;
   options.max_lhs_size = 2;
   options.strategy = strategy;
+  options.use_codes = use_codes;
   for (auto _ : state) {
     DependencySet deps = EngineDiscoverDependencies(rows, universe, options);
     benchmark::DoNotOptimize(deps);
@@ -160,6 +162,17 @@ void BM_DiscoveryHybrid(benchmark::State& state) {
   RunWidePlantedDiscovery(state, DiscoveryStrategy::kHybrid);
 }
 BENCHMARK(BM_DiscoveryHybrid)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Hybrid on the value-keyed oracle (EngineDiscoveryOptions::use_codes =
+// false): sampled pairs merge sorted Value fields and single-attribute
+// partitions hash Values, where the default compares code cells and
+// counting-sorts. Same results by construction (engine_dictionary_test).
+void BM_DiscoveryHybridValueKeyed(benchmark::State& state) {
+  RunWidePlantedDiscovery(state, DiscoveryStrategy::kHybrid,
+                          /*use_codes=*/false);
+}
+BENCHMARK(BM_DiscoveryHybridValueKeyed)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 // Level-wise on the identical wide instance (arena storage, the engine

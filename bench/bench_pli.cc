@@ -52,6 +52,23 @@ void BM_PliBuildSingleAttr(benchmark::State& state) {
 }
 BENCHMARK(BM_PliBuildSingleAttr)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// The coded twin: a counting sort over the prebuilt code column
+// (Pli::BuildFromCodes) against BM_PliBuildSingleAttr's per-row Value
+// hashing. The column itself is built outside the loop — in steady state
+// the cache maintains it incrementally, so partition (re)builds only ever
+// pay the counting sort. perf_smoke.py gates coded ≤ value-keyed at 10000.
+void BM_PliBuildSingleAttrCoded(benchmark::State& state) {
+  std::vector<Tuple> rows = MakeRows(static_cast<size_t>(state.range(0)), 5);
+  CodeColumn column = CodeColumn::Build(rows, AttrId{1});
+  for (auto _ : state) {
+    Pli pli = Pli::BuildFromCodes(column.codes(), column.code_bound());
+    benchmark::DoNotOptimize(pli);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PliBuildSingleAttrCoded)->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_PliBuildPairDirect(benchmark::State& state) {
   // The cost the engine avoids: hashing two-attribute projections directly.
   std::vector<Tuple> rows = MakeRows(static_cast<size_t>(state.range(0)), 5);
@@ -89,14 +106,22 @@ BENCHMARK(BM_PliIntersect)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_PliIntersectReference)->Arg(1000)->Arg(10000)->Arg(100000);
 
 // A full |X| = 2 lattice level through a cold cache: every pair partition
-// assembled out of pinned single-attribute partitions.
-void BM_PliCacheLevelSweep(benchmark::State& state) {
+// assembled out of pinned single-attribute partitions. The value-keyed
+// twin pins PliCacheOptions::use_codes = false. On a cold cache the pair
+// must measure at parity: no consumer asked for a code column, so the
+// coded plane stays dormant and both modes hash-build their seeds (the
+// regression this guards is BuildFor eagerly materializing columns —
+// strictly worse than the hash build it replaces). The counting-sort win
+// itself is BM_PliBuildSingleAttrCoded's to show.
+void PliCacheLevelSweepBench(benchmark::State& state, bool use_codes) {
   std::vector<Tuple> rows = MakeRows(static_cast<size_t>(state.range(0)), 5);
   AttrSet universe;
   for (const Tuple& t : rows) universe = universe.Union(t.attrs());
   const std::vector<AttrId>& ids = universe.ids();
+  PliCache::Options options;
+  options.use_codes = use_codes;
   for (auto _ : state) {
-    PliCache cache(&rows);
+    PliCache cache(&rows, options);
     for (size_t i = 0; i < ids.size(); ++i) {
       for (size_t j = i + 1; j < ids.size(); ++j) {
         benchmark::DoNotOptimize(cache.Get(AttrSet{ids[i], ids[j]}));
@@ -106,7 +131,14 @@ void BM_PliCacheLevelSweep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
 }
+void BM_PliCacheLevelSweep(benchmark::State& state) {
+  PliCacheLevelSweepBench(state, /*use_codes=*/true);
+}
+void BM_PliCacheLevelSweepValueKeyed(benchmark::State& state) {
+  PliCacheLevelSweepBench(state, /*use_codes=*/false);
+}
 BENCHMARK(BM_PliCacheLevelSweep)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_PliCacheLevelSweepValueKeyed)->Arg(1000)->Arg(10000);
 
 // Dense categorical rows: every attribute present on every row, values in
 // [0, spread) — the regime where every lattice-level product carries

@@ -14,6 +14,17 @@ hard-fails on any inversion:
     reference, on either the discovery-shaped level sweep or the
     64-mutation batched flush (PliCacheOptions::arena_storage);
   * the PLI-backed pair join slower than the naive nested-loop join;
+  * the coded value plane losing to its value-keyed oracle where the
+    codes are supposed to win (engine/dictionary.h): the counting-sort
+    partition build (BM_PliBuildSingleAttrCoded) slower than the hashed
+    value-keyed build, or the code-keyed hash join (BM_PairJoinPli, codes
+    on by default) slower than BM_PairJoinValueKeyed (EvalOptions::
+    use_codes = false). The two remaining coded-vs-oracle pairs — the
+    cold-cache level sweep (parity by design: BuildFor only exploits a
+    column that already exists, it never materializes one) and hybrid
+    discovery (validation-dominated, low single-digit margin) — are
+    recorded for the artifact and the trajectory gate but not
+    inversion-gated;
   * hybrid (sample-then-validate) discovery losing to exact level-wise
     validation on the wide 64-attribute planted-FD instance — the shape
     hybrid exists for (engine/hybrid_discovery.h);
@@ -56,6 +67,40 @@ margins these assert on are 3x-200x locally. On top of that, each
 benchmark runs three repetitions and the comparison uses the medians, so a
 single noisy-neighbor spike cannot invert a ratio and fail an unrelated
 PR.
+
+Bench-trajectory regression gate
+--------------------------------
+
+Beyond the pairwise inversions above, the run is diffed against the
+committed baselines BENCH_incremental.json (a full bench_pli recording)
+and BENCH_eval.json (a full bench_join_prune recording): every benchmark
+whose exact name/shape appears in both this run's medians and a baseline
+is compared as fresh_median / baseline_time. The CI runner and the
+machine that recorded the baselines differ in raw speed, so each ratio is
+normalized by the fleet median ratio across all shared entries — a
+uniformly 2x-slower runner shifts every ratio identically and cancels
+out, while a single benchmark drifting relative to the rest does not. Any
+entry whose normalized ratio exceeds 1.25 (a >25% wall-time regression
+against the trajectory of the rest of the suite) hard-fails the job.
+Entries only on one side (new benchmarks, reduced-size smoke shapes the
+baselines don't record) are skipped, as are the multi-threaded contention
+cells (TRAJECTORY_SKIP) whose wall time is scheduler lottery rather than
+code trajectory. The smoke runs use google-benchmark's default min_time
+(plus 3 repetitions) for exactly this gate: the baselines are recorded at
+defaults, and the mutate-heavy shapes report materially different
+steady-state costs under shortened runs, so both sides must measure in the
+same regime.
+
+Re-recording the baselines after an intentional perf change is one
+command against a Release build tree:
+
+    python3 scripts/perf_smoke.py --build-dir build-rel \
+        --out-dir /tmp/perf --record-baselines
+
+which re-runs the two full suites (single repetition, google-benchmark
+defaults) and overwrites BENCH_incremental.json / BENCH_eval.json in the
+repo root (--baseline-dir to redirect). Commit the refreshed files with a
+note of what moved and why.
 """
 
 import argparse
@@ -72,14 +117,16 @@ RUNS = [
     (
         "bench_pli",
         "BM_MutateThenQuery(Incremental|Batched|BatchedReference|PerRow"
-        "|Rebuild)/rows:10000/|BM_PliLevelSweep(Reference)?/10000"
-        "|BM_CacheBatchedFlush(Reference)?/",
+        "|Rebuild)/rows:10000/|BM_PliLevelSweep(Reference)?/10000$"
+        "|BM_CacheBatchedFlush(Reference)?/"
+        "|BM_PliBuildSingleAttr(Coded)?/10000$"
+        "|BM_PliCacheLevelSweep(ValueKeyed)?/10000$",
         "perf_smoke_pli.json",
         "perf_smoke_pli_metrics.json",
     ),
     (
         "bench_join_prune",
-        "BM_PairJoin(Naive|Pli)/10000",
+        "BM_PairJoin(Naive|Pli|ValueKeyed)/10000$",
         "perf_smoke_join.json",
         "perf_smoke_join_metrics.json",
     ),
@@ -115,16 +162,45 @@ RUNS = [
         "perf_smoke_discovery_levelwise.json",
         "perf_smoke_discovery_levelwise_metrics.json",
     ),
+    # The value-keyed hybrid oracle runs as its own invocation so the coded
+    # hybrid dump above stays single-mode and its frontier/level-wise
+    # counter comparisons are not doubled by the oracle's identical walk.
+    (
+        "bench_discovery",
+        "BM_DiscoveryHybridValueKeyed/",
+        "perf_smoke_discovery_hybrid_value.json",
+        "perf_smoke_discovery_hybrid_value_metrics.json",
+    ),
 ]
+
+# Committed full-suite baselines the trajectory gate diffs against, and the
+# normalized wall-time ratio past which a shared entry fails the run.
+BASELINES = ["BENCH_incremental.json", "BENCH_eval.json"]
+TRAJECTORY_TOLERANCE = 1.25
+# Below this many shared entries the fleet-median normalization has nothing
+# to anchor on — treat it as a harness bug rather than silently passing.
+MIN_TRAJECTORY_ENTRIES = 5
+# Shapes whose wall time is not comparable across runs/machines and so must
+# never gate the trajectory: the multi-threaded read-storm contention cells
+# swing 0.25x-1.3x run-to-run with core count and scheduler luck (their
+# guarantees are enforced by the counter identities and the within-run
+# pairwise sweep instead, which compare like with like).
+TRAJECTORY_SKIP = ("/threads:",)
 
 
 def run_bench(build_dir, out_dir, binary, bench_filter, out_name,
               metrics_name):
     out_path = out_dir / out_name
+    # Deliberately NO --benchmark_min_time override: the trajectory gate
+    # compares these medians against baselines recorded at google-benchmark
+    # defaults, and the mutate-heavy shapes are measurement-regime
+    # sensitive — at min_time=0.1 the same binary reports ~1.7x the
+    # steady-state cost for BM_MutateThenQueryBatched/muts:64 because the
+    # short run never amortizes per-repetition cache state. Identical
+    # regimes on both sides keep the gate about the code, not the flags.
     cmd = [
         str(build_dir / binary),
         f"--benchmark_filter={bench_filter}",
-        "--benchmark_min_time=0.1",
         "--benchmark_repetitions=3",
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
@@ -273,12 +349,100 @@ def check_metric_invariants(out_dir, failures):
             f"naive pair candidates({pairs})")
 
 
+def load_baseline_times(baseline_dir, failures):
+    """Benchmark name -> wall time (ns) from the committed full-suite
+    recordings (single-repetition iteration entries, no aggregates)."""
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    baseline = {}
+    for name in BASELINES:
+        path = baseline_dir / name
+        if not path.is_file():
+            failures.append(f"missing committed baseline: {path}")
+            continue
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            if b.get("aggregate_name"):
+                continue
+            baseline[b["name"]] = (b["real_time"] *
+                                   scale[b.get("time_unit", "ns")])
+    return baseline
+
+
+def check_trajectory(times, baseline_dir, failures):
+    """Fail any same-shape entry that regressed >TRAJECTORY_TOLERANCE
+    against the committed baselines, after normalizing out runner speed by
+    the fleet median ratio (see the module docstring)."""
+    print("\nbench-trajectory regression gate "
+          f"(>{(TRAJECTORY_TOLERANCE - 1) * 100:.0f}% over fleet median "
+          "fails):")
+    baseline = load_baseline_times(baseline_dir, failures)
+    shared = sorted(
+        name for name in set(times) & set(baseline)
+        if not any(skip in name for skip in TRAJECTORY_SKIP))
+    if len(shared) < MIN_TRAJECTORY_ENTRIES:
+        failures.append(
+            f"trajectory gate found only {len(shared)} benchmark(s) shared "
+            f"with the committed baselines (need {MIN_TRAJECTORY_ENTRIES}); "
+            f"re-record them via --record-baselines")
+        return
+    ratios = {name: times[name] / baseline[name] for name in shared}
+    ordered = sorted(ratios.values())
+    mid = len(ordered) // 2
+    fleet = (ordered[mid] if len(ordered) % 2 else
+             (ordered[mid - 1] + ordered[mid]) / 2)
+    print(f"  fleet median speed ratio (this runner vs baseline recorder): "
+          f"{fleet:.3f}x over {len(shared)} shared entries")
+    for name in shared:
+        normalized = ratios[name] / fleet
+        verdict = "OK" if normalized <= TRAJECTORY_TOLERANCE else "REGRESSED"
+        print(f"  {name}: {times[name] / 1e3:11.1f} us  vs  baseline "
+              f"{baseline[name] / 1e3:11.1f} us  -> {normalized:5.2f}x "
+              f"normalized  {verdict}")
+        if normalized > TRAJECTORY_TOLERANCE:
+            failures.append(
+                f"{name} regressed {normalized:.2f}x against the committed "
+                f"baseline trajectory (tolerance {TRAJECTORY_TOLERANCE}x); "
+                f"if intentional, re-record with --record-baselines")
+
+
+def record_baselines(build_dir, out_dir, baseline_dir):
+    """--record-baselines: re-run the two full suites and overwrite the
+    committed BENCH_*.json (single repetition, google-benchmark defaults —
+    the exact shape the trajectory gate expects)."""
+    for binary, out_name in (("bench_pli", "BENCH_incremental.json"),
+                             ("bench_join_prune", "BENCH_eval.json")):
+        out_path = baseline_dir / out_name
+        cmd = [
+            str(build_dir / binary),
+            f"--benchmark_out={out_path}",
+            "--benchmark_out_format=json",
+            f"--metrics_json={out_dir / ('record_' + binary + '_metrics.json')}",
+        ]
+        print("+", " ".join(cmd), flush=True)
+        subprocess.run(cmd, check=True)
+        print(f"recorded {out_path}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--build-dir", required=True, type=pathlib.Path)
     parser.add_argument("--out-dir", required=True, type=pathlib.Path)
+    parser.add_argument(
+        "--baseline-dir", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="where the committed BENCH_*.json live (default: repo root)")
+    parser.add_argument(
+        "--record-baselines", action="store_true",
+        help="re-run the full suites and overwrite the committed baselines "
+             "instead of gating (see module docstring)")
     args = parser.parse_args()
     args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.record_baselines:
+        return record_baselines(args.build_dir, args.out_dir,
+                                args.baseline_dir)
 
     times = {}
     for binary, bench_filter, out_name, metrics_name in RUNS:
@@ -324,6 +488,19 @@ def main():
     print("PLI pair join vs naive:")
     expect_faster(times, "BM_PairJoinPli/10000", "BM_PairJoinNaive/10000",
                   failures)
+    print("coded value plane vs value-keyed oracle (engine/dictionary.h):")
+    expect_faster(
+        times,
+        "BM_PliBuildSingleAttrCoded/10000",
+        "BM_PliBuildSingleAttr/10000",
+        failures,
+    )
+    expect_faster(
+        times,
+        "BM_PairJoinPli/10000",
+        "BM_PairJoinValueKeyed/10000",
+        failures,
+    )
     print("hybrid sample-then-validate vs exact level-wise discovery "
           "(64-attr planted-FD instance):")
     expect_faster(
@@ -343,6 +520,7 @@ def main():
         )
 
     check_metric_invariants(args.out_dir, failures)
+    check_trajectory(times, args.baseline_dir, failures)
 
     if failures:
         print("\nPERF SMOKE FAILED:")

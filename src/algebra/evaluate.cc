@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -29,27 +30,15 @@ bool IsIndexableSelect(const Expr& formula) {
          formula.kind() == ExprKind::kIn;
 }
 
-std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
-                                     const Expr& formula) {
-  // Borrow the matching values' clusters from the index — each is an
-  // ascending row list, and distinct values own pairwise disjoint rows.
-  std::vector<const std::vector<Pli::RowId>*> lists;
-  auto add_value = [&](const Value& v) {
-    // Comparing a null (or comparing against one) yields Unknown under the
-    // Kleene semantics, never True — so the Null cluster stays out.
-    if (v.is_null()) return;
-    auto it = index.find(v);
-    if (it != index.end()) lists.push_back(&it->second);
-  };
-  if (formula.kind() == ExprKind::kCompare) {
-    add_value(formula.literal());
-  } else {
-    for (const Value& v : formula.values()) add_value(v);
-  }
+namespace {
+
+// Merges sorted pairwise-disjoint row lists back into scan order — the
+// equality case is a plain copy, IN lists fold in pairwise with exact-size
+// allocations (no concat-then-sort). Shared by the value-keyed and coded
+// lookup twins so the merge discipline cannot drift between them.
+std::vector<Pli::RowId> MergeMatchLists(
+    const std::vector<const std::vector<Pli::RowId>*>& lists) {
   if (lists.empty()) return {};
-  // Merge the sorted disjoint lists back into scan order — the equality
-  // case is a plain copy, IN lists fold in pairwise with exact-size
-  // allocations (no concat-then-sort).
   std::vector<Pli::RowId> matched(lists.front()->begin(),
                                   lists.front()->end());
   if (lists.size() > 1) {
@@ -66,6 +55,49 @@ std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
     }
   }
   return matched;
+}
+
+// Visits the formula's literal (equality) or literal list (IN).
+template <typename Fn>
+void ForEachLiteral(const Expr& formula, Fn&& add_value) {
+  if (formula.kind() == ExprKind::kCompare) {
+    add_value(formula.literal());
+  } else {
+    for (const Value& v : formula.values()) add_value(v);
+  }
+}
+
+}  // namespace
+
+std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
+                                     const Expr& formula) {
+  // Borrow the matching values' clusters from the index — each is an
+  // ascending row list, and distinct values own pairwise disjoint rows.
+  std::vector<const std::vector<Pli::RowId>*> lists;
+  ForEachLiteral(formula, [&](const Value& v) {
+    // Comparing a null (or comparing against one) yields Unknown under the
+    // Kleene semantics, never True — so the Null cluster stays out.
+    if (v.is_null()) return;
+    auto it = index.find(v);
+    if (it != index.end()) lists.push_back(&it->second);
+  });
+  return MergeMatchLists(lists);
+}
+
+std::vector<Pli::RowId> CodedMatches(const CodeColumn& column,
+                                     const Expr& formula) {
+  // Same structure as IndexMatches, but a literal resolves to a dense code
+  // (one dictionary probe) and its rows come from the column's bucket
+  // array instead of the value-hashed index.
+  std::vector<const std::vector<Pli::RowId>*> lists;
+  ForEachLiteral(formula, [&](const Value& v) {
+    if (v.is_null()) return;  // Kleene: null literals never match.
+    CodeColumn::Code code = column.CodeOf(v);
+    if (code == CodeColumn::kMissingCode) return;  // never interned
+    const std::vector<Pli::RowId>& bucket = column.Bucket(code);
+    if (!bucket.empty()) lists.push_back(&bucket);
+  });
+  return MergeMatchLists(lists);
 }
 
 namespace {
@@ -116,6 +148,9 @@ class Evaluator {
   Result<FlexibleRelation> JoinHashed(const FlexibleRelation& left,
                                       const FlexibleRelation& right,
                                       bool final_output);
+  Result<FlexibleRelation> JoinHashedCoded(const FlexibleRelation& left,
+                                           const FlexibleRelation& right,
+                                           bool final_output);
 
   Result<FlexibleRelation> SelectViaIndex(const Plan& plan,
                                           ExplainNode* node);
@@ -184,8 +219,9 @@ class Evaluator {
 Result<FlexibleRelation> Evaluator::JoinPair(const FlexibleRelation& left,
                                              const FlexibleRelation& right,
                                              bool final_output) {
-  return options_.use_engine ? JoinHashed(left, right, final_output)
-                             : JoinNested(left, right, final_output);
+  if (!options_.use_engine) return JoinNested(left, right, final_output);
+  return options_.use_codes ? JoinHashedCoded(left, right, final_output)
+                            : JoinHashed(left, right, final_output);
 }
 
 Result<FlexibleRelation> Evaluator::JoinNested(const FlexibleRelation& left,
@@ -270,6 +306,192 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
   return out;
 }
 
+namespace {
+
+// Transparent hash/equality over flat code keys: the sub-index stores
+// vector<uint32_t> keys but probes with a span view into a reusable
+// scratch buffer, so the probe side never allocates per lookup (C++20
+// heterogeneous unordered_map lookup).
+struct CodeKeyHash {
+  using is_transparent = void;
+  size_t operator()(std::span<const uint32_t> key) const {
+    size_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the code words
+    for (uint32_t c : key) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+struct CodeKeyEq {
+  using is_transparent = void;
+  bool operator()(std::span<const uint32_t> a,
+                  std::span<const uint32_t> b) const {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+};
+
+}  // namespace
+
+// Coded twin of JoinHashed: the signature-group structure (and therefore
+// which pairs ever get probed) is identical, but projections are compared
+// as flat uint32_t code rows instead of Value tuples. An ephemeral per-join
+// dictionary interns each distinct Value once per shared attribute slot —
+// after that single pass, building and probing the per-(T, K) sub-indexes
+// hashes small code spans and never touches a Value again. Nulls intern as
+// ordinary values, matching TryJoin's Value-equality semantics (natural
+// join has no Kleene rule: null meets null joins).
+Result<FlexibleRelation> Evaluator::JoinHashedCoded(
+    const FlexibleRelation& left, const FlexibleRelation& right,
+    bool final_output) {
+  const bool build_right = right.size() <= left.size();
+  const FlexibleRelation& build = build_right ? right : left;
+  const FlexibleRelation& probe = build_right ? left : right;
+  const AttrSet probe_active = probe.ActiveAttrs();
+
+  // Only attributes on both sides can ever land in a signature T (and thus
+  // in a key K ⊆ T), so the slot universe is the active intersection.
+  const AttrSet shared_universe =
+      build.ActiveAttrs().Intersect(probe_active);
+  const std::vector<AttrId>& slot_attrs = shared_universe.ids();
+  const size_t slot_count = slot_attrs.size();
+  auto slot_of = [&](AttrId attr) {
+    return static_cast<size_t>(
+        std::lower_bound(slot_attrs.begin(), slot_attrs.end(), attr) -
+        slot_attrs.begin());
+  };
+  constexpr uint32_t kAbsent = std::numeric_limits<uint32_t>::max();
+
+  // Per-slot interning: codes are dense per attribute, so code equality ⇔
+  // Value equality per slot. Only the build side interns; the probe side
+  // looks up find-only — a probe value never interned on its slot cannot
+  // equal any build value there, and the sentinel it maps to misses every
+  // sub-index key, which is both correct and the cheapest outcome. The
+  // dictionaries stay sized by the (smaller) build side and the probe pass
+  // never allocates into them.
+  std::vector<std::unordered_map<Value, uint32_t, ValueHash>> interners(
+      slot_count);
+  auto intern_row = [&](const Tuple& t, uint32_t* out) {
+    for (size_t s = 0; s < slot_count; ++s) {
+      const Value* v = t.Get(slot_attrs[s]);
+      if (v == nullptr) {
+        out[s] = kAbsent;
+        continue;
+      }
+      auto& interner = interners[s];
+      out[s] = interner
+                   .try_emplace(*v, static_cast<uint32_t>(interner.size()))
+                   .first->second;
+    }
+  };
+  auto probe_row = [&](const Tuple& t, std::vector<uint32_t>* out) {
+    out->assign(slot_count, kAbsent);
+    for (size_t s = 0; s < slot_count; ++s) {
+      const Value* v = t.Get(slot_attrs[s]);
+      if (v == nullptr) continue;
+      auto it = interners[s].find(*v);
+      if (it != interners[s].end()) (*out)[s] = it->second;
+    }
+  };
+
+  using Bucket = std::vector<const Tuple*>;
+  // One lazily-built sub-index per key set K: K's slot positions (computed
+  // once, shared by index build and every probe so the code order in every
+  // key is identical) plus the coded projection on K -> build rows.
+  struct SubIndex {
+    std::vector<size_t> key_slots;
+    std::unordered_map<std::vector<uint32_t>, Bucket, CodeKeyHash, CodeKeyEq>
+        index;
+  };
+  struct Group {
+    std::vector<size_t> rows;  // build row indexes in this group
+    // K = attrs(a) ∩ T  ->  sub-index over this group's rows.
+    std::unordered_map<AttrSet, SubIndex, AttrSetHash> by_key;
+  };
+  std::unordered_map<AttrSet, Group, AttrSetHash> groups;
+  // Flat build-side code matrix, one slot_count-wide row per build tuple,
+  // filled in the same pass that forms the signature groups.
+  std::vector<uint32_t> build_codes(build.size() * slot_count);
+  for (size_t i = 0; i < build.size(); ++i) {
+    const Tuple& b = build.row(i);
+    intern_row(b, build_codes.data() + i * slot_count);
+    groups[b.attrs().Intersect(probe_active)].rows.push_back(i);
+  }
+
+  std::vector<Tuple> rows;
+  std::vector<uint32_t> probe_codes;
+  std::vector<uint32_t> key_scratch;
+  size_t probes = 0;
+  // K depends only on (attrs(a), T), and probe rows overwhelmingly share
+  // one attribute set (homogeneous variants) — so the per-group K
+  // intersection, sub-index lookup, and lazy build run once per distinct
+  // consecutive attrs(a), and the resolved SubIndex pointers are reused
+  // for the whole run. unordered_map mapped values are node-stable, so the
+  // cached pointers survive later by_key insertions for other runs.
+  AttrSet memo_attrs;
+  std::vector<SubIndex*> memo_subs;
+  bool memo_valid = false;
+  // attrs(a) == memo without materializing an AttrSet per row: the tuple's
+  // field vector is sorted by AttrId, so it zips against the memo's ids.
+  auto attrs_match_memo = [&](const Tuple& t) {
+    const std::vector<AttrId>& ids = memo_attrs.ids();
+    const auto& fields = t.fields();
+    if (fields.size() != ids.size()) return false;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (fields[i].first != ids[i]) return false;
+    }
+    return true;
+  };
+  for (const Tuple& a : probe.rows()) {
+    if (!memo_valid || !attrs_match_memo(a)) {
+      const AttrSet a_attrs = a.attrs();
+      memo_subs.clear();
+      for (auto& [signature, group] : groups) {
+        AttrSet key_attrs = a_attrs.Intersect(signature);
+        auto [index_it, missing] = group.by_key.try_emplace(key_attrs);
+        SubIndex& sub = index_it->second;
+        if (missing) {
+          for (AttrId attr : key_attrs.ids()) {
+            sub.key_slots.push_back(slot_of(attr));
+          }
+          for (size_t bi : group.rows) {
+            const uint32_t* codes = build_codes.data() + bi * slot_count;
+            key_scratch.clear();
+            // K ⊆ T ⊆ attrs(b): every key slot is defined on the build row.
+            for (size_t s : sub.key_slots) key_scratch.push_back(codes[s]);
+            sub.index[key_scratch].push_back(&build.row(bi));
+          }
+        }
+        memo_subs.push_back(&sub);
+      }
+      memo_attrs = a_attrs;
+      memo_valid = true;
+    }
+    probe_row(a, &probe_codes);
+    for (SubIndex* sub : memo_subs) {
+      key_scratch.clear();
+      // K ⊆ attrs(a): probe codes at key slots are all present (an
+      // un-interned probe value carries the sentinel and misses below).
+      for (size_t s : sub->key_slots) key_scratch.push_back(probe_codes[s]);
+      auto bucket = sub->index.find(std::span<const uint32_t>(key_scratch));
+      if (bucket == sub->index.end()) continue;
+      for (const Tuple* b : bucket->second) {
+        ++probes;
+        Tuple merged;
+        // Bucket equality was proven on codes; TryJoin remains the cheap
+        // Value-level invariant, exactly as in JoinHashed.
+        if (TryJoin(a, *b, &merged)) rows.push_back(std::move(merged));
+      }
+    }
+  }
+  CountHashProbes(probes, build.size() * probe.size());
+  Dedup(&rows);
+  CountJoinOutput(rows.size(), final_output);
+  FlexibleRelation out = FlexibleRelation::Derived("join", DependencySet());
+  for (Tuple& t : rows) out.InsertUnchecked(std::move(t));
+  return out;
+}
+
 // Equality/IN selection directly over a base scan: the answer is a value
 // index lookup on the scanned relation's attached cache — zero predicate
 // evaluations, and only the matching rows are ever read. Freshness is the
@@ -283,9 +505,21 @@ Result<FlexibleRelation> Evaluator::SelectViaIndex(const Plan& plan,
   const FlexibleRelation* src = plan.inputs()[0]->relation();
   const Expr& formula = *plan.formula();
   // Matches come back in scan order, so the output is row-for-row identical
-  // to the naive path's.
-  std::vector<Pli::RowId> matched =
-      IndexMatches(*src->pli_cache()->IndexFor(formula.attr()), formula);
+  // to the naive path's. The coded plane answers first when both knobs
+  // agree (EvalOptions::use_codes here, PliCacheOptions::use_codes in the
+  // cache — CodeColumnFor returns null otherwise): one dictionary probe
+  // per literal against dense code buckets, no Value hashing per lookup.
+  std::vector<Pli::RowId> matched;
+  std::shared_ptr<const CodeColumn> column;
+  if (options_.use_codes) {
+    column = src->pli_cache()->CodeColumnFor(formula.attr());
+  }
+  if (column != nullptr) {
+    matched = CodedMatches(*column, formula);
+  } else {
+    matched =
+        IndexMatches(*src->pli_cache()->IndexFor(formula.attr()), formula);
+  }
   FLEXREL_TELEMETRY_COUNT("eval.index_hits", 1);
   if (node != nullptr) node->index_hit = true;
 
@@ -306,6 +540,14 @@ size_t Evaluator::DistinctOn(const FlexibleRelation& rel,
     // locked mode flushes here), and each one-call read is internally
     // coherent — it resolves against a single snapshot.
     if (attrs.size() == 1) {
+      if (options_.use_codes) {
+        std::shared_ptr<const CodeColumn> column =
+            rel.pli_cache()->CodeColumnFor(attrs.ids().front());
+        // Nonempty buckets are exactly the index's distinct values (both
+        // count the null cluster, neither counts absence), so the estimate
+        // — and thus the join order — is unchanged.
+        if (column != nullptr) return column->live_codes();
+      }
       return rel.pli_cache()->IndexFor(attrs.ids().front())->size();
     }
     return rel.pli_cache()->Get(attrs)->NumDistinct();

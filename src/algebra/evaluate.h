@@ -47,6 +47,14 @@ bool IsIndexableSelect(const Expr& formula);
 std::vector<Pli::RowId> IndexMatches(const PliCache::ValueIndex& index,
                                      const Expr& formula);
 
+/// Coded twin of IndexMatches: literals translate through the column's
+/// dictionary (CodeOf; null literals skipped — the same Kleene rule) and
+/// the matching code buckets merge back into scan order. Row-for-row
+/// identical to IndexMatches over the same instance — engine_dictionary_test
+/// soaks the equality. Requires IsIndexableSelect(formula).
+std::vector<Pli::RowId> CodedMatches(const CodeColumn& column,
+                                     const Expr& formula);
+
 /// Work counters, reported for the optimizer experiments (E4/E5): comparing
 /// an optimized against an unoptimized plan is a statement about these
 /// numbers, not only wall-clock time.
@@ -72,6 +80,16 @@ struct EvalOptions {
   /// would touch per-relation cache state: equality selections fall back to
   /// per-tuple evaluation and join-order estimates are computed ad hoc.
   bool use_cache = true;
+  /// Resolve cache-backed operators through the dictionary-encoded value
+  /// plane (engine/dictionary.h): equality/IN selections look literals up
+  /// as codes and merge the column's dense code->rows buckets, and hashed
+  /// joins compare per-join code signatures instead of Value projections.
+  /// Requires the relation's cache to expose code columns
+  /// (PliCacheOptions::use_codes); otherwise each operator silently falls
+  /// back to the value-keyed path. False pins the value-keyed oracle the
+  /// coded operators are cross-validated against (engine_dictionary_test,
+  /// bench_join_prune's *ValueKeyed twins).
+  bool use_codes = true;
 };
 
 /// Evaluates `plan` with default options; on success the result's deps()

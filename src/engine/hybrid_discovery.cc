@@ -84,6 +84,36 @@ PairEvidence ComparePair(const Tuple& a, const Tuple& b) {
   return out;
 }
 
+PairEvidence ComparePairCoded(const CodeColumn::Code* matrix,
+                              const std::vector<AttrId>& attrs,
+                              CodeColumn::RowId a, CodeColumn::RowId b) {
+  // `attrs` is ascending (the sampler projects the matrix over AttrSet
+  // iteration), so the id vectors build sorted. The two row slices are
+  // contiguous: one pair costs a linear walk over 2 × attrs.size() words.
+  const size_t width = attrs.size();
+  const CodeColumn::Code* ra = matrix + a * width;
+  const CodeColumn::Code* rb = matrix + b * width;
+  std::vector<AttrId> agree;
+  std::vector<AttrId> diff;
+  for (size_t k = 0; k < width; ++k) {
+    const CodeColumn::Code ca = ra[k];
+    const CodeColumn::Code cb = rb[k];
+    const bool has_a = ca != CodeColumn::kMissingCode;
+    const bool has_b = cb != CodeColumn::kMissingCode;
+    if (has_a != has_b) {
+      diff.push_back(attrs[k]);
+    } else if (has_a && ca == cb) {
+      // Code equality ⇔ Value equality within one column; the reserved
+      // null code makes null-equals-null fall out for free.
+      agree.push_back(attrs[k]);
+    }
+  }
+  PairEvidence out;
+  out.agree = AttrSet::FromIds(std::move(agree));
+  out.presence_diff = AttrSet::FromIds(std::move(diff));
+  return out;
+}
+
 size_t EvidenceStore::KeyHash::operator()(const PairEvidence& e) const {
   size_t h = AttrSetHash{}(e.agree);
   // splitmix-style combine so (agree, presence_diff) don't cancel.
@@ -206,8 +236,40 @@ ClusterPairSampler::ClusterPairSampler(PliCache* cache,
     : cache_(cache), rows_(cache->rows()) {
   plis_.reserve(universe.size());
   distance_.assign(universe.size(), 1);
+  // Code columns for the coded pair compare — all or nothing, so a round
+  // never mixes coded and Value comparisons. CodeColumnFor is null exactly
+  // when the cache runs value-keyed (PliCacheOptions::use_codes = false).
+  // Columns are fetched BEFORE the partition warm-up below: a materialized
+  // column turns each single-attribute Get into a counting sort over its
+  // codes, so the instance is hashed once per attribute, not twice. The
+  // columns are then projected into one row-major matrix so each sampled
+  // pair reads two contiguous slices instead of one scattered cache line
+  // per attribute — the access pattern is pair-at-a-time, not columnar.
+  std::vector<std::shared_ptr<const CodeColumn>> columns;
+  columns.reserve(universe.size());
+  for (AttrId a : universe) {
+    std::shared_ptr<const CodeColumn> column = cache_->CodeColumnFor(a);
+    if (column == nullptr) {
+      columns.clear();
+      break;
+    }
+    columns.push_back(std::move(column));
+  }
+  if (!columns.empty()) {
+    const size_t width = columns.size();
+    code_attrs_.reserve(width);
+    code_matrix_.resize(rows_.size() * width);
+    for (size_t k = 0; k < width; ++k) {
+      code_attrs_.push_back(columns[k]->attr());
+      const std::vector<CodeColumn::Code>& codes = columns[k]->codes();
+      for (size_t r = 0; r < rows_.size(); ++r) {
+        code_matrix_[r * width + k] = codes[r];
+      }
+    }
+  }
   // Single-attribute partitions are exactly what level 1 of any walk needs
-  // first; warming them here costs nothing extra and pins them for the
+  // first; warming them here (after the columns, so each is a counting
+  // sort, not a re-hash) costs nothing extra and pins them for the
   // widening rounds (COW snapshot reads thereafter).
   for (AttrId a : universe) plis_.push_back(cache_->Get(AttrSet::Of(a)));
 }
@@ -251,7 +313,10 @@ ClusterPairSampler::RoundStats ClusterPairSampler::Round(EvidenceStore* store,
       if (cluster.size() <= d) continue;
       for (size_t j = 0; j + d < cluster.size() && r.pairs < quota; ++j) {
         r.evidence.push_back(
-            ComparePair(rows_[cluster[j]], rows_[cluster[j + d]]));
+            code_attrs_.empty()
+                ? ComparePair(rows_[cluster[j]], rows_[cluster[j + d]])
+                : ComparePairCoded(code_matrix_.data(), code_attrs_,
+                                   cluster[j], cluster[j + d]));
         ++r.pairs;
       }
     }

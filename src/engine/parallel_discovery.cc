@@ -22,6 +22,7 @@ PliCache::Options CacheOptionsOf(const EngineDiscoveryOptions& options) {
   PliCache::Options out;
   out.max_entries = options.cache_max_entries;
   out.arena_storage = !options.reference_storage;
+  out.use_codes = options.use_codes;
   return out;
 }
 

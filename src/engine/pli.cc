@@ -211,6 +211,63 @@ Pli Pli::Build(const std::vector<Tuple>& rows, const AttrSet& attrs,
   return out;
 }
 
+Pli Pli::BuildFromCodes(const std::vector<uint32_t>& codes,
+                        uint32_t code_bound, Storage storage) {
+  Pli out;
+  out.storage_ = storage;
+  out.num_rows_ = codes.size();
+  // Counting sort. Pass 1 counts carriers per code; pass 2 assigns cluster
+  // slots to kept codes (count >= 2) in order of first appearance — rows
+  // ascend, so the canonical by-front-row cluster order falls out for
+  // free; pass 3 fills rows ascending into each slot.
+  std::vector<uint32_t> count(code_bound, 0);
+  for (uint32_t c : codes) {
+    if (c < code_bound) {
+      ++count[c];
+      ++out.defined_rows_;
+    }
+  }
+  constexpr uint32_t kUnassigned = UINT32_MAX;
+  std::vector<uint32_t> cluster_of(code_bound, kUnassigned);
+  std::vector<uint32_t> sizes;
+  for (uint32_t c : codes) {
+    if (c >= code_bound || count[c] < 2 || cluster_of[c] != kUnassigned) {
+      continue;
+    }
+    cluster_of[c] = static_cast<uint32_t>(sizes.size());
+    sizes.push_back(count[c]);
+    out.grouped_rows_ += count[c];
+  }
+  if (storage == Storage::kVectors) {
+    out.vclusters_.resize(sizes.size());
+    for (size_t k = 0; k < sizes.size(); ++k) {
+      out.vclusters_[k].reserve(sizes[k]);
+    }
+    for (size_t i = 0; i < codes.size(); ++i) {
+      const uint32_t c = codes[i];
+      if (c < code_bound && cluster_of[c] != kUnassigned) {
+        out.vclusters_[cluster_of[c]].push_back(static_cast<RowId>(i));
+      }
+    }
+    return out;
+  }
+  out.offsets_.resize(sizes.size() + 1);
+  out.offsets_[0] = 0;
+  for (size_t k = 0; k < sizes.size(); ++k) {
+    out.offsets_[k + 1] = out.offsets_[k] + sizes[k];
+  }
+  out.sizes_ = sizes;
+  out.arena_.resize(out.grouped_rows_);
+  std::vector<uint32_t> fill(out.offsets_.begin(), out.offsets_.end() - 1);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const uint32_t c = codes[i];
+    if (c < code_bound && cluster_of[c] != kUnassigned) {
+      out.arena_[fill[cluster_of[c]]++] = static_cast<RowId>(i);
+    }
+  }
+  return out;
+}
+
 PliProbe Pli::BuildProbe() const {
   PliProbe probe;
   probe.labels.assign(num_rows_, kNoCluster);

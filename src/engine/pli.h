@@ -179,6 +179,16 @@ class Pli {
   static Pli Build(const std::vector<Tuple>& rows, const AttrSet& attrs,
                    Storage storage = Storage::kArena);
 
+  /// Single-attribute partition from a dictionary code column
+  /// (engine/dictionary.h) via counting sort — no Value hashing at all.
+  /// `codes[row]` is the row's dense code; any code >= `code_bound`
+  /// (CodeColumn::kMissingCode) marks the attribute absent. Structurally
+  /// identical to Build(rows, attr) over the decoded values: canonical
+  /// cluster order, singletons stripped, defined_rows exact.
+  static Pli BuildFromCodes(const std::vector<uint32_t>& codes,
+                            uint32_t code_bound,
+                            Storage storage = Storage::kArena);
+
   /// The product partition: clusters of `this` refined by the clusters of
   /// `other`. Equals Build(rows, X ∪ Y) when the operands are the
   /// partitions by X and Y over the same instance. The product inherits

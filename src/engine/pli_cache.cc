@@ -284,6 +284,22 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
 }
 
 PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
+  if (attrs.size() == 1 && options_.use_codes) {
+    // Counting sort over the attribute's dictionary code column when one
+    // exists: the column hashes each value exactly once across its
+    // lifetime (built on the first CodeColumnFor, then patched in lockstep
+    // with the partitions), so partition (re)builds skip the per-row Value
+    // hashing entirely. Probe-only on purpose — materializing a column
+    // just to build one partition would cost more than the hash build it
+    // replaces (the per-code buckets are the price), so a cold cache stays
+    // at hash-build parity with the value-keyed oracle.
+    std::shared_ptr<const CodeColumn> column =
+        ExistingCodeColumn(attrs.ids().front());
+    if (column != nullptr) {
+      return std::make_shared<Pli>(Pli::BuildFromCodes(
+          column->codes(), column->code_bound(), PartitionStorage()));
+    }
+  }
   if (attrs.size() <= 1) {
     Pli built =
         attrs.empty()
@@ -468,6 +484,51 @@ std::shared_ptr<const PliCache::ValueIndex> PliCache::IndexFor(AttrId attr) {
   // Racing builders compute identical indexes; first insert wins.
   std::shared_ptr<const ValueIndex> memo =
       value_indexes_.emplace(attr, std::move(index)).first->second;
+  if (options_.cow_reads) PublishLocked(/*flush_publish=*/false);
+  return memo;
+}
+
+std::shared_ptr<const CodeColumn> PliCache::ExistingCodeColumn(AttrId attr) {
+  if (!options_.use_codes) return nullptr;
+  if (options_.cow_reads) {
+    return WithSnapshot(
+        [&](const Snapshot* snap) -> std::shared_ptr<const CodeColumn> {
+          if (snap == nullptr) return nullptr;
+          auto it = snap->columns.find(attr);
+          return it == snap->columns.end() ? nullptr : it->second;
+        });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = code_columns_.find(attr);
+  return it == code_columns_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const CodeColumn> PliCache::CodeColumnFor(AttrId attr) {
+  if (!options_.use_codes) return nullptr;  // Value-keyed oracle mode
+  if (options_.cow_reads) {
+    std::shared_ptr<const CodeColumn> hit = WithSnapshot(
+        [&](const Snapshot* snap) -> std::shared_ptr<const CodeColumn> {
+          if (snap == nullptr) return nullptr;
+          auto it = snap->columns.find(attr);
+          return it == snap->columns.end() ? nullptr : it->second;
+        });
+    if (hit != nullptr) return hit;
+  } else {
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.reader_lock_waits", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushPendingLocked();
+    auto it = code_columns_.find(attr);
+    if (it != code_columns_.end()) return it->second;
+  }
+  // Build outside the lock, like the value indexes: one O(rows) intern
+  // pass — the only time this attribute's values are ever hashed.
+  auto column = std::make_shared<CodeColumn>(CodeColumn::Build(*rows_, attr));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Racing builders compute identical columns; first insert wins.
+  std::shared_ptr<const CodeColumn> memo =
+      code_columns_.emplace(attr, std::move(column)).first->second;
   if (options_.cow_reads) PublishLocked(/*flush_publish=*/false);
   return memo;
 }
@@ -741,6 +802,9 @@ void PliCache::FlushPendingLocked() {
   // Both patch paths consult value indexes for partner sets and splices;
   // any missing one is built once and rewound to the pre-batch state.
   EnsureFlushIndexesLocked(net, changed);
+  // The code columns ride the same burst: O(1)-ish integer work per delta
+  // per pinned column, on either arm below.
+  PatchCodeColumnsLocked(net, changed, insert_count > 0);
   if (b < options_.batch_threshold) {
     FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.per_row", 1);
     if (flush_span.active()) {
@@ -788,6 +852,11 @@ void PliCache::CloneForCowLocked(const AttrSet& changed, bool has_inserts) {
     if (!changed.Contains(attr)) continue;
     index = std::make_shared<ValueIndex>(*index);
   }
+  for (auto& [attr, column] : code_columns_) {
+    // Inserts grow every column's code vector, not just changed attrs.
+    if (!has_inserts && !changed.Contains(attr)) continue;
+    column = std::make_shared<CodeColumn>(*column);
+  }
 }
 
 void PliCache::PublishLocked(bool flush_publish) {
@@ -804,6 +873,10 @@ void PliCache::PublishLocked(bool flush_publish) {
   snap->indexes.reserve(value_indexes_.size());
   for (const auto& [attr, index] : value_indexes_) {
     snap->indexes.emplace(attr, index);
+  }
+  snap->columns.reserve(code_columns_.size());
+  for (const auto& [attr, column] : code_columns_) {
+    snap->columns.emplace(attr, column);
   }
   snap->epoch = ++epoch_;
   if (flush_publish) {
@@ -862,7 +935,30 @@ void PliCache::DropAllLocked() {
   lru_.clear();
   value_indexes_.clear();
   probes_.clear();
+  // Columns drop with everything else: past the drop threshold, per-row
+  // bucket surgery on every pinned column costs more than the one intern
+  // scan a lazy rebuild pays (exactly the value indexes' tradeoff).
+  code_columns_.clear();
   ++full_drops_;
+}
+
+void PliCache::PatchCodeColumnsLocked(const std::vector<NetDelta>& net,
+                                      const AttrSet& changed,
+                                      bool has_inserts) {
+  if (code_columns_.empty()) return;
+  for (auto& [attr, column] : code_columns_) {
+    const bool affected = changed.Contains(attr);
+    if (!has_inserts && !affected) continue;
+    for (const NetDelta& d : net) {
+      if (d.is_insert) {
+        // Net preserves append order, so insert rows arrive ascending.
+        column->ApplyInsert(d.row, (*rows_)[d.row].Get(attr));
+      } else if (affected && d.changed_attrs.Contains(attr)) {
+        column->ApplyUpdate(d.row, (*rows_)[d.row].Get(attr));
+      }
+    }
+    column->MaybeReintern();
+  }
 }
 
 void PliCache::ReplayInsertLocked(Pli::RowId row) {

@@ -88,6 +88,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/dictionary.h"
 #include "engine/pli.h"
 #include "engine/pli_cache_options.h"
 
@@ -139,6 +140,28 @@ class PliCache {
   using ValueIndex =
       std::unordered_map<Value, std::vector<Pli::RowId>, ValueHash>;
   std::shared_ptr<const ValueIndex> IndexFor(AttrId attr);
+
+  /// The dictionary code column of `attr` (engine/dictionary.h): values
+  /// interned into dense uint32_t codes, held columnar, with per-code row
+  /// buckets — the base of the coded partition builds, selections, and
+  /// hybrid sampling. Built once per attribute, pinned, and patched by the
+  /// same flush that patches the partitions, so a fetched column is always
+  /// exactly as fresh as a Get() from the same quiescent point. Returns
+  /// null iff Options::use_codes is false (the Value-keyed oracle mode);
+  /// callers fall back to the value-hashed paths then. Flushes pending
+  /// deltas first; safe from many threads; same holding contract as Get
+  /// results (in COW mode a held column is frozen at its epoch, in locked
+  /// mode do not hold it across mutations).
+  std::shared_ptr<const CodeColumn> CodeColumnFor(AttrId attr);
+
+  /// Probe-only twin of CodeColumnFor: the column when it already exists,
+  /// null otherwise (or when Options::use_codes is off) — never builds.
+  /// The single-attribute partition path goes through this so a cold cache
+  /// pays a plain hash build instead of materializing a column it was
+  /// never asked for; CodeColumnFor (evaluator selections, the hybrid
+  /// sampler) is the explicit materialization point, after which partition
+  /// (re)builds counting-sort.
+  std::shared_ptr<const CodeColumn> ExistingCodeColumn(AttrId attr);
 
   // ------------------------------------------------------------------
   // Incremental maintenance hooks. FlexibleRelation calls these *after*
@@ -256,6 +279,7 @@ class PliCache {
     std::unordered_map<AttrSet, std::shared_ptr<const Pli>, AttrSetHash> plis;
     std::unordered_map<AttrId, std::shared_ptr<const PliProbe>> probes;
     std::unordered_map<AttrId, std::shared_ptr<const ValueIndex>> indexes;
+    std::unordered_map<AttrId, std::shared_ptr<const CodeColumn>> columns;
     uint64_t epoch = 0;
   };
 
@@ -332,6 +356,15 @@ class PliCache {
 
   /// Drops every cached structure for lazy rebuilds. Requires mu_.
   void DropAllLocked();
+
+  /// Patches every pinned code column through one net burst: inserts
+  /// append to every column (code vectors cover every row), updates
+  /// re-code only the columns of attributes the delta changed; each
+  /// patched column then gets its staleness check (CodeColumn::
+  /// MaybeReintern). Runs on both patch arms — the drop arm drops the
+  /// columns with everything else. Requires mu_.
+  void PatchCodeColumnsLocked(const std::vector<NetDelta>& net,
+                              const AttrSet& changed, bool has_inserts);
 
   /// Coalesces the pending buffer in place (first delta per row wins) so a
   /// read-free mutation storm cannot grow it past the touched-row count.
@@ -513,6 +546,8 @@ class PliCache {
       probes_;  // memoized probes, patched in place alongside the clusters
   std::unordered_map<AttrId, std::shared_ptr<ValueIndex>>
       value_indexes_;  // pinned and patched; the selections' value -> rows view
+  std::unordered_map<AttrId, std::shared_ptr<CodeColumn>>
+      code_columns_;  // pinned and patched; the columnar value plane
   std::list<AttrSet> lru_;  // front = most recently used, evictable keys only
   std::vector<PendingDelta> pending_;  // buffered mutations, oldest first
   size_t pending_compact_at_;  // next buffer size that triggers compaction

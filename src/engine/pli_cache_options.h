@@ -83,6 +83,21 @@ struct PliCacheOptions {
   /// against. Intersection products inherit the mode, so pinning it here
   /// pins the whole cache.
   bool arena_storage = true;
+
+  /// Dictionary-encoded columnar value plane (engine/dictionary.h, the
+  /// default): the cache keeps one incrementally maintained CodeColumn per
+  /// requested attribute (CodeColumnFor) — values interned into dense
+  /// uint32_t codes, null as the reserved code 0 — and builds
+  /// single-attribute partitions by counting sort over the code column
+  /// (Pli::BuildFromCodes) instead of hashing every row's Value. The
+  /// evaluator resolves equality selections through the column's dense
+  /// code->rows buckets when its own EvalOptions::use_codes agrees, and
+  /// hybrid discovery samples agree sets by comparing codes. False
+  /// disables the plane entirely (CodeColumnFor returns null): partitions
+  /// hash Values, selections probe the value-hashed index — the
+  /// cross-validation oracle the coded paths are soak-tested for
+  /// structural equality against (engine_dictionary_test).
+  bool use_codes = true;
 };
 
 }  // namespace flexrel
