@@ -11,20 +11,71 @@
 //                         channel scripts/perf_smoke.py ingests; without the
 //                         flag telemetry stays disabled and the binary
 //                         behaves exactly like a benchmark_main build.
+//
+//   --wall_timeout_s=N    hard wall-clock ceiling for the whole run. A
+//                         watchdog thread aborts the process (exit 124,
+//                         after printing which binary hung and the limit)
+//                         once N seconds pass without the benchmarks
+//                         finishing — a hung benchmark fails CI loudly and
+//                         promptly instead of eating the job's global
+//                         timeout. Off by default.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
 #include "telemetry/telemetry.h"
 
+namespace {
+
+// Watchdog state: the main thread signals completion; the watchdog thread
+// waits on it with a deadline and kills the process on expiry. The thread
+// is detached — on the happy path it wakes, sees `done`, and exits while
+// main is already shutting down.
+std::mutex g_watchdog_mu;
+std::condition_variable g_watchdog_cv;
+bool g_watchdog_done = false;
+
+void StartWatchdog(const char* binary, long seconds) {
+  std::thread([binary, seconds] {
+    std::unique_lock<std::mutex> lock(g_watchdog_mu);
+    if (g_watchdog_cv.wait_for(lock, std::chrono::seconds(seconds),
+                               [] { return g_watchdog_done; })) {
+      return;
+    }
+    std::fprintf(stderr,
+                 "%s: benchmark run exceeded --wall_timeout_s=%ld; "
+                 "aborting so CI fails fast instead of hanging\n",
+                 binary, seconds);
+    std::fflush(stderr);
+    std::_Exit(124);  // the conventional timeout exit code
+  }).detach();
+}
+
+void StopWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(g_watchdog_mu);
+    g_watchdog_done = true;
+  }
+  g_watchdog_cv.notify_all();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string metrics_path;
+  long wall_timeout_s = 0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     constexpr char kFlag[] = "--metrics_json=";
+    constexpr char kTimeoutFlag[] = "--wall_timeout_s=";
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
       metrics_path = argv[i] + sizeof(kFlag) - 1;
       if (metrics_path.empty()) {
@@ -44,6 +95,18 @@ int main(int argc, char** argv) {
                    "(usage: --metrics_json=PATH)\n",
                    argv[0]);
       return 1;
+    } else if (std::strncmp(argv[i], kTimeoutFlag,
+                            sizeof(kTimeoutFlag) - 1) == 0) {
+      char* end = nullptr;
+      wall_timeout_s = std::strtol(argv[i] + sizeof(kTimeoutFlag) - 1, &end,
+                                   10);
+      if (end == nullptr || *end != '\0' || wall_timeout_s <= 0) {
+        std::fprintf(stderr,
+                     "%s: --wall_timeout_s requires a positive integer "
+                     "(usage: --wall_timeout_s=SECONDS)\n",
+                     argv[0]);
+        return 1;
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -51,11 +114,13 @@ int main(int argc, char** argv) {
   argc = kept;
 
   if (!metrics_path.empty()) flexrel::telemetry::Enable();
+  if (wall_timeout_s > 0) StartWatchdog(argv[0], wall_timeout_s);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (wall_timeout_s > 0) StopWatchdog();
 
   if (!metrics_path.empty()) {
     const std::string json = flexrel::telemetry::Registry::Global().ToJson();

@@ -173,6 +173,14 @@ RUNS = [
     ),
 ]
 
+# Hard wall-clock ceiling per benchmark invocation, enforced twice: the
+# binary's own --wall_timeout_s watchdog (exits 124 with a message naming
+# the binary) and a subprocess timeout out here in case the binary is too
+# wedged even for its watchdog. A hung benchmark then fails the job in
+# minutes with a readable message instead of eating the workflow's global
+# timeout and dying opaque.
+RUN_TIMEOUT_S = 600
+
 # Committed full-suite baselines the trajectory gate diffs against, and the
 # normalized wall-time ratio past which a shared entry fails the run.
 BASELINES = ["BENCH_incremental.json", "BENCH_eval.json"]
@@ -205,9 +213,27 @@ def run_bench(build_dir, out_dir, binary, bench_filter, out_name,
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
         f"--metrics_json={out_dir / metrics_name}",
+        f"--wall_timeout_s={RUN_TIMEOUT_S}",
     ]
     print("+", " ".join(cmd), flush=True)
-    subprocess.run(cmd, check=True)
+    try:
+        # The outer timeout is a belt over the binary's own watchdog
+        # (slightly longer so the watchdog's message wins when both fire).
+        subprocess.run(cmd, check=True, timeout=RUN_TIMEOUT_S + 60)
+    except subprocess.TimeoutExpired:
+        sys.exit(f"PERF SMOKE FAILED: {binary} "
+                 f"(filter {bench_filter!r}) exceeded the "
+                 f"{RUN_TIMEOUT_S}s wall-clock ceiling and was killed — "
+                 f"a benchmark is hanging; reproduce locally with the "
+                 f"printed command")
+    except subprocess.CalledProcessError as e:
+        if e.returncode == 124:
+            sys.exit(f"PERF SMOKE FAILED: {binary} "
+                     f"(filter {bench_filter!r}) hit its internal "
+                     f"--wall_timeout_s={RUN_TIMEOUT_S} watchdog — a "
+                     f"benchmark is hanging; reproduce locally with the "
+                     f"printed command")
+        raise
     with open(out_path) as f:
         data = json.load(f)
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -336,6 +362,32 @@ def check_metric_invariants(out_dir, failures):
             f"hybrid performed {validated} exact scans but the level-wise "
             f"walk of the same lattice only has {lw_candidates} candidates "
             f"— evidence skipping is not reducing validation work")
+
+    # Fault injection and the cache memory budget are both disabled in
+    # every bench build, so their counters must read zero across every
+    # dump — a nonzero value means the robustness plane is leaking work
+    # into the hot paths (the ≤1% overhead contract starts here).
+    for idx, (_, _, _, metrics_name) in enumerate(RUNS):
+        dump = load_counters(out_dir, metrics_name, failures)
+        injected = dump.get("fault.injected_total", 0)
+        budget_evictions = dump.get("engine.cache.budget_evictions", 0)
+        uncached = dump.get("engine.cache.uncached_serves", 0)
+        tripped = (dump.get("engine.exec.cancelled", 0) +
+                   dump.get("engine.exec.deadline_exceeded", 0))
+        ok = (injected == 0 and budget_evictions == 0 and uncached == 0 and
+              tripped == 0)
+        if idx == 0 or not ok:
+            print(f"  robustness plane quiescent in {metrics_name}: "
+                  f"faults={injected} budget_evictions={budget_evictions} "
+                  f"uncached_serves={uncached} exec_trips={tripped}"
+                  f"  {'OK' if ok else 'VIOLATED'}")
+        if not ok:
+            failures.append(
+                f"{metrics_name}: fault injection / memory budget / exec "
+                f"trips active in a bench run (faults={injected}, "
+                f"budget_evictions={budget_evictions}, "
+                f"uncached_serves={uncached}, exec_trips={tripped}) — all "
+                f"must be 0 when the features are disabled")
 
     join = load_counters(out_dir, RUNS[1][3], failures)
     probes = join.get("eval.join.hash_probes", 0)

@@ -212,6 +212,14 @@ class Evaluator {
     }
   }
 
+  // Periodic poll inside join probe loops: one relaxed load per call on
+  // the null/untripped fast path, checked every ~1k probes so a runaway
+  // join notices a trip within microseconds without taxing the hot loop.
+  Status CheckJoinExec(size_t probes) const {
+    if (options_.exec == nullptr || (probes & 1023) != 0) return Status::OK();
+    return options_.exec->Check();
+  }
+
   EvalOptions options_;
   EvalStats* stats_;
 };
@@ -233,6 +241,7 @@ Result<FlexibleRelation> Evaluator::JoinNested(const FlexibleRelation& left,
   for (const Tuple& a : left.rows()) {
     for (const Tuple& b : right.rows()) {
       ++probes;
+      if (Status st = CheckJoinExec(probes); !st.ok()) return st;
       Tuple merged;
       if (TryJoin(a, b, &merged)) {
         rows.push_back(std::move(merged));
@@ -291,6 +300,7 @@ Result<FlexibleRelation> Evaluator::JoinHashed(const FlexibleRelation& left,
       if (bucket == index_it->second.end()) continue;
       for (const Tuple* b : bucket->second) {
         ++probes;
+        if (Status st = CheckJoinExec(probes); !st.ok()) return st;
         Tuple merged;
         // Agreement on the shared attributes is guaranteed by the bucket,
         // so the merge cannot fail; TryJoin stays as a cheap invariant.
@@ -477,6 +487,7 @@ Result<FlexibleRelation> Evaluator::JoinHashedCoded(
       if (bucket == sub->index.end()) continue;
       for (const Tuple* b : bucket->second) {
         ++probes;
+        if (Status st = CheckJoinExec(probes); !st.ok()) return st;
         Tuple merged;
         // Bucket equality was proven on codes; TryJoin remains the cheap
         // Value-level invariant, exactly as in JoinHashed.
@@ -621,6 +632,10 @@ Result<FlexibleRelation> Evaluator::EvalMultiwayOrdered(const Plan& plan,
 
 Result<FlexibleRelation> Evaluator::Eval(const PlanPtr& plan,
                                          ExplainNode* node) {
+  // Once per operator: a tripped context aborts before the node does any
+  // work. Evaluation is strict and materializing, so a trip discards the
+  // whole subtree — there is no partial relation to surface.
+  if (Status st = CheckExec(options_.exec); !st.ok()) return st;
   // The timed wrapper around the operator dispatch: EXPLAIN nodes always
   // get timing and actual rows; with telemetry on, every operator's
   // duration also lands in the shared histogram.

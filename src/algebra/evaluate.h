@@ -29,6 +29,7 @@
 
 #include "algebra/plan.h"
 #include "engine/pli_cache.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace flexrel {
@@ -90,6 +91,13 @@ struct EvalOptions {
   /// coded operators are cross-validated against (engine_dictionary_test,
   /// bench_join_prune's *ValueKeyed twins).
   bool use_codes = true;
+  /// Cooperative execution control (util/exec_context.h): deadline and
+  /// cancellation for the evaluation. Not owned; must outlive the call.
+  /// Polled once per operator and periodically inside join probe loops;
+  /// a trip surfaces as Status kCancelled / kDeadlineExceeded through the
+  /// Result — evaluation is strict and materializing, so there is no
+  /// partial relation to return. Null (the default) means unbounded.
+  const ExecContext* exec = nullptr;
 };
 
 /// Evaluates `plan` with default options; on success the result's deps()

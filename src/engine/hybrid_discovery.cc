@@ -8,6 +8,7 @@
 #include "core/closure.h"
 #include "engine/discovery_internal.h"
 #include "telemetry/telemetry.h"
+#include "util/fault.h"
 
 namespace flexrel {
 
@@ -361,11 +362,13 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
                            const EngineDiscoveryOptions& options,
                            CandidateFrontier::Semantics semantics,
                            const RhsFn& maximal_rhs, const PrunedFn& pruned,
-                           const EmitFn& emit) {
+                           const EmitFn& emit, DiscoveryRunInfo* info) {
   discovery_internal::ResetDiscoveryRunGauges();
   std::vector<Dep> out;
   DependencySet found;
   const size_t num_rows = validator->row_attrs().size();
+  const ExecContext* exec = options.exec;
+  DiscoveryRunInfo run;
 
   EvidenceStore store;
   ClusterPairSampler sampler(validator->cache(), universe);
@@ -373,7 +376,7 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
       ResolveThreads(options.num_threads, universe.size());
   auto may_sample = [&] {
     return sampler.rounds_run() < options.hybrid_max_rounds &&
-           !sampler.exhausted();
+           !sampler.exhausted() && CheckExec(exec).ok();
   };
   // A short seeding burst bootstraps the store; beyond it, the per-level
   // adaptive loops below buy further rounds only when the evidence leaves
@@ -389,7 +392,13 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
   }
 
   for (size_t k = 1; k <= options.max_lhs_size && k <= universe.size(); ++k) {
+    if (Status st = CheckExec(exec); !st.ok()) {
+      run.status = std::move(st);
+      run.partial = true;
+      break;
+    }
     telemetry::ScopedSpan level_span("discovery.level");
+    FLEXREL_FAULT_INJECT("discovery.level");
     const bool traced = telemetry::Enabled();
     const uint64_t level_start = traced ? telemetry::NowNs() : 0;
     CandidateFrontier frontier(LatticeLevel(universe, k), universe, semantics);
@@ -424,7 +433,13 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
     }
     std::atomic<uint64_t> busy_ns{0};
     size_t wasted = 0;
+    std::atomic<bool> stop{false};
     ParallelFor(survivors.size(), threads, [&](size_t j) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (exec != nullptr && !exec->Check().ok()) {
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
       const size_t i = survivors[j];
       if (traced) {
         const uint64_t t0 = telemetry::NowNs();
@@ -434,6 +449,15 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
         rhss[i] = maximal_rhs(candidates[i]);
       }
     });
+    // Sticky contexts never un-trip, so a re-check catches any trip the
+    // workers saw (or one that raced past them): the in-flight level is
+    // discarded whole, keeping the verified-prefix contract exact.
+    if (Status st = CheckExec(exec); !st.ok()) {
+      run.status = std::move(st);
+      run.partial = true;
+      discovery_internal::ResetDiscoveryRunGauges();
+      break;
+    }
     for (size_t i : survivors) {
       if (rhss[i].empty()) ++wasted;
     }
@@ -475,7 +499,9 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
           " emitted=" + std::to_string(emitted_count) +
           " threads=" + std::to_string(threads));
     }
+    run.completed_levels = k;
   }
+  if (info != nullptr) *info = std::move(run);
   return out;
 }
 
@@ -483,7 +509,7 @@ std::vector<Dep> HybridRun(DependencyValidator* validator,
 
 std::vector<AttrDep> HybridDiscoverAttrDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options) {
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info) {
   return HybridRun<AttrDep>(
       validator, universe, options, CandidateFrontier::Semantics::kAd,
       [&](const AttrSet& lhs) {
@@ -492,12 +518,13 @@ std::vector<AttrDep> HybridDiscoverAttrDeps(
       [](const DependencySet& found, const AttrDep& candidate) {
         return Implies(found, candidate, AxiomSystem::kAdOnly);
       },
-      [](DependencySet* found, AttrDep dep) { found->AddAd(std::move(dep)); });
+      [](DependencySet* found, AttrDep dep) { found->AddAd(std::move(dep)); },
+      info);
 }
 
 std::vector<FuncDep> HybridDiscoverFuncDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options) {
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info) {
   return HybridRun<FuncDep>(
       validator, universe, options, CandidateFrontier::Semantics::kFd,
       [&](const AttrSet& lhs) {
@@ -506,7 +533,8 @@ std::vector<FuncDep> HybridDiscoverFuncDeps(
       [](const DependencySet& found, const FuncDep& candidate) {
         return Implies(found, candidate);
       },
-      [](DependencySet* found, FuncDep dep) { found->AddFd(std::move(dep)); });
+      [](DependencySet* found, FuncDep dep) { found->AddFd(std::move(dep)); },
+      info);
 }
 
 }  // namespace flexrel

@@ -219,11 +219,11 @@ class ClusterPairSampler {
 /// when options.strategy == DiscoveryStrategy::kHybrid.
 std::vector<AttrDep> HybridDiscoverAttrDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options);
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info = nullptr);
 
 std::vector<FuncDep> HybridDiscoverFuncDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options);
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info = nullptr);
 
 }  // namespace flexrel
 

@@ -11,6 +11,7 @@
 #include "engine/discovery_internal.h"
 #include "engine/hybrid_discovery.h"
 #include "telemetry/telemetry.h"
+#include "util/fault.h"
 
 namespace flexrel {
 
@@ -23,6 +24,11 @@ PliCache::Options CacheOptionsOf(const EngineDiscoveryOptions& options) {
   out.max_entries = options.cache_max_entries;
   out.arena_storage = !options.reference_storage;
   out.use_codes = options.use_codes;
+  // A job-scoped memory budget governs the cache the job owns; the
+  // validator-based entry points leave their caller's cache untouched.
+  if (options.exec != nullptr) {
+    out.memory_budget_bytes = options.exec->memory_budget_bytes();
+  }
   return out;
 }
 
@@ -95,12 +101,21 @@ template <typename Dep, typename RhsFn, typename PrunedFn, typename EmitFn>
 std::vector<Dep> LevelWise(const AttrSet& universe,
                            const EngineDiscoveryOptions& options,
                            size_t num_rows, const RhsFn& maximal_rhs,
-                           const PrunedFn& pruned, const EmitFn& emit) {
+                           const PrunedFn& pruned, const EmitFn& emit,
+                           DiscoveryRunInfo* info) {
   discovery_internal::ResetDiscoveryRunGauges();
+  const ExecContext* exec = options.exec;
+  DiscoveryRunInfo run;
   std::vector<Dep> out;
   DependencySet found;
   for (size_t k = 1; k <= options.max_lhs_size && k <= universe.size(); ++k) {
+    if (Status st = CheckExec(exec); !st.ok()) {
+      run.status = std::move(st);
+      run.partial = true;
+      break;
+    }
     telemetry::ScopedSpan level_span("discovery.level");
+    FLEXREL_FAULT_INJECT("discovery.level");
     const bool traced = telemetry::Enabled();
     const uint64_t level_start = traced ? telemetry::NowNs() : 0;
     std::vector<AttrSet> candidates = LatticeLevel(universe, k);
@@ -114,7 +129,16 @@ std::vector<Dep> LevelWise(const AttrSet& universe,
     // level's wall time and worker count it yields utilization — how much
     // of the fan-out the shared-counter pull actually kept busy.
     std::atomic<uint64_t> busy_ns{0};
+    // Mid-level trip: workers poll the context at candidate boundaries and
+    // raise the shared stop flag, so the whole pool drains within one
+    // candidate each instead of finishing the level.
+    std::atomic<bool> stop{false};
     ParallelFor(candidates.size(), threads, [&](size_t i) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (exec != nullptr && !exec->Check().ok()) {
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
       if (traced) {
         const uint64_t t0 = telemetry::NowNs();
         rhss[i] = maximal_rhs(candidates[i]);
@@ -124,6 +148,15 @@ std::vector<Dep> LevelWise(const AttrSet& universe,
         rhss[i] = maximal_rhs(candidates[i]);
       }
     });
+    // A trip mid-fan-out leaves this level partially validated; the
+    // context is sticky, so re-checking here discards the in-flight level
+    // entirely — the output stays the exact prefix of completed levels.
+    if (Status st = CheckExec(exec); !st.ok()) {
+      run.status = std::move(st);
+      run.partial = true;
+      discovery_internal::ResetDiscoveryRunGauges();
+      break;
+    }
     size_t pruned_count = 0;
     size_t emitted_count = 0;
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -157,7 +190,9 @@ std::vector<Dep> LevelWise(const AttrSet& universe,
           " threads=" + std::to_string(threads) +
           " util_pct=" + std::to_string(util_pct));
     }
+    run.completed_levels = k;
   }
+  if (info != nullptr) *info = std::move(run);
   return out;
 }
 
@@ -197,9 +232,12 @@ std::vector<AttrSet> LatticeLevel(const AttrSet& universe, size_t k) {
 
 std::vector<AttrDep> EngineDiscoverAttrDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options) {
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info) {
+  // The validator polls the context inside its cluster scans, so a trip
+  // lands mid-candidate instead of waiting out a fat partition.
+  validator->set_exec(options.exec);
   if (options.strategy == DiscoveryStrategy::kHybrid) {
-    return HybridDiscoverAttrDeps(validator, universe, options);
+    return HybridDiscoverAttrDeps(validator, universe, options, info);
   }
   return LevelWise<AttrDep>(
       universe, options, validator->row_attrs().size(),
@@ -209,14 +247,16 @@ std::vector<AttrDep> EngineDiscoverAttrDeps(
       [](const DependencySet& found, const AttrDep& candidate) {
         return Implies(found, candidate, AxiomSystem::kAdOnly);
       },
-      [](DependencySet* found, AttrDep dep) { found->AddAd(std::move(dep)); });
+      [](DependencySet* found, AttrDep dep) { found->AddAd(std::move(dep)); },
+      info);
 }
 
 std::vector<FuncDep> EngineDiscoverFuncDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options) {
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info) {
+  validator->set_exec(options.exec);
   if (options.strategy == DiscoveryStrategy::kHybrid) {
-    return HybridDiscoverFuncDeps(validator, universe, options);
+    return HybridDiscoverFuncDeps(validator, universe, options, info);
   }
   return LevelWise<FuncDep>(
       universe, options, validator->row_attrs().size(),
@@ -226,48 +266,66 @@ std::vector<FuncDep> EngineDiscoverFuncDeps(
       [](const DependencySet& found, const FuncDep& candidate) {
         return Implies(found, candidate);
       },
-      [](DependencySet* found, FuncDep dep) { found->AddFd(std::move(dep)); });
+      [](DependencySet* found, FuncDep dep) { found->AddFd(std::move(dep)); },
+      info);
 }
 
 std::vector<AttrDep> EngineDiscoverAttrDeps(
     const std::vector<Tuple>& rows, const AttrSet& universe,
-    const EngineDiscoveryOptions& options) {
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info) {
   PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
-  return EngineDiscoverAttrDeps(&validator, universe, options);
+  return EngineDiscoverAttrDeps(&validator, universe, options, info);
 }
 
 std::vector<FuncDep> EngineDiscoverFuncDeps(
     const std::vector<Tuple>& rows, const AttrSet& universe,
-    const EngineDiscoveryOptions& options) {
+    const EngineDiscoveryOptions& options, DiscoveryRunInfo* info) {
   PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
-  return EngineDiscoverFuncDeps(&validator, universe, options);
+  return EngineDiscoverFuncDeps(&validator, universe, options, info);
 }
 
 DependencySet EngineDiscoverDependencies(DependencyValidator* validator,
                                          const AttrSet& universe,
-                                         const EngineDiscoveryOptions& options) {
+                                         const EngineDiscoveryOptions& options,
+                                         DiscoveryRunInfo* info) {
   DependencySet out;
-  for (FuncDep& fd : EngineDiscoverFuncDeps(validator, universe, options)) {
+  DiscoveryRunInfo fd_info;
+  DiscoveryRunInfo ad_info;
+  for (FuncDep& fd :
+       EngineDiscoverFuncDeps(validator, universe, options, &fd_info)) {
     out.AddFd(std::move(fd));
   }
-  for (AttrDep& ad : EngineDiscoverAttrDeps(validator, universe, options)) {
+  for (AttrDep& ad :
+       EngineDiscoverAttrDeps(validator, universe, options, &ad_info)) {
     out.AddAd(std::move(ad));
+  }
+  if (info != nullptr) {
+    // A sticky context trips both passes; report the first failure and the
+    // smaller verified prefix so the combined result's contract holds for
+    // every dependency kind at once.
+    info->status =
+        !fd_info.status.ok() ? std::move(fd_info.status)
+                             : std::move(ad_info.status);
+    info->partial = fd_info.partial || ad_info.partial;
+    info->completed_levels =
+        std::min(fd_info.completed_levels, ad_info.completed_levels);
   }
   return out;
 }
 
 DependencySet EngineDiscoverDependencies(const std::vector<Tuple>& rows,
                                          const AttrSet& universe,
-                                         const EngineDiscoveryOptions& options) {
+                                         const EngineDiscoveryOptions& options,
+                                         DiscoveryRunInfo* info) {
   // One cache serves both passes: the FD pass leaves every candidate
   // partition warm for the AD pass. The worker pool shares it — warm
   // candidate reads are lock-free snapshot hits under the default COW
   // mode, and cold builds serialize only on the writers-side lock.
   PliCache cache(&rows, CacheOptionsOf(options));
   DependencyValidator validator(&cache);
-  return EngineDiscoverDependencies(&validator, universe, options);
+  return EngineDiscoverDependencies(&validator, universe, options, info);
 }
 
 }  // namespace flexrel

@@ -17,6 +17,8 @@
 #include "core/dependency_set.h"
 #include "core/discovery.h"
 #include "engine/validator.h"
+#include "util/exec_context.h"
+#include "util/status.h"
 
 namespace flexrel {
 
@@ -62,6 +64,32 @@ struct EngineDiscoveryOptions {
   /// candidates survives evidence pruning (the adaptive switch back from
   /// validation to sampling).
   double hybrid_refine_fraction = 0.5;
+  /// Cooperative execution control (util/exec_context.h): deadline,
+  /// cancellation token, and memory budget for the run. Not owned; must
+  /// outlive the call. Null (the default) means unbounded. The run polls
+  /// at level and candidate boundaries and unwinds with the verified-
+  /// so-far level prefix — see DiscoveryRunInfo for the contract. The
+  /// context's memory budget seeds the partition cache's
+  /// memory_budget_bytes on the rows-based entry points (which own their
+  /// cache); validator-based callers configure their own cache.
+  const ExecContext* exec = nullptr;
+};
+
+/// Outcome report of one discovery run, for callers that set an
+/// ExecContext. `status` is OK for a run that completed, kCancelled /
+/// kDeadlineExceeded when the context tripped. The partial-result
+/// contract: the returned dependencies are exactly what a full run
+/// restricted to determinants of size <= completed_levels would emit — a
+/// level either completes (validated, pruned, and emitted whole, in
+/// enumeration order) or contributes nothing; a level in flight when the
+/// context trips is discarded entirely.
+struct DiscoveryRunInfo {
+  Status status;
+  /// Lattice levels fully verified and emitted (max determinant size
+  /// covered by the result).
+  size_t completed_levels = 0;
+  /// True iff the run stopped early — `status` then holds why.
+  bool partial = false;
 };
 
 /// The single point translating core's DiscoveryOptions into engine knobs —
@@ -76,31 +104,40 @@ std::vector<AttrSet> LatticeLevel(const AttrSet& universe, size_t k);
 
 /// Engine-backed counterparts of core's DiscoverAttrDeps / DiscoverFuncDeps
 /// / DiscoverDependencies; identical results, partition-based validation.
+/// A non-null `info` receives the run outcome (status / completed levels /
+/// partial flag) — the only way to distinguish a complete result from the
+/// verified prefix of a cancelled or deadline-exceeded run.
 std::vector<AttrDep> EngineDiscoverAttrDeps(
     const std::vector<Tuple>& rows, const AttrSet& universe,
-    const EngineDiscoveryOptions& options = {});
+    const EngineDiscoveryOptions& options = {},
+    DiscoveryRunInfo* info = nullptr);
 
 std::vector<FuncDep> EngineDiscoverFuncDeps(
     const std::vector<Tuple>& rows, const AttrSet& universe,
-    const EngineDiscoveryOptions& options = {});
+    const EngineDiscoveryOptions& options = {},
+    DiscoveryRunInfo* info = nullptr);
 
 DependencySet EngineDiscoverDependencies(
     const std::vector<Tuple>& rows, const AttrSet& universe,
-    const EngineDiscoveryOptions& options = {});
+    const EngineDiscoveryOptions& options = {},
+    DiscoveryRunInfo* info = nullptr);
 
 /// Variants over a caller-provided validator, letting several discovery
 /// passes (and instance-level audits) share one partition cache.
 std::vector<AttrDep> EngineDiscoverAttrDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options = {});
+    const EngineDiscoveryOptions& options = {},
+    DiscoveryRunInfo* info = nullptr);
 
 std::vector<FuncDep> EngineDiscoverFuncDeps(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options = {});
+    const EngineDiscoveryOptions& options = {},
+    DiscoveryRunInfo* info = nullptr);
 
 DependencySet EngineDiscoverDependencies(
     DependencyValidator* validator, const AttrSet& universe,
-    const EngineDiscoveryOptions& options = {});
+    const EngineDiscoveryOptions& options = {},
+    DiscoveryRunInfo* info = nullptr);
 
 }  // namespace flexrel
 

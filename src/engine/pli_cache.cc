@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "telemetry/telemetry.h"
+#include "util/fault.h"
 
 namespace flexrel {
 
@@ -42,6 +43,14 @@ std::shared_ptr<PliCache::ValueIndex> BuildValueIndex(
 // bounding the buffer by the number of touched rows even when a mutation
 // storm runs without interleaved reads.
 constexpr size_t kPendingCompactThreshold = 4096;
+
+// Flat bookkeeping charges for the memory-budget accounting sweep: rough
+// per-map-entry overhead (hash slot, future/control block, LRU node,
+// snapshot-table mirror) and per-Value payload estimate. The budget is
+// advisory — these keep the estimate honest without sizeof-walking every
+// node type.
+constexpr size_t kPerEntryOverhead = 160;
+constexpr size_t kPerValueEstimate = 48;
 
 // An already-fulfilled slot: what a COW clone (and nothing else) installs —
 // the original future's builder protocol already ran to completion.
@@ -248,6 +257,18 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
     }
     ++misses_;
     FLEXREL_TELEMETRY_COUNT("engine.pli_cache.misses", 1);
+    if (options_.memory_budget_bytes != 0 && attrs.size() > 1) {
+      EvictLocked();
+      if (AccountedBytesLocked() > options_.memory_budget_bytes) {
+        // Nothing evictable is left and the pinned bases alone exceed the
+        // budget: degrade gracefully to the uncached oracle path — build
+        // and serve this partition without caching it.
+        ++uncached_serves_;
+        FLEXREL_TELEMETRY_COUNT("engine.cache.uncached_serves", 1);
+        lock.unlock();
+        return BuildFor(attrs);
+      }
+    }
     Entry entry;
     entry.future = future = promise.get_future().share();
     entry.evictable = attrs.size() > 1;
@@ -263,11 +284,15 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
   try {
     PliPtr pli = BuildFor(attrs);
     promise.set_value(std::move(pli));
-    if (options_.cow_reads) {
+    if (options_.cow_reads || options_.memory_budget_bytes != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (options_.memory_budget_bytes != 0) {
+        AccountMemoryLocked();
+        EvictLocked();
+      }
       // Fold the fresh entry into the published table so every later read
       // resolves it lock-free.
-      std::lock_guard<std::mutex> lock(mu_);
-      PublishLocked(/*flush_publish=*/false);
+      if (options_.cow_reads) PublishLocked(/*flush_publish=*/false);
     }
   } catch (...) {
     // Un-poison the slot before publishing the failure: requesters already
@@ -284,6 +309,10 @@ std::shared_ptr<const Pli> PliCache::Get(const AttrSet& attrs) {
 }
 
 PliCache::PliPtr PliCache::BuildFor(const AttrSet& attrs) {
+  // Chaos harness hook: a build that throws (here: an injected allocation
+  // failure) unwinds through Get's un-poisoning catch, so the next request
+  // rebuilds instead of inheriting a stale error.
+  FLEXREL_FAULT_INJECT("pli_cache.build");
   if (attrs.size() == 1 && options_.use_codes) {
     // Counting sort over the attribute's dictionary code column when one
     // exists: the column hashes each value exactly once across its
@@ -780,57 +809,91 @@ void PliCache::FlushPendingLocked() {
     DropAllLocked();
     pending_.clear();
     pending_compact_at_ = kPendingCompactThreshold;
+    if (options_.memory_budget_bytes != 0) AccountMemoryLocked();
     // Dropping mutates no structure, so nothing needs cloning — but the
     // published table must stop resolving the dropped keys.
     if (options_.cow_reads) PublishLocked(/*flush_publish=*/true);
     return;
   }
-  // COW: everything the patch arms below will touch is replaced by a
-  // same-content successor first, so the live epoch's structures stay
-  // frozen for their readers and the swap at the end is the only point
-  // new state becomes visible.
-  if (options_.cow_reads) CloneForCowLocked(changed, insert_count > 0);
-  // Probe memos are patched in place by both flush arms below (in lockstep
-  // with the cluster patches, via the ProbePatch*Locked helpers); inserts
-  // only need the label arrays grown — new rows start clusterless.
-  if (insert_count > 0) {
-    for (auto& [attr, probe] : probes_) {
-      (void)attr;
-      probe->labels.resize(rows_->size(), Pli::kNoCluster);
-    }
-  }
-  // Both patch paths consult value indexes for partner sets and splices;
-  // any missing one is built once and rewound to the pre-batch state.
-  EnsureFlushIndexesLocked(net, changed);
-  // The code columns ride the same burst: O(1)-ish integer work per delta
-  // per pinned column, on either arm below.
-  PatchCodeColumnsLocked(net, changed, insert_count > 0);
-  if (b < options_.batch_threshold) {
-    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.per_row", 1);
-    if (flush_span.active()) {
-      flush_span.SetDetail(
-          "arm=per_row b=" + std::to_string(b) +
-          " est=batch_at:" + std::to_string(options_.batch_threshold));
-    }
-    for (const NetDelta& d : net) {
-      if (d.is_insert) {
-        ReplayInsertLocked(d.row);
-      } else {
-        ReplayUpdateLocked(d.row, *d.old_row, d.changed_attrs);
+  // Failure atomicity: everything from the clone to the last patch arm
+  // allocates (successor copies, splices, lazily built indexes), and a
+  // throw mid-patch would otherwise leave live structures half-patched.
+  // The recovery is the strong guarantee at cache granularity: drop every
+  // cached structure (the row vector is the source of truth; reads rebuild
+  // lazily) and publish the dropped state, so no reader — locked or COW —
+  // can ever observe a partially applied flush. The fault sites sit
+  // *outside* PublishLocked on purpose: the recovery path must traverse no
+  // injection point.
+  try {
+    FLEXREL_FAULT_INJECT("pli_cache.flush.clone");
+    // COW: everything the patch arms below will touch is replaced by a
+    // same-content successor first, so the live epoch's structures stay
+    // frozen for their readers and the swap at the end is the only point
+    // new state becomes visible.
+    if (options_.cow_reads) CloneForCowLocked(changed, insert_count > 0);
+    // Probe memos are patched in place by both flush arms below (in
+    // lockstep with the cluster patches, via the ProbePatch*Locked
+    // helpers); inserts only need the label arrays grown — new rows start
+    // clusterless.
+    if (insert_count > 0) {
+      for (auto& [attr, probe] : probes_) {
+        (void)attr;
+        probe->labels.resize(rows_->size(), Pli::kNoCluster);
       }
     }
-  } else {
-    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.batched", 1);
-    if (flush_span.active()) {
-      flush_span.SetDetail(
-          "arm=batched b=" + std::to_string(b) +
-          " est=batch_at:" + std::to_string(options_.batch_threshold) +
-          " drop_at:" + std::to_string(drop_at));
+    // Both patch paths consult value indexes for partner sets and splices;
+    // any missing one is built once and rewound to the pre-batch state.
+    EnsureFlushIndexesLocked(net, changed);
+    // The code columns ride the same burst: O(1)-ish integer work per
+    // delta per pinned column, on either arm below.
+    PatchCodeColumnsLocked(net, changed, insert_count > 0);
+    FLEXREL_FAULT_INJECT("pli_cache.flush.patch");
+    if (b < options_.batch_threshold) {
+      FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.per_row", 1);
+      if (flush_span.active()) {
+        flush_span.SetDetail(
+            "arm=per_row b=" + std::to_string(b) +
+            " est=batch_at:" + std::to_string(options_.batch_threshold));
+      }
+      for (const NetDelta& d : net) {
+        if (d.is_insert) {
+          ReplayInsertLocked(d.row);
+        } else {
+          ReplayUpdateLocked(d.row, *d.old_row, d.changed_attrs);
+        }
+      }
+    } else {
+      FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush.batched", 1);
+      if (flush_span.active()) {
+        flush_span.SetDetail(
+            "arm=batched b=" + std::to_string(b) +
+            " est=batch_at:" + std::to_string(options_.batch_threshold) +
+            " drop_at:" + std::to_string(drop_at));
+      }
+      BatchApplyLocked(net, changed, insert_count);
     }
-    BatchApplyLocked(net, changed, insert_count);
+    FLEXREL_FAULT_INJECT("pli_cache.flush.publish");
+  } catch (...) {
+    ++flush_aborts_;
+    FLEXREL_TELEMETRY_COUNT("engine.pli_cache.flush_aborts", 1);
+    if (flush_span.active()) {
+      flush_span.SetDetail("arm=aborted b=" + std::to_string(b));
+    }
+    DropAllLocked();
+    pending_.clear();
+    pending_compact_at_ = kPendingCompactThreshold;
+    if (options_.memory_budget_bytes != 0) AccountMemoryLocked();
+    if (options_.cow_reads) PublishLocked(/*flush_publish=*/true);
+    // Swallowed: the flush recovered to a consistent (empty) cache, and
+    // the mutation itself already succeeded against the row vector.
+    return;
   }
   pending_.clear();
   pending_compact_at_ = kPendingCompactThreshold;
+  if (options_.memory_budget_bytes != 0) {
+    AccountMemoryLocked();
+    EvictLocked();  // the flush may have grown structures past the budget
+  }
   if (options_.cow_reads) PublishLocked(/*flush_publish=*/true);
 }
 
@@ -1390,6 +1453,74 @@ void PliCache::EvictLocked() {
     }
     if (!erased) break;  // everything over budget is still building
   }
+  if (options_.memory_budget_bytes == 0) return;
+  // Byte-budget pass: keep shedding the least recently used completed
+  // entries until the accounted footprint fits. Cost-aware in the LRU
+  // sense — the entries least likely to be re-asked-for pay first — and
+  // bounded: once only pinned bases (or in-flight builds) remain, Get's
+  // miss path degrades to uncached serves instead.
+  while (AccountedBytesLocked() > options_.memory_budget_bytes &&
+         !lru_.empty()) {
+    bool erased = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto entry = entries_.find(*it);
+      if (entry == entries_.end()) continue;
+      if (entry->second.future.wait_for(0s) != std::future_status::ready) {
+        continue;
+      }
+      const size_t bytes =
+          entry->second.future.get()->MemoryBytes() + kPerEntryOverhead;
+      bytes_plis_ -= std::min(bytes_plis_, bytes);
+      entries_.erase(entry);
+      lru_.erase(std::next(it).base());
+      ++evictions_;
+      ++budget_evictions_;
+      FLEXREL_TELEMETRY_COUNT("engine.pli_cache.evictions", 1);
+      FLEXREL_TELEMETRY_COUNT("engine.cache.budget_evictions", 1);
+      erased = true;
+      break;
+    }
+    if (!erased) break;  // only unready entries left
+  }
+}
+
+void PliCache::AccountMemoryLocked() {
+  using namespace std::chrono_literals;
+  size_t plis = 0;
+  for (const auto& [attrs, entry] : entries_) {
+    (void)attrs;
+    // In-flight builds are charged on their completion sweep.
+    if (entry.future.wait_for(0s) != std::future_status::ready) continue;
+    plis += entry.future.get()->MemoryBytes() + kPerEntryOverhead;
+  }
+  size_t probes = 0;
+  for (const auto& [attr, probe] : probes_) {
+    (void)attr;
+    probes += probe->labels.capacity() * sizeof(int32_t) + kPerEntryOverhead;
+  }
+  size_t indexes = 0;
+  for (const auto& [attr, index] : value_indexes_) {
+    (void)attr;
+    indexes += kPerEntryOverhead;
+    for (const auto& [value, rows] : *index) {
+      (void)value;
+      indexes += sizeof(Value) + kPerValueEstimate +
+                 rows.capacity() * sizeof(Pli::RowId);
+    }
+  }
+  size_t columns = 0;
+  for (const auto& [attr, column] : code_columns_) {
+    (void)attr;
+    columns += column->MemoryBytes() + kPerEntryOverhead;
+  }
+  bytes_plis_ = plis;
+  bytes_probes_ = probes;
+  bytes_indexes_ = indexes;
+  bytes_columns_ = columns;
+  FLEXREL_TELEMETRY_GAUGE_SET("engine.cache.bytes_plis", plis);
+  FLEXREL_TELEMETRY_GAUGE_SET("engine.cache.bytes_probes", probes);
+  FLEXREL_TELEMETRY_GAUGE_SET("engine.cache.bytes_indexes", indexes);
+  FLEXREL_TELEMETRY_GAUGE_SET("engine.cache.bytes_columns", columns);
 }
 
 PliCache::StatsSnapshot PliCache::Stats() const {
@@ -1409,6 +1540,13 @@ PliCache::StatsSnapshot PliCache::Stats() const {
   s.flushes = flushes_;
   s.publishes = publishes_;
   s.epoch = epoch_;
+  s.bytes_plis = bytes_plis_;
+  s.bytes_probes = bytes_probes_;
+  s.bytes_indexes = bytes_indexes_;
+  s.bytes_columns = bytes_columns_;
+  s.budget_evictions = budget_evictions_;
+  s.uncached_serves = uncached_serves_;
+  s.flush_aborts = flush_aborts_;
   return s;
 }
 

@@ -228,8 +228,33 @@ class PliCache {
     /// Monotone snapshot version: bumps on every swap (flush publishes and
     /// build refreshes alike). 0 while nothing was ever published.
     uint64_t epoch = 0;
+    /// Estimated byte footprints per structure kind, refreshed by the
+    /// accounting sweep. All 0 while memory_budget_bytes == 0 (governance
+    /// off — nothing is ever accounted).
+    size_t bytes_plis = 0;
+    size_t bytes_probes = 0;
+    size_t bytes_indexes = 0;
+    size_t bytes_columns = 0;
+    /// Entries evicted because the byte budget (not max_entries) was
+    /// exceeded. Identity: 0 while governance is off.
+    size_t budget_evictions = 0;
+    /// Multi-attribute Gets served by building without caching because the
+    /// cache could not get under budget by evicting.
+    size_t uncached_serves = 0;
+    /// Flushes that failed mid-patch (allocation failure or injected
+    /// fault) and recovered by dropping every cached structure instead of
+    /// publishing a half-patched table.
+    size_t flush_aborts = 0;
   };
   StatsSnapshot Stats() const;
+
+  /// True when no reader currently pins either snapshot slot — the leak
+  /// check the cancellation and chaos suites assert after unwinding
+  /// mid-flight work (a pin is held only for a shared_ptr copy, so at
+  /// quiescence this must hold).
+  bool SnapshotPinsDrained() const {
+    return snapshot_slots_[0].Drained() && snapshot_slots_[1].Drained();
+  }
 
   /// Epoch of the currently published snapshot — 0 before the first
   /// publish, monotone afterwards. Lock-free (one slot pin), so readers
@@ -306,8 +331,22 @@ class PliCache {
                                   : Pli::Storage::kVectors;
   }
 
-  /// Drops completed evictable entries beyond max_entries. Requires mu_.
+  /// Drops completed evictable entries beyond max_entries, then — when a
+  /// memory budget is configured — keeps evicting least recently used
+  /// evictable entries until the accounted footprint fits the budget.
+  /// Requires mu_.
   void EvictLocked();
+
+  /// Full accounting sweep over the live maps: per-kind estimated byte
+  /// footprints into bytes_* (and the engine.cache.bytes_* gauges). Only
+  /// called when options_.memory_budget_bytes != 0 — governance off means
+  /// zero accounting work. Requires mu_.
+  void AccountMemoryLocked();
+
+  /// bytes_plis_ + bytes_probes_ + bytes_indexes_ + bytes_columns_.
+  size_t AccountedBytesLocked() const {
+    return bytes_plis_ + bytes_probes_ + bytes_indexes_ + bytes_columns_;
+  }
 
   /// Applies the pending-delta buffer to every cached structure, choosing
   /// per-row replay, batched apply, or drop-everything by the net burst
@@ -563,6 +602,15 @@ class PliCache {
   size_t flushes_ = 0;
   size_t publishes_ = 0;
   uint64_t epoch_ = 0;
+  // Memory-governance state, all meaningful only while
+  // options_.memory_budget_bytes != 0 (zero otherwise).
+  size_t bytes_plis_ = 0;
+  size_t bytes_probes_ = 0;
+  size_t bytes_indexes_ = 0;
+  size_t bytes_columns_ = 0;
+  size_t budget_evictions_ = 0;
+  size_t uncached_serves_ = 0;
+  size_t flush_aborts_ = 0;
 };
 
 // Out of line so WithSnapshot's deduced return type is settled first.

@@ -15,6 +15,20 @@ struct PliCacheOptions {
   /// are dropped beyond this bound.
   size_t max_entries = 1024;
 
+  /// Byte budget over every structure the cache holds — partitions,
+  /// probe tables, value indexes, code columns (estimated footprints;
+  /// snapshot tables ride along as per-entry overhead). 0 (the default)
+  /// disables governance entirely: no accounting sweeps run and nothing
+  /// beyond max_entries is evicted, so the hot paths pay zero overhead.
+  /// When set, each flush/build re-accounts the footprint
+  /// (engine.cache.bytes_* gauges) and evicts least-recently-used
+  /// multi-attribute entries until under budget
+  /// (engine.cache.budget_evictions); when the pinned base structures
+  /// alone exceed the budget, multi-attribute Gets degrade gracefully to
+  /// building without caching (uncached_serves in Stats()) instead of
+  /// growing without bound.
+  size_t memory_budget_bytes = 0;
+
   /// Maintain cached partitions and value indexes incrementally across
   /// instance mutations (PliCache::OnInsert/OnUpdate patch the affected
   /// clusters in place). False restores the pre-incremental behavior:

@@ -40,9 +40,14 @@ std::vector<AttrSet> ComputeRowAttrs(const std::vector<Tuple>& rows) {
 }
 
 AttrSet PartitionAdRhs(const Pli& pli, const std::vector<AttrSet>& row_attrs,
-                       const AttrSet& lhs, const AttrSet& universe) {
+                       const AttrSet& lhs, const AttrSet& universe,
+                       const ExecContext* exec) {
   AttrSet rhs = universe;
+  size_t scanned = 0;
   for (Pli::ClusterView cluster : pli.clusters()) {
+    if (exec != nullptr && (++scanned & 63) == 0 && !exec->Check().ok()) {
+      return AttrSet();  // unwinding; the cancelling run discards this
+    }
     ClusterPresence scan = ScanClusterPresence(cluster, row_attrs);
     // Attributes some but not all cluster members carry break the
     // existence pattern.
@@ -53,9 +58,14 @@ AttrSet PartitionAdRhs(const Pli& pli, const std::vector<AttrSet>& row_attrs,
 }
 
 AttrSet PartitionFdRhs(const Pli& pli, const std::vector<Tuple>& rows,
-                       const AttrSet& lhs, const AttrSet& universe) {
+                       const AttrSet& lhs, const AttrSet& universe,
+                       const ExecContext* exec) {
   AttrSet rhs = universe;
+  size_t scanned = 0;
   for (Pli::ClusterView cluster : pli.clusters()) {
+    if (exec != nullptr && (++scanned & 63) == 0 && !exec->Check().ok()) {
+      return AttrSet();
+    }
     const Tuple& ref = rows[cluster.front()];
     AttrSet agreeing = ref.attrs();
     for (size_t i = 1; i < cluster.size() && !agreeing.empty(); ++i) {
@@ -119,7 +129,7 @@ AttrSet DependencyValidator::MaximalAdRhs(const AttrSet& lhs,
   FLEXREL_TELEMETRY_COUNT("engine.validator.maximal_rhs", 1);
   FLEXREL_TELEMETRY_LATENCY(rhs_timer, "engine.validator.maximal_rhs_ns");
   std::shared_ptr<const Pli> pli = cache_->Get(lhs);
-  return PartitionAdRhs(*pli, row_attrs_, lhs, universe);
+  return PartitionAdRhs(*pli, row_attrs_, lhs, universe, exec_);
 }
 
 AttrSet DependencyValidator::MaximalFdRhs(const AttrSet& lhs,
@@ -127,7 +137,7 @@ AttrSet DependencyValidator::MaximalFdRhs(const AttrSet& lhs,
   FLEXREL_TELEMETRY_COUNT("engine.validator.maximal_rhs", 1);
   FLEXREL_TELEMETRY_LATENCY(rhs_timer, "engine.validator.maximal_rhs_ns");
   std::shared_ptr<const Pli> pli = cache_->Get(lhs);
-  return PartitionFdRhs(*pli, cache_->rows(), lhs, universe);
+  return PartitionFdRhs(*pli, cache_->rows(), lhs, universe, exec_);
 }
 
 AttrSet ExplicitlyMinableRhs(const std::vector<Tuple>& rows,

@@ -20,6 +20,7 @@
 #include "core/dependency_set.h"
 #include "core/explicit_ad.h"
 #include "engine/pli_cache.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace flexrel {
@@ -30,13 +31,18 @@ std::vector<AttrSet> ComputeRowAttrs(const std::vector<Tuple>& rows);
 
 /// The maximal Y (within `universe`, excluding `lhs`) with X --attr--> Y,
 /// read off the stripped partition of X. Mirrors the brute-force
-/// MaximalAdRhs of core/discovery.cc exactly.
+/// MaximalAdRhs of core/discovery.cc exactly. A non-null `exec` is polled
+/// every few dozen clusters; on a trip the scan bails with the empty set —
+/// the caller is unwinding and discards the result, so bailing cheap beats
+/// finishing a fat partition.
 AttrSet PartitionAdRhs(const Pli& pli, const std::vector<AttrSet>& row_attrs,
-                       const AttrSet& lhs, const AttrSet& universe);
+                       const AttrSet& lhs, const AttrSet& universe,
+                       const ExecContext* exec = nullptr);
 
 /// The FD counterpart: maximal Y with X --func--> Y.
 AttrSet PartitionFdRhs(const Pli& pli, const std::vector<Tuple>& rows,
-                       const AttrSet& lhs, const AttrSet& universe);
+                       const AttrSet& lhs, const AttrSet& universe,
+                       const ExecContext* exec = nullptr);
 
 /// Validates single dependencies against one instance through a shared
 /// partition cache; the cheap way to audit an engine- or user-supplied Σ.
@@ -62,9 +68,17 @@ class DependencyValidator {
   const std::vector<AttrSet>& row_attrs() const { return row_attrs_; }
   PliCache* cache() { return cache_; }
 
+  /// Attaches cooperative execution control: MaximalAdRhs/MaximalFdRhs
+  /// poll it at cluster-batch boundaries and bail early (empty result)
+  /// once it trips. Not owned; null (the default) disables polling.
+  /// Discovery sets this from EngineDiscoveryOptions::exec per run.
+  void set_exec(const ExecContext* exec) { exec_ = exec; }
+  const ExecContext* exec() const { return exec_; }
+
  private:
   PliCache* cache_;
   std::vector<AttrSet> row_attrs_;
+  const ExecContext* exec_ = nullptr;
 };
 
 /// Lifts an instance-level AD `determinant --attr--> determined` into an

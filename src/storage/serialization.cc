@@ -371,7 +371,15 @@ Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
   if (StartsWith(line, "deps ")) {
     FLEXREL_ASSIGN_OR_RETURN(size_t dep_count, ParseCount(line.substr(5)));
     for (size_t d = 0; d < dep_count; ++d) {
-      FLEXREL_ASSIGN_OR_RETURN(std::string dep_text, next_line("dep "));
+      // Contextual truncation error: a short Σ section names how far the
+      // reader got, so a chopped file is diagnosable at a glance.
+      Result<std::string> dep_line = next_line("dep ");
+      if (!dep_line.ok()) {
+        return dep_line.status().WithContext(
+            StrCat("truncated deps section: dependency ", d + 1, " of ",
+                   dep_count));
+      }
+      std::string dep_text = std::move(dep_line).value();
       std::vector<std::string> parts = Split(dep_text, '|');
       if (parts.size() != 3) {
         return Status::InvalidArgument(
@@ -409,9 +417,27 @@ Result<std::unique_ptr<FlexDb>> ReadFlexDb(const std::string& text) {
   constexpr size_t kMaxReserveRows = 1u << 16;
   loaded_rows.reserve(std::min(row_count, kMaxReserveRows));
   for (size_t r = 0; r < row_count; ++r) {
-    FLEXREL_ASSIGN_OR_RETURN(std::string row_text, next_line("row "));
-    FLEXREL_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&db->catalog, row_text));
+    // As with deps: a file chopped mid-rows reports exactly where it ends
+    // relative to the count the header promised.
+    Result<std::string> row_line = next_line("row ");
+    if (!row_line.ok()) {
+      return row_line.status().WithContext(
+          StrCat("truncated rows section: row ", r + 1, " of ", row_count));
+    }
+    FLEXREL_ASSIGN_OR_RETURN(
+        Tuple t, DecodeTuple(&db->catalog, std::move(row_line).value()));
     loaded_rows.push_back(std::move(t));
+  }
+  // The row count is part of the format's integrity contract in both
+  // directions: fewer lines than promised errors above, and anything after
+  // the promised rows — a stale tail from an interrupted rewrite, a
+  // duplicated section — is corruption, not slack to ignore.
+  while (std::getline(is, line)) {
+    if (!line.empty()) {
+      return Status::InvalidArgument(
+          StrCat("trailing input after ", row_count, " declared rows: '",
+                 line, "'"));
+    }
   }
   // Bulk-load through the transactional batch path: the whole delta is
   // type-checked and duplicate-checked (hashed set semantics, not the

@@ -1,0 +1,23 @@
+#include "util/exec_context.h"
+
+#include "telemetry/telemetry.h"
+
+namespace flexrel {
+
+Status ExecContext::Check() const {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    if (!counted_.exchange(true, std::memory_order_relaxed)) {
+      FLEXREL_TELEMETRY_COUNT("engine.exec.cancelled", 1);
+    }
+    return Status::Cancelled("execution cancelled by caller");
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    if (!counted_.exchange(true, std::memory_order_relaxed)) {
+      FLEXREL_TELEMETRY_COUNT("engine.exec.deadline_exceeded", 1);
+    }
+    return Status::DeadlineExceeded("execution deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace flexrel

@@ -1,0 +1,124 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+#include "telemetry/telemetry.h"
+
+namespace flexrel {
+namespace fault {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_seed{0};
+
+// splitmix64 finalizer: full-avalanche mix of (seed, site, hit index) so
+// adjacent hit indexes land on uncorrelated decisions.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(std::string_view name) {
+  // FNV-1a; stable across runs, which the replay contract requires.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Site*> sites;
+};
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Site* Registry::GetSite(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.sites.find(std::string(name));
+  if (it != im.sites.end()) return it->second;
+  Site* site = new Site(std::string(name));  // lives forever, like metrics
+  im.sites.emplace(site->name(), site);
+  return site;
+}
+
+std::vector<const Site*> Registry::Sites() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<const Site*> out;
+  out.reserve(im.sites.size());
+  for (const auto& [name, site] : im.sites) out.push_back(site);
+  return out;
+}
+
+uint64_t Registry::InjectedTotal() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  uint64_t total = 0;
+  for (const auto& [name, site] : im.sites) total += site->injected();
+  return total;
+}
+
+uint64_t Registry::seed() const {
+  return g_seed.load(std::memory_order_relaxed);
+}
+
+void Enable(uint64_t seed) {
+  Registry::Impl& im = Registry::Global().impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (auto& [name, site] : im.sites) site->ResetSchedule();
+  }
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+Site::Site(std::string name)
+    : name_(std::move(name)), name_hash_(HashName(name_)) {}
+
+void Site::MaybeInject() {
+  const uint64_t n = hits_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t h = Mix(g_seed.load(std::memory_order_relaxed) ^ name_hash_ ^
+                         (n * 0x9E3779B97F4A7C15ull));
+  if ((h & 7) != 0) return;  // ~1/8 of hits inject
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  FLEXREL_TELEMETRY_COUNT("fault.injected_total", 1);
+  switch ((h >> 3) & 3) {
+    case 0:
+    case 1:
+      // Weighted toward the interesting kind: allocation failure.
+      throw std::bad_alloc();
+    case 2:
+      throw InducedAbort{name_.c_str()};
+    default:
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      return;
+  }
+}
+
+}  // namespace fault
+}  // namespace flexrel

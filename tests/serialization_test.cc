@@ -235,6 +235,77 @@ TEST(FlexDbTest, CorruptSigmaFailsTheEngineAudit) {
   EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(FlexDbTest, TruncatedRowsNameTheMissingRow) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  std::string good = WriteFlexDb(world.catalog, world.scheme, {world.ead},
+                                 world.domains, world.relation);
+  ASSERT_GT(world.relation.size(), 1u);
+
+  // Chop the file after the first row line: the error must say which row
+  // (of the count the header promised) the input ran out at.
+  size_t first_row = good.find("\nrow ");
+  ASSERT_NE(first_row, std::string::npos);
+  size_t second_row = good.find("\nrow ", first_row + 1);
+  ASSERT_NE(second_row, std::string::npos);
+  auto r = ReadFlexDb(good.substr(0, second_row + 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("truncated rows section: row 2 of"),
+            std::string::npos)
+      << r.status();
+}
+
+TEST(FlexDbTest, ShortSigmaSectionNamesTheMissingDependency) {
+  EmployeeConfig config;
+  config.num_variants = 4;
+  config.attrs_per_variant = 2;
+  config.rows = 40;
+  config.seed = 91;
+  auto w = MakeEmployeeWorkload(config);
+  ASSERT_TRUE(w.ok());
+  EmployeeWorkload& world = *w.value();
+  world.relation.mutable_deps()->AddFd(
+      FuncDep{AttrSet::Of(world.id_attr), AttrSet::Of(world.jobtype_attr)});
+  std::string good = WriteFlexDb(world.catalog, world.scheme, world.eads,
+                                 world.domains, world.relation);
+
+  // Keep the 'deps N' header but drop everything after it: the reader must
+  // report the Σ section short, naming how far it got.
+  size_t deps_at = good.find("\ndeps ");
+  ASSERT_NE(deps_at, std::string::npos);
+  size_t deps_end = good.find('\n', deps_at + 1);
+  ASSERT_NE(deps_end, std::string::npos);
+  auto r = ReadFlexDb(good.substr(0, deps_end + 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(
+      r.status().message().find("truncated deps section: dependency 1 of"),
+      std::string::npos)
+      << r.status();
+}
+
+TEST(FlexDbTest, TrailingInputAfterRowsRejected) {
+  auto ex = MakeJobtypeExample();
+  ASSERT_TRUE(ex.ok());
+  const JobtypeExample& world = *ex.value();
+  std::string good = WriteFlexDb(world.catalog, world.scheme, {world.ead},
+                                 world.domains, world.relation);
+
+  // A stale tail after the declared rows — an interrupted rewrite, a
+  // doubled section — is corruption, not slack.
+  auto r = ReadFlexDb(good + "row id=i:9999\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("trailing input"), std::string::npos)
+      << r.status();
+
+  // Trailing blank lines are tolerated (editors add them); only real
+  // content after the rows is an error.
+  EXPECT_TRUE(ReadFlexDb(good + "\n\n").ok());
+}
+
 TEST(FlexDbTest, EmptyRelationRoundTrips) {
   AttrCatalog catalog;
   auto fs = FlexibleScheme::Parse(&catalog, "<1,2,{A,B}>");
